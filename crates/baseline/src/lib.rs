@@ -1,0 +1,28 @@
+//! Baselines for the SXSI evaluation.
+//!
+//! The paper compares SXSI against conventional in-memory XML engines
+//! (MonetDB/XQuery and Qizx/DB), against a pointer-based DOM representation
+//! (Tables IV–VI) and against streaming evaluators (GCX/SPEX, Section 1).
+//! Those systems are not available here, so this crate provides honest
+//! re-implementations of the *approaches* they represent:
+//!
+//! * [`PointerTree`] — a classical pointer-based tree (two machine words per
+//!   node for first-child/next-sibling plus parent and tag), the comparison
+//!   point of the construction and traversal experiments;
+//! * [`NaiveEvaluator`] — a conventional recursive XPath evaluator that
+//!   materializes intermediate node lists step by step, without any succinct
+//!   index or automaton; it doubles as the correctness oracle for the SXSI
+//!   engine in the integration tests;
+//! * [`StreamingCounter`] — a single-pass SAX-style counter for simple
+//!   descendant queries, representing the streaming approach.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod naive;
+pub mod streaming;
+
+pub use dom::{PointerNode, PointerTree};
+pub use naive::NaiveEvaluator;
+pub use streaming::StreamingCounter;

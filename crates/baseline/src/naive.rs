@@ -1,0 +1,220 @@
+//! A conventional recursive XPath evaluator over the tree, used both as the
+//! stand-in for the "classical in-memory engine" comparison of Figures 10,
+//! 11 and 15, and as the correctness oracle for the SXSI engine.
+//!
+//! The evaluator materializes the full node list after every location step
+//! (the textbook evaluation strategy), re-traverses subtrees for every
+//! filter, and evaluates text predicates by extracting and scanning string
+//! values — no succinct index operations, no automata, no jumping.
+
+use sxsi_text::{TextCollection, TextPredicate};
+use sxsi_tree::{reserved, NodeId, XmlTree};
+use sxsi_xpath::{Axis, NodeTest, Path, Predicate, Query};
+
+/// Naive recursive evaluator.
+pub struct NaiveEvaluator<'a> {
+    tree: &'a XmlTree,
+    texts: &'a TextCollection,
+}
+
+impl<'a> NaiveEvaluator<'a> {
+    /// Creates the evaluator over a document.
+    pub fn new(tree: &'a XmlTree, texts: &'a TextCollection) -> Self {
+        Self { tree, texts }
+    }
+
+    /// Evaluates an absolute query, returning result nodes in document order.
+    pub fn evaluate(&self, query: &Query) -> Vec<NodeId> {
+        let mut context = vec![self.tree.root()];
+        for step in &query.path.steps {
+            context = self.apply_step(&context, step.axis, &step.test);
+            for pred in &step.predicates {
+                context.retain(|&n| self.eval_predicate(n, pred));
+            }
+            context.sort_unstable();
+            context.dedup();
+        }
+        context
+    }
+
+    /// Number of nodes selected by the query.
+    pub fn count(&self, query: &Query) -> usize {
+        self.evaluate(query).len()
+    }
+
+    fn apply_step(&self, context: &[NodeId], axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for &node in context {
+            match axis {
+                Axis::Child => {
+                    for c in self.tree.children(node) {
+                        if self.matches(c, test) {
+                            out.push(c);
+                        }
+                    }
+                }
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    if axis == Axis::DescendantOrSelf && self.matches(node, test) {
+                        out.push(node);
+                    }
+                    self.collect_descendants(node, test, &mut out);
+                }
+                Axis::SelfAxis => {
+                    if self.matches(node, test) {
+                        out.push(node);
+                    }
+                }
+                Axis::Attribute => {
+                    for c in self.tree.children(node) {
+                        if self.tree.tag(c) == reserved::ATTRIBUTES {
+                            for attr in self.tree.children(c) {
+                                let name_matches = match test {
+                                    NodeTest::Wildcard | NodeTest::Node => true,
+                                    NodeTest::Name(n) => self.tree.tag_id(n) == Some(self.tree.tag(attr)),
+                                    NodeTest::Text => false,
+                                };
+                                if name_matches {
+                                    out.push(attr);
+                                }
+                            }
+                        }
+                    }
+                }
+                Axis::FollowingSibling => {
+                    let mut cur = self.tree.next_sibling(node);
+                    while let Some(s) = cur {
+                        if self.matches(s, test) {
+                            out.push(s);
+                        }
+                        cur = self.tree.next_sibling(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn collect_descendants(&self, node: NodeId, test: &NodeTest, out: &mut Vec<NodeId>) {
+        for c in self.tree.children(node) {
+            // The descendant axis never enters the attribute encoding.
+            if self.tree.tag(c) == reserved::ATTRIBUTES {
+                continue;
+            }
+            if self.matches(c, test) {
+                out.push(c);
+            }
+            self.collect_descendants(c, test, out);
+        }
+    }
+
+    fn matches(&self, node: NodeId, test: &NodeTest) -> bool {
+        let tag = self.tree.tag(node);
+        match test {
+            NodeTest::Wildcard => {
+                tag != reserved::ROOT
+                    && tag != reserved::TEXT
+                    && tag != reserved::ATTRIBUTES
+                    && tag != reserved::ATTRIBUTE_VALUE
+            }
+            NodeTest::Name(name) => self.tree.tag_id(name) == Some(tag),
+            NodeTest::Text => tag == reserved::TEXT,
+            NodeTest::Node => {
+                tag != reserved::ROOT && tag != reserved::ATTRIBUTES && tag != reserved::ATTRIBUTE_VALUE
+            }
+        }
+    }
+
+    fn eval_predicate(&self, node: NodeId, pred: &Predicate) -> bool {
+        match pred {
+            Predicate::And(a, b) => self.eval_predicate(node, a) && self.eval_predicate(node, b),
+            Predicate::Or(a, b) => self.eval_predicate(node, a) || self.eval_predicate(node, b),
+            Predicate::Not(p) => !self.eval_predicate(node, p),
+            Predicate::Exists(path) => !self.eval_relative_path(node, path).is_empty(),
+            Predicate::TextCompare { path, op } => {
+                if path.is_context_only() {
+                    self.text_matches(node, op)
+                } else {
+                    self.eval_relative_path(node, path).iter().any(|&n| self.text_matches(n, op))
+                }
+            }
+        }
+    }
+
+    fn eval_relative_path(&self, node: NodeId, path: &Path) -> Vec<NodeId> {
+        let mut context = vec![node];
+        for step in &path.steps {
+            context = self.apply_step(&context, step.axis, &step.test);
+            for pred in &step.predicates {
+                context.retain(|&n| self.eval_predicate(n, pred));
+            }
+            context.sort_unstable();
+            context.dedup();
+            if context.is_empty() {
+                break;
+            }
+        }
+        context
+    }
+
+    /// The XPath string value of a node, built by extraction.
+    fn string_value(&self, node: NodeId) -> Vec<u8> {
+        let mut out = Vec::new();
+        for d in self.tree.string_value_texts(node) {
+            out.extend_from_slice(&self.texts.get_text(d));
+        }
+        out
+    }
+
+    fn text_matches(&self, node: NodeId, op: &TextPredicate) -> bool {
+        op.matches_value(&self.string_value(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxsi_xml::parse_document;
+    use sxsi_xpath::parse_query;
+
+    fn fixture() -> (XmlTree, TextCollection) {
+        let xml = r#"<site><people>
+            <person id="p1"><name>Alice</name><address>Oak</address><phone>1</phone></person>
+            <person id="p2"><name>Bob</name><homepage>h</homepage></person>
+        </people>
+        <regions><item><parlist><listitem><keyword>rare</keyword></listitem></parlist></item></regions></site>"#;
+        let doc = parse_document(xml.as_bytes()).unwrap();
+        let texts = TextCollection::new(&doc.text_slices());
+        (doc.tree, texts)
+    }
+
+    #[test]
+    fn basic_queries() {
+        let (tree, texts) = fixture();
+        let e = NaiveEvaluator::new(&tree, &texts);
+        let count = |q: &str| e.count(&parse_query(q).unwrap());
+        assert_eq!(count("//person"), 2);
+        assert_eq!(count("/site/people/person"), 2);
+        assert_eq!(count("//person[address]"), 1);
+        assert_eq!(count("//person[ phone or homepage ]/name"), 2);
+        assert_eq!(count("//person[not(address)]"), 1);
+        assert_eq!(count("//listitem//keyword"), 1);
+        assert_eq!(count("//*"), 14);
+        assert_eq!(count("//person/@id"), 2);
+        assert_eq!(count(r#"//person[ .//name[ . = "Alice" ] ]"#), 1);
+        assert_eq!(count(r#"//keyword[ contains(., "ar") ]"#), 1);
+        assert_eq!(count(r#"//keyword[ contains(., "zz") ]"#), 0);
+    }
+
+    #[test]
+    fn descendants_skip_attribute_encoding() {
+        let (tree, texts) = fixture();
+        let e = NaiveEvaluator::new(&tree, &texts);
+        // `//*` must not report attribute-name nodes of the model.
+        let nodes = e.evaluate(&parse_query("//*").unwrap());
+        for n in nodes {
+            let name = tree.tag_name(tree.tag(n));
+            assert_ne!(name, "id");
+            assert_ne!(name, "@");
+        }
+    }
+}

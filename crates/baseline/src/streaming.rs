@@ -1,0 +1,79 @@
+//! A single-pass streaming counter for simple descendant queries.
+//!
+//! Represents the streaming engines (GCX, SPEX) the paper's introduction
+//! compares against: no index is built, every query reads the whole
+//! document once.
+
+use sxsi_xml::{Event, ParseError, Parser};
+
+/// Streaming evaluation of `//tag1//tag2//…//tagk` queries.
+pub struct StreamingCounter;
+
+impl StreamingCounter {
+    /// Counts the elements matched by the descendant-only path `tags` in one
+    /// pass over `xml`, without building any data structure.
+    pub fn count_descendant_path(xml: &[u8], tags: &[&str]) -> Result<usize, ParseError> {
+        if tags.is_empty() {
+            return Ok(0);
+        }
+        let mut parser = Parser::new(xml);
+        let k = tags.len();
+        // `level` = longest prefix of `tags` matched (greedily, in order) by
+        // the currently open ancestors; greedy prefix matching is optimal on
+        // a single ancestor path, so an element is a result exactly when its
+        // proper ancestors reach level `k - 1` and its own name is the last
+        // step.  Only levels up to `k - 1` ever need to be tracked.
+        let mut open_progress: Vec<usize> = Vec::new();
+        let mut level = 0usize;
+        let mut count = 0usize;
+        loop {
+            match parser.next_event()? {
+                Event::StartElement { name, self_closing, .. } => {
+                    if level >= k - 1 && name == tags[k - 1] {
+                        count += 1;
+                    }
+                    let advances = level < k - 1 && name == tags[level];
+                    if advances {
+                        level += 1;
+                    }
+                    if !self_closing {
+                        open_progress.push(if advances { 1 } else { 0 });
+                    } else if advances {
+                        level -= 1;
+                    }
+                }
+                Event::EndElement { .. } => {
+                    if let Some(advanced) = open_progress.pop() {
+                        level -= advanced;
+                    }
+                }
+                Event::Text(_) => {}
+                Event::Eof => break,
+            }
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_descendant_paths() {
+        let xml = b"<a><b><c/><c/></b><b><d><c/></d></b><c/></a>";
+        assert_eq!(StreamingCounter::count_descendant_path(xml, &["c"]).unwrap(), 4);
+        assert_eq!(StreamingCounter::count_descendant_path(xml, &["b", "c"]).unwrap(), 3);
+        assert_eq!(StreamingCounter::count_descendant_path(xml, &["a", "b", "c"]).unwrap(), 3);
+        assert_eq!(StreamingCounter::count_descendant_path(xml, &["d", "c"]).unwrap(), 1);
+        assert_eq!(StreamingCounter::count_descendant_path(xml, &["z"]).unwrap(), 0);
+        assert_eq!(StreamingCounter::count_descendant_path(xml, &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn nested_matches_count_each_occurrence() {
+        let xml = b"<a><b><b><c/></b></b></a>";
+        assert_eq!(StreamingCounter::count_descendant_path(xml, &["b"]).unwrap(), 2);
+        assert_eq!(StreamingCounter::count_descendant_path(xml, &["b", "c"]).unwrap(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 8: index construction time, memory and size vs document size,
+//! over a sweep of XMark-like document scales.
+use sxsi::SxsiIndex;
+use sxsi_bench::{header, row, time_ms};
+use sxsi_datagen::{xmark, XMarkConfig};
+
+fn main() {
+    header(
+        "Figure 8: indexing of XMark documents",
+        &["doc KiB", "construction ms", "tree KiB", "text index KiB", "plain KiB", "index/doc ratio"],
+    );
+    for scale in [0.1f64, 0.2, 0.4, 0.8] {
+        let xml = xmark::generate(&XMarkConfig { scale, seed: 42 });
+        let (index, ms) = time_ms(|| SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds"));
+        let s = index.stats();
+        let core = s.tree_bytes + s.text_index_bytes;
+        row(&[
+            format!("{}", xml.len() / 1024),
+            format!("{ms:.0}"),
+            format!("{}", s.tree_bytes / 1024),
+            format!("{}", s.text_index_bytes / 1024),
+            format!("{}", s.plain_text_bytes / 1024),
+            format!("{:.2}", core as f64 / xml.len() as f64),
+        ]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 10: the XMark queries X01–X17 — SXSI (counting / materialization /
+//! serialization) vs the naive in-memory evaluator, on two document scales.
+use sxsi_baseline::NaiveEvaluator;
+use sxsi_bench::{header, row, time_avg_ms, xmark_index, xmark_small_xml};
+use sxsi::SxsiIndex;
+use sxsi_xpath::{parse_query, XMARK_QUERIES};
+
+fn run(label: &str, index: &SxsiIndex) {
+    let naive = NaiveEvaluator::new(index.tree(), index.texts());
+    header(
+        &format!("Figure 10: XMark queries ({label})"),
+        &["query", "results", "sxsi count ms", "sxsi mat ms", "sxsi mat+ser ms", "naive ms", "naive/sxsi"],
+    );
+    for q in XMARK_QUERIES {
+        let parsed = parse_query(q.xpath).expect("parses");
+        let results = index.count(q.xpath).expect("runs");
+        let count_ms = time_avg_ms(3, || index.count(q.xpath).expect("runs"));
+        let mat_ms = time_avg_ms(3, || index.materialize(q.xpath).expect("runs"));
+        let ser_ms = time_avg_ms(2, || index.serialize(q.xpath).expect("runs").len());
+        let naive_ms = time_avg_ms(2, || naive.count(&parsed));
+        row(&[
+            q.id.to_string(),
+            format!("{results}"),
+            format!("{count_ms:.2}"),
+            format!("{mat_ms:.2}"),
+            format!("{ser_ms:.2}"),
+            format!("{naive_ms:.2}"),
+            format!("{:.1}x", naive_ms / count_ms.max(0.0001)),
+        ]);
+    }
+}
+
+fn main() {
+    let small = SxsiIndex::build_from_xml(xmark_small_xml().as_bytes()).expect("builds");
+    run("small scale", &small);
+    run("large scale", xmark_index());
+}

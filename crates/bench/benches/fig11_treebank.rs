@@ -1,0 +1,29 @@
+//! Figure 11: the Treebank queries T01–T05 — SXSI vs the naive evaluator on
+//! a deeply recursive document.
+use sxsi_baseline::NaiveEvaluator;
+use sxsi_bench::{header, row, time_avg_ms, treebank_index};
+use sxsi_xpath::{parse_query, TREEBANK_QUERIES};
+
+fn main() {
+    let index = treebank_index();
+    let naive = NaiveEvaluator::new(index.tree(), index.texts());
+    header(
+        "Figure 11: Treebank queries",
+        &["query", "results", "sxsi count ms", "sxsi mat ms", "naive ms", "naive/sxsi"],
+    );
+    for q in TREEBANK_QUERIES {
+        let parsed = parse_query(q.xpath).expect("parses");
+        let results = index.count(q.xpath).expect("runs");
+        let count_ms = time_avg_ms(3, || index.count(q.xpath).expect("runs"));
+        let mat_ms = time_avg_ms(3, || index.materialize(q.xpath).expect("runs"));
+        let naive_ms = time_avg_ms(2, || naive.count(&parsed));
+        row(&[
+            q.id.to_string(),
+            format!("{results}"),
+            format!("{count_ms:.2}"),
+            format!("{mat_ms:.2}"),
+            format!("{naive_ms:.2}"),
+            format!("{:.1}x", naive_ms / count_ms.max(0.0001)),
+        ]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 13: memory behaviour proxies — visited vs marked vs result nodes
+//! per XMark query (the counters the paper plots on the right-hand side).
+use sxsi_bench::{header, row, xmark_index};
+use sxsi_xpath::{compile, parse_query, EvalOptions, Evaluator, XMARK_QUERIES};
+
+fn main() {
+    let index = xmark_index();
+    let element_count = index.count("//*").expect("runs");
+    header(
+        "Figure 13: visited / marked / result nodes per query",
+        &["query", "visited", "marked", "results", "total elements"],
+    );
+    for q in XMARK_QUERIES {
+        let parsed = parse_query(q.xpath).expect("parses");
+        let automaton = compile(&parsed, index.tree()).expect("compiles");
+        let mut eval = Evaluator::new(&automaton, index.tree(), Some(index.texts()), EvalOptions::default());
+        let nodes = eval.materialize();
+        let stats = eval.stats();
+        row(&[
+            q.id.to_string(),
+            format!("{}", stats.visited_nodes),
+            format!("{}", stats.marked_nodes),
+            format!("{}", nodes.len()),
+            format!("{element_count}"),
+        ]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 15: the Medline text queries M01–M11 — SXSI (with the text/auto
+//! time split for bottom-up queries) vs the naive evaluator.
+use sxsi_baseline::NaiveEvaluator;
+use sxsi_bench::{header, medline_index, row, time_avg_ms, time_ms};
+use sxsi::Strategy;
+use sxsi_xpath::{parse_query, BottomUpPlan, MEDLINE_QUERIES};
+
+fn main() {
+    let index = medline_index();
+    let naive = NaiveEvaluator::new(index.tree(), index.texts());
+    header(
+        "Figure 15: Medline text queries",
+        &["query", "results", "strategy", "text ms", "auto ms", "total ms", "naive ms"],
+    );
+    for q in MEDLINE_QUERIES {
+        let parsed = parse_query(q.xpath).expect("parses");
+        let result = index.execute(q.xpath, true).expect("runs");
+        let (text_ms, auto_ms) = match BottomUpPlan::try_from_query(&parsed, index.tree()) {
+            Some(plan) => {
+                let (seeds, text_ms) = time_ms(|| plan.seeds(index.texts()));
+                let (_, auto_ms) = time_ms(|| plan.run_from_seeds(index.tree(), &seeds));
+                (text_ms, auto_ms)
+            }
+            None => (0.0, 0.0),
+        };
+        let total_ms = time_avg_ms(2, || index.count(q.xpath).expect("runs"));
+        let naive_ms = time_avg_ms(1, || naive.count(&parsed));
+        row(&[
+            q.id.to_string(),
+            format!("{}", result.output.count()),
+            match result.strategy { Strategy::BottomUp => "bottom-up".into(), Strategy::TopDown => "top-down".into() },
+            format!("{text_ms:.2}"),
+            format!("{auto_ms:.2}"),
+            format!("{total_ms:.2}"),
+            format!("{naive_ms:.2}"),
+        ]);
+    }
+}

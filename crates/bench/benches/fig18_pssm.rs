@@ -1,0 +1,49 @@
+//! Figure 18: motif queries over the BioXML corpus — structural XPath
+//! combined with DNA pattern search through the text index, with the
+//! text/automaton time split the paper reports.
+use sxsi_bench::{header, row, time_ms};
+use sxsi::SxsiIndex;
+use sxsi_datagen::{bio, BioConfig};
+use sxsi_xpath::{parse_query, BottomUpPlan};
+
+fn main() {
+    let xml = bio::generate(&BioConfig { num_genes: 200, seed: 42 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    let stats = index.stats();
+    println!(
+        "BioXML corpus: {} KiB document, {} KiB tree index, {} KiB text index",
+        xml.len() / 1024,
+        stats.tree_bytes / 1024,
+        stats.text_index_bytes / 1024
+    );
+    header(
+        "Figure 18: motif queries over promoters/exons",
+        &["query", "results", "text ms", "auto ms", "total ms"],
+    );
+    // Motifs of increasing length play the role of the three PSSMs (longer
+    // motif = higher threshold = fewer matches).
+    let motifs = ["ACGT", "ACGTACG", "ACGTACGTACGT"];
+    let targets = ["promoter", "sequence"];
+    for target in targets {
+        for motif in motifs {
+            let query = format!(r#"//{target}[ contains(., "{motif}") ]"#);
+            let parsed = parse_query(&query).expect("parses");
+            let (count, total_ms) = time_ms(|| index.count(&query).expect("runs"));
+            let (text_ms, auto_ms) = match BottomUpPlan::try_from_query(&parsed, index.tree()) {
+                Some(plan) => {
+                    let (seeds, text_ms) = time_ms(|| plan.seeds(index.texts()));
+                    let (_, auto_ms) = time_ms(|| plan.run_from_seeds(index.tree(), &seeds));
+                    (text_ms, auto_ms)
+                }
+                None => (0.0, 0.0),
+            };
+            row(&[
+                format!("//{target}[contains(.,{motif})]"),
+                format!("{count}"),
+                format!("{text_ms:.2}"),
+                format!("{auto_ms:.2}"),
+                format!("{total_ms:.2}"),
+            ]);
+        }
+    }
+}

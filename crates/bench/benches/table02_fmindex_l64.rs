@@ -1,0 +1,39 @@
+//! Table II: FM-index search times with sampling factor l = 64 —
+//! GlobalCount vs ContainsCount vs ContainsReport vs the naive plain scan,
+//! over patterns of increasing frequency.
+use sxsi_bench::{header, medline_xml, row, time_avg_ms};
+use sxsi_text::{TextCollection, TextCollectionOptions};
+use sxsi_xml::parse_document;
+
+pub fn run(sample_rate: usize, title: &str) {
+    let doc = parse_document(medline_xml().as_bytes()).expect("parses");
+    let texts = TextCollection::with_options(
+        &doc.text_slices(),
+        TextCollectionOptions { sample_rate, keep_plain_text: true, scan_cutoff: usize::MAX },
+    );
+    header(title, &["pattern", "global count", "global ms", "contains count", "contains ms", "report ms", "plain scan ms"]);
+    for pattern in ["epididymis", "ruminants", "AUSTRALIA", "plus", "blood", "human", "from", "with", "the", "a"] {
+        let p = pattern.as_bytes();
+        let global = texts.global_count(p);
+        let g_ms = time_avg_ms(3, || texts.global_count(p));
+        let cc = texts.contains_count(p);
+        let cc_ms = time_avg_ms(3, || texts.contains(p));
+        let rep_ms = time_avg_ms(3, || texts.contains_positions(p));
+        let plain = texts.plain().expect("plain kept");
+        let scan_ms = time_avg_ms(3, || plain.scan_contains(p));
+        row(&[
+            pattern.to_string(),
+            format!("{global}"),
+            format!("{g_ms:.4}"),
+            format!("{cc}"),
+            format!("{cc_ms:.3}"),
+            format!("{rep_ms:.3}"),
+            format!("{scan_ms:.3}"),
+        ]);
+    }
+}
+
+#[allow(dead_code)]
+fn main() {
+    run(64, "Table II: FM-index search times, sampling l=64");
+}

@@ -1,0 +1,8 @@
+//! Table III: same experiment as Table II with sampling factor l = 4 —
+//! the FM-vs-plain-scan cut-off moves to much higher pattern frequencies.
+#[path = "table02_fmindex_l64.rs"]
+mod table02;
+
+fn main() {
+    table02::run(4, "Table III: FM-index search times, sampling l=4");
+}

@@ -1,0 +1,32 @@
+//! Table IV: construction times — XML parsing, pointer tree, parentheses +
+//! tags (the SXSI tree store) — over the three corpora.
+use sxsi_baseline::PointerTree;
+use sxsi_bench::{header, medline_xml, row, time_ms, treebank_xml, xmark_xml};
+use sxsi_xml::parse_document;
+
+fn main() {
+    header(
+        "Table IV: construction times (ms) for pointer vs SXSI tree store",
+        &["file", "KiB", "parse-only ms", "pointer tree ms", "sxsi tree+tags ms"],
+    );
+    for (name, xml) in [("XMark", xmark_xml()), ("Treebank", treebank_xml()), ("Medline", medline_xml())] {
+        // Parse only (SAX pass with no structure building).
+        let (_, parse_ms) = time_ms(|| {
+            let mut p = sxsi_xml::Parser::new(xml.as_bytes());
+            let mut events = 0usize;
+            while !matches!(p.next_event().expect("valid"), sxsi_xml::Event::Eof) {
+                events += 1;
+            }
+            events
+        });
+        let (_, pointer_ms) = time_ms(|| PointerTree::build_from_xml(xml.as_bytes()).expect("builds"));
+        let (_, sxsi_ms) = time_ms(|| parse_document(xml.as_bytes()).expect("builds"));
+        row(&[
+            name.to_string(),
+            format!("{}", xml.len() / 1024),
+            format!("{parse_ms:.0}"),
+            format!("{pointer_ms:.0}"),
+            format!("{sxsi_ms:.0}"),
+        ]);
+    }
+}

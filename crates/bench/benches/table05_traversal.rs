@@ -1,0 +1,43 @@
+//! Table V: full-tree traversal times — pointer tree vs SXSI succinct tree —
+//! and element-node traversal via the //* automaton.
+use sxsi_baseline::PointerTree;
+use sxsi_bench::{header, medline_xml, row, time_avg_ms, treebank_xml, xmark_xml};
+use sxsi_xml::parse_document;
+use sxsi_xpath::{compile, parse_query, EvalOptions, Evaluator};
+
+fn main() {
+    header(
+        "Table V: traversal times (ms)",
+        &["file", "#nodes", "pointer traversal", "sxsi traversal", "//* automaton (count)"],
+    );
+    for (name, xml) in [("XMark", xmark_xml()), ("Treebank", treebank_xml()), ("Medline", medline_xml())] {
+        let dom = PointerTree::build_from_xml(xml.as_bytes()).expect("builds");
+        let doc = parse_document(xml.as_bytes()).expect("builds");
+        let tree = &doc.tree;
+        let pointer_ms = time_avg_ms(3, || dom.count_traversal());
+        let sxsi_ms = time_avg_ms(3, || {
+            fn rec(tree: &sxsi_tree::XmlTree, node: usize) -> usize {
+                let mut count = 1;
+                let mut child = tree.first_child(node);
+                while let Some(c) = child {
+                    count += rec(tree, c);
+                    child = tree.next_sibling(c);
+                }
+                count
+            }
+            rec(tree, tree.root())
+        });
+        let query = parse_query("//*").expect("parses");
+        let automaton = compile(&query, tree).expect("compiles");
+        let auto_ms = time_avg_ms(3, || {
+            Evaluator::new(&automaton, tree, None, EvalOptions::default()).count()
+        });
+        row(&[
+            name.to_string(),
+            format!("{}", tree.num_nodes()),
+            format!("{pointer_ms:.1}"),
+            format!("{sxsi_ms:.1}"),
+            format!("{auto_ms:.1}"),
+        ]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Table VI: tagged traversals over XMark — hand-written jump loop over the
+//! tag index vs the //tag automaton in counting and materializing modes.
+use sxsi_baseline::PointerTree;
+use sxsi_bench::{header, row, time_avg_ms, xmark_index, xmark_xml};
+use sxsi_xpath::{compile, parse_query, EvalOptions, Evaluator};
+
+fn main() {
+    let index = xmark_index();
+    let tree = index.tree();
+    let dom = PointerTree::build_from_xml(xmark_xml().as_bytes()).expect("builds");
+    header(
+        "Table VI: tagged traversals over XMark (ms)",
+        &["tag", "#nodes", "jump loop", "//tag count", "//tag materialize", "pointer scan"],
+    );
+    for tag_name in ["category", "date", "listitem", "keyword"] {
+        let Some(tag) = tree.tag_id(tag_name) else { continue };
+        let count = tree.tag_count(tag);
+        // Hand-written jump loop using the tag index directly.
+        let jump_ms = time_avg_ms(5, || {
+            let mut n = 0usize;
+            let mut from = 0usize;
+            while let Some(p) = tree.tagged_next(tag, from) {
+                n += 1;
+                from = p + 1;
+            }
+            n
+        });
+        let query = parse_query(&format!("//{tag_name}")).expect("parses");
+        let automaton = compile(&query, tree).expect("compiles");
+        let count_ms = time_avg_ms(5, || {
+            Evaluator::new(&automaton, tree, Some(index.texts()), EvalOptions::default()).count()
+        });
+        let mat_ms = time_avg_ms(5, || {
+            Evaluator::new(&automaton, tree, Some(index.texts()), EvalOptions::default()).materialize()
+        });
+        let pointer_ms = time_avg_ms(5, || dom.count_tag(tag_name));
+        row(&[
+            tag_name.to_string(),
+            format!("{count}"),
+            format!("{jump_ms:.2}"),
+            format!("{count_ms:.2}"),
+            format!("{mat_ms:.2}"),
+            format!("{pointer_ms:.2}"),
+        ]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Table VII / Figure 16: word-based queries W01–W10 over the Medline-like
+//! and wiki-like corpora (phrase predicates through the text index).
+use sxsi_bench::{header, medline_index, row, time_avg_ms, wiki_index};
+use sxsi_xpath::WORD_QUERIES;
+
+fn main() {
+    header(
+        "Table VII: word-based queries",
+        &["query", "corpus", "results", "sxsi ms"],
+    );
+    for q in WORD_QUERIES {
+        let (corpus, index) = if q.id < "W06" { ("medline", medline_index()) } else { ("wiki", wiki_index()) };
+        match index.count(q.xpath) {
+            Ok(results) => {
+                let ms = time_avg_ms(2, || index.count(q.xpath).expect("runs"));
+                row(&[q.id.to_string(), corpus.to_string(), format!("{results}"), format!("{ms:.2}")]);
+            }
+            Err(e) => row(&[q.id.to_string(), corpus.to_string(), format!("error: {e}"), "-".into()]),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! Every bench target reproduces one table or figure of the paper's
+//! evaluation section (see `DESIGN.md` for the index).  Since the absolute
+//! hardware and corpus sizes differ from the paper's testbed, the harness
+//! reports its own measurements in the same row/series layout so the *shape*
+//! of each result (who wins, by how much, where the cross-overs are) can be
+//! compared directly; `EXPERIMENTS.md` records that comparison.
+
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use sxsi::{SxsiIndex, SxsiOptions};
+use sxsi_datagen::{medline, treebank, wiki, xmark, MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig};
+
+/// Milliseconds spent running `f` once.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Milliseconds per run, averaged over `runs` executions after one warm-up.
+pub fn time_avg_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let _ = f();
+    let start = Instant::now();
+    for _ in 0..runs {
+        let _ = f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / runs as f64
+}
+
+/// Prints a table header row.
+pub fn header(title: &str, columns: &[&str]) {
+    println!();
+    println!("== {title} ==");
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints one table row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// The XMark-like corpus used by most tree-oriented experiments.
+pub fn xmark_xml() -> &'static str {
+    static XML: OnceLock<String> = OnceLock::new();
+    XML.get_or_init(|| xmark::generate(&XMarkConfig { scale: 0.6, seed: 42 }))
+}
+
+/// A smaller XMark-like corpus (the scale contrast of Figure 10).
+pub fn xmark_small_xml() -> &'static str {
+    static XML: OnceLock<String> = OnceLock::new();
+    XML.get_or_init(|| xmark::generate(&XMarkConfig { scale: 0.15, seed: 42 }))
+}
+
+/// The Medline-like corpus for text-oriented experiments.
+pub fn medline_xml() -> &'static str {
+    static XML: OnceLock<String> = OnceLock::new();
+    XML.get_or_init(|| medline::generate(&MedlineConfig { num_citations: 1500, seed: 42 }))
+}
+
+/// The Treebank-like corpus.
+pub fn treebank_xml() -> &'static str {
+    static XML: OnceLock<String> = OnceLock::new();
+    XML.get_or_init(|| treebank::generate(&TreebankConfig { num_sentences: 2500, seed: 42 }))
+}
+
+/// The wiki-like corpus for the word-based queries.
+pub fn wiki_xml() -> &'static str {
+    static XML: OnceLock<String> = OnceLock::new();
+    XML.get_or_init(|| wiki::generate(&WikiConfig { num_pages: 800, seed: 42 }))
+}
+
+/// A pre-built SXSI index over the XMark corpus.
+pub fn xmark_index() -> &'static SxsiIndex {
+    static INDEX: OnceLock<SxsiIndex> = OnceLock::new();
+    INDEX.get_or_init(|| SxsiIndex::build_from_xml(xmark_xml().as_bytes()).expect("index builds"))
+}
+
+/// A pre-built SXSI index over the Medline corpus.
+pub fn medline_index() -> &'static SxsiIndex {
+    static INDEX: OnceLock<SxsiIndex> = OnceLock::new();
+    INDEX.get_or_init(|| SxsiIndex::build_from_xml(medline_xml().as_bytes()).expect("index builds"))
+}
+
+/// A pre-built SXSI index over the Treebank corpus.
+pub fn treebank_index() -> &'static SxsiIndex {
+    static INDEX: OnceLock<SxsiIndex> = OnceLock::new();
+    INDEX.get_or_init(|| SxsiIndex::build_from_xml(treebank_xml().as_bytes()).expect("index builds"))
+}
+
+/// A pre-built SXSI index over the wiki corpus.
+pub fn wiki_index() -> &'static SxsiIndex {
+    static INDEX: OnceLock<SxsiIndex> = OnceLock::new();
+    INDEX.get_or_init(|| SxsiIndex::build_from_xml(wiki_xml().as_bytes()).expect("index builds"))
+}
+
+/// Builds an index with specific options (used by the ablation figure).
+pub fn build_index(xml: &str, options: SxsiOptions) -> SxsiIndex {
+    SxsiIndex::build_from_xml_with_options(xml.as_bytes(), options).expect("index builds")
+}

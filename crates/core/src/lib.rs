@@ -1,0 +1,411 @@
+//! SXSI — a Succinct XML Self-Index with fast in-memory XPath search.
+//!
+//! This crate is the public entry point of the SXSI reproduction: it ties
+//! together the compressed text index ([`sxsi_text::TextCollection`]), the
+//! succinct tree index ([`sxsi_tree::XmlTree`]) and the tree-automata query
+//! engine ([`sxsi_xpath`]), mirroring the system described in
+//! *"Fast in-memory XPath search using compressed indexes"* (Arroyuelo et
+//! al.).
+//!
+//! # Quick start
+//!
+//! ```
+//! use sxsi::SxsiIndex;
+//!
+//! let xml = r#"<parts>
+//!   <part name="pen"><color>blue</color><stock>40</stock></part>
+//!   <part name="rubber"><stock>30</stock></part>
+//! </parts>"#;
+//! let index = SxsiIndex::build_from_xml(xml.as_bytes()).unwrap();
+//!
+//! // Counting query.
+//! assert_eq!(index.count("//stock").unwrap(), 2);
+//!
+//! // Text predicate.
+//! assert_eq!(index.count(r#"//part[ .//color[ contains(., "blu") ] ]"#).unwrap(), 1);
+//!
+//! // Materialize and serialize results.
+//! let result = index.serialize("//color").unwrap();
+//! assert_eq!(result, "<color>blue</color>");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod serialize;
+
+use std::fmt;
+
+use sxsi_text::{TextCollection, TextCollectionOptions};
+use sxsi_tree::{NodeId, XmlTree};
+use sxsi_xml::{parse_document_with_options, DocumentOptions, ParseError, ParsedDocument};
+use sxsi_xpath::eval::{EvalOptions, EvalStats, Evaluator, Output};
+use sxsi_xpath::{compile, parse_query, BottomUpPlan, CompileError, Query, XPathParseError};
+
+pub use serialize::{serialize_subtree, string_value, subtree_to_string};
+pub use sxsi_text::{TextId, TextPredicate};
+pub use sxsi_tree::TagId;
+pub use sxsi_xpath::eval::Output as QueryOutput;
+
+/// Errors produced when building an index.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The XML input could not be parsed.
+    Parse(ParseError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Parse(e) => write!(f, "failed to build index: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Errors produced when running a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query string could not be parsed.
+    Parse(XPathParseError),
+    /// The query could not be compiled into an automaton.
+    Compile(CompileError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<XPathParseError> for QueryError {
+    fn from(e: XPathParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<CompileError> for QueryError {
+    fn from(e: CompileError) -> Self {
+        QueryError::Compile(e)
+    }
+}
+
+/// Options controlling index construction and query evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct SxsiOptions {
+    /// Text-index options (sampling rate, plain-text copy, scan cut-off).
+    pub text: TextCollectionOptions,
+    /// Evaluator options (jumping, memoization, lazy regions, text-index
+    /// predicates) — the Figure 12 ablation switches.
+    pub eval: EvalOptions,
+    /// Keep whitespace-only text nodes (the paper keeps them; benchmarks
+    /// usually drop them).
+    pub keep_whitespace_text: bool,
+    /// Never use the bottom-up strategy, even when a query is eligible.
+    pub force_top_down: bool,
+}
+
+/// Which evaluation strategy answered a query (the paper's Figure 14
+/// annotations: `↓` top-down, `↑` bottom-up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Automaton run from the root (with jumping).
+    TopDown,
+    /// Text-index seeds verified upward.
+    BottomUp,
+}
+
+/// The outcome of a query execution.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Count or materialized nodes.
+    pub output: Output,
+    /// The strategy the planner chose.
+    pub strategy: Strategy,
+    /// Evaluator statistics (zeroed for bottom-up runs).
+    pub stats: EvalStats,
+}
+
+/// Size report for an index (the paper's Figure 8 space accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of tree nodes (`n`), model nodes included.
+    pub num_nodes: usize,
+    /// Number of element nodes.
+    pub num_elements: usize,
+    /// Number of texts (`d`).
+    pub num_texts: usize,
+    /// Number of distinct tag/attribute names (`t`), reserved tags included.
+    pub num_tags: usize,
+    /// Heap bytes of the tree index.
+    pub tree_bytes: usize,
+    /// Heap bytes of the text self-index (FM-index + Doc + boundaries).
+    pub text_index_bytes: usize,
+    /// Heap bytes of the optional plain-text store.
+    pub plain_text_bytes: usize,
+}
+
+impl IndexStats {
+    /// Total heap bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.tree_bytes + self.text_index_bytes + self.plain_text_bytes
+    }
+}
+
+/// The SXSI index: a compressed, self-indexed representation of one XML
+/// document supporting XPath Core+ search.
+pub struct SxsiIndex {
+    tree: XmlTree,
+    texts: TextCollection,
+    options: SxsiOptions,
+    num_elements: usize,
+}
+
+impl SxsiIndex {
+    /// Parses `xml` and builds the index with default options.
+    pub fn build_from_xml(xml: &[u8]) -> Result<Self, BuildError> {
+        Self::build_from_xml_with_options(xml, SxsiOptions::default())
+    }
+
+    /// Parses `xml` and builds the index.
+    pub fn build_from_xml_with_options(xml: &[u8], options: SxsiOptions) -> Result<Self, BuildError> {
+        let doc_options = DocumentOptions { keep_whitespace_text: options.keep_whitespace_text };
+        let doc = parse_document_with_options(xml, &doc_options).map_err(BuildError::Parse)?;
+        Ok(Self::from_parsed_document(doc, options))
+    }
+
+    /// Builds the index from an already-parsed document model.
+    pub fn from_parsed_document(doc: ParsedDocument, options: SxsiOptions) -> Self {
+        let texts = TextCollection::with_options(&doc.text_slices(), options.text.clone());
+        Self { tree: doc.tree, texts, options, num_elements: doc.num_elements }
+    }
+
+    /// The succinct tree index.
+    pub fn tree(&self) -> &XmlTree {
+        &self.tree
+    }
+
+    /// The text collection index.
+    pub fn texts(&self) -> &TextCollection {
+        &self.texts
+    }
+
+    /// The options the index was built with.
+    pub fn options(&self) -> &SxsiOptions {
+        &self.options
+    }
+
+    /// Space and cardinality statistics.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            num_nodes: self.tree.num_nodes(),
+            num_elements: self.num_elements,
+            num_texts: self.tree.num_texts(),
+            num_tags: self.tree.num_tags(),
+            tree_bytes: self.tree.size_bytes(),
+            text_index_bytes: self.texts.index_size_bytes(),
+            plain_text_bytes: self.texts.plain().map_or(0, |p| p.size_bytes()),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------
+
+    /// Parses a query string.
+    pub fn parse(&self, query: &str) -> Result<Query, QueryError> {
+        Ok(parse_query(query)?)
+    }
+
+    /// Chooses the evaluation strategy for a query (Section 6.6: bottom-up
+    /// whenever the shape and the content model allow it).
+    pub fn plan(&self, query: &Query) -> Strategy {
+        if self.options.force_top_down {
+            return Strategy::TopDown;
+        }
+        match BottomUpPlan::try_from_query(query, &self.tree) {
+            Some(_) => Strategy::BottomUp,
+            None => Strategy::TopDown,
+        }
+    }
+
+    /// Runs `query` and returns the full result (strategy + stats included).
+    pub fn execute(&self, query: &str, counting: bool) -> Result<QueryResult, QueryError> {
+        let parsed = self.parse(query)?;
+        let strategy = self.plan(&parsed);
+        match strategy {
+            Strategy::BottomUp => {
+                let plan = BottomUpPlan::try_from_query(&parsed, &self.tree)
+                    .expect("plan() said the query was eligible");
+                let output = plan.execute(&self.tree, &self.texts, counting);
+                let stats = EvalStats {
+                    visited_nodes: 0,
+                    marked_nodes: output.count(),
+                    result_nodes: output.count(),
+                };
+                Ok(QueryResult { output, strategy, stats })
+            }
+            Strategy::TopDown => {
+                let automaton = compile(&parsed, &self.tree)?;
+                let mut evaluator =
+                    Evaluator::new(&automaton, &self.tree, Some(&self.texts), self.options.eval);
+                let output = evaluator.evaluate(counting);
+                Ok(QueryResult { output, strategy, stats: evaluator.stats() })
+            }
+        }
+    }
+
+    /// Number of nodes selected by `query`.
+    pub fn count(&self, query: &str) -> Result<u64, QueryError> {
+        Ok(self.execute(query, true)?.output.count())
+    }
+
+    /// The nodes selected by `query`, in document order.
+    pub fn materialize(&self, query: &str) -> Result<Vec<NodeId>, QueryError> {
+        let result = self.execute(query, false)?;
+        match result.output {
+            Output::Nodes(n) => Ok(n),
+            Output::Count(_) => unreachable!("materialization requested"),
+        }
+    }
+
+    /// Serializes every node selected by `query`, concatenated in document
+    /// order (the paper's materialization + serialization phase).
+    pub fn serialize(&self, query: &str) -> Result<String, QueryError> {
+        let nodes = self.materialize(query)?;
+        let mut out = String::new();
+        for node in nodes {
+            serialize_subtree(&self.tree, &self.texts, node, &mut out);
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Content access
+    // -----------------------------------------------------------------
+
+    /// The content of text `d` (the paper's `GetText`).
+    pub fn get_text(&self, d: TextId) -> Vec<u8> {
+        self.texts.get_text(d)
+    }
+
+    /// The XML serialization of the subtree rooted at `node` (the paper's
+    /// `GetSubtree`).
+    pub fn get_subtree(&self, node: NodeId) -> String {
+        subtree_to_string(&self.tree, &self.texts, node)
+    }
+
+    /// The XPath string value of `node`.
+    pub fn node_value(&self, node: NodeId) -> String {
+        string_value(&self.tree, &self.texts, node)
+    }
+
+    /// The tag name of `node`.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        self.tree.tag_name(self.tree.tag(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<library>
+  <book id="b1" year="2001"><title>Compressed Indexes</title>
+    <author><last>Navarro</last></author>
+    <abstract>self indexes in practice</abstract></book>
+  <book id="b2" year="2005"><title>Tree Automata</title>
+    <author><last>Maneth</last></author>
+    <abstract>alternating automata for xpath</abstract></book>
+  <journal id="j1"><title>Practice and Experience</title></journal>
+</library>"#;
+
+    fn index() -> SxsiIndex {
+        SxsiIndex::build_from_xml(DOC.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn counting_and_materializing() {
+        let idx = index();
+        assert_eq!(idx.count("//book").unwrap(), 2);
+        assert_eq!(idx.count("//title").unwrap(), 3);
+        assert_eq!(idx.count("/library/book/title").unwrap(), 2);
+        assert_eq!(idx.count("//book[ author/last ]").unwrap(), 2);
+        let nodes = idx.materialize("//last").unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(idx.node_name(nodes[0]), "last");
+        assert_eq!(idx.node_value(nodes[0]), "Navarro");
+    }
+
+    #[test]
+    fn planner_chooses_bottom_up_for_selective_text_queries() {
+        let idx = index();
+        let q = idx.parse(r#"//book[ .//last[ . = "Navarro" ] ]"#).unwrap();
+        assert_eq!(idx.plan(&q), Strategy::BottomUp);
+        let q = idx.parse("//book[ author/last ]").unwrap();
+        assert_eq!(idx.plan(&q), Strategy::TopDown);
+        // Both strategies agree on the answer.
+        let result = idx.execute(r#"//book[ .//last[ . = "Navarro" ] ]"#, true).unwrap();
+        assert_eq!(result.strategy, Strategy::BottomUp);
+        assert_eq!(result.output.count(), 1);
+        let forced = SxsiIndex::build_from_xml_with_options(
+            DOC.as_bytes(),
+            SxsiOptions { force_top_down: true, ..Default::default() },
+        )
+        .unwrap();
+        let result = forced.execute(r#"//book[ .//last[ . = "Navarro" ] ]"#, true).unwrap();
+        assert_eq!(result.strategy, Strategy::TopDown);
+        assert_eq!(result.output.count(), 1);
+    }
+
+    #[test]
+    fn serialization_of_results() {
+        let idx = index();
+        let s = idx.serialize(r#"//book[ .//last[ . = "Maneth" ] ]/title"#).unwrap();
+        assert_eq!(s, "<title>Tree Automata</title>");
+        let s = idx.serialize("//journal").unwrap();
+        assert_eq!(s, r#"<journal id="j1"><title>Practice and Experience</title></journal>"#);
+    }
+
+    #[test]
+    fn attribute_queries() {
+        let idx = index();
+        assert_eq!(idx.count("//book/@id").unwrap(), 2);
+        assert_eq!(idx.count("//*/@*").unwrap(), 5);
+        assert_eq!(idx.count(r#"//book[ @year = "2005" ]"#).unwrap(), 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let idx = index();
+        let stats = idx.stats();
+        assert_eq!(stats.num_elements, 13);
+        assert_eq!(stats.num_texts, 5 + 7); // 5 attribute values + 7 element texts
+        assert!(stats.num_nodes > stats.num_elements);
+        assert!(stats.tree_bytes > 0);
+        assert!(stats.text_index_bytes > 0);
+        assert!(stats.total_bytes() > stats.tree_bytes);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let idx = index();
+        assert!(matches!(idx.count("book"), Err(QueryError::Parse(_))));
+        assert!(matches!(idx.count("//ancestor::book"), Err(QueryError::Parse(_))));
+        assert!(SxsiIndex::build_from_xml(b"<a><b></a>").is_err());
+    }
+
+    #[test]
+    fn get_text_and_subtree() {
+        let idx = index();
+        let first_title = idx.materialize("//title").unwrap()[0];
+        assert_eq!(idx.get_subtree(first_title), "<title>Compressed Indexes</title>");
+        assert_eq!(idx.node_value(first_title), "Compressed Indexes");
+    }
+}

@@ -1,0 +1,95 @@
+//! Medline-like bibliographic document generator.
+//!
+//! Reproduces the structure the paper's text-oriented queries M01–M11 and
+//! W01–W05 rely on: `MedlineCitation/Article` with `AbstractText` (PCDATA),
+//! `AuthorList/Author/LastName`, `PublicationTypeList/PublicationType`,
+//! `MedlineJournalInfo/Country` and a `DateCreated` block, so that
+//! `contains`, `starts-with`, `ends-with` and `=` predicates hit targets of
+//! widely varying selectivity.
+
+use crate::text_pool::{paragraph, COUNTRIES, PUBLICATION_TYPES, SURNAMES};
+use crate::{rng, XmlWriter};
+
+/// Configuration of the Medline-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct MedlineConfig {
+    /// Number of `MedlineCitation` records.
+    pub num_citations: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for MedlineConfig {
+    fn default() -> Self {
+        Self { num_citations: 500, seed: 42 }
+    }
+}
+
+/// Generates the document.
+pub fn generate(config: &MedlineConfig) -> String {
+    let mut rng = rng(config.seed);
+    let mut w = XmlWriter::new();
+    w.open("MedlineCitationSet");
+    for i in 0..config.num_citations {
+        w.open_with_attrs("MedlineCitation", &[("Owner", "NLM"), ("Status", "MEDLINE")]);
+        w.element("PMID", &format!("{}", 10_000_000 + i));
+        w.open("DateCreated");
+        w.element("Year", &format!("{}", rng.random_range(1995..2005)));
+        w.element("Month", &format!("{:02}", rng.random_range(1..13)));
+        w.element("Day", &format!("{:02}", rng.random_range(1..29)));
+        w.close();
+        w.open("Article");
+        w.element("ArticleTitle", &paragraph(&mut rng, 10));
+        w.open("Abstract");
+        let abstract_words = rng.random_range(40..160);
+        w.element("AbstractText", &paragraph(&mut rng, abstract_words));
+        w.close();
+        w.open("AuthorList");
+        let authors = rng.random_range(1..6);
+        for _ in 0..authors {
+            w.open("Author");
+            w.element("LastName", SURNAMES[rng.random_range(0..SURNAMES.len())]);
+            w.element("Initials", &format!("{}", (b'A' + rng.random_range(0..26) as u8) as char));
+            w.close();
+        }
+        w.close();
+        w.open("PublicationTypeList");
+        w.element("PublicationType", PUBLICATION_TYPES[rng.random_range(0..PUBLICATION_TYPES.len())]);
+        if rng.random_bool(0.3) {
+            w.element("PublicationType", PUBLICATION_TYPES[rng.random_range(0..PUBLICATION_TYPES.len())]);
+        }
+        w.close();
+        w.close(); // Article
+        w.open("MedlineJournalInfo");
+        w.element("Country", COUNTRIES[rng.random_range(0..COUNTRIES.len())]);
+        w.element("MedlineTA", "J Test Repro");
+        w.close();
+        w.close(); // MedlineCitation
+    }
+    w.close();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_query_targets() {
+        let xml = generate(&MedlineConfig { num_citations: 40, seed: 11 });
+        for tag in [
+            "<MedlineCitation ", "<Article>", "<AbstractText>", "<AuthorList>", "<Author>",
+            "<LastName>", "<PublicationType>", "<Country>",
+        ] {
+            assert!(xml.contains(tag), "generated Medline misses {tag}");
+        }
+        // The selective query words of Figure 14 occur somewhere.
+        assert!(xml.contains("plus") || xml.contains("blood"));
+    }
+
+    #[test]
+    fn citation_count_is_respected() {
+        let xml = generate(&MedlineConfig { num_citations: 25, seed: 3 });
+        assert_eq!(xml.matches("<MedlineCitation ").count(), 25);
+    }
+}

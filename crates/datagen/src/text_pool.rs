@@ -1,0 +1,114 @@
+//! Shared English word pools used by the text-bearing generators.
+//!
+//! The Medline and wiki generators need text whose word-frequency profile
+//! resembles natural language closely enough that the paper's query patterns
+//! (`"plus"`, `"for"`, `"human"`, `"blood"`, "dark horse", …) span the whole
+//! selectivity range from a handful of matches to hundreds of thousands, as
+//! in Tables II/III and Figures 14–16.
+
+use crate::SimRng;
+
+
+/// Very frequent function words (appear in most sentences).
+pub const COMMON_WORDS: &[&str] = &[
+    "the", "of", "and", "a", "in", "to", "is", "was", "for", "with", "on", "as", "by", "that",
+    "from", "at", "which", "this", "were", "are", "be", "an", "or", "not", "but", "their", "its",
+];
+
+/// Domain words of medium frequency (bio-medical flavour for Medline).
+pub const MEDIUM_WORDS: &[&str] = &[
+    "patients", "cells", "blood", "human", "protein", "levels", "treatment", "study", "results",
+    "effects", "brain", "cell", "clinical", "response", "activity", "gene", "expression", "group",
+    "plus", "disease", "tissue", "rats", "bone", "marrow", "immune", "types", "various", "sample",
+    "molecule", "molecular", "analysis", "increased", "observed", "during", "after", "between",
+];
+
+/// Rare words (a few occurrences in a whole corpus).
+pub const RARE_WORDS: &[&str] = &[
+    "epididymis", "ruminants", "morphine", "thermoregulation", "australia", "phosphorylation",
+    "oscillation", "chromatography", "epidemiology", "histology", "anaesthesia", "borderline",
+    "foot", "feet", "dark", "horse", "princess", "crude", "oil", "board", "accidentally",
+    "purposefully", "played", "whether", "such",
+];
+
+/// Surnames used for author lists.
+pub const SURNAMES: &[&str] = &[
+    "Smith", "Jones", "Navarro", "Maneth", "Nguyen", "Barnes", "Barlow", "Barton", "Makinen",
+    "Siren", "Valimaki", "Claude", "Arroyuelo", "Kim", "Lee", "Garcia", "Muller", "Tanaka",
+    "Kowalski", "Ivanov", "Larsen", "Okafor", "Silva", "Rossi", "Dubois",
+];
+
+/// Countries for the Medline `Country` element.
+pub const COUNTRIES: &[&str] = &[
+    "UNITED STATES", "ENGLAND", "GERMANY", "JAPAN", "AUSTRALIA", "FRANCE", "CANADA", "CHILE",
+    "FINLAND", "NETHERLANDS",
+];
+
+/// Publication types.
+pub const PUBLICATION_TYPES: &[&str] =
+    &["Journal Article", "Review", "Letter", "Comparative Study", "Case Reports", "Editorial"];
+
+/// Draws one word with a Zipf-like mixture: mostly common words, some medium
+/// domain words, occasionally a rare word.
+pub fn random_word(rng: &mut SimRng) -> &'static str {
+    let roll: f64 = rng.random();
+    if roll < 0.55 {
+        COMMON_WORDS[rng.random_range(0..COMMON_WORDS.len())]
+    } else if roll < 0.97 {
+        MEDIUM_WORDS[rng.random_range(0..MEDIUM_WORDS.len())]
+    } else {
+        RARE_WORDS[rng.random_range(0..RARE_WORDS.len())]
+    }
+}
+
+/// Builds a sentence of `len` words.
+pub fn sentence(rng: &mut SimRng, len: usize) -> String {
+    let mut out = String::new();
+    for i in 0..len {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(random_word(rng));
+    }
+    out.push('.');
+    out
+}
+
+/// Builds a paragraph of roughly `words` words.
+pub fn paragraph(rng: &mut SimRng, words: usize) -> String {
+    let mut out = String::new();
+    let mut written = 0;
+    while written < words {
+        let len = rng.random_range(6..16).min(words - written.min(words));
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&sentence(rng, len.max(3)));
+        written += len.max(3);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn sentences_have_requested_length() {
+        let mut r = rng(1);
+        let s = sentence(&mut r, 8);
+        assert_eq!(s.split_whitespace().count(), 8);
+        assert!(s.ends_with('.'));
+    }
+
+    #[test]
+    fn paragraphs_mix_frequencies() {
+        let mut r = rng(2);
+        let p = paragraph(&mut r, 4000);
+        // Common words dominate, rare words still occur somewhere.
+        let the_count = p.split_whitespace().filter(|w| w.trim_end_matches('.') == &"the"[..]).count();
+        assert!(the_count > 20, "expected many 'the', got {the_count}");
+        assert!(p.split_whitespace().count() >= 3000);
+    }
+}

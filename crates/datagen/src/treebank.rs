@@ -1,0 +1,83 @@
+//! Treebank-like deeply recursive document generator.
+//!
+//! The Penn Treebank document of the paper stresses engines with deep
+//! recursion, a large number of distinct labels and highly recursive tags
+//! (queries T01–T05 over `S`, `NP`, `VP`, `PP`, `IN`, `NN`, `JJ`, `CC`,
+//! `VBZ`, `VBN`, `_QUOTE_`).  This generator emits random parse trees with
+//! the same label set and nesting behaviour.
+
+use crate::text_pool::random_word;
+use crate::{rng, SimRng, XmlWriter};
+
+/// Configuration of the Treebank-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TreebankConfig {
+    /// Number of sentences (top-level `S` elements).
+    pub num_sentences: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for TreebankConfig {
+    fn default() -> Self {
+        Self { num_sentences: 400, seed: 42 }
+    }
+}
+
+const PHRASE_LABELS: &[&str] = &["S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP"];
+const WORD_LABELS: &[&str] =
+    &["NN", "NNS", "VBZ", "VBD", "VBN", "IN", "JJ", "CC", "DT", "RB", "PRP", "_QUOTE_", "_COMMA_"];
+
+/// Generates the document.
+pub fn generate(config: &TreebankConfig) -> String {
+    let mut rng = rng(config.seed);
+    let mut w = XmlWriter::new();
+    w.open("FILE");
+    for _ in 0..config.num_sentences {
+        w.open("EMPTY");
+        let depth = rng.random_range(3..9);
+        write_phrase(&mut w, &mut rng, "S", depth);
+        w.close();
+    }
+    w.close();
+    w.finish()
+}
+
+fn write_phrase(w: &mut XmlWriter, rng: &mut SimRng, label: &'static str, depth: usize) {
+    w.open(label);
+    let children = rng.random_range(1..5);
+    for _ in 0..children {
+        if depth == 0 || rng.random_bool(0.45) {
+            let word_label = WORD_LABELS[rng.random_range(0..WORD_LABELS.len())];
+            w.element(word_label, random_word(rng));
+        } else {
+            let child_label = PHRASE_LABELS[rng.random_range(0..PHRASE_LABELS.len())];
+            write_phrase(w, rng, child_label, depth - 1);
+        }
+    }
+    w.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_recursive_labels() {
+        let xml = generate(&TreebankConfig { num_sentences: 100, seed: 2 });
+        for tag in ["<S>", "<NP>", "<VP>", "<IN>", "<NN>", "<CC>", "<JJ>"] {
+            assert!(xml.contains(tag), "generated treebank misses {tag}");
+        }
+        // NP really is recursive (an NP below another NP) somewhere.
+        let doc = sxsi_xml::parse_document(xml.as_bytes()).unwrap();
+        let tree = &doc.tree;
+        let np = tree.tag_id("NP").unwrap();
+        assert!(tree.tag_relation_possible(np, np, sxsi_tree::TagRelation::Descendant));
+    }
+
+    #[test]
+    fn sentence_count_is_respected() {
+        let xml = generate(&TreebankConfig { num_sentences: 37, seed: 4 });
+        assert_eq!(xml.matches("<EMPTY>").count(), 37);
+    }
+}

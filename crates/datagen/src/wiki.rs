@@ -1,0 +1,80 @@
+//! Wiki-like document generator (pages with titles and free text).
+//!
+//! Stands in for the English Wiktionary dump used by the word-based queries
+//! W06–W10: a flat sequence of `page` elements, each with a `title` and a
+//! long `text` body of natural-language-like content including the specific
+//! phrases the queries look for ("dark horse", "crude oil", "played on a
+//! board", …) at low frequency.
+
+use crate::text_pool::{paragraph, sentence};
+use crate::{rng, XmlWriter};
+
+/// Configuration of the wiki-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WikiConfig {
+    /// Number of pages.
+    pub num_pages: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for WikiConfig {
+    fn default() -> Self {
+        Self { num_pages: 300, seed: 42 }
+    }
+}
+
+const SPECIAL_PHRASES: &[&str] = &[
+    "dark horse",
+    "crude oil",
+    "played on a board",
+    "whether accidentally or purposefully",
+    "horse of another color",
+    "princess of the realm",
+];
+
+/// Generates the document.
+pub fn generate(config: &WikiConfig) -> String {
+    let mut rng = rng(config.seed);
+    let mut w = XmlWriter::new();
+    w.open("mediawiki");
+    for i in 0..config.num_pages {
+        w.open("page");
+        // A small fraction of titles carry a special phrase (query W08).
+        if rng.random_bool(0.03) {
+            w.element("title", SPECIAL_PHRASES[rng.random_range(0..SPECIAL_PHRASES.len())]);
+        } else {
+            w.element("title", &sentence(&mut rng, 3));
+        }
+        w.element("id", &format!("{i}"));
+        w.open("revision");
+        w.element("timestamp", &format!("200{}-0{}-1{}T00:00:00Z", rng.random_range(0..10), rng.random_range(1..10), rng.random_range(0..10)));
+        let body_words = rng.random_range(60..240);
+        let mut body = paragraph(&mut rng, body_words);
+        if rng.random_bool(0.05) {
+            body.push(' ');
+            body.push_str(SPECIAL_PHRASES[rng.random_range(0..SPECIAL_PHRASES.len())]);
+            body.push('.');
+        }
+        w.element("text", &body);
+        w.close();
+        w.close();
+    }
+    w.close();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_have_titles_and_text() {
+        let xml = generate(&WikiConfig { num_pages: 200, seed: 9 });
+        assert_eq!(xml.matches("<page>").count(), 200);
+        assert!(xml.contains("<title>"));
+        assert!(xml.contains("<text>"));
+        // At least one special phrase is present at this size.
+        assert!(SPECIAL_PHRASES.iter().any(|p| xml.contains(p)));
+    }
+}

@@ -1,0 +1,231 @@
+//! XMark-like auction document generator.
+//!
+//! Reproduces the element vocabulary and nesting patterns of the XMark
+//! benchmark data (Schmidt et al., VLDB 2002) used for queries X01–X17:
+//! `site/regions/{africa…}/item`, `people/person` with optional
+//! `address`/`phone`/`homepage`/`creditcard`/`profile`, `open_auctions`, and
+//! `closed_auctions/closed_auction/annotation/description` with recursive
+//! `parlist`/`listitem` structures containing `text`, `keyword`, `emph` and
+//! `bold` — the tags whose selectivity the X-queries probe.
+
+use crate::text_pool::{sentence, SURNAMES};
+use crate::{rng, SimRng, XmlWriter};
+
+/// Configuration of the XMark-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct XMarkConfig {
+    /// Scale factor; 1.0 produces a document in the ballpark of a few
+    /// megabytes (the shape, not the size, is what the experiments need).
+    pub scale: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for XMarkConfig {
+    fn default() -> Self {
+        Self { scale: 0.1, seed: 42 }
+    }
+}
+
+const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const CATEGORIES: &[&str] = &["category1", "category2", "category3", "category4"];
+
+/// Generates the document.
+pub fn generate(config: &XMarkConfig) -> String {
+    let mut rng = rng(config.seed);
+    let scale = config.scale.max(0.01);
+    let items_per_region = ((200.0 * scale) as usize).max(3);
+    let num_people = ((250.0 * scale) as usize).max(5);
+    let num_open = ((120.0 * scale) as usize).max(3);
+    let num_closed = ((100.0 * scale) as usize).max(3);
+
+    let mut w = XmlWriter::new();
+    w.open("site");
+
+    // Regions with items.
+    w.open("regions");
+    for &region in REGIONS {
+        w.open(region);
+        for i in 0..items_per_region {
+            write_item(&mut w, &mut rng, region, i);
+        }
+        w.close();
+    }
+    w.close();
+
+    // Categories.
+    w.open("categories");
+    for (i, &c) in CATEGORIES.iter().enumerate() {
+        w.open_with_attrs("category", &[("id", &format!("cat{i}"))]);
+        w.element("name", c);
+        w.open("description");
+        write_rich_text(&mut w, &mut rng, 2);
+        w.close();
+        w.close();
+    }
+    w.close();
+
+    // People.
+    w.open("people");
+    for i in 0..num_people {
+        write_person(&mut w, &mut rng, i);
+    }
+    w.close();
+
+    // Open auctions.
+    w.open("open_auctions");
+    for i in 0..num_open {
+        w.open_with_attrs("open_auction", &[("id", &format!("open{i}"))]);
+        w.element("initial", &format!("{}.{:02}", rng.random_range(1..300), rng.random_range(0..100)));
+        w.element("current", &format!("{}.{:02}", rng.random_range(1..500), rng.random_range(0..100)));
+        w.open("annotation");
+        w.open("description");
+        write_rich_text(&mut w, &mut rng, 2);
+        w.close();
+        w.close();
+        w.element("quantity", &format!("{}", rng.random_range(1..5)));
+        w.close();
+    }
+    w.close();
+
+    // Closed auctions.
+    w.open("closed_auctions");
+    for i in 0..num_closed {
+        w.open("closed_auction");
+        w.open_with_attrs("buyer", &[("person", &format!("person{}", rng.random_range(0..num_people)))]);
+        w.close();
+        w.element("price", &format!("{}.{:02}", rng.random_range(1..400), rng.random_range(0..100)));
+        w.element("date", &format!("{:02}/{:02}/{}", rng.random_range(1..13), rng.random_range(1..29), rng.random_range(1998..2002)));
+        w.element("quantity", &format!("{}", rng.random_range(1..4)));
+        w.open("annotation");
+        w.element("author", SURNAMES[rng.random_range(0..SURNAMES.len())]);
+        w.open("description");
+        write_rich_text(&mut w, &mut rng, 3);
+        w.close();
+        w.close();
+        let _ = i;
+        w.close();
+    }
+    w.close();
+
+    w.close(); // site
+    w.finish()
+}
+
+fn write_item(w: &mut XmlWriter, rng: &mut SimRng, region: &str, i: usize) {
+    w.open_with_attrs("item", &[("id", &format!("item_{region}_{i}"))]);
+    w.element("location", region);
+    w.element("quantity", &format!("{}", rng.random_range(1..6)));
+    w.element("name", &sentence(rng, 3));
+    w.element("payment", "Creditcard");
+    w.open("description");
+    write_rich_text(w, rng, 2);
+    w.close();
+    if rng.random_bool(0.4) {
+        w.open("mailbox");
+        w.open("mail");
+        w.element("from", SURNAMES[rng.random_range(0..SURNAMES.len())]);
+        w.element("to", SURNAMES[rng.random_range(0..SURNAMES.len())]);
+        w.open("text");
+        w.text(&sentence(rng, 10));
+        w.close();
+        w.close();
+        w.close();
+    }
+    w.close();
+}
+
+fn write_person(w: &mut XmlWriter, rng: &mut SimRng, i: usize) {
+    w.open_with_attrs("person", &[("id", &format!("person{i}"))]);
+    w.element("name", &format!("{} {}", SURNAMES[rng.random_range(0..SURNAMES.len())], SURNAMES[rng.random_range(0..SURNAMES.len())]));
+    w.element("emailaddress", &format!("mailto:user{i}@example.org"));
+    if rng.random_bool(0.6) {
+        w.element("phone", &format!("+{} ({}) {}", rng.random_range(1..99), rng.random_range(10..999), rng.random_range(1000000..9999999)));
+    }
+    if rng.random_bool(0.5) {
+        w.open("address");
+        w.element("street", &format!("{} Main St", rng.random_range(1..99)));
+        w.element("city", "Springfield");
+        w.element("country", "United States");
+        w.element("zipcode", &format!("{}", rng.random_range(10000..99999)));
+        w.close();
+    }
+    if rng.random_bool(0.4) {
+        w.element("homepage", &format!("http://www.example.org/~user{i}"));
+    }
+    if rng.random_bool(0.5) {
+        w.element("creditcard", &format!("{} {} {} {}", rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999)));
+    }
+    if rng.random_bool(0.7) {
+        w.open_with_attrs("profile", &[("income", &format!("{}", rng.random_range(10000..99999)))]);
+        w.element("interest", CATEGORIES[rng.random_range(0..CATEGORIES.len())]);
+        if rng.random_bool(0.7) {
+            w.element("gender", if rng.random_bool(0.5) { "male" } else { "female" });
+        }
+        if rng.random_bool(0.7) {
+            w.element("age", &format!("{}", rng.random_range(18..80)));
+        }
+        w.element("education", "Graduate School");
+        w.close();
+    }
+    if rng.random_bool(0.5) {
+        w.open("watches");
+        w.open_with_attrs("watch", &[("open_auction", &format!("open{}", rng.random_range(0..50)))]);
+        w.close();
+        w.close();
+    }
+    w.close();
+}
+
+/// The recursive rich-text structure of XMark descriptions: `text` with
+/// embedded `keyword`/`emph`/`bold`, and `parlist`/`listitem` nesting.
+fn write_rich_text(w: &mut XmlWriter, rng: &mut SimRng, depth: usize) {
+    if depth == 0 || rng.random_bool(0.55) {
+        w.open("text");
+        w.text(&sentence(rng, 8));
+        if rng.random_bool(0.45) {
+            w.element("keyword", &sentence(rng, 2));
+        }
+        if rng.random_bool(0.3) {
+            w.element("emph", &sentence(rng, 2));
+        }
+        if rng.random_bool(0.2) {
+            w.element("bold", &sentence(rng, 2));
+        }
+        w.text(&sentence(rng, 4));
+        w.close();
+    } else {
+        w.open("parlist");
+        let items = rng.random_range(1..4);
+        for _ in 0..items {
+            w.open("listitem");
+            write_rich_text(w, rng, depth - 1);
+            w.close();
+        }
+        w.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_the_query_relevant_tags() {
+        let xml = generate(&XMarkConfig { scale: 0.1, seed: 5 });
+        for tag in [
+            "<site>", "<regions>", "<africa>", "<item ", "<people>", "<person ", "<profile ",
+            "<closed_auctions>", "<closed_auction>", "<annotation>", "<description>", "<text>",
+            "<keyword>", "<listitem>", "<parlist>", "<date>",
+        ] {
+            assert!(xml.contains(tag), "generated XMark misses {tag}");
+        }
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate(&XMarkConfig { scale: 0.05, seed: 5 });
+        let large = generate(&XMarkConfig { scale: 0.3, seed: 5 });
+        assert!(large.len() > small.len() * 3);
+    }
+}

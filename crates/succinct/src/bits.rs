@@ -1,0 +1,132 @@
+//! Broadword bit manipulation helpers shared by the succinct structures.
+//!
+//! These are the word-level primitives (population count, select-in-word,
+//! ceil-log2) that the rank/select directories build on.  Everything here is
+//! branch-light and uses only the portable `u64` intrinsics that LLVM lowers
+//! to `popcnt`/`tzcnt` on x86-64.
+
+/// Returns the position (0-based, from the least significant bit) of the
+/// `k`-th set bit of `word`, where `k` is 1-based.
+///
+/// Precondition: `word.count_ones() >= k >= 1`.  Violating it returns 64.
+#[inline]
+pub fn select_in_word(word: u64, k: u32) -> u32 {
+    debug_assert!(k >= 1);
+    let mut w = word;
+    let mut remaining = k;
+    // Process byte by byte: cheap and fast enough for our select directories,
+    // which already narrow the search down to a single word.
+    let mut base = 0u32;
+    loop {
+        let byte = (w & 0xFF) as u64;
+        let cnt = byte.count_ones();
+        if cnt >= remaining {
+            // The target bit is inside this byte.
+            let mut b = byte;
+            for bit in 0..8 {
+                if b & 1 == 1 {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        return base + bit;
+                    }
+                }
+                b >>= 1;
+            }
+            unreachable!("count said the bit was in this byte");
+        }
+        remaining -= cnt;
+        w >>= 8;
+        base += 8;
+        if base >= 64 {
+            return 64;
+        }
+    }
+}
+
+/// Position of the `k`-th zero bit of `word` (1-based `k`).
+#[inline]
+pub fn select0_in_word(word: u64, k: u32) -> u32 {
+    select_in_word(!word, k)
+}
+
+/// Number of bits needed to represent `value` (at least 1).
+#[inline]
+pub fn bits_for(value: u64) -> u32 {
+    if value == 0 {
+        1
+    } else {
+        64 - value.leading_zeros()
+    }
+}
+
+/// `ceil(a / b)` for `usize`.
+#[inline]
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_select(word: u64, k: u32) -> Option<u32> {
+        let mut seen = 0;
+        for i in 0..64 {
+            if (word >> i) & 1 == 1 {
+                seen += 1;
+                if seen == k {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn select_in_word_matches_naive() {
+        let words = [
+            0u64,
+            1,
+            0x8000_0000_0000_0000,
+            u64::MAX,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x5555_5555_5555_5555,
+            0x0123_4567_89AB_CDEF,
+            0xFEDC_BA98_7654_3210,
+        ];
+        for &w in &words {
+            let ones = w.count_ones();
+            for k in 1..=ones {
+                assert_eq!(select_in_word(w, k), naive_select(w, k).unwrap(), "w={w:#x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_zero_in_word() {
+        let w = 0xF0F0_F0F0_F0F0_F0F0u64;
+        assert_eq!(select0_in_word(w, 1), 0);
+        assert_eq!(select0_in_word(w, 4), 3);
+        assert_eq!(select0_in_word(w, 5), 8);
+    }
+
+    #[test]
+    fn bits_for_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn ceil_div_values() {
+        assert_eq!(ceil_div(0, 64), 0);
+        assert_eq!(ceil_div(1, 64), 1);
+        assert_eq!(ceil_div(64, 64), 1);
+        assert_eq!(ceil_div(65, 64), 2);
+    }
+}

@@ -1,0 +1,290 @@
+//! Elias–Fano encoding of monotone integer sequences.
+//!
+//! This is the structure the paper calls *sarray* (Okanohara & Sadakane,
+//! ALENEX 2007): a strictly compressed representation of a sparse set of
+//! positions supporting
+//!
+//! * `select(k)` — the k-th smallest stored position (constant time via a
+//!   select directory on the upper bits), and
+//! * `rank(p)` / `successor(p)` — how many stored positions are `< p`, and
+//!   the first stored position `>= p`.
+//!
+//! SXSI uses one sarray per tag symbol to answer `TaggedDesc`, `TaggedFoll`
+//! and `SubtreeTags` (Section 4.1.2), and one for the text-start positions
+//! used by the auxiliary plain-text store (Section 3.4).
+//!
+//! For `m` values in a universe of size `u` the space is
+//! `m * (2 + ceil(log2(u/m)))` bits plus a small select directory.
+
+use crate::bits::{bits_for, ceil_div};
+use crate::{BitVec, RsBitVector, SpaceUsage};
+
+/// Compressed monotone sequence (a.k.a. sparse bit set) with rank/select.
+#[derive(Clone, Debug)]
+pub struct EliasFano {
+    /// Low `low_bits` bits of each value, packed.
+    low: Vec<u64>,
+    low_bits: u32,
+    /// Upper bits in unary: value `i` contributes a 1 at position
+    /// `(values[i] >> low_bits) + i`.
+    upper: RsBitVector,
+    len: usize,
+    universe: u64,
+}
+
+impl EliasFano {
+    /// Builds the structure from a non-decreasing slice of values, each less
+    /// than `universe`.
+    ///
+    /// # Panics
+    /// Panics if the values are not non-decreasing or exceed the universe.
+    pub fn new(values: &[u64], universe: u64) -> Self {
+        let len = values.len();
+        let low_bits = if len == 0 { 1 } else { bits_for(universe / len as u64).saturating_sub(1).max(1) };
+        let low_mask = (1u64 << low_bits) - 1;
+        let mut low = vec![0u64; ceil_div(len * low_bits as usize, 64).max(1)];
+        let mut upper = BitVec::with_capacity(len * 2 + 2);
+        let mut prev = 0u64;
+        let mut upper_pos = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            assert!(v >= prev, "EliasFano input must be non-decreasing (index {i})");
+            assert!(v < universe || (v == 0 && universe == 0), "value {v} exceeds universe {universe}");
+            prev = v;
+            // low bits
+            let lv = v & low_mask;
+            let bit = i * low_bits as usize;
+            let word = bit / 64;
+            let offset = (bit % 64) as u32;
+            low[word] |= lv << offset;
+            if offset + low_bits > 64 {
+                low[word + 1] |= lv >> (64 - offset);
+            }
+            // upper bits: unary encode the high part
+            let hv = (v >> low_bits) as usize;
+            let target = hv + i;
+            while upper_pos < target {
+                upper.push(false);
+                upper_pos += 1;
+            }
+            upper.push(true);
+            upper_pos += 1;
+        }
+        // Trailing zero so select/rank on the upper part behave at the end.
+        upper.push(false);
+        Self { low, low_bits, upper: RsBitVector::new(&upper), len, universe }
+    }
+
+    /// Builds from an iterator of strictly increasing positions (a set).
+    pub fn from_positions(positions: &[usize], universe: usize) -> Self {
+        let vals: Vec<u64> = positions.iter().map(|&p| p as u64).collect();
+        Self::new(&vals, universe as u64)
+    }
+
+    /// Number of stored values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no values are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Universe (exclusive upper bound on values).
+    #[inline]
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    #[inline]
+    fn low_value(&self, i: usize) -> u64 {
+        if self.low_bits == 0 {
+            return 0;
+        }
+        let mask = (1u64 << self.low_bits) - 1;
+        let bit = i * self.low_bits as usize;
+        let word = bit / 64;
+        let offset = (bit % 64) as u32;
+        let lo = self.low[word] >> offset;
+        if offset + self.low_bits <= 64 {
+            lo & mask
+        } else {
+            (lo | (self.low[word + 1] << (64 - offset))) & mask
+        }
+    }
+
+    /// The `k`-th stored value, 0-based.  `None` if `k >= len()`.
+    #[inline]
+    pub fn get(&self, k: usize) -> Option<u64> {
+        if k >= self.len {
+            return None;
+        }
+        let pos = self.upper.select1(k + 1)?;
+        let high = (pos - k) as u64;
+        Some((high << self.low_bits) | self.low_value(k))
+    }
+
+    /// Number of stored values strictly less than `bound`.
+    pub fn rank(&self, bound: u64) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let high = bound >> self.low_bits;
+        // Values with smaller high part are all < bound.  Candidates share the
+        // same high part; binary search their low parts.
+        let start = if high == 0 { 0 } else { self.upper.select0(high as usize).map(|p| p + 1 - high as usize).unwrap_or(self.len) };
+        let end = self
+            .upper
+            .select0(high as usize + 1)
+            .map(|p| p - high as usize)
+            .unwrap_or(self.len);
+        let low_bound = bound & ((1u64 << self.low_bits) - 1);
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.low_value(mid) < low_bound {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Smallest stored value `>= bound` together with its index, or `None`.
+    pub fn successor(&self, bound: u64) -> Option<(usize, u64)> {
+        let k = self.rank(bound);
+        self.get(k).map(|v| (k, v))
+    }
+
+    /// Largest stored value `< bound` together with its index, or `None`.
+    pub fn predecessor(&self, bound: u64) -> Option<(usize, u64)> {
+        let k = self.rank(bound);
+        if k == 0 {
+            None
+        } else {
+            self.get(k - 1).map(|v| (k - 1, v))
+        }
+    }
+
+    /// Whether `value` is stored.
+    pub fn contains(&self, value: u64) -> bool {
+        self.successor(value).map(|(_, v)| v == value).unwrap_or(false)
+    }
+
+    /// Iterator over the stored values in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |k| self.get(k).expect("k < len"))
+    }
+}
+
+impl SpaceUsage for EliasFano {
+    fn size_bytes(&self) -> usize {
+        crate::slice_bytes(&self.low) + self.upper.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(values: &[u64], universe: u64) {
+        let ef = EliasFano::new(values, universe);
+        assert_eq!(ef.len(), values.len());
+        for (k, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(k), Some(v), "get({k})");
+        }
+        assert_eq!(ef.get(values.len()), None);
+        // rank / successor at every boundary and a few interior points.
+        let mut probes: Vec<u64> = values.to_vec();
+        probes.push(0);
+        probes.push(universe.saturating_sub(1));
+        probes.extend(values.iter().map(|v| v.saturating_add(1)));
+        probes.extend(values.iter().map(|v| v.saturating_sub(1)));
+        for &p in &probes {
+            let expected_rank = values.iter().filter(|&&v| v < p).count();
+            assert_eq!(ef.rank(p), expected_rank, "rank({p})");
+            let expected_succ = values.iter().copied().find(|&v| v >= p);
+            assert_eq!(ef.successor(p).map(|(_, v)| v), expected_succ, "successor({p})");
+            let expected_pred = values.iter().copied().filter(|&v| v < p).next_back();
+            assert_eq!(ef.predecessor(p).map(|(_, v)| v), expected_pred, "predecessor({p})");
+        }
+        let collected: Vec<u64> = ef.iter().collect();
+        assert_eq!(collected, values);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let ef = EliasFano::new(&[], 100);
+        assert!(ef.is_empty());
+        assert_eq!(ef.rank(50), 0);
+        assert_eq!(ef.successor(0), None);
+        assert_eq!(ef.get(0), None);
+    }
+
+    #[test]
+    fn single_value() {
+        check(&[0], 1);
+        check(&[42], 100);
+        check(&[99], 100);
+    }
+
+    #[test]
+    fn dense_run() {
+        let values: Vec<u64> = (0..1000).collect();
+        check(&values, 1000);
+    }
+
+    #[test]
+    fn sparse_values() {
+        let values: Vec<u64> = (0..200).map(|i| i * 997 + 13).collect();
+        check(&values, 997 * 200 + 100);
+    }
+
+    #[test]
+    fn with_duplicates() {
+        check(&[3, 3, 3, 7, 7, 20], 30);
+    }
+
+    #[test]
+    fn clustered_values() {
+        let mut values = vec![];
+        for c in 0..10u64 {
+            for i in 0..50u64 {
+                values.push(c * 100_000 + i);
+            }
+        }
+        check(&values, 1_000_001);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing() {
+        EliasFano::new(&[5, 3], 10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn matches_naive(mut values in proptest::collection::vec(0u64..100_000, 0..300), probe in 0u64..100_001) {
+            values.sort_unstable();
+            let ef = EliasFano::new(&values, 100_000);
+            for (k, &v) in values.iter().enumerate() {
+                prop_assert_eq!(ef.get(k), Some(v));
+            }
+            let expected_rank = values.iter().filter(|&&v| v < probe).count();
+            prop_assert_eq!(ef.rank(probe), expected_rank);
+            let expected_succ = values.iter().copied().find(|&v| v >= probe);
+            prop_assert_eq!(ef.successor(probe).map(|(_, v)| v), expected_succ);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Fixed-width packed integer arrays.
+//!
+//! The SXSI tag sequence stores `2t` distinct opening/closing tag codes using
+//! `ceil(log2(2t))` bits per entry (Section 4.1.2 of the paper); locate
+//! samples and document offsets use the same representation.  [`IntVector`]
+//! provides constant-time read access to such packed arrays.
+
+use crate::bits::{bits_for, ceil_div};
+use crate::SpaceUsage;
+
+/// An immutable-width, mutable-content packed array of unsigned integers.
+#[derive(Clone, Debug, Default)]
+pub struct IntVector {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl IntVector {
+    /// Creates a vector of `len` zero entries of `width` bits each.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(len: usize, width: u32) -> Self {
+        assert!(width >= 1 && width <= 64, "width must be in 1..=64, got {width}");
+        let total_bits = len.checked_mul(width as usize).expect("IntVector size overflow");
+        Self { words: vec![0; ceil_div(total_bits, 64)], width, len }
+    }
+
+    /// Builds a packed vector from `values`, choosing the minimal width that
+    /// fits the maximum value.
+    pub fn from_values(values: &[u64]) -> Self {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let width = bits_for(max);
+        let mut v = Self::new(values.len(), width);
+        for (i, &x) in values.iter().enumerate() {
+            v.set(i, x);
+        }
+        v
+    }
+
+    /// Builds a packed vector from `values` with an explicit `width`.
+    pub fn from_values_with_width(values: &[u64], width: u32) -> Self {
+        let mut v = Self::new(values.len(), width);
+        for (i, &x) in values.iter().enumerate() {
+            v.set(i, x);
+        }
+        v
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width in bits of each entry.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Reads entry `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of range (len {})", self.len);
+        let bit = i * self.width as usize;
+        let word = bit / 64;
+        let offset = (bit % 64) as u32;
+        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let lo = self.words[word] >> offset;
+        if offset + self.width <= 64 {
+            lo & mask
+        } else {
+            let hi = self.words[word + 1] << (64 - offset);
+            (lo | hi) & mask
+        }
+    }
+
+    /// Writes entry `i`.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `value` does not fit in the configured width.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        debug_assert!(i < self.len, "index {i} out of range (len {})", self.len);
+        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        debug_assert!(value <= mask, "value {value} does not fit in {} bits", self.width);
+        let value = value & mask;
+        let bit = i * self.width as usize;
+        let word = bit / 64;
+        let offset = (bit % 64) as u32;
+        self.words[word] &= !(mask << offset);
+        self.words[word] |= value << offset;
+        if offset + self.width > 64 {
+            let spill = offset + self.width - 64;
+            let hi_mask = (1u64 << spill) - 1;
+            self.words[word + 1] &= !hi_mask;
+            self.words[word + 1] |= value >> (64 - offset);
+        }
+    }
+
+    /// Iterator over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl SpaceUsage for IntVector {
+    fn size_bytes(&self) -> usize {
+        crate::slice_bytes(&self.words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for width in [1u32, 3, 7, 8, 13, 16, 31, 32, 33, 63, 64] {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let values: Vec<u64> = (0..500u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)) & mask).collect();
+            let v = IntVector::from_values_with_width(&values, width);
+            assert_eq!(v.len(), values.len());
+            for (i, &x) in values.iter().enumerate() {
+                assert_eq!(v.get(i), x, "width {width}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_values_picks_minimal_width() {
+        let v = IntVector::from_values(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(v.width(), 3);
+        let v = IntVector::from_values(&[0, 0, 0]);
+        assert_eq!(v.width(), 1);
+        let v = IntVector::from_values(&[1024]);
+        assert_eq!(v.width(), 11);
+    }
+
+    #[test]
+    fn set_overwrite_does_not_leak_into_neighbours() {
+        let mut v = IntVector::new(10, 5);
+        for i in 0..10 {
+            v.set(i, 31);
+        }
+        v.set(5, 0);
+        for i in 0..10 {
+            assert_eq!(v.get(i), if i == 5 { 0 } else { 31 });
+        }
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let values = vec![5u64, 9, 0, 12, 7];
+        let v = IntVector::from_values(&values);
+        assert_eq!(v.iter().collect::<Vec<_>>(), values);
+    }
+
+    #[test]
+    fn space_usage_is_packed() {
+        let v = IntVector::new(1000, 10);
+        // 10000 bits = 1250 bytes, rounded up to u64 words.
+        assert!(v.size_bytes() <= 1260);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_roundtrip(values in proptest::collection::vec(0u64..u32::MAX as u64, 0..500)) {
+            let v = IntVector::from_values(&values);
+            for (i, &x) in values.iter().enumerate() {
+                prop_assert_eq!(v.get(i), x);
+            }
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Static bitvector with constant-time rank and fast select.
+//!
+//! The structure follows the classical two-level rank directory used by the
+//! practical implementations the paper builds on (Claude & Navarro, SPIRE
+//! 2008): the bit array is divided into 512-bit *superblocks*; for each
+//! superblock we store the absolute number of ones before it, and for each
+//! 64-bit word inside a superblock we store a 16-bit relative count.  `rank`
+//! is then two array reads plus one masked popcount.  `select` uses a sampled
+//! position array (one sample every 8192 ones/zeros) to narrow down the
+//! superblock, then scans words; this is the "darray-light" strategy that is
+//! near-constant time in practice on the dense bitmaps SXSI manipulates
+//! (parentheses, leaf maps, wavelet tree levels).
+
+use crate::bits::{ceil_div, select0_in_word, select_in_word};
+use crate::{BitVec, SpaceUsage};
+
+const WORDS_PER_SUPERBLOCK: usize = 8; // 512 bits
+const SELECT_SAMPLE: usize = 8192;
+
+/// Immutable bitvector supporting `rank0/rank1/select0/select1/access`.
+#[derive(Clone, Debug)]
+pub struct RsBitVector {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+    /// Absolute rank1 before each superblock.
+    superblock_rank: Vec<u64>,
+    /// Relative rank1 of each word within its superblock (16 bits suffice for 512-bit blocks).
+    word_rank: Vec<u16>,
+    /// Superblock index containing the (i*SELECT_SAMPLE + 1)-th one.
+    select1_samples: Vec<u32>,
+    /// Superblock index containing the (i*SELECT_SAMPLE + 1)-th zero.
+    select0_samples: Vec<u32>,
+}
+
+impl RsBitVector {
+    /// Builds the rank/select structure from a construction-time [`BitVec`].
+    pub fn new(bits: &BitVec) -> Self {
+        Self::from_words(bits.words().to_vec(), bits.len())
+    }
+
+    /// Builds from raw words and a bit length.  Unused high bits of the last
+    /// word must be zero.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        let needed = ceil_div(len, 64);
+        words.truncate(needed);
+        words.resize(needed, 0);
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        let n_super = ceil_div(needed.max(1), WORDS_PER_SUPERBLOCK);
+        let mut superblock_rank = Vec::with_capacity(n_super + 1);
+        let mut word_rank = Vec::with_capacity(needed);
+        let mut total: u64 = 0;
+        for sb in 0..n_super {
+            superblock_rank.push(total);
+            let mut within: u16 = 0;
+            for w in 0..WORDS_PER_SUPERBLOCK {
+                let idx = sb * WORDS_PER_SUPERBLOCK + w;
+                if idx >= needed {
+                    break;
+                }
+                word_rank.push(within);
+                let ones = words[idx].count_ones();
+                within += ones as u16;
+                total += ones as u64;
+            }
+        }
+        superblock_rank.push(total);
+        let ones = total as usize;
+
+        // Select samples: superblock containing each sampled 1 / 0.
+        let mut select1_samples = Vec::new();
+        let mut select0_samples = Vec::new();
+        {
+            let mut next1 = 1usize;
+            let mut next0 = 1usize;
+            let mut seen1 = 0usize;
+            for sb in 0..n_super {
+                let sb_ones = (superblock_rank[sb + 1] - superblock_rank[sb]) as usize;
+                let sb_bits = ((sb + 1) * WORDS_PER_SUPERBLOCK * 64).min(len).saturating_sub(sb * WORDS_PER_SUPERBLOCK * 64);
+                let sb_zeros = sb_bits - sb_ones;
+                let seen0 = sb * WORDS_PER_SUPERBLOCK * 64 - seen1;
+                while next1 <= seen1 + sb_ones && next1 <= ones {
+                    select1_samples.push(sb as u32);
+                    next1 += SELECT_SAMPLE;
+                }
+                while next0 <= seen0 + sb_zeros && next0 <= len - ones {
+                    select0_samples.push(sb as u32);
+                    next0 += SELECT_SAMPLE;
+                }
+                seen1 += sb_ones;
+            }
+        }
+
+        Self { words, len, ones, superblock_rank, word_rank, select1_samples, select0_samples }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of ones in the whole bitvector.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Number of zeros in the whole bitvector.
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.ones
+    }
+
+    /// Bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of ones in positions `[0, i)` (i.e. strictly before `i`).
+    ///
+    /// `i` may equal `len()`, in which case the total number of ones is
+    /// returned.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len, "rank index {i} out of range (len {})", self.len);
+        if i == 0 {
+            return 0;
+        }
+        let word = i / 64;
+        let offset = i % 64;
+        if word >= self.words.len() {
+            return self.ones;
+        }
+        let sb = word / WORDS_PER_SUPERBLOCK;
+        let mut r = self.superblock_rank[sb] as usize + self.word_rank[word] as usize;
+        if offset > 0 {
+            r += (self.words[word] & ((1u64 << offset) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Number of zeros in positions `[0, i)`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `k`-th one (1-based `k`), or `None` if `k` exceeds the
+    /// number of ones.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k == 0 || k > self.ones {
+            return None;
+        }
+        // Narrow to a superblock using the sample, then binary search.
+        let sample_idx = (k - 1) / SELECT_SAMPLE;
+        let mut lo = self.select1_samples.get(sample_idx).map(|&s| s as usize).unwrap_or(0);
+        let mut hi = self
+            .select1_samples
+            .get(sample_idx + 1)
+            .map(|&s| s as usize + 1)
+            .unwrap_or(self.superblock_rank.len() - 1);
+        // superblock_rank[sb] < k <= superblock_rank[sb+1]
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if (self.superblock_rank[mid + 1] as usize) < k {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let sb = lo;
+        let mut remaining = k - self.superblock_rank[sb] as usize;
+        let start = sb * WORDS_PER_SUPERBLOCK;
+        let end = (start + WORDS_PER_SUPERBLOCK).min(self.words.len());
+        for w in start..end {
+            let ones = self.words[w].count_ones() as usize;
+            if ones >= remaining {
+                let bit = select_in_word(self.words[w], remaining as u32) as usize;
+                return Some(w * 64 + bit);
+            }
+            remaining -= ones;
+        }
+        None
+    }
+
+    /// Position of the `k`-th zero (1-based `k`).
+    pub fn select0(&self, k: usize) -> Option<usize> {
+        if k == 0 || k > self.len - self.ones {
+            return None;
+        }
+        let sample_idx = (k - 1) / SELECT_SAMPLE;
+        let zeros_before = |sb: usize| -> usize { sb * WORDS_PER_SUPERBLOCK * 64 - self.superblock_rank[sb] as usize };
+        let n_super = self.superblock_rank.len() - 1;
+        let mut lo = self.select0_samples.get(sample_idx).map(|&s| s as usize).unwrap_or(0);
+        let mut hi = self
+            .select0_samples
+            .get(sample_idx + 1)
+            .map(|&s| s as usize + 1)
+            .unwrap_or(n_super);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let z_end = ((mid + 1) * WORDS_PER_SUPERBLOCK * 64).min(self.len) - self.superblock_rank[mid + 1] as usize;
+            if z_end < k {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let sb = lo;
+        let mut remaining = k - zeros_before(sb);
+        let start = sb * WORDS_PER_SUPERBLOCK;
+        let end = (start + WORDS_PER_SUPERBLOCK).min(self.words.len());
+        for w in start..end {
+            let valid_bits = (self.len - w * 64).min(64);
+            let masked = if valid_bits == 64 { self.words[w] } else { self.words[w] | !((1u64 << valid_bits) - 1) };
+            let zeros = 64 - masked.count_ones() as usize;
+            if zeros >= remaining {
+                let bit = select0_in_word(masked, remaining as u32) as usize;
+                return Some(w * 64 + bit);
+            }
+            remaining -= zeros;
+        }
+        None
+    }
+
+    /// Position of the first one at position `>= i`, or `None`.
+    pub fn next_one(&self, i: usize) -> Option<usize> {
+        if i >= self.len {
+            return None;
+        }
+        let r = self.rank1(i);
+        self.select1(r + 1)
+    }
+
+    /// Underlying words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterator over the positions of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (1..=self.ones).map(move |k| self.select1(k).expect("k <= ones"))
+    }
+}
+
+impl SpaceUsage for RsBitVector {
+    fn size_bytes(&self) -> usize {
+        crate::slice_bytes(&self.words)
+            + crate::slice_bytes(&self.superblock_rank)
+            + crate::slice_bytes(&self.word_rank)
+            + crate::slice_bytes(&self.select1_samples)
+            + crate::slice_bytes(&self.select0_samples)
+    }
+}
+
+impl From<&BitVec> for RsBitVector {
+    fn from(bits: &BitVec) -> Self {
+        Self::new(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(pattern: impl Iterator<Item = bool>) -> (RsBitVector, Vec<bool>) {
+        let bits: Vec<bool> = pattern.collect();
+        let bv: BitVec = bits.iter().copied().collect();
+        (RsBitVector::new(&bv), bits)
+    }
+
+    fn check_all(rs: &RsBitVector, bits: &[bool]) {
+        let mut ones = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(rs.rank1(i), ones, "rank1({i})");
+            assert_eq!(rs.rank0(i), i - ones, "rank0({i})");
+            assert_eq!(rs.get(i), b, "get({i})");
+            if b {
+                ones += 1;
+                assert_eq!(rs.select1(ones), Some(i), "select1({ones})");
+            } else {
+                assert_eq!(rs.select0(i + 1 - ones), Some(i), "select0({})", i + 1 - ones);
+            }
+        }
+        assert_eq!(rs.rank1(bits.len()), ones);
+        assert_eq!(rs.count_ones(), ones);
+        assert_eq!(rs.select1(ones + 1), None);
+        assert_eq!(rs.select1(0), None);
+    }
+
+    #[test]
+    fn empty() {
+        let (rs, _) = build(std::iter::empty());
+        assert_eq!(rs.len(), 0);
+        assert_eq!(rs.rank1(0), 0);
+        assert_eq!(rs.select1(1), None);
+        assert_eq!(rs.select0(1), None);
+    }
+
+    #[test]
+    fn small_patterns() {
+        for n in [1usize, 2, 63, 64, 65, 127, 128, 129, 511, 512, 513, 1000] {
+            let (rs, bits) = build((0..n).map(|i| i % 7 == 0 || i % 3 == 1));
+            check_all(&rs, &bits);
+        }
+    }
+
+    #[test]
+    fn all_ones_and_all_zeros() {
+        let (rs, bits) = build((0..700).map(|_| true));
+        check_all(&rs, &bits);
+        let (rs, bits) = build((0..700).map(|_| false));
+        check_all(&rs, &bits);
+    }
+
+    #[test]
+    fn sparse_bits() {
+        let n = 200_000;
+        let (rs, bits) = build((0..n).map(|i| i % 9973 == 0));
+        check_all(&rs, &bits);
+    }
+
+    #[test]
+    fn dense_large() {
+        let n = 100_000;
+        let (rs, bits) = build((0..n).map(|i| (i * 2654435761usize) % 5 != 0));
+        // Spot-check rather than full check for speed.
+        let mut ones = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            if i % 997 == 0 {
+                assert_eq!(rs.rank1(i), ones);
+            }
+            if b {
+                ones += 1;
+                if ones % 1000 == 0 {
+                    assert_eq!(rs.select1(ones), Some(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_one_works() {
+        let (rs, _) = build((0..100).map(|i| i == 10 || i == 50 || i == 99));
+        assert_eq!(rs.next_one(0), Some(10));
+        assert_eq!(rs.next_one(10), Some(10));
+        assert_eq!(rs.next_one(11), Some(50));
+        assert_eq!(rs.next_one(51), Some(99));
+        assert_eq!(rs.next_one(100), None);
+    }
+
+    #[test]
+    fn iter_ones_collects_positions() {
+        let (rs, bits) = build((0..300).map(|i| i % 13 == 4));
+        let expected: Vec<usize> = bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        let got: Vec<usize> = rs.iter_ones().collect();
+        assert_eq!(expected, got);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn rank_select_agree_with_naive(bits in proptest::collection::vec(any::<bool>(), 0..2000)) {
+            let bv: BitVec = bits.iter().copied().collect();
+            let rs = RsBitVector::new(&bv);
+            let mut ones = 0usize;
+            for (i, &b) in bits.iter().enumerate() {
+                prop_assert_eq!(rs.rank1(i), ones);
+                if b {
+                    ones += 1;
+                    prop_assert_eq!(rs.select1(ones), Some(i));
+                } else {
+                    prop_assert_eq!(rs.select0(i + 1 - ones), Some(i));
+                }
+            }
+            prop_assert_eq!(rs.count_ones(), ones);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Balanced (pointerless) wavelet tree over a `u32` alphabet.
+//!
+//! Used by the word-based text index (Section 6.6.2): the text is viewed as
+//! a sequence of word identifiers drawn from a large alphabet, and the
+//! backward-search steps of the word-granularity FM-index need
+//! `rank_w`/`select_w` over that sequence.  The tree has `ceil(log2 σ)`
+//! levels; each level is a single concatenated bitmap, so there are no
+//! per-node allocations and the traversal arithmetic is purely positional.
+
+use super::SequenceIndex;
+use crate::bits::bits_for;
+use crate::{BitVec, RsBitVector, SpaceUsage};
+
+/// Balanced wavelet tree over `u32` symbols in `[0, alphabet_size)`.
+#[derive(Clone, Debug)]
+pub struct BalancedWaveletTree {
+    /// One rank/select bitmap per level, each of length `len`.
+    levels: Vec<RsBitVector>,
+    /// Interval boundaries per level: `bounds[l]` maps a node id at level `l`
+    /// to the start offset of its slice inside the level bitmap.
+    bounds: Vec<Vec<usize>>,
+    len: usize,
+    height: u32,
+    alphabet_size: u32,
+}
+
+impl BalancedWaveletTree {
+    /// Builds the tree from a sequence of symbols smaller than
+    /// `alphabet_size`.
+    ///
+    /// # Panics
+    /// Panics if any symbol is `>= alphabet_size`.
+    pub fn new(seq: &[u32], alphabet_size: u32) -> Self {
+        assert!(alphabet_size >= 1, "alphabet must be non-empty");
+        for (i, &s) in seq.iter().enumerate() {
+            assert!(s < alphabet_size, "symbol {s} at position {i} exceeds alphabet size {alphabet_size}");
+        }
+        let height = if alphabet_size <= 1 { 0 } else { bits_for(alphabet_size as u64 - 1) };
+        let len = seq.len();
+        let mut levels = Vec::with_capacity(height as usize);
+        let mut bounds = Vec::with_capacity(height as usize);
+        let mut current: Vec<Vec<u32>> = vec![seq.to_vec()];
+        for level in 0..height {
+            let shift = height - 1 - level;
+            let mut bitmap = BitVec::with_capacity(len);
+            let mut node_bounds = Vec::with_capacity(current.len());
+            let mut next: Vec<Vec<u32>> = Vec::with_capacity(current.len() * 2);
+            let mut offset = 0usize;
+            for node in &current {
+                node_bounds.push(offset);
+                offset += node.len();
+                let mut zeros = Vec::new();
+                let mut ones = Vec::new();
+                for &s in node {
+                    let bit = (s >> shift) & 1 == 1;
+                    bitmap.push(bit);
+                    if bit {
+                        ones.push(s);
+                    } else {
+                        zeros.push(s);
+                    }
+                }
+                next.push(zeros);
+                next.push(ones);
+            }
+            levels.push(RsBitVector::new(&bitmap));
+            bounds.push(node_bounds);
+            current = next;
+        }
+        Self { levels, bounds, len, height, alphabet_size }
+    }
+
+    /// The alphabet size supplied at construction.
+    pub fn alphabet_size(&self) -> u32 {
+        self.alphabet_size
+    }
+
+    /// Occurrences of `sym` in the whole sequence.
+    pub fn count(&self, sym: u32) -> usize {
+        self.rank(sym, self.len)
+    }
+}
+
+impl SequenceIndex<u32> for BalancedWaveletTree {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn access(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len);
+        if self.height == 0 {
+            return 0;
+        }
+        let mut sym = 0u32;
+        let mut node = 0usize;
+        let mut pos = i;
+        for level in 0..self.height as usize {
+            let bm = &self.levels[level];
+            let start = self.bounds[level][node];
+            let bit = bm.get(start + pos);
+            sym = (sym << 1) | bit as u32;
+            let ones_before = bm.rank1(start + pos) - bm.rank1(start);
+            pos = if bit { ones_before } else { pos - ones_before };
+            node = node * 2 + bit as usize;
+        }
+        sym
+    }
+
+    fn rank(&self, sym: u32, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        if sym >= self.alphabet_size || i == 0 {
+            return 0;
+        }
+        if self.height == 0 {
+            return i;
+        }
+        let mut node = 0usize;
+        let mut count = i;
+        for level in 0..self.height as usize {
+            let shift = self.height as usize - 1 - level;
+            let bm = &self.levels[level];
+            let start = self.bounds[level][node];
+            let bit = (sym >> shift) & 1 == 1;
+            let ones_at_start = bm.rank1(start);
+            let ones = bm.rank1(start + count) - ones_at_start;
+            count = if bit { ones } else { count - ones };
+            node = node * 2 + bit as usize;
+            if count == 0 {
+                return 0;
+            }
+        }
+        count
+    }
+
+    fn select(&self, sym: u32, k: usize) -> Option<usize> {
+        if k == 0 || sym >= self.alphabet_size {
+            return None;
+        }
+        if self.height == 0 {
+            return if k <= self.len { Some(k - 1) } else { None };
+        }
+        // Descend recording the node path, checking that the k-th occurrence
+        // exists, then ascend with select.
+        let mut node = 0usize;
+        let mut path = Vec::with_capacity(self.height as usize);
+        for level in 0..self.height as usize {
+            let shift = self.height as usize - 1 - level;
+            let bit = (sym >> shift) & 1 == 1;
+            path.push((level, node, bit));
+            node = node * 2 + bit as usize;
+        }
+        // Count occurrences at the leaf level: size of the leaf interval.
+        if self.count_leaf(sym) < k {
+            return None;
+        }
+        let mut k = k;
+        for &(level, node, bit) in path.iter().rev() {
+            let bm = &self.levels[level];
+            let start = self.bounds[level][node];
+            let pos_in_node = if bit {
+                let ones_at_start = bm.rank1(start);
+                bm.select1(ones_at_start + k)? - start
+            } else {
+                let zeros_at_start = bm.rank0(start);
+                bm.select0(zeros_at_start + k)? - start
+            };
+            k = pos_in_node + 1;
+        }
+        Some(k - 1)
+    }
+}
+
+impl BalancedWaveletTree {
+    /// Number of elements in the leaf interval for `sym`, i.e. the total
+    /// occurrence count of the symbol.
+    fn count_leaf(&self, sym: u32) -> usize {
+        // Leaf interval size = rank over the full sequence.
+        let mut node = 0usize;
+        let mut count = self.len;
+        for level in 0..self.height as usize {
+            let shift = self.height as usize - 1 - level;
+            let bm = &self.levels[level];
+            let start = self.bounds[level][node];
+            let bit = (sym >> shift) & 1 == 1;
+            let ones_at_start = bm.rank1(start);
+            let ones = bm.rank1(start + count) - ones_at_start;
+            count = if bit { ones } else { count - ones };
+            node = node * 2 + bit as usize;
+            if count == 0 {
+                return 0;
+            }
+        }
+        count
+    }
+}
+
+impl SpaceUsage for BalancedWaveletTree {
+    fn size_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
+            + self.bounds.iter().map(|b| crate::slice_bytes(b)).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavelet::check_sequence_index;
+
+    #[test]
+    fn empty_sequence() {
+        let wt = BalancedWaveletTree::new(&[], 16);
+        assert_eq!(wt.len(), 0);
+        assert_eq!(wt.rank(3, 0), 0);
+        assert_eq!(wt.select(3, 1), None);
+    }
+
+    #[test]
+    fn unary_alphabet() {
+        let seq = vec![0u32; 30];
+        let wt = BalancedWaveletTree::new(&seq, 1);
+        check_sequence_index(&seq, &wt);
+    }
+
+    #[test]
+    fn small_alphabet() {
+        let seq: Vec<u32> = vec![2, 1, 0, 3, 2, 2, 1, 0, 0, 3, 3, 3, 1];
+        let wt = BalancedWaveletTree::new(&seq, 4);
+        check_sequence_index(&seq, &wt);
+        assert_eq!(wt.count(2), 3);
+        assert_eq!(wt.count(5), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_alphabet() {
+        let seq: Vec<u32> = (0..2000u32).map(|i| (i * 37) % 13).collect();
+        let wt = BalancedWaveletTree::new(&seq, 13);
+        check_sequence_index(&seq, &wt);
+    }
+
+    #[test]
+    fn large_sparse_alphabet() {
+        // Word-id-like distribution: many ids, heavy skew towards low ids.
+        let seq: Vec<u32> = (0..3000u32).map(|i| if i % 5 == 0 { i % 9000 } else { i % 20 }).collect();
+        let max = *seq.iter().max().unwrap() + 1;
+        let wt = BalancedWaveletTree::new(&seq, max);
+        check_sequence_index(&seq, &wt);
+    }
+
+    #[test]
+    fn rank_of_absent_symbol_is_zero() {
+        let seq = vec![1u32, 2, 3];
+        let wt = BalancedWaveletTree::new(&seq, 10);
+        assert_eq!(wt.rank(7, 3), 0);
+        assert_eq!(wt.select(7, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds alphabet size")]
+    fn rejects_out_of_range_symbols() {
+        BalancedWaveletTree::new(&[5], 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::wavelet::check_sequence_index;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_sequences(seq in proptest::collection::vec(0u32..500, 0..1000)) {
+            let wt = BalancedWaveletTree::new(&seq, 500);
+            check_sequence_index(&seq, &wt);
+        }
+    }
+}

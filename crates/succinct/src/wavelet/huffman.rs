@@ -1,0 +1,346 @@
+//! Huffman-shaped wavelet tree over a byte alphabet.
+//!
+//! Each byte symbol is assigned a canonical Huffman code; the wavelet tree
+//! follows the code tree, so frequent symbols sit near the root and are
+//! resolved with very few bitmap probes.  This is the sequence
+//! representation the paper uses for the BWT: space is
+//! `|T| (H0(T) + 1)(1 + o(1))` bits and operations cost `O(H0)` on average.
+
+use super::SequenceIndex;
+use crate::{BitVec, RsBitVector, SpaceUsage};
+
+#[derive(Clone, Debug, Default)]
+struct Code {
+    /// Code bits, MSB-first in the low `len` bits.
+    bits: u64,
+    len: u32,
+}
+
+/// A node of the (binary) wavelet tree, laid out in a flat array.
+#[derive(Clone, Debug)]
+struct Node {
+    bitmap: RsBitVector,
+    /// Child node indexes for bit 0 / bit 1; `usize::MAX` when the edge ends
+    /// in a leaf, in which case `leaf[bit]` holds the decoded symbol.
+    child: [usize; 2],
+    leaf: [u8; 2],
+}
+
+/// Huffman-shaped wavelet tree over `u8` symbols.
+#[derive(Clone, Debug)]
+pub struct HuffmanWaveletTree {
+    nodes: Vec<Node>,
+    codes: Vec<Code>,
+    len: usize,
+    counts: Vec<usize>,
+}
+
+impl HuffmanWaveletTree {
+    /// Builds the tree from a byte sequence.
+    pub fn new(seq: &[u8]) -> Self {
+        let mut counts = vec![0usize; 256];
+        for &b in seq {
+            counts[b as usize] += 1;
+        }
+        let codes = build_huffman_codes(&counts);
+
+        if seq.is_empty() || counts.iter().filter(|&&c| c > 0).count() <= 1 {
+            // Degenerate: zero or one distinct symbol; no bitmaps needed.
+            return Self { nodes: Vec::new(), codes, len: seq.len(), counts };
+        }
+
+        // Build the tree shape by walking each present symbol's code.
+        struct BuildNode {
+            bits: BitVec,
+            child: [usize; 2],
+            leaf: [u8; 2],
+        }
+        let mut nodes: Vec<BuildNode> =
+            vec![BuildNode { bits: BitVec::new(), child: [usize::MAX; 2], leaf: [0; 2] }];
+        for sym in 0..256usize {
+            if counts[sym] == 0 {
+                continue;
+            }
+            let code = &codes[sym];
+            let mut cur = 0usize;
+            for depth in 0..code.len {
+                let bit = ((code.bits >> (code.len - 1 - depth)) & 1) as usize;
+                if depth + 1 == code.len {
+                    nodes[cur].leaf[bit] = sym as u8;
+                    break;
+                }
+                if nodes[cur].child[bit] == usize::MAX {
+                    nodes.push(BuildNode { bits: BitVec::new(), child: [usize::MAX; 2], leaf: [0; 2] });
+                    let new_idx = nodes.len() - 1;
+                    nodes[cur].child[bit] = new_idx;
+                }
+                cur = nodes[cur].child[bit];
+            }
+        }
+        // Fill bitmaps by pushing each symbol down its code path.
+        for &b in seq {
+            let code = &codes[b as usize];
+            let mut cur = 0usize;
+            for depth in 0..code.len {
+                let bit = (code.bits >> (code.len - 1 - depth)) & 1 == 1;
+                nodes[cur].bits.push(bit);
+                if depth + 1 == code.len {
+                    break;
+                }
+                cur = nodes[cur].child[bit as usize];
+            }
+        }
+        let nodes = nodes
+            .into_iter()
+            .map(|n| Node { bitmap: RsBitVector::new(&n.bits), child: n.child, leaf: n.leaf })
+            .collect();
+        Self { nodes, codes, len: seq.len(), counts }
+    }
+
+    /// Occurrence count of `sym` in the whole sequence (constant time).
+    #[inline]
+    pub fn count(&self, sym: u8) -> usize {
+        self.counts[sym as usize]
+    }
+
+    fn single_symbol(&self) -> Option<u8> {
+        if self.nodes.is_empty() && self.len > 0 {
+            self.counts.iter().position(|&c| c > 0).map(|s| s as u8)
+        } else {
+            None
+        }
+    }
+}
+
+impl SequenceIndex<u8> for HuffmanWaveletTree {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn access(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        if let Some(sym) = self.single_symbol() {
+            return sym;
+        }
+        let mut cur = 0usize;
+        let mut pos = i;
+        loop {
+            let node = &self.nodes[cur];
+            let bit = node.bitmap.get(pos);
+            pos = if bit { node.bitmap.rank1(pos) } else { node.bitmap.rank0(pos) };
+            let child = node.child[bit as usize];
+            if child == usize::MAX {
+                return node.leaf[bit as usize];
+            }
+            cur = child;
+        }
+    }
+
+    fn rank(&self, sym: u8, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        if i == 0 || self.counts[sym as usize] == 0 {
+            return 0;
+        }
+        if self.single_symbol() == Some(sym) {
+            return i;
+        }
+        let code = &self.codes[sym as usize];
+        let mut cur = 0usize;
+        let mut pos = i;
+        for depth in 0..code.len {
+            let node = &self.nodes[cur];
+            let bit = (code.bits >> (code.len - 1 - depth)) & 1 == 1;
+            pos = if bit { node.bitmap.rank1(pos) } else { node.bitmap.rank0(pos) };
+            if depth + 1 == code.len {
+                return pos;
+            }
+            cur = node.child[bit as usize];
+        }
+        pos
+    }
+
+    fn select(&self, sym: u8, k: usize) -> Option<usize> {
+        if k == 0 || self.counts[sym as usize] < k {
+            return None;
+        }
+        if self.single_symbol() == Some(sym) {
+            return Some(k - 1);
+        }
+        let code = &self.codes[sym as usize];
+        // Walk down recording the node path, then walk back up with select.
+        let mut path = Vec::with_capacity(code.len as usize);
+        let mut cur = 0usize;
+        for depth in 0..code.len {
+            let bit = (code.bits >> (code.len - 1 - depth)) & 1 == 1;
+            path.push((cur, bit));
+            if depth + 1 == code.len {
+                break;
+            }
+            cur = self.nodes[cur].child[bit as usize];
+        }
+        let mut k = k;
+        for &(node_idx, bit) in path.iter().rev() {
+            let node = &self.nodes[node_idx];
+            let pos = if bit { node.bitmap.select1(k) } else { node.bitmap.select0(k) }?;
+            k = pos + 1;
+        }
+        Some(k - 1)
+    }
+}
+
+impl SpaceUsage for HuffmanWaveletTree {
+    fn size_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.bitmap.size_bytes()).sum::<usize>()
+            + self.codes.len() * std::mem::size_of::<Code>()
+            + crate::slice_bytes(&self.counts)
+    }
+}
+
+/// Builds canonical Huffman codes from symbol counts.  Symbols with zero
+/// count get an empty code.
+///
+/// Code lengths stay below 64 bits for any input shorter than a few hundred
+/// terabytes (the depth of a Huffman tree grows at most logarithmically in
+/// the golden ratio of the total count), which is asserted.
+fn build_huffman_codes(counts: &[usize]) -> Vec<Code> {
+    let mut lengths = vec![0u32; 256];
+    let present: Vec<usize> = (0..256).filter(|&s| counts[s] > 0).collect();
+    match present.len() {
+        0 => return vec![Code::default(); 256],
+        1 => {
+            let mut codes = vec![Code::default(); 256];
+            codes[present[0]] = Code { bits: 0, len: 1 };
+            return codes;
+        }
+        _ => {}
+    }
+    // Standard Huffman: repeatedly merge the two lightest groups; every
+    // symbol in a merged group gets one more bit of code length.
+    struct Item {
+        symbols: Vec<usize>,
+    }
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = std::collections::BinaryHeap::new();
+    let mut items: Vec<Item> = Vec::new();
+    for &s in &present {
+        items.push(Item { symbols: vec![s] });
+        heap.push(std::cmp::Reverse((counts[s] as u64, items.len() - 1)));
+    }
+    while heap.len() > 1 {
+        let std::cmp::Reverse((w1, i1)) = heap.pop().expect("heap has >= 2 items");
+        let std::cmp::Reverse((w2, i2)) = heap.pop().expect("heap has >= 2 items");
+        for &s in items[i1].symbols.iter().chain(items[i2].symbols.iter()) {
+            lengths[s] += 1;
+        }
+        let mut merged = std::mem::take(&mut items[i1].symbols);
+        merged.extend_from_slice(&items[i2].symbols);
+        items.push(Item { symbols: merged });
+        heap.push(std::cmp::Reverse((w1 + w2, items.len() - 1)));
+    }
+    debug_assert!(lengths.iter().all(|&l| l <= 64), "Huffman code length exceeded 64 bits");
+    // Canonical code assignment by (length, symbol).
+    let mut order: Vec<usize> = present.clone();
+    order.sort_by_key(|&s| (lengths[s], s));
+    let mut codes = vec![Code::default(); 256];
+    let mut code: u64 = 0;
+    let mut prev_len = 0u32;
+    for &s in &order {
+        let len = lengths[s];
+        if prev_len != 0 {
+            code = (code + 1) << (len - prev_len);
+        } else {
+            code = 0;
+        }
+        codes[s] = Code { bits: code, len };
+        prev_len = len;
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavelet::check_sequence_index;
+
+    #[test]
+    fn empty_sequence() {
+        let wt = HuffmanWaveletTree::new(&[]);
+        assert_eq!(wt.len(), 0);
+        assert_eq!(wt.rank(b'a', 0), 0);
+        assert_eq!(wt.select(b'a', 1), None);
+    }
+
+    #[test]
+    fn single_distinct_symbol() {
+        let seq = vec![b'z'; 50];
+        let wt = HuffmanWaveletTree::new(&seq);
+        check_sequence_index(&seq, &wt);
+        assert_eq!(wt.count(b'z'), 50);
+        assert_eq!(wt.count(b'a'), 0);
+    }
+
+    #[test]
+    fn small_text() {
+        let seq = b"abracadabra".to_vec();
+        let wt = HuffmanWaveletTree::new(&seq);
+        check_sequence_index(&seq, &wt);
+        assert_eq!(wt.rank(b'a', 11), 5);
+        assert_eq!(wt.select(b'r', 2), Some(9));
+        assert_eq!(wt.rank(b'z', 11), 0);
+        assert_eq!(wt.select(b'z', 1), None);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let mut seq = vec![b'x'; 5000];
+        for (i, slot) in seq.iter_mut().enumerate() {
+            if i % 100 == 0 {
+                *slot = b'y';
+            }
+            if i % 999 == 0 {
+                *slot = 0u8; // include the $-like terminator byte
+            }
+        }
+        let wt = HuffmanWaveletTree::new(&seq);
+        check_sequence_index(&seq, &wt);
+    }
+
+    #[test]
+    fn full_byte_alphabet() {
+        let seq: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let wt = HuffmanWaveletTree::new(&seq);
+        check_sequence_index(&seq, &wt);
+    }
+
+    #[test]
+    fn counts_match() {
+        let seq = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let wt = HuffmanWaveletTree::new(&seq);
+        for b in 0u8..=255 {
+            let expected = seq.iter().filter(|&&c| c == b).count();
+            assert_eq!(wt.count(b), expected);
+            assert_eq!(wt.rank(b, seq.len()), expected);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::wavelet::check_sequence_index;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_bytes(seq in proptest::collection::vec(any::<u8>(), 0..1500)) {
+            let wt = HuffmanWaveletTree::new(&seq);
+            check_sequence_index(&seq, &wt);
+        }
+
+        #[test]
+        fn small_alphabet(seq in proptest::collection::vec(0u8..4, 0..1500)) {
+            let wt = HuffmanWaveletTree::new(&seq);
+            check_sequence_index(&seq, &wt);
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! The SXSI text collection index (Section 3.2 of the paper).
+//!
+//! [`TextCollection`] ties the FM-index together with the `Doc` array, the
+//! per-text start offsets and (optionally) a plain copy of the texts, and
+//! exposes the XPath-level string predicates: `contains`, `starts-with`,
+//! `ends-with`, `=` and the lexicographic comparison operators, each
+//! returning the identifiers of the matching texts, plus existential and
+//! counting variants.
+
+use crate::bwt::build_collection_bwt;
+use crate::fmindex::{FmIndex, LocateOutcome, RowRange, DEFAULT_SAMPLE_RATE};
+use crate::plain::{contains_slice, PlainTexts, TextId};
+use sxsi_succinct::EliasFano;
+
+/// A text-predicate as it appears in an XPath filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextPredicate {
+    /// `contains(., "pattern")`
+    Contains(Vec<u8>),
+    /// `starts-with(., "pattern")`
+    StartsWith(Vec<u8>),
+    /// `ends-with(., "pattern")`
+    EndsWith(Vec<u8>),
+    /// `. = "pattern"`
+    Equals(Vec<u8>),
+    /// `. < "pattern"` (lexicographic)
+    LessThan(Vec<u8>),
+    /// `. <= "pattern"`
+    LessEq(Vec<u8>),
+    /// `. > "pattern"`
+    GreaterThan(Vec<u8>),
+    /// `. >= "pattern"`
+    GreaterEq(Vec<u8>),
+}
+
+impl TextPredicate {
+    /// The raw pattern bytes of the predicate.
+    pub fn pattern(&self) -> &[u8] {
+        match self {
+            TextPredicate::Contains(p)
+            | TextPredicate::StartsWith(p)
+            | TextPredicate::EndsWith(p)
+            | TextPredicate::Equals(p)
+            | TextPredicate::LessThan(p)
+            | TextPredicate::LessEq(p)
+            | TextPredicate::GreaterThan(p)
+            | TextPredicate::GreaterEq(p) => p,
+        }
+    }
+
+    /// Evaluates the predicate directly against a string value (used for the
+    /// XPath string-value semantics over mixed content, where the searched
+    /// value may span several text nodes).
+    pub fn matches_value(&self, value: &[u8]) -> bool {
+        match self {
+            TextPredicate::Contains(p) => contains_slice(value, p),
+            TextPredicate::StartsWith(p) => value.starts_with(p),
+            TextPredicate::EndsWith(p) => value.ends_with(p),
+            TextPredicate::Equals(p) => value == &p[..],
+            TextPredicate::LessThan(p) => value < &p[..],
+            TextPredicate::LessEq(p) => value <= &p[..],
+            TextPredicate::GreaterThan(p) => value > &p[..],
+            TextPredicate::GreaterEq(p) => value >= &p[..],
+        }
+    }
+}
+
+/// Options controlling the construction of a [`TextCollection`].
+#[derive(Debug, Clone)]
+pub struct TextCollectionOptions {
+    /// Locate sampling step (`l` in the paper; Tables II and III use 64 / 4).
+    pub sample_rate: usize,
+    /// Keep a plain copy of the texts (Section 3.4).  Costs `|T|` bytes but
+    /// makes extraction constant-time per symbol and enables the scan-based
+    /// evaluation of high-frequency `contains` patterns.
+    pub keep_plain_text: bool,
+    /// When a pattern's global occurrence count exceeds this many occurrences
+    /// per text on average, `contains` switches from FM-locate to plain
+    /// scanning (only if the plain text is kept).  Mirrors the cut-off
+    /// discussion of Section 6.3.
+    pub scan_cutoff: usize,
+}
+
+impl Default for TextCollectionOptions {
+    fn default() -> Self {
+        Self { sample_rate: DEFAULT_SAMPLE_RATE, keep_plain_text: true, scan_cutoff: 50_000 }
+    }
+}
+
+/// Self-indexed text collection: FM-index + `Doc` + text boundaries
+/// (+ optional plain copy).
+#[derive(Debug, Clone)]
+pub struct TextCollection {
+    fm: FmIndex,
+    /// `doc[j]` = id of the text whose first symbol starts the row of the
+    /// `j`-th `$` in the BWT.
+    doc: Vec<u32>,
+    /// Start offsets of each text in the concatenation (terminators counted).
+    starts: EliasFano,
+    num_texts: usize,
+    total_len: usize,
+    plain: Option<PlainTexts>,
+    options: TextCollectionOptions,
+}
+
+impl TextCollection {
+    /// Builds the collection index with default options.
+    pub fn new<S: AsRef<[u8]>>(texts: &[S]) -> Self {
+        Self::with_options(texts, TextCollectionOptions::default())
+    }
+
+    /// Builds the collection index.
+    pub fn with_options<S: AsRef<[u8]>>(texts: &[S], options: TextCollectionOptions) -> Self {
+        let bwt = build_collection_bwt(texts);
+        let fm = FmIndex::new(&bwt.bwt, &bwt.sa, options.sample_rate);
+        let starts_vals: Vec<u64> = bwt.starts.iter().map(|&s| s as u64).collect();
+        let starts = EliasFano::new(&starts_vals, bwt.len.max(1) as u64);
+        let plain = options.keep_plain_text.then(|| PlainTexts::new(texts));
+        Self {
+            fm,
+            doc: bwt.doc,
+            starts,
+            num_texts: texts.len(),
+            total_len: bwt.len,
+            plain,
+            options,
+        }
+    }
+
+    /// Number of texts (the paper's `d`).
+    pub fn num_texts(&self) -> usize {
+        self.num_texts
+    }
+
+    /// Total length of the concatenation, terminators included.
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// The underlying FM-index.
+    pub fn fm_index(&self) -> &FmIndex {
+        &self.fm
+    }
+
+    /// The plain-text store, if it was kept.
+    pub fn plain(&self) -> Option<&PlainTexts> {
+        self.plain.as_ref()
+    }
+
+    /// Heap size in bytes (FM-index + Doc + boundaries), excluding the
+    /// optional plain store.
+    pub fn index_size_bytes(&self) -> usize {
+        use sxsi_succinct::SpaceUsage;
+        self.fm.size_bytes() + self.doc.len() * 4 + self.starts.size_bytes()
+    }
+
+    /// Heap size in bytes including the optional plain store.
+    pub fn total_size_bytes(&self) -> usize {
+        self.index_size_bytes() + self.plain.as_ref().map_or(0, |p| p.size_bytes())
+    }
+
+    // ------------------------------------------------------------------
+    // Position arithmetic
+    // ------------------------------------------------------------------
+
+    /// Length of text `id` (excluding the terminator).
+    pub fn text_len(&self, id: TextId) -> usize {
+        let start = self.starts.get(id).expect("text id in range") as usize;
+        let end = self
+            .starts
+            .get(id + 1)
+            .map(|e| e as usize)
+            .unwrap_or(self.total_len);
+        end - start - 1
+    }
+
+    /// Converts a global concatenation position into `(text, offset)`.
+    pub fn global_to_text(&self, pos: usize) -> (TextId, usize) {
+        debug_assert!(pos < self.total_len);
+        // rank gives the number of starts <= pos ... we need the last start <= pos.
+        let (id, start) = self.starts.predecessor(pos as u64 + 1).expect("pos within collection");
+        (id, pos - start as usize)
+    }
+
+    /// Resolves the text and offset of the suffix at `row` of the BWT matrix.
+    pub fn locate_row(&self, row: usize) -> (TextId, usize) {
+        match self.fm.locate_walk(row) {
+            LocateOutcome::Sample { position, steps } => self.global_to_text(position + steps),
+            LocateOutcome::EndMarker { dollar_rank, steps } => (self.doc[dollar_rank] as usize, steps),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Extraction
+    // ------------------------------------------------------------------
+
+    /// Returns the content of text `id`.
+    ///
+    /// Uses the plain store when available, otherwise extracts from the
+    /// BWT by walking `LF` from the text's terminator row (`O(log σ)` per
+    /// symbol, Section 3.3).
+    pub fn get_text(&self, id: TextId) -> Vec<u8> {
+        assert!(id < self.num_texts, "text id {id} out of range");
+        if let Some(plain) = &self.plain {
+            return plain.text(id).to_vec();
+        }
+        // Row `id` of F is the terminator of text `id` (the fixed end-marker
+        // ordering); walk backwards collecting symbols until the previous
+        // terminator.
+        let mut out = Vec::new();
+        let mut row = id;
+        loop {
+            let b = self.fm.bwt_symbol(row);
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+            row = self.fm.lf(row);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Evaluates `pred` against the full content of text `id`.
+    pub fn text_matches(&self, id: TextId, pred: &TextPredicate) -> bool {
+        if let Some(plain) = &self.plain {
+            pred.matches_value(plain.text(id))
+        } else {
+            pred.matches_value(&self.get_text(id))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Counting and search primitives
+    // ------------------------------------------------------------------
+
+    /// Total number of occurrences of `pattern` across all texts
+    /// (the paper's `GlobalCount`); `O(|pattern| log σ)`.
+    pub fn global_count(&self, pattern: &[u8]) -> usize {
+        if pattern.is_empty() {
+            return 0;
+        }
+        self.fm.count(pattern)
+    }
+
+    /// Identifiers of texts containing `pattern` (`ContainsReport` reduced to
+    /// distinct texts, as used by the XPath `contains` predicate).
+    pub fn contains(&self, pattern: &[u8]) -> Vec<TextId> {
+        if pattern.is_empty() {
+            return (0..self.num_texts).collect();
+        }
+        // Decide between FM-locate and plain scan based on the global count
+        // (Section 6.3): counting is cheap, so use it as the planner.
+        if let Some(plain) = &self.plain {
+            let global = self.fm.count(pattern);
+            if global > self.options.scan_cutoff {
+                return plain.scan_contains(pattern);
+            }
+        }
+        let range = self.fm.backward_search(pattern);
+        let mut ids: Vec<TextId> = (range.start..range.end).map(|row| self.locate_row(row).0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of texts containing `pattern`.
+    pub fn contains_count(&self, pattern: &[u8]) -> usize {
+        self.contains(pattern).len()
+    }
+
+    /// Positions `(text, offset)` of every occurrence of `pattern`
+    /// (the paper's `ContainsReport`).
+    pub fn contains_positions(&self, pattern: &[u8]) -> Vec<(TextId, usize)> {
+        if pattern.is_empty() {
+            return Vec::new();
+        }
+        let range = self.fm.backward_search(pattern);
+        let mut out: Vec<(TextId, usize)> = (range.start..range.end).map(|row| self.locate_row(row)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether any text contains `pattern`.
+    pub fn contains_exists(&self, pattern: &[u8]) -> bool {
+        !self.fm.backward_search(pattern).is_empty()
+    }
+
+    /// Identifiers of texts starting with `pattern`.
+    pub fn starts_with(&self, pattern: &[u8]) -> Vec<TextId> {
+        if pattern.is_empty() {
+            return (0..self.num_texts).collect();
+        }
+        let range = self.fm.backward_search(pattern);
+        self.dollar_rows_to_ids(range)
+    }
+
+    /// Identifiers of texts ending with `pattern`.
+    pub fn ends_with(&self, pattern: &[u8]) -> Vec<TextId> {
+        if pattern.is_empty() {
+            return (0..self.num_texts).collect();
+        }
+        // Start the backward search from the terminator block [0, d): row i
+        // is the terminator of text i, so surviving rows are occurrences of
+        // `pattern` immediately followed by a terminator.
+        let start = RowRange { start: 0, end: self.num_texts };
+        let range = self.fm.backward_search_from(pattern, start);
+        let mut ids: Vec<TextId> = (range.start..range.end).map(|row| self.locate_row(row).0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Identifiers of texts exactly equal to `pattern`.
+    pub fn equals(&self, pattern: &[u8]) -> Vec<TextId> {
+        if pattern.is_empty() {
+            return (0..self.num_texts).filter(|&id| self.text_len(id) == 0).collect();
+        }
+        let start = RowRange { start: 0, end: self.num_texts };
+        let range = self.fm.backward_search_from(pattern, start);
+        self.dollar_rows_to_ids(range)
+    }
+
+    /// Identifiers of texts lexicographically smaller than `pattern`.
+    pub fn less_than(&self, pattern: &[u8]) -> Vec<TextId> {
+        // A text X is < P iff its full suffix (X followed by its terminator)
+        // sorts before the insertion point of P: the terminator is smaller
+        // than every character, so X$ < P exactly when X < P (proper prefixes
+        // included).  The backward search keeps `start` equal to the number
+        // of suffixes smaller than P even when P does not occur, so the
+        // texts < P are the `$`-labelled rows before `start`.
+        let range = self.fm.backward_search(pattern);
+        let upto = self.fm.occ(0, range.start);
+        let mut ids: Vec<TextId> = self.doc[..upto].iter().map(|&x| x as usize).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Identifiers of texts `<= pattern`.
+    pub fn less_equal(&self, pattern: &[u8]) -> Vec<TextId> {
+        let mut ids = self.less_than(pattern);
+        ids.extend(self.equals(pattern));
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Identifiers of texts `> pattern`.
+    pub fn greater_than(&self, pattern: &[u8]) -> Vec<TextId> {
+        self.complement(&self.less_equal(pattern))
+    }
+
+    /// Identifiers of texts `>= pattern`.
+    pub fn greater_equal(&self, pattern: &[u8]) -> Vec<TextId> {
+        self.complement(&self.less_than(pattern))
+    }
+
+    /// Evaluates an arbitrary [`TextPredicate`], returning matching text ids
+    /// in increasing order.
+    pub fn matching_texts(&self, pred: &TextPredicate) -> Vec<TextId> {
+        match pred {
+            TextPredicate::Contains(p) => self.contains(p),
+            TextPredicate::StartsWith(p) => self.starts_with(p),
+            TextPredicate::EndsWith(p) => self.ends_with(p),
+            TextPredicate::Equals(p) => self.equals(p),
+            TextPredicate::LessThan(p) => self.less_than(p),
+            TextPredicate::LessEq(p) => self.less_equal(p),
+            TextPredicate::GreaterThan(p) => self.greater_than(p),
+            TextPredicate::GreaterEq(p) => self.greater_equal(p),
+        }
+    }
+
+    /// Number of texts matching the predicate.
+    pub fn count_matching(&self, pred: &TextPredicate) -> usize {
+        self.matching_texts(pred).len()
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    /// Rows in `range` whose BWT symbol is `$` correspond to whole texts
+    /// (their suffix starts at a text start); map them to text ids via `Doc`.
+    fn dollar_rows_to_ids(&self, range: RowRange) -> Vec<TextId> {
+        if range.is_empty() {
+            return Vec::new();
+        }
+        let lo = self.fm.occ(0, range.start);
+        let hi = self.fm.occ(0, range.end);
+        let mut ids: Vec<TextId> = self.doc[lo..hi].iter().map(|&x| x as usize).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn complement(&self, sorted_ids: &[TextId]) -> Vec<TextId> {
+        let mut out = Vec::with_capacity(self.num_texts - sorted_ids.len());
+        let mut it = sorted_ids.iter().copied().peekable();
+        for id in 0..self.num_texts {
+            if it.peek() == Some(&id) {
+                it.next();
+            } else {
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection(texts: &[&str]) -> TextCollection {
+        TextCollection::new(texts)
+    }
+
+    fn collection_no_plain(texts: &[&str]) -> TextCollection {
+        TextCollection::with_options(
+            texts,
+            TextCollectionOptions { keep_plain_text: false, sample_rate: 4, ..Default::default() },
+        )
+    }
+
+    const PAPER_TEXTS: [&str; 6] = ["pen", "Soon discontinued", "blue", "40", "rubber", "30"];
+
+    #[test]
+    fn get_text_roundtrip_plain_and_fm() {
+        for tc in [collection(&PAPER_TEXTS), collection_no_plain(&PAPER_TEXTS)] {
+            for (i, t) in PAPER_TEXTS.iter().enumerate() {
+                assert_eq!(tc.get_text(i), t.as_bytes(), "text {i}");
+                assert_eq!(tc.text_len(i), t.len());
+            }
+        }
+    }
+
+    #[test]
+    fn contains_queries() {
+        let tc = collection(&PAPER_TEXTS);
+        assert_eq!(tc.contains(b"on"), vec![1]);
+        assert_eq!(tc.contains(b"e"), vec![0, 1, 2, 4]);
+        assert_eq!(tc.contains(b"0"), vec![3, 5]);
+        assert_eq!(tc.contains(b"zzz"), Vec::<usize>::new());
+        assert_eq!(tc.global_count(b"o"), 3);
+        assert_eq!(tc.contains_count(b"o"), 1);
+        assert!(tc.contains_exists(b"rubber"));
+        assert!(!tc.contains_exists(b"rubbers"));
+    }
+
+    #[test]
+    fn contains_positions_are_exact() {
+        let tc = collection(&["banana", "bandana"]);
+        let mut expected = vec![(0usize, 1usize), (0, 3), (1, 1), (1, 4)];
+        expected.sort_unstable();
+        assert_eq!(tc.contains_positions(b"an"), expected);
+    }
+
+    #[test]
+    fn starts_ends_equals() {
+        let texts = ["foo", "foobar", "barfoo", "foo", "bar"];
+        let tc = collection(&texts);
+        assert_eq!(tc.starts_with(b"foo"), vec![0, 1, 3]);
+        assert_eq!(tc.ends_with(b"foo"), vec![0, 2, 3]);
+        assert_eq!(tc.ends_with(b"bar"), vec![1, 4]);
+        assert_eq!(tc.equals(b"foo"), vec![0, 3]);
+        assert_eq!(tc.equals(b"bar"), vec![4]);
+        assert_eq!(tc.equals(b"fo"), Vec::<usize>::new());
+        assert_eq!(tc.starts_with(b"fo"), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn lexicographic_operators_match_naive() {
+        let texts = ["apple", "banana", "apricot", "cherry", "", "banana"];
+        let tc = collection(&texts);
+        for pattern in ["banana", "b", "a", "cherry", "zzz", "", "apples", "ap"] {
+            let p = pattern.as_bytes();
+            let naive_lt: Vec<usize> =
+                (0..texts.len()).filter(|&i| texts[i].as_bytes() < p).collect();
+            let naive_le: Vec<usize> =
+                (0..texts.len()).filter(|&i| texts[i].as_bytes() <= p).collect();
+            let naive_gt: Vec<usize> =
+                (0..texts.len()).filter(|&i| texts[i].as_bytes() > p).collect();
+            let naive_ge: Vec<usize> =
+                (0..texts.len()).filter(|&i| texts[i].as_bytes() >= p).collect();
+            assert_eq!(tc.less_than(p), naive_lt, "lt {pattern:?}");
+            assert_eq!(tc.less_equal(p), naive_le, "le {pattern:?}");
+            assert_eq!(tc.greater_than(p), naive_gt, "gt {pattern:?}");
+            assert_eq!(tc.greater_equal(p), naive_ge, "ge {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn matching_texts_dispatch() {
+        let tc = collection(&PAPER_TEXTS);
+        assert_eq!(tc.matching_texts(&TextPredicate::Contains(b"ue".to_vec())), vec![1, 2]);
+        assert_eq!(tc.matching_texts(&TextPredicate::Equals(b"40".to_vec())), vec![3]);
+        assert_eq!(tc.matching_texts(&TextPredicate::StartsWith(b"ru".to_vec())), vec![4]);
+        assert_eq!(tc.matching_texts(&TextPredicate::EndsWith(b"ued".to_vec())), vec![1]);
+        assert_eq!(tc.count_matching(&TextPredicate::Contains(b"e".to_vec())), 4);
+    }
+
+    #[test]
+    fn text_matches_predicate() {
+        let tc = collection(&PAPER_TEXTS);
+        assert!(tc.text_matches(1, &TextPredicate::Contains(b"disc".to_vec())));
+        assert!(!tc.text_matches(0, &TextPredicate::Contains(b"disc".to_vec())));
+        assert!(tc.text_matches(3, &TextPredicate::GreaterEq(b"3".to_vec())));
+    }
+
+    #[test]
+    fn global_to_text_is_inverse_of_layout() {
+        let tc = collection(&PAPER_TEXTS);
+        let mut global = 0usize;
+        for (id, t) in PAPER_TEXTS.iter().enumerate() {
+            for off in 0..=t.len() {
+                assert_eq!(tc.global_to_text(global), (id, off));
+                global += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pattern_behaviour() {
+        let tc = collection(&PAPER_TEXTS);
+        assert_eq!(tc.contains(b"").len(), 6);
+        assert_eq!(tc.starts_with(b"").len(), 6);
+        assert_eq!(tc.global_count(b""), 0);
+    }
+
+    #[test]
+    fn works_without_plain_store() {
+        let tc = collection_no_plain(&PAPER_TEXTS);
+        assert_eq!(tc.contains(b"ue"), vec![1, 2]);
+        assert_eq!(tc.ends_with(b"0"), vec![3, 5]);
+        assert!(tc.plain().is_none());
+        assert!(tc.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn larger_collection_consistency() {
+        // Build a few hundred short texts and cross-check all predicates
+        // against naive evaluation.
+        let words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+        let texts: Vec<String> = (0..300)
+            .map(|i| {
+                let a = words[i % words.len()];
+                let b = words[(i * 7 + 3) % words.len()];
+                format!("{a} {b} {}", i % 10)
+            })
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let tc = collection(&refs);
+        for pattern in ["alpha", "a be", "ta 7", "zzz", "epsilon gamma"] {
+            let p = pattern.as_bytes();
+            let naive: Vec<usize> = (0..texts.len()).filter(|&i| texts[i].contains(pattern)).collect();
+            assert_eq!(tc.contains(p), naive, "contains {pattern:?}");
+            let naive_sw: Vec<usize> = (0..texts.len()).filter(|&i| texts[i].starts_with(pattern)).collect();
+            assert_eq!(tc.starts_with(p), naive_sw, "starts_with {pattern:?}");
+            let naive_ew: Vec<usize> = (0..texts.len()).filter(|&i| texts[i].ends_with(pattern)).collect();
+            assert_eq!(tc.ends_with(p), naive_ew, "ends_with {pattern:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn text_strategy() -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec("[a-d]{0,8}", 1..40)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn predicates_match_naive(texts in text_strategy(), pattern in "[a-d]{1,4}") {
+            let refs: Vec<&[u8]> = texts.iter().map(|s| s.as_bytes()).collect();
+            let tc = TextCollection::new(&refs);
+            let p = pattern.as_bytes();
+            let naive_contains: Vec<usize> = (0..texts.len()).filter(|&i| texts[i].contains(&pattern)).collect();
+            prop_assert_eq!(tc.contains(p), naive_contains);
+            let naive_eq: Vec<usize> = (0..texts.len()).filter(|&i| texts[i] == pattern).collect();
+            prop_assert_eq!(tc.equals(p), naive_eq);
+            let naive_sw: Vec<usize> = (0..texts.len()).filter(|&i| texts[i].starts_with(&pattern)).collect();
+            prop_assert_eq!(tc.starts_with(p), naive_sw);
+            let naive_ew: Vec<usize> = (0..texts.len()).filter(|&i| texts[i].ends_with(&pattern)).collect();
+            prop_assert_eq!(tc.ends_with(p), naive_ew);
+            let naive_lt: Vec<usize> = (0..texts.len()).filter(|&i| texts[i].as_bytes() < p).collect();
+            prop_assert_eq!(tc.less_than(p), naive_lt);
+            let total_occ: usize = texts.iter().map(|t| {
+                if p.len() > t.len() { 0 } else { t.as_bytes().windows(p.len()).filter(|w| *w == p).count() }
+            }).sum();
+            prop_assert_eq!(tc.global_count(p), total_occ);
+        }
+    }
+}

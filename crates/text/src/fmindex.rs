@@ -1,0 +1,346 @@
+//! The FM-index: backward search, LF-mapping and position location over the
+//! BWT of the text collection (Section 3.1 of the paper).
+//!
+//! The BWT is stored in a Huffman-shaped wavelet tree with plain bitmaps —
+//! the practical trade-off the paper selects — plus the `C` array of
+//! cumulative symbol counts, a sampling bitmap `Bs` marking rows whose text
+//! position is a multiple of the sampling step `l`, and the corresponding
+//! samples array `Ps`.  Locating an occurrence walks backwards with `LF`
+//! until it hits a sample (at most `l` steps) or an end-marker, in which case
+//! the paper's `Doc` array resolves the text directly (that resolution lives
+//! in [`crate::collection::TextCollection`], which owns `Doc`).
+
+use sxsi_succinct::wavelet::SequenceIndex;
+use sxsi_succinct::{BitVec, HuffmanWaveletTree, IntVector, RsBitVector, SpaceUsage};
+
+/// Default sampling step for locate queries (the paper uses 64 in Table II
+/// and 4 in Table III).
+pub const DEFAULT_SAMPLE_RATE: usize = 64;
+
+/// A half-open row range `[start, end)` of the conceptual matrix `M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowRange {
+    /// First matching row.
+    pub start: usize,
+    /// One past the last matching row.
+    pub end: usize,
+}
+
+impl RowRange {
+    /// Number of rows in the range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the range matches nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// FM-index over the collection BWT (end-markers rendered as byte 0).
+#[derive(Debug, Clone)]
+pub struct FmIndex {
+    bwt: HuffmanWaveletTree,
+    /// `c[s]` = number of symbols strictly smaller than `s` in the text,
+    /// with one extra slot so `c[s + 1] - c[s]` is the count of `s`.
+    c: Vec<usize>,
+    len: usize,
+    /// Marks rows whose suffix position is a multiple of `sample_rate`.
+    sampled: RsBitVector,
+    /// Global text position for each sampled row, in row order.
+    samples: IntVector,
+    sample_rate: usize,
+}
+
+/// What a backward walk used to locate a row terminated on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocateOutcome {
+    /// The walk hit a sampled row holding `position`, after `steps` LF steps,
+    /// so the located position is `position + steps`.
+    Sample {
+        /// Global position stored at the sample.
+        position: usize,
+        /// Number of LF steps taken before reaching it.
+        steps: usize,
+    },
+    /// The walk hit an end-marker: the located position is `steps` symbols
+    /// after the start of the text whose `$`-rank is `dollar_rank`.
+    EndMarker {
+        /// Rank (0-based) of the end-marker among all end-markers in the BWT,
+        /// to be resolved through the collection's `Doc` array.
+        dollar_rank: usize,
+        /// Number of LF steps taken before reaching it.
+        steps: usize,
+    },
+}
+
+impl FmIndex {
+    /// Builds the index from the collection BWT and its suffix array.
+    ///
+    /// `sample_rate` controls the locate time/space trade-off: every text
+    /// position that is a multiple of it is sampled.
+    pub fn new(bwt_bytes: &[u8], sa: &[usize], sample_rate: usize) -> Self {
+        assert!(sample_rate >= 1, "sample rate must be positive");
+        assert_eq!(bwt_bytes.len(), sa.len());
+        let len = bwt_bytes.len();
+        let bwt = HuffmanWaveletTree::new(bwt_bytes);
+        let mut c = vec![0usize; 257];
+        for &b in bwt_bytes {
+            c[b as usize + 1] += 1;
+        }
+        for s in 0..256 {
+            c[s + 1] += c[s];
+        }
+        let mut sampled_bits = BitVec::filled(len, false);
+        let mut sample_values = Vec::new();
+        for (row, &pos) in sa.iter().enumerate() {
+            if pos % sample_rate == 0 {
+                sampled_bits.set(row, true);
+            }
+        }
+        let sampled = RsBitVector::new(&sampled_bits);
+        for (row, &pos) in sa.iter().enumerate() {
+            if sampled_bits.get(row) {
+                debug_assert_eq!(sample_values.len(), sampled.rank1(row));
+                sample_values.push(pos as u64);
+            }
+        }
+        let samples = IntVector::from_values(&sample_values);
+        Self { bwt, c, len, sampled, samples, sample_rate }
+    }
+
+    /// Length of the indexed text (terminators included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the index holds no text.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sampling step used for locate queries.
+    #[inline]
+    pub fn sample_rate(&self) -> usize {
+        self.sample_rate
+    }
+
+    /// Number of occurrences of byte `b` in the whole text.
+    #[inline]
+    pub fn symbol_count(&self, b: u8) -> usize {
+        self.c[b as usize + 1] - self.c[b as usize]
+    }
+
+    /// Number of occurrences of `b` in `bwt[0, i)`.
+    #[inline]
+    pub fn occ(&self, b: u8, i: usize) -> usize {
+        self.bwt.rank(b, i)
+    }
+
+    /// The `C` array value for `b`: number of text symbols strictly smaller.
+    #[inline]
+    pub fn c_array(&self, b: u8) -> usize {
+        self.c[b as usize]
+    }
+
+    /// BWT symbol at `row`.
+    #[inline]
+    pub fn bwt_symbol(&self, row: usize) -> u8 {
+        self.bwt.access(row)
+    }
+
+    /// The LF-mapping: the row of the suffix starting one position earlier.
+    #[inline]
+    pub fn lf(&self, row: usize) -> usize {
+        let b = self.bwt.access(row);
+        self.c[b as usize] + self.bwt.rank(b, row)
+    }
+
+    /// One backward-search step: restrict `range` to rows whose suffix starts
+    /// with `b` followed by the current match.
+    #[inline]
+    pub fn backward_step(&self, range: RowRange, b: u8) -> RowRange {
+        RowRange {
+            start: self.c[b as usize] + self.bwt.rank(b, range.start),
+            end: self.c[b as usize] + self.bwt.rank(b, range.end),
+        }
+    }
+
+    /// The full-matrix range.
+    #[inline]
+    pub fn full_range(&self) -> RowRange {
+        RowRange { start: 0, end: self.len }
+    }
+
+    /// Backward search of `pattern` starting from `start` (usually the full
+    /// range).  Returns the matching row range; it is empty if the pattern
+    /// does not occur.
+    ///
+    /// Even when the range becomes empty, the search keeps stepping so that
+    /// the returned `start` is the *insertion point* of the pattern — the
+    /// number of suffixes lexicographically smaller than it — which the
+    /// collection's ordering operators (`<`, `<=`, …) rely on.
+    pub fn backward_search_from(&self, pattern: &[u8], start: RowRange) -> RowRange {
+        let mut range = start;
+        for &b in pattern.iter().rev() {
+            range = self.backward_step(range, b);
+        }
+        range
+    }
+
+    /// Backward search over the whole index (the paper's `FM-Count` without
+    /// the final subtraction).
+    pub fn backward_search(&self, pattern: &[u8]) -> RowRange {
+        self.backward_search_from(pattern, self.full_range())
+    }
+
+    /// Number of occurrences of `pattern` in the whole collection, in
+    /// `O(|pattern| log σ)` time.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.backward_search(pattern).len()
+    }
+
+    /// Walks backwards from `row` until a sampled row or an end-marker is
+    /// found; the caller converts the outcome into a `(text, offset)` pair.
+    pub fn locate_walk(&self, mut row: usize) -> LocateOutcome {
+        let mut steps = 0usize;
+        loop {
+            if self.sampled.get(row) {
+                let position = self.samples.get(self.sampled.rank1(row)) as usize;
+                return LocateOutcome::Sample { position, steps };
+            }
+            let b = self.bwt.access(row);
+            if b == 0 {
+                let dollar_rank = self.bwt.rank(0, row);
+                return LocateOutcome::EndMarker { dollar_rank, steps };
+            }
+            row = self.c[b as usize] + self.bwt.rank(b, row);
+            steps += 1;
+        }
+    }
+
+    /// Extracts `max_len` symbols of the suffix whose row in `F` is `row`,
+    /// reading backwards from the end of the text via LF.  Mainly used by
+    /// tests; the collection module provides the efficient per-text extract.
+    pub fn extract_backwards(&self, mut row: usize, max_len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(max_len);
+        for _ in 0..max_len {
+            let b = self.bwt.access(row);
+            out.push(b);
+            if b == 0 {
+                break;
+            }
+            row = self.c[b as usize] + self.bwt.rank(b, row);
+        }
+        out
+    }
+
+    /// Heap size of the index in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bwt.size_bytes()
+            + self.c.len() * std::mem::size_of::<usize>()
+            + self.sampled.size_bytes()
+            + self.samples.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bwt::build_collection_bwt;
+
+    fn build(texts: &[&str], sample_rate: usize) -> (FmIndex, Vec<u8>) {
+        let out = build_collection_bwt(texts);
+        let concat: Vec<u8> = texts
+            .iter()
+            .flat_map(|t| t.bytes().chain(std::iter::once(0u8)))
+            .collect();
+        (FmIndex::new(&out.bwt, &out.sa, sample_rate), concat)
+    }
+
+    fn naive_count(concat: &[u8], pattern: &[u8]) -> usize {
+        if pattern.is_empty() {
+            return concat.len();
+        }
+        concat.windows(pattern.len()).filter(|w| *w == pattern).count()
+    }
+
+    #[test]
+    fn count_matches_naive() {
+        let texts = ["pen", "Soon discontinued", "blue", "40", "rubber", "30"];
+        let (fm, concat) = build(&texts, 4);
+        for pattern in ["n", "on", "ue", "pen", "blue", "rubber", "zzz", "Soon", "o", "e", "0"] {
+            assert_eq!(fm.count(pattern.as_bytes()), naive_count(&concat, pattern.as_bytes()), "pattern {pattern}");
+        }
+        assert_eq!(fm.count(b""), concat.len());
+    }
+
+    #[test]
+    fn paper_figure2_example() {
+        // Single text "discontinued" as in Figure 2 of the paper.
+        let (fm, concat) = build(&["discontinued"], 3);
+        assert_eq!(fm.len(), 13);
+        assert_eq!(fm.count(b"n"), 2);
+        assert_eq!(fm.count(b"discontinued"), 1);
+        assert_eq!(fm.count(b"d"), 2);
+        assert_eq!(naive_count(&concat, b"n"), 2);
+    }
+
+    #[test]
+    fn lf_walk_reconstructs_text_backwards() {
+        let (fm, concat) = build(&["discontinued"], 3);
+        // Find the row of the terminator (the only 0 byte): row 0 in F holds
+        // the smallest rotation which starts with $.
+        let mut row = 0usize;
+        let mut rebuilt = Vec::new();
+        for _ in 0..concat.len() {
+            let b = fm.bwt_symbol(row);
+            rebuilt.push(b);
+            row = fm.lf(row);
+        }
+        rebuilt.reverse();
+        // Walking LF from the $-row yields the text preceded (cyclically) by
+        // its terminator.
+        assert_eq!(rebuilt[0], 0);
+        assert_eq!(&rebuilt[1..], b"discontinued");
+    }
+
+    #[test]
+    fn locate_walk_terminates_within_sample_rate() {
+        let texts = ["abcabcabcabc", "xyzxyzxyz"];
+        for rate in [1usize, 2, 4, 16] {
+            let (fm, _) = build(&texts, rate);
+            for row in 0..fm.len() {
+                match fm.locate_walk(row) {
+                    LocateOutcome::Sample { steps, .. } => assert!(steps < rate.max(1) * 2),
+                    LocateOutcome::EndMarker { steps, .. } => assert!(steps <= fm.len()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_step_shrinks_range() {
+        let (fm, _) = build(&["banana"], 2);
+        let all = fm.full_range();
+        let a = fm.backward_step(all, b'a');
+        assert_eq!(a.len(), 3);
+        let na = fm.backward_search(b"na");
+        assert_eq!(na.len(), 2);
+        let nothing = fm.backward_search(b"nab");
+        assert!(nothing.is_empty());
+    }
+
+    #[test]
+    fn symbol_counts() {
+        let (fm, concat) = build(&["mississippi"], 4);
+        for b in [b'm', b'i', b's', b'p', 0u8, b'z'] {
+            assert_eq!(fm.symbol_count(b), concat.iter().filter(|&&c| c == b).count());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Naive plain-text storage and scanning.
+//!
+//! Section 3.4 of the paper keeps an optional plain copy of all texts next to
+//! the FM-index: extraction from it is much faster, and for patterns with
+//! very many occurrences a sequential scan beats locating each occurrence
+//! through the BWT (the cut-off experiment of Tables II/III).  This module is
+//! that plain store, and also serves as the "naive string buffer" baseline
+//! the paper compares the FM-index against.
+
+/// Identifier of a text within the collection (0-based, document order).
+pub type TextId = usize;
+
+/// Concatenated plain texts with per-text offsets.
+#[derive(Debug, Clone, Default)]
+pub struct PlainTexts {
+    data: Vec<u8>,
+    /// `offsets[i]..offsets[i+1]` is the byte range of text `i`.
+    offsets: Vec<usize>,
+}
+
+impl PlainTexts {
+    /// Builds the store from the texts.
+    pub fn new<S: AsRef<[u8]>>(texts: &[S]) -> Self {
+        let total = texts.iter().map(|t| t.as_ref().len()).sum();
+        let mut data = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(texts.len() + 1);
+        for t in texts {
+            offsets.push(data.len());
+            data.extend_from_slice(t.as_ref());
+        }
+        offsets.push(data.len());
+        Self { data, offsets }
+    }
+
+    /// Number of texts stored.
+    pub fn num_texts(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of text bytes (terminators are not stored).
+    pub fn total_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The bytes of text `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn text(&self, id: TextId) -> &[u8] {
+        assert!(id < self.num_texts(), "text id {id} out of range");
+        &self.data[self.offsets[id]..self.offsets[id + 1]]
+    }
+
+    /// Length of text `id` in bytes.
+    pub fn text_len(&self, id: TextId) -> usize {
+        self.offsets[id + 1] - self.offsets[id]
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Whether text `id` contains `pattern` (naive scan).
+    pub fn text_contains(&self, id: TextId, pattern: &[u8]) -> bool {
+        contains_slice(self.text(id), pattern)
+    }
+
+    /// All texts containing `pattern`, by scanning every text.
+    pub fn scan_contains(&self, pattern: &[u8]) -> Vec<TextId> {
+        (0..self.num_texts()).filter(|&id| self.text_contains(id, pattern)).collect()
+    }
+
+    /// Total number of (possibly overlapping) occurrences of `pattern` across
+    /// all texts; the naive counterpart of the FM-index `GlobalCount`.
+    pub fn scan_global_count(&self, pattern: &[u8]) -> usize {
+        (0..self.num_texts()).map(|id| count_occurrences(self.text(id), pattern)).sum()
+    }
+
+    /// All texts equal to `pattern`.
+    pub fn scan_equals(&self, pattern: &[u8]) -> Vec<TextId> {
+        (0..self.num_texts()).filter(|&id| self.text(id) == pattern).collect()
+    }
+
+    /// All texts starting with `pattern`.
+    pub fn scan_starts_with(&self, pattern: &[u8]) -> Vec<TextId> {
+        (0..self.num_texts()).filter(|&id| self.text(id).starts_with(pattern)).collect()
+    }
+
+    /// All texts ending with `pattern`.
+    pub fn scan_ends_with(&self, pattern: &[u8]) -> Vec<TextId> {
+        (0..self.num_texts()).filter(|&id| self.text(id).ends_with(pattern)).collect()
+    }
+}
+
+/// Whether `haystack` contains `needle` (empty needle always matches).
+pub fn contains_slice(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Number of (possibly overlapping) occurrences of `needle` in `haystack`.
+pub fn count_occurrences(haystack: &[u8], needle: &[u8]) -> usize {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return 0;
+    }
+    haystack.windows(needle.len()).filter(|w| *w == needle).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_read_back() {
+        let texts = ["pen", "Soon discontinued", "", "blue"];
+        let store = PlainTexts::new(&texts);
+        assert_eq!(store.num_texts(), 4);
+        for (i, t) in texts.iter().enumerate() {
+            assert_eq!(store.text(i), t.as_bytes());
+            assert_eq!(store.text_len(i), t.len());
+        }
+        assert_eq!(store.total_bytes(), texts.iter().map(|t| t.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn scans() {
+        let texts = ["banana", "bandana", "ban", "anab"];
+        let store = PlainTexts::new(&texts);
+        assert_eq!(store.scan_contains(b"ana"), vec![0, 1, 3]);
+        assert_eq!(store.scan_contains(b"ban"), vec![0, 1, 2]);
+        assert_eq!(store.scan_equals(b"ban"), vec![2]);
+        assert_eq!(store.scan_starts_with(b"ban"), vec![0, 1, 2]);
+        assert_eq!(store.scan_ends_with(b"ana"), vec![0, 1]);
+        assert_eq!(store.scan_global_count(b"ana"), 4); // overlapping in banana counts twice
+        assert_eq!(store.scan_global_count(b"an"), 6);
+        assert_eq!(store.scan_contains(b""), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(contains_slice(b"hello", b"ell"));
+        assert!(!contains_slice(b"hello", b"elo"));
+        assert!(contains_slice(b"hello", b""));
+        assert!(!contains_slice(b"he", b"hello"));
+        assert_eq!(count_occurrences(b"aaaa", b"aa"), 3);
+        assert_eq!(count_occurrences(b"abc", b""), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn text_out_of_range_panics() {
+        PlainTexts::new(&["a"]).text(1);
+    }
+}

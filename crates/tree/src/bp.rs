@@ -1,0 +1,413 @@
+//! Balanced parentheses representation of the XML tree structure
+//! (Section 4.1.1 of the paper).
+//!
+//! The tree is encoded as the sequence of `(`/`)` events of a depth-first
+//! traversal; a node is identified by the position of its opening
+//! parenthesis.  Navigation reduces to *excess searches* over the sequence:
+//! `find_close`, `find_open` and `enclose` are forward/backward searches for
+//! a target excess value.  We use the practical block-based range-min-max
+//! scheme (Arroyuelo, Cánovas, Navarro & Sadakane, ALENEX 2010): the
+//! parenthesis bitmap is cut into 512-bit blocks; each block stores the
+//! minimum and maximum prefix excess reached inside it, with a second
+//! superblock level so long searches skip whole regions.  Excess at an
+//! arbitrary position is computed in constant time from `rank`.
+
+use sxsi_succinct::{BitVec, RsBitVector, SpaceUsage};
+
+/// Bits per block of the min/max directory.
+const BLOCK_BITS: usize = 512;
+/// Blocks per superblock.
+const SUPER_FACTOR: usize = 64;
+
+/// Balanced parentheses sequence with navigation support.
+///
+/// An *open* parenthesis is stored as bit `1`, a *close* parenthesis as `0`.
+#[derive(Debug, Clone)]
+pub struct BalancedParens {
+    bits: RsBitVector,
+    /// Minimum excess `E(k)` for `k` in `(block_start, block_end]`.
+    block_min: Vec<i64>,
+    /// Maximum excess over the same range.
+    block_max: Vec<i64>,
+    super_min: Vec<i64>,
+    super_max: Vec<i64>,
+}
+
+impl BalancedParens {
+    /// Builds the structure from a parenthesis bitmap (`true` = `(`).
+    ///
+    /// # Panics
+    /// Panics if the sequence is not balanced.
+    pub fn new(parens: &BitVec) -> Self {
+        let bits = RsBitVector::new(parens);
+        let len = bits.len();
+        let n_blocks = len.div_ceil(BLOCK_BITS).max(1);
+        let mut block_min = vec![i64::MAX; n_blocks];
+        let mut block_max = vec![i64::MIN; n_blocks];
+        let mut excess: i64 = 0;
+        for b in 0..n_blocks {
+            let lo = b * BLOCK_BITS;
+            let hi = ((b + 1) * BLOCK_BITS).min(len);
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            for p in lo..hi {
+                excess += if bits.get(p) { 1 } else { -1 };
+                min = min.min(excess);
+                max = max.max(excess);
+            }
+            block_min[b] = min;
+            block_max[b] = max;
+        }
+        assert!(len == 0 || excess == 0, "parenthesis sequence is not balanced (final excess {excess})");
+        let n_super = n_blocks.div_ceil(SUPER_FACTOR);
+        let mut super_min = vec![i64::MAX; n_super];
+        let mut super_max = vec![i64::MIN; n_super];
+        for b in 0..n_blocks {
+            let s = b / SUPER_FACTOR;
+            super_min[s] = super_min[s].min(block_min[b]);
+            super_max[s] = super_max[s].max(block_max[b]);
+        }
+        Self { bits, block_min, block_max, super_min, super_max }
+    }
+
+    /// Number of parentheses (twice the number of tree nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.len() == 0
+    }
+
+    /// Whether position `i` holds an opening parenthesis.
+    #[inline]
+    pub fn is_open(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// Number of opening parentheses in `[0, i)`.
+    #[inline]
+    pub fn rank_open(&self, i: usize) -> usize {
+        self.bits.rank1(i)
+    }
+
+    /// Number of closing parentheses in `[0, i)`.
+    #[inline]
+    pub fn rank_close(&self, i: usize) -> usize {
+        self.bits.rank0(i)
+    }
+
+    /// Position of the `k`-th (1-based) opening parenthesis.
+    #[inline]
+    pub fn select_open(&self, k: usize) -> Option<usize> {
+        self.bits.select1(k)
+    }
+
+    /// Prefix excess `E(i)`: number of opens minus closes in `[0, i)`.
+    #[inline]
+    pub fn excess(&self, i: usize) -> i64 {
+        2 * self.bits.rank1(i) as i64 - i as i64
+    }
+
+    /// The matching closing parenthesis of the open parenthesis at `i`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `i` is not an opening parenthesis.
+    pub fn find_close(&self, i: usize) -> usize {
+        debug_assert!(self.is_open(i), "find_close on a closing parenthesis at {i}");
+        // Smallest j >= i with E(j + 1) == E(i); E(i+1) = E(i) + 1.
+        let target = self.excess(i);
+        self.fwd_excess(i, target)
+            .unwrap_or_else(|| panic!("unbalanced sequence: no close for open at {i}"))
+    }
+
+    /// The matching opening parenthesis of the closing parenthesis at `j`.
+    pub fn find_open(&self, j: usize) -> usize {
+        debug_assert!(!self.is_open(j), "find_open on an opening parenthesis at {j}");
+        // Largest i < j with E(i) == E(j + 1).
+        let target = self.excess(j + 1);
+        self.bwd_excess(j, target)
+            .unwrap_or_else(|| panic!("unbalanced sequence: no open for close at {j}"))
+    }
+
+    /// The opening parenthesis of the closest enclosing pair of node `i`
+    /// (i.e. the parent), or `None` for the root.
+    pub fn enclose(&self, i: usize) -> Option<usize> {
+        debug_assert!(self.is_open(i), "enclose on a closing parenthesis at {i}");
+        let e = self.excess(i);
+        if e == 0 {
+            return None;
+        }
+        self.bwd_excess(i, e - 1)
+    }
+
+    /// Heap bytes retained by the structure.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.size_bytes()
+            + std::mem::size_of_val(&self.block_min[..])
+            + std::mem::size_of_val(&self.block_max[..])
+            + std::mem::size_of_val(&self.super_min[..])
+            + std::mem::size_of_val(&self.super_max[..])
+    }
+
+    /// Smallest `j >= from` with `E(j + 1) == target`.
+    fn fwd_excess(&self, from: usize, target: i64) -> Option<usize> {
+        let len = self.len();
+        if from >= len {
+            return None;
+        }
+        let start_block = from / BLOCK_BITS;
+        // 1. Scan the remainder of the starting block.
+        let mut excess = self.excess(from);
+        let hi = ((start_block + 1) * BLOCK_BITS).min(len);
+        for j in from..hi {
+            excess += if self.bits.get(j) { 1 } else { -1 };
+            if excess == target {
+                return Some(j);
+            }
+        }
+        // 2. Skip blocks using the directories.
+        let n_blocks = self.block_min.len();
+        let mut b = start_block + 1;
+        while b < n_blocks {
+            if b % SUPER_FACTOR == 0 {
+                // Try to skip a whole superblock.
+                let s = b / SUPER_FACTOR;
+                if !(self.super_min[s] <= target && target <= self.super_max[s]) {
+                    b = (s + 1) * SUPER_FACTOR;
+                    continue;
+                }
+            }
+            if self.block_min[b] <= target && target <= self.block_max[b] {
+                // The block contains the target excess: scan it.
+                let lo = b * BLOCK_BITS;
+                let hi = ((b + 1) * BLOCK_BITS).min(len);
+                let mut excess = self.excess(lo);
+                for j in lo..hi {
+                    excess += if self.bits.get(j) { 1 } else { -1 };
+                    if excess == target {
+                        return Some(j);
+                    }
+                }
+                unreachable!("block min/max said the target excess was inside");
+            }
+            b += 1;
+        }
+        None
+    }
+
+    /// Largest `k < from` with `E(k) == target`.
+    ///
+    /// The search visits, in decreasing order of position: the excess values
+    /// in `(lo_start, from)` (the partial starting block), then the values in
+    /// `(lo_b, hi_b]` for every earlier block `b` — exactly the ranges the
+    /// block min/max directories summarise — and finally position 0, whose
+    /// excess is always 0.
+    fn bwd_excess(&self, from: usize, target: i64) -> Option<usize> {
+        if from == 0 {
+            return None;
+        }
+        let start_block = from / BLOCK_BITS;
+        let lo_start = start_block * BLOCK_BITS;
+        // 1. Scan `(lo_start, from)` backwards.
+        let mut excess = self.excess(from);
+        let mut k = from;
+        while k > lo_start + 1 {
+            k -= 1;
+            excess += if self.bits.get(k) { -1 } else { 1 };
+            if excess == target {
+                return Some(k);
+            }
+        }
+        // 2. Walk earlier blocks backwards using the directories; block `b`
+        //    covers the excess values at positions `(lo_b, hi_b]`.
+        if start_block > 0 {
+            let mut b = start_block - 1;
+            loop {
+                if (b + 1) % SUPER_FACTOR == 0 {
+                    // Entering a fresh superblock from its top: maybe skip it.
+                    let s = b / SUPER_FACTOR;
+                    if !(self.super_min[s] <= target && target <= self.super_max[s]) {
+                        if s == 0 {
+                            break;
+                        }
+                        b = s * SUPER_FACTOR - 1;
+                        continue;
+                    }
+                }
+                if self.block_min[b] <= target && target <= self.block_max[b] {
+                    let lo = b * BLOCK_BITS;
+                    let hi = ((b + 1) * BLOCK_BITS).min(self.len());
+                    let mut excess = self.excess(hi);
+                    if hi < from && excess == target {
+                        return Some(hi);
+                    }
+                    let mut k = hi;
+                    while k > lo + 1 {
+                        k -= 1;
+                        excess += if self.bits.get(k) { -1 } else { 1 };
+                        if excess == target {
+                            return Some(k);
+                        }
+                    }
+                }
+                if b == 0 {
+                    break;
+                }
+                b -= 1;
+            }
+        }
+        // 3. Position 0 (excess 0) is not covered by any block range.
+        (target == 0).then_some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds from a "(()...)" string.
+    fn bp(s: &str) -> BalancedParens {
+        let bits: BitVec = s.chars().map(|c| c == '(').collect();
+        BalancedParens::new(&bits)
+    }
+
+    /// Naive matching-parenthesis computation.
+    fn naive_matches(s: &str) -> Vec<usize> {
+        let mut stack = Vec::new();
+        let mut m = vec![usize::MAX; s.len()];
+        for (i, c) in s.chars().enumerate() {
+            if c == '(' {
+                stack.push(i);
+            } else {
+                let o = stack.pop().unwrap();
+                m[o] = i;
+                m[i] = o;
+            }
+        }
+        m
+    }
+
+    fn naive_enclose(s: &str) -> Vec<Option<usize>> {
+        let mut stack: Vec<usize> = Vec::new();
+        let mut e = vec![None; s.len()];
+        for (i, c) in s.chars().enumerate() {
+            if c == '(' {
+                e[i] = stack.last().copied();
+                stack.push(i);
+            } else {
+                stack.pop();
+            }
+        }
+        e
+    }
+
+    fn check(s: &str) {
+        let b = bp(s);
+        let matches = naive_matches(s);
+        let encloses = naive_enclose(s);
+        for (i, c) in s.chars().enumerate() {
+            if c == '(' {
+                assert_eq!(b.find_close(i), matches[i], "find_close({i}) in {s}");
+                assert_eq!(b.enclose(i), encloses[i], "enclose({i}) in {s}");
+            } else {
+                assert_eq!(b.find_open(i), matches[i], "find_open({i}) in {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        check("()");
+    }
+
+    #[test]
+    fn paper_like_small_trees() {
+        check("(()())");
+        check("((()())(()))");
+        check("(((())))");
+        check("(()()()())");
+        check("((())(())(()()))");
+    }
+
+    #[test]
+    fn excess_values() {
+        let b = bp("(()())");
+        assert_eq!(b.excess(0), 0);
+        assert_eq!(b.excess(1), 1);
+        assert_eq!(b.excess(2), 2);
+        assert_eq!(b.excess(3), 1);
+        assert_eq!(b.excess(6), 0);
+    }
+
+    #[test]
+    fn deep_tree_crossing_blocks() {
+        // A path of depth 2000: "(((...)))" forces searches across many blocks.
+        let depth = 2000;
+        let s: String = "(".repeat(depth) + &")".repeat(depth);
+        check(&s);
+    }
+
+    #[test]
+    fn wide_tree_crossing_blocks() {
+        // Root with 3000 leaf children.
+        let s: String = format!("({})", "()".repeat(3000));
+        let b = bp(&s);
+        assert_eq!(b.find_close(0), s.len() - 1);
+        assert_eq!(b.enclose(1), Some(0));
+        assert_eq!(b.enclose(2 * 1500 + 1), Some(0));
+        check(&s);
+    }
+
+    #[test]
+    fn mixed_random_trees() {
+        // Deterministic pseudo-random balanced strings.
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20 {
+            let mut s = String::from("(");
+            let mut depth = 1;
+            while s.len() < 3000 || depth > 1 {
+                if depth <= 1 || (next() % 2 == 0 && s.len() < 4000) {
+                    s.push('(');
+                    depth += 1;
+                } else {
+                    s.push(')');
+                    depth -= 1;
+                }
+                if depth == 0 {
+                    break;
+                }
+            }
+            if depth == 1 {
+                s.push(')');
+            }
+            check(&s);
+        }
+    }
+
+    #[test]
+    fn rank_select_open() {
+        let b = bp("(()(()))");
+        assert_eq!(b.rank_open(0), 0);
+        assert_eq!(b.rank_open(4), 3);
+        assert_eq!(b.select_open(1), Some(0));
+        assert_eq!(b.select_open(4), Some(4));
+        assert_eq!(b.select_open(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not balanced")]
+    fn unbalanced_rejected() {
+        let bits: BitVec = "(()".chars().map(|c| c == '(').collect();
+        BalancedParens::new(&bits);
+    }
+}

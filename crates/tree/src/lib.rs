@@ -1,0 +1,22 @@
+//! Succinct tree index of SXSI (Section 4 of the paper).
+//!
+//! The XML tree structure is represented by a balanced-parentheses sequence
+//! with constant-time navigation, a tag sequence with per-tag rank/select
+//! support (enabling the `TaggedDesc`/`TaggedFoll` jumps the query engine
+//! relies on), a leaf bitmap connecting tree nodes to text identifiers, and
+//! relative tag-position tables used to prune impossible jumps.
+//!
+//! * [`bp`] — balanced parentheses with range-min-max excess search.
+//! * [`tags`] — tag registry and the tag sequence with per-tag sarrays.
+//! * [`tree`] — [`XmlTree`]: the combined tree index and its builder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bp;
+pub mod tags;
+pub mod tree;
+
+pub use bp::BalancedParens;
+pub use tags::{reserved, TagId, TagRegistry, TagSequence};
+pub use tree::{NodeId, TagRelation, XmlTree, XmlTreeBuilder};

@@ -1,0 +1,276 @@
+//! The tag sequence and its rank/select support (Section 4.1.2).
+//!
+//! `Tag` is the sequence of tag identifiers aligned with the parenthesis
+//! sequence: position `i` holds the opening code of the node's tag if
+//! `Par[i] = '('` and the closing code otherwise.  Access uses a packed
+//! [`IntVector`]; `rank`/`select` over each opening tag — the operations
+//! behind `TaggedDesc`, `TaggedFoll`, `TaggedPrec` and `SubtreeTags` — are
+//! answered by one Elias–Fano *sarray* of occurrence positions per tag,
+//! mirroring the paper's per-row Okanohara–Sadakane structures.
+
+use std::collections::HashMap;
+use sxsi_succinct::{EliasFano, IntVector, SpaceUsage};
+
+/// Numeric identifier of a tag name.
+pub type TagId = u32;
+
+/// Well-known tag identifiers of the SXSI document model.  The builder always
+/// registers these four first so their ids are stable across documents.
+pub mod reserved {
+    use super::TagId;
+    /// The synthetic super-root `&`.
+    pub const ROOT: TagId = 0;
+    /// A text node `#`.
+    pub const TEXT: TagId = 1;
+    /// The attribute container `@`.
+    pub const ATTRIBUTES: TagId = 2;
+    /// An attribute value leaf `%`.
+    pub const ATTRIBUTE_VALUE: TagId = 3;
+    /// Names of the reserved tags, in id order.
+    pub const NAMES: [&str; 4] = ["&", "#", "@", "%"];
+}
+
+/// Mutable tag-name registry used while building a document.
+#[derive(Debug, Clone)]
+pub struct TagRegistry {
+    names: Vec<String>,
+    by_name: HashMap<String, TagId>,
+}
+
+impl Default for TagRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TagRegistry {
+    /// Creates a registry pre-populated with the reserved model tags.
+    pub fn new() -> Self {
+        let mut reg = Self { names: Vec::new(), by_name: HashMap::new() };
+        for name in reserved::NAMES {
+            reg.intern(name);
+        }
+        reg
+    }
+
+    /// Returns the id of `name`, interning it if necessary.
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as TagId;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<TagId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of tag `id`.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of distinct tag names (the paper's `t`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if only the reserved names are present.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= reserved::NAMES.len()
+    }
+
+    /// All names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// Immutable tag sequence aligned with the parenthesis sequence.
+#[derive(Debug, Clone)]
+pub struct TagSequence {
+    /// Packed codes: `tag` for opening positions, `num_tags + tag` for
+    /// closing positions.
+    codes: IntVector,
+    /// For every tag, the sorted positions of its *opening* occurrences.
+    open_positions: Vec<EliasFano>,
+    num_tags: usize,
+}
+
+impl TagSequence {
+    /// Builds the sequence.  `codes[i]` must already be the opening/closing
+    /// code of parenthesis `i` (opening codes `< num_tags`, closing codes in
+    /// `[num_tags, 2*num_tags)`).
+    pub fn new(codes: &[u32], num_tags: usize) -> Self {
+        let len = codes.len();
+        let mut per_tag: Vec<Vec<usize>> = vec![Vec::new(); num_tags];
+        for (i, &c) in codes.iter().enumerate() {
+            assert!((c as usize) < 2 * num_tags, "tag code {c} out of range at position {i}");
+            if (c as usize) < num_tags {
+                per_tag[c as usize].push(i);
+            }
+        }
+        let open_positions = per_tag
+            .into_iter()
+            .map(|positions| EliasFano::from_positions(&positions, len.max(1)))
+            .collect();
+        let packed: Vec<u64> = codes.iter().map(|&c| c as u64).collect();
+        let width = sxsi_succinct::bits::bits_for((2 * num_tags).saturating_sub(1).max(1) as u64);
+        Self { codes: IntVector::from_values_with_width(&packed, width), open_positions, num_tags }
+    }
+
+    /// Number of parenthesis positions covered.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.len() == 0
+    }
+
+    /// Number of distinct tags.
+    pub fn num_tags(&self) -> usize {
+        self.num_tags
+    }
+
+    /// The opening tag id at position `i`, or `None` if `i` holds a closing
+    /// code.
+    pub fn opening_tag(&self, i: usize) -> Option<TagId> {
+        let c = self.codes.get(i) as usize;
+        (c < self.num_tags).then_some(c as TagId)
+    }
+
+    /// The raw code at position `i` (opening `< num_tags`, closing otherwise).
+    pub fn code(&self, i: usize) -> u32 {
+        self.codes.get(i) as u32
+    }
+
+    /// Number of opening occurrences of `tag` in positions `[0, i)`.
+    pub fn rank_open(&self, tag: TagId, i: usize) -> usize {
+        self.open_positions[tag as usize].rank(i as u64)
+    }
+
+    /// Position of the `k`-th (1-based) opening occurrence of `tag`.
+    pub fn select_open(&self, tag: TagId, k: usize) -> Option<usize> {
+        if k == 0 {
+            return None;
+        }
+        self.open_positions[tag as usize].get(k - 1).map(|v| v as usize)
+    }
+
+    /// Total number of opening occurrences of `tag`.
+    pub fn count(&self, tag: TagId) -> usize {
+        self.open_positions[tag as usize].len()
+    }
+
+    /// First opening occurrence of `tag` at a position `>= from`, if any.
+    pub fn next_occurrence(&self, tag: TagId, from: usize) -> Option<usize> {
+        self.open_positions[tag as usize].successor(from as u64).map(|(_, v)| v as usize)
+    }
+
+    /// Last opening occurrence of `tag` at a position `< before`, if any.
+    pub fn prev_occurrence(&self, tag: TagId, before: usize) -> Option<usize> {
+        self.open_positions[tag as usize].predecessor(before as u64).map(|(_, v)| v as usize)
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        self.codes.size_bytes() + self.open_positions.iter().map(|ef| ef.size_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_interning() {
+        let mut reg = TagRegistry::new();
+        assert_eq!(reg.lookup("&"), Some(reserved::ROOT));
+        assert_eq!(reg.lookup("#"), Some(reserved::TEXT));
+        let a = reg.intern("article");
+        let b = reg.intern("title");
+        assert_eq!(reg.intern("article"), a);
+        assert_ne!(a, b);
+        assert_eq!(reg.name(a), "article");
+        assert_eq!(reg.len(), 6);
+        assert_eq!(reg.lookup("missing"), None);
+    }
+
+    #[test]
+    fn sequence_rank_select() {
+        // Two tags (0, 1); sequence: open0 open1 close1 open1 close1 close0
+        // codes: 0, 1, 3, 1, 3, 2
+        let codes = [0u32, 1, 3, 1, 3, 2];
+        let seq = TagSequence::new(&codes, 2);
+        assert_eq!(seq.len(), 6);
+        assert_eq!(seq.opening_tag(0), Some(0));
+        assert_eq!(seq.opening_tag(1), Some(1));
+        assert_eq!(seq.opening_tag(2), None);
+        assert_eq!(seq.count(0), 1);
+        assert_eq!(seq.count(1), 2);
+        assert_eq!(seq.rank_open(1, 0), 0);
+        assert_eq!(seq.rank_open(1, 2), 1);
+        assert_eq!(seq.rank_open(1, 6), 2);
+        assert_eq!(seq.select_open(1, 1), Some(1));
+        assert_eq!(seq.select_open(1, 2), Some(3));
+        assert_eq!(seq.select_open(1, 3), None);
+        assert_eq!(seq.next_occurrence(1, 2), Some(3));
+        assert_eq!(seq.next_occurrence(1, 4), None);
+        assert_eq!(seq.prev_occurrence(1, 3), Some(1));
+        assert_eq!(seq.prev_occurrence(0, 0), None);
+    }
+
+    #[test]
+    fn large_sequence_consistency() {
+        // Pseudo-random tag stream over 5 tags.
+        let num_tags = 5usize;
+        let mut codes = Vec::new();
+        let mut stack = Vec::new();
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..2000 {
+            if stack.is_empty() || next() % 2 == 0 {
+                let t = next() % num_tags;
+                codes.push(t as u32);
+                stack.push(t);
+            } else {
+                let t = stack.pop().unwrap();
+                codes.push((t + num_tags) as u32);
+            }
+        }
+        while let Some(t) = stack.pop() {
+            codes.push((t + num_tags) as u32);
+        }
+        let seq = TagSequence::new(&codes, num_tags);
+        for tag in 0..num_tags as u32 {
+            let naive: Vec<usize> =
+                codes.iter().enumerate().filter(|(_, &c)| c == tag).map(|(i, _)| i).collect();
+            assert_eq!(seq.count(tag), naive.len());
+            for (k, &pos) in naive.iter().enumerate() {
+                assert_eq!(seq.select_open(tag, k + 1), Some(pos));
+            }
+            let mut probe = 0usize;
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(seq.rank_open(tag, i), probe);
+                if c == tag {
+                    probe += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_codes() {
+        TagSequence::new(&[7], 2);
+    }
+}

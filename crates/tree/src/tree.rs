@@ -1,0 +1,857 @@
+//! The SXSI tree index: balanced parentheses + tags + leaf mapping
+//! (Section 4 of the paper).
+//!
+//! [`XmlTree`] bundles every tree-side structure the query engine needs:
+//!
+//! * the [`BalancedParens`] sequence `Par` for structural navigation,
+//! * the [`TagSequence`] `Tag` for label access and the tagged jumps
+//!   (`TaggedDesc`, `TaggedFoll`, `TaggedPrec`, `SubtreeTags`),
+//! * the leaf bitmap `B` connecting tree nodes to text identifiers
+//!   (`LeafNumber`, `TextIds`, node ↔ text conversions), and
+//! * the relative tag-position tables of Section 5.5.6 used to prune
+//!   impossible jumps.
+//!
+//! Nodes are identified by the position of their opening parenthesis, as in
+//! the paper.  [`XmlTreeBuilder`] provides the SAX-like construction
+//! interface the XML parser drives.
+
+use crate::bp::BalancedParens;
+use crate::tags::{reserved, TagId, TagRegistry, TagSequence};
+use sxsi_succinct::{BitVec, RsBitVector, SpaceUsage};
+
+/// A tree node: the position of its opening parenthesis in `Par`.
+pub type NodeId = usize;
+
+/// Which of the four relative tag-position tables to consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagRelation {
+    /// `other` can occur as a child of `base`.
+    Child,
+    /// `other` can occur as a descendant of `base`.
+    Descendant,
+    /// `other` can occur as a following sibling of `base`.
+    FollowingSibling,
+    /// `other` can occur after `base`'s subtree in document order.
+    Following,
+}
+
+/// Square boolean table over tag ids, stored as packed bit rows.
+#[derive(Debug, Clone, Default)]
+struct TagTable {
+    rows: Vec<Vec<u64>>,
+    num_tags: usize,
+}
+
+impl TagTable {
+    fn new(num_tags: usize) -> Self {
+        let words = num_tags.div_ceil(64);
+        Self { rows: vec![vec![0u64; words]; num_tags], num_tags }
+    }
+
+    #[inline]
+    fn set(&mut self, base: TagId, other: TagId) {
+        let o = other as usize;
+        self.rows[base as usize][o / 64] |= 1u64 << (o % 64);
+    }
+
+    #[inline]
+    fn get(&self, base: TagId, other: TagId) -> bool {
+        let (b, o) = (base as usize, other as usize);
+        if b >= self.num_tags || o >= self.num_tags {
+            return false;
+        }
+        (self.rows[b][o / 64] >> (o % 64)) & 1 == 1
+    }
+
+    fn or_into(&mut self, base: TagId, bits: &[u64]) {
+        for (dst, src) in self.rows[base as usize].iter_mut().zip(bits) {
+            *dst |= src;
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.rows.iter().map(|r| r.len() * 8).sum()
+    }
+}
+
+/// The complete succinct tree index of an XML document.
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    bp: BalancedParens,
+    tags: TagSequence,
+    registry: TagRegistry,
+    /// Marks opening parenthesis positions of nodes that carry a text
+    /// (the `#` and `%` leaves of the model).
+    text_leaves: RsBitVector,
+    child_table: TagTable,
+    desc_table: TagTable,
+    foll_sibling_table: TagTable,
+    following_table: TagTable,
+}
+
+impl XmlTree {
+    /// The synthetic super-root node (`&`), which always exists.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Number of tree nodes (the paper's `n`), including the super-root and
+    /// the model's `#`/`@`/`%` nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.bp.len() / 2
+    }
+
+    /// Number of texts referenced by the tree (`d`).
+    #[inline]
+    pub fn num_texts(&self) -> usize {
+        self.text_leaves.count_ones()
+    }
+
+    /// Number of distinct tag names, including the reserved model tags.
+    #[inline]
+    pub fn num_tags(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// The tag-name registry.
+    pub fn registry(&self) -> &TagRegistry {
+        &self.registry
+    }
+
+    /// Id of a tag name, if it occurs in the document.
+    pub fn tag_id(&self, name: &str) -> Option<TagId> {
+        self.registry.lookup(name)
+    }
+
+    /// Name of a tag id.
+    pub fn tag_name(&self, tag: TagId) -> &str {
+        self.registry.name(tag)
+    }
+
+    /// Total number of nodes labeled `tag` in the whole document.
+    pub fn tag_count(&self, tag: TagId) -> usize {
+        self.tags.count(tag)
+    }
+
+    /// Heap size in bytes of the tree index.
+    pub fn size_bytes(&self) -> usize {
+        self.bp.size_bytes()
+            + self.tags.size_bytes()
+            + self.text_leaves.size_bytes()
+            + self.child_table.size_bytes()
+            + self.desc_table.size_bytes()
+            + self.foll_sibling_table.size_bytes()
+            + self.following_table.size_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Basic navigation (Section 4.2.1)
+    // ------------------------------------------------------------------
+
+    /// The closing parenthesis matching node `x`.
+    #[inline]
+    pub fn close(&self, x: NodeId) -> usize {
+        self.bp.find_close(x)
+    }
+
+    /// Preorder number of `x` (1-based, the paper's global identifier).
+    #[inline]
+    pub fn preorder(&self, x: NodeId) -> usize {
+        self.bp.rank_open(x + 1)
+    }
+
+    /// The node with preorder number `p` (1-based).
+    #[inline]
+    pub fn node_at_preorder(&self, p: usize) -> Option<NodeId> {
+        self.bp.select_open(p)
+    }
+
+    /// Number of nodes in the subtree rooted at `x` (including `x`).
+    #[inline]
+    pub fn subtree_size(&self, x: NodeId) -> usize {
+        (self.close(x) - x + 1) / 2
+    }
+
+    /// Whether `x` is an ancestor of `y` (a node is an ancestor of itself).
+    #[inline]
+    pub fn is_ancestor(&self, x: NodeId, y: NodeId) -> bool {
+        x <= y && y <= self.close(x)
+    }
+
+    /// Whether `x` has no children.
+    #[inline]
+    pub fn is_leaf(&self, x: NodeId) -> bool {
+        !self.bp.is_open(x + 1)
+    }
+
+    /// Whether `i` is a valid node identifier (an opening parenthesis).
+    #[inline]
+    pub fn is_node(&self, i: usize) -> bool {
+        i < self.bp.len() && self.bp.is_open(i)
+    }
+
+    /// First child of `x`, if any.
+    #[inline]
+    pub fn first_child(&self, x: NodeId) -> Option<NodeId> {
+        self.bp.is_open(x + 1).then_some(x + 1)
+    }
+
+    /// Next sibling of `x`, if any.
+    #[inline]
+    pub fn next_sibling(&self, x: NodeId) -> Option<NodeId> {
+        let after = self.close(x) + 1;
+        (after < self.bp.len() && self.bp.is_open(after)).then_some(after)
+    }
+
+    /// Parent of `x`, or `None` for the super-root.
+    #[inline]
+    pub fn parent(&self, x: NodeId) -> Option<NodeId> {
+        self.bp.enclose(x)
+    }
+
+    /// Depth of `x` (the super-root has depth 0): the excess before the
+    /// opening parenthesis.
+    #[inline]
+    pub fn depth(&self, x: NodeId) -> usize {
+        self.bp.excess(x) as usize
+    }
+
+    /// Iterator over the children of `x` in document order.
+    pub fn children(&self, x: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self.first_child(x);
+        std::iter::from_fn(move || {
+            let c = cur?;
+            cur = self.next_sibling(c);
+            Some(c)
+        })
+    }
+
+    /// Iterator over all nodes in document (pre-)order.
+    pub fn preorder_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..=self.num_nodes()).filter_map(move |k| self.bp.select_open(k))
+    }
+
+    // ------------------------------------------------------------------
+    // Tag access and tagged jumps (Section 4.2.2)
+    // ------------------------------------------------------------------
+
+    /// Tag of node `x`.
+    #[inline]
+    pub fn tag(&self, x: NodeId) -> TagId {
+        self.tags.opening_tag(x).expect("node id must point at an opening parenthesis")
+    }
+
+    /// Number of `tag`-labeled nodes within the subtree of `x` (including
+    /// `x` itself).
+    pub fn subtree_tags(&self, x: NodeId, tag: TagId) -> usize {
+        if tag as usize >= self.tags.num_tags() {
+            return 0;
+        }
+        let close = self.close(x);
+        self.tags.rank_open(tag, close + 1) - self.tags.rank_open(tag, x)
+    }
+
+    /// The first node (in preorder) labeled `tag` strictly inside the subtree
+    /// of `x`.
+    pub fn tagged_desc(&self, x: NodeId, tag: TagId) -> Option<NodeId> {
+        if tag as usize >= self.tags.num_tags() {
+            return None;
+        }
+        let next = self.tags.next_occurrence(tag, x + 1)?;
+        (next < self.close(x)).then_some(next)
+    }
+
+    /// The first node labeled `tag` with preorder larger than `x` that is not
+    /// in the subtree of `x`.
+    pub fn tagged_foll(&self, x: NodeId, tag: TagId) -> Option<NodeId> {
+        if tag as usize >= self.tags.num_tags() {
+            return None;
+        }
+        self.tags.next_occurrence(tag, self.close(x) + 1)
+    }
+
+    /// The first node labeled `tag` at a parenthesis position `>= from`
+    /// (used by the jumping evaluator to continue a scan inside a scope).
+    pub fn tagged_next(&self, tag: TagId, from: usize) -> Option<NodeId> {
+        if tag as usize >= self.tags.num_tags() {
+            return None;
+        }
+        self.tags.next_occurrence(tag, from)
+    }
+
+    /// Number of `tag`-labeled nodes whose opening parenthesis lies in the
+    /// position range `[lo, hi)` (used by the lazy whole-region results of
+    /// the query engine).
+    pub fn tag_count_in_range(&self, tag: TagId, lo: usize, hi: usize) -> usize {
+        if tag as usize >= self.tags.num_tags() || hi <= lo {
+            return 0;
+        }
+        self.tags.rank_open(tag, hi) - self.tags.rank_open(tag, lo)
+    }
+
+    /// The `tag`-labeled nodes whose opening parenthesis lies in `[lo, hi)`,
+    /// in document order.
+    pub fn tag_nodes_in_range(&self, tag: TagId, lo: usize, hi: usize) -> Vec<NodeId> {
+        if tag as usize >= self.tags.num_tags() || hi <= lo {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut from = lo;
+        while let Some(p) = self.tags.next_occurrence(tag, from) {
+            if p >= hi {
+                break;
+            }
+            out.push(p);
+            from = p + 1;
+        }
+        out
+    }
+
+    /// The last node labeled `tag` with preorder smaller than `x` that is not
+    /// an ancestor of `x`.
+    pub fn tagged_prec(&self, x: NodeId, tag: TagId) -> Option<NodeId> {
+        if tag as usize >= self.tags.num_tags() {
+            return None;
+        }
+        let mut before = x;
+        loop {
+            let candidate = self.tags.prev_occurrence(tag, before)?;
+            if !self.is_ancestor(candidate, x) {
+                return Some(candidate);
+            }
+            before = candidate;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Texts (Section 4.2.3)
+    // ------------------------------------------------------------------
+
+    /// Whether node `x` is a text-bearing leaf (`#` or `%` in the model).
+    #[inline]
+    pub fn is_text_leaf(&self, x: NodeId) -> bool {
+        self.text_leaves.get(x)
+    }
+
+    /// Number of text leaves with opening parenthesis at position `<= x`.
+    #[inline]
+    pub fn leaf_number(&self, x: usize) -> usize {
+        self.text_leaves.rank1((x + 1).min(self.text_leaves.len()))
+    }
+
+    /// The text identifier held by leaf `x`, if it is a text leaf.
+    pub fn text_id_of_leaf(&self, x: NodeId) -> Option<usize> {
+        self.is_text_leaf(x).then(|| self.leaf_number(x) - 1)
+    }
+
+    /// The range of text identifiers contained in the subtree of `x`
+    /// (half-open `lo..hi`).
+    pub fn text_ids(&self, x: NodeId) -> std::ops::Range<usize> {
+        let lo = if x == 0 { 0 } else { self.leaf_number(x - 1) };
+        let hi = self.leaf_number(self.close(x));
+        lo..hi
+    }
+
+    /// The tree node holding text `d` (0-based).
+    pub fn node_of_text(&self, d: usize) -> Option<NodeId> {
+        self.text_leaves.select1(d + 1)
+    }
+
+    /// Text identifiers contributing to the XPath *string value* of `x`:
+    /// for nodes inside the attribute encoding (`%` leaves or attribute-name
+    /// nodes below `@`), the attribute value; for every other node, the `#`
+    /// text leaves of its subtree — attribute values are not part of an
+    /// element's string value.
+    pub fn string_value_texts(&self, x: NodeId) -> Vec<usize> {
+        let tag = self.tag(x);
+        let in_attribute = tag == reserved::ATTRIBUTE_VALUE
+            || self.parent(x).map(|p| self.tag(p) == reserved::ATTRIBUTES).unwrap_or(false);
+        let range = self.text_ids(x);
+        if in_attribute {
+            return range.collect();
+        }
+        range
+            .filter(|&d| {
+                self.node_of_text(d).map(|n| self.tag(n) == reserved::TEXT).unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Global preorder identifier of the node holding text `d`.
+    pub fn xml_id_of_text(&self, d: usize) -> Option<usize> {
+        self.node_of_text(d).map(|x| self.preorder(x))
+    }
+
+    // ------------------------------------------------------------------
+    // Relative tag-position tables (Section 5.5.6)
+    // ------------------------------------------------------------------
+
+    /// Whether a node labeled `other` can occur in the given relation to a
+    /// node labeled `base` anywhere in this document.
+    pub fn tag_relation_possible(&self, base: TagId, other: TagId, relation: TagRelation) -> bool {
+        match relation {
+            TagRelation::Child => self.child_table.get(base, other),
+            TagRelation::Descendant => self.desc_table.get(base, other),
+            TagRelation::FollowingSibling => self.foll_sibling_table.get(base, other),
+            TagRelation::Following => self.following_table.get(base, other),
+        }
+    }
+}
+
+/// SAX-like builder for [`XmlTree`].
+///
+/// Call [`XmlTreeBuilder::open`]/[`XmlTreeBuilder::close`] for every element
+/// event in document order; text and attribute-value leaves are opened with
+/// the reserved `#`/`%` tags via [`XmlTreeBuilder::text_leaf`].  The builder
+/// automatically wraps everything in the synthetic `&` root.
+#[derive(Debug, Clone)]
+pub struct XmlTreeBuilder {
+    registry: TagRegistry,
+    parens: BitVec,
+    codes: Vec<u32>,
+    text_leaves: BitVec,
+    /// Stack of open nodes: (tag, tags of children seen so far, descendant tag set).
+    stack: Vec<OpenFrame>,
+    /// Accumulated relations, filled while closing nodes.
+    child_pairs: Vec<(TagId, TagId)>,
+    desc_sets: Vec<(TagId, Vec<u64>)>,
+    foll_sibling_pairs: Vec<(TagId, TagId)>,
+    finished: bool,
+}
+
+#[derive(Debug, Clone)]
+struct OpenFrame {
+    tag: TagId,
+    children_tags: Vec<u64>,
+    desc_tags: Vec<u64>,
+}
+
+impl Default for XmlTreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XmlTreeBuilder {
+    /// Creates a builder with the synthetic `&` root already opened.
+    pub fn new() -> Self {
+        let mut b = Self {
+            registry: TagRegistry::new(),
+            parens: BitVec::new(),
+            codes: Vec::new(),
+            text_leaves: BitVec::new(),
+            stack: Vec::new(),
+            child_pairs: Vec::new(),
+            desc_sets: Vec::new(),
+            foll_sibling_pairs: Vec::new(),
+            finished: false,
+        };
+        b.open_tag_id(reserved::ROOT);
+        b
+    }
+
+    /// Interns a tag name (usable before or during building).
+    pub fn intern(&mut self, name: &str) -> TagId {
+        self.registry.intern(name)
+    }
+
+    /// Opens an element with the given tag name.
+    pub fn open(&mut self, name: &str) -> TagId {
+        let id = self.registry.intern(name);
+        self.open_tag_id(id);
+        id
+    }
+
+    /// Opens an element by pre-interned tag id.
+    pub fn open_tag_id(&mut self, tag: TagId) {
+        assert!(!self.finished, "builder already finished");
+        let parent_info = if let Some(parent) = self.stack.last_mut() {
+            // following-sibling relation: every earlier-child tag precedes `tag`.
+            let earlier: Vec<TagId> = bits_to_tags(&parent.children_tags);
+            set_bit(&mut parent.children_tags, tag);
+            Some((parent.tag, earlier))
+        } else {
+            None
+        };
+        if let Some((parent_tag, earlier)) = parent_info {
+            for e in earlier {
+                self.foll_sibling_pairs.push((e, tag));
+            }
+            self.child_pairs.push((parent_tag, tag));
+        }
+        self.parens.push(true);
+        self.codes.push(tag);
+        self.text_leaves.push(false);
+        self.stack.push(OpenFrame { tag, children_tags: Vec::new(), desc_tags: Vec::new() });
+    }
+
+    /// Closes the current element.
+    pub fn close(&mut self) {
+        assert!(!self.finished, "builder already finished");
+        let frame = self.stack.pop().expect("close without matching open");
+        self.parens.push(false);
+        self.codes.push(frame.tag + num_tags_placeholder());
+        self.text_leaves.push(false);
+        // Fold this node's descendant set (its own tag + its descendants)
+        // into the parent.
+        if let Some(parent) = self.stack.last_mut() {
+            let mut contributed = frame.desc_tags.clone();
+            set_bit(&mut contributed, frame.tag);
+            merge_bits(&mut parent.desc_tags, &contributed);
+        }
+        self.desc_sets.push((frame.tag, frame.desc_tags));
+    }
+
+    /// Adds a text-bearing leaf (`#` for ordinary text, `%` for attribute
+    /// values).  The caller is responsible for pushing the corresponding
+    /// string, in the same document order, into the text collection.
+    pub fn text_leaf(&mut self, attribute_value: bool) {
+        let tag = if attribute_value { reserved::ATTRIBUTE_VALUE } else { reserved::TEXT };
+        self.open_tag_id(tag);
+        // Mark the opening position we just wrote.
+        let pos = self.parens.len() - 1;
+        self.text_leaves.set(pos, true);
+        self.close();
+    }
+
+    /// Current element nesting depth, excluding the synthetic root.
+    pub fn depth(&self) -> usize {
+        self.stack.len().saturating_sub(1)
+    }
+
+    /// Finishes the document and builds the immutable [`XmlTree`].
+    ///
+    /// # Panics
+    /// Panics if elements are still open (besides the synthetic root).
+    pub fn finish(mut self) -> XmlTree {
+        assert_eq!(self.stack.len(), 1, "unclosed elements remain");
+        self.close(); // close the synthetic root
+        self.finished = true;
+
+        let num_tags = self.registry.len();
+        // Re-encode closing codes now that the final tag count is known: the
+        // builder stored them with a large placeholder offset.
+        let codes: Vec<u32> = self
+            .codes
+            .iter()
+            .map(|&c| {
+                if c >= num_tags_placeholder() {
+                    c - num_tags_placeholder() + num_tags as u32
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let bp = BalancedParens::new(&self.parens);
+        let tags = TagSequence::new(&codes, num_tags);
+        let text_leaves = RsBitVector::new(&self.text_leaves);
+
+        let mut child_table = TagTable::new(num_tags);
+        for (p, c) in &self.child_pairs {
+            child_table.set(*p, *c);
+        }
+        let mut desc_table = TagTable::new(num_tags);
+        for (t, bits) in &self.desc_sets {
+            desc_table.or_into(*t, bits);
+        }
+        let mut foll_sibling_table = TagTable::new(num_tags);
+        for (a, b) in &self.foll_sibling_pairs {
+            foll_sibling_table.set(*a, *b);
+        }
+        // Following table: tag B can follow tag A iff the last occurrence of
+        // B starts after the first close of A.
+        let mut first_close = vec![usize::MAX; num_tags];
+        let mut last_open = vec![0usize; num_tags];
+        let mut has_open = vec![false; num_tags];
+        {
+            let mut stack: Vec<TagId> = Vec::new();
+            for (i, &c) in codes.iter().enumerate() {
+                if (c as usize) < num_tags {
+                    stack.push(c);
+                    last_open[c as usize] = i;
+                    has_open[c as usize] = true;
+                } else {
+                    let t = stack.pop().expect("balanced");
+                    debug_assert_eq!(t as usize, c as usize - num_tags);
+                    if first_close[t as usize] == usize::MAX {
+                        first_close[t as usize] = i;
+                    }
+                }
+            }
+        }
+        let mut following_table = TagTable::new(num_tags);
+        for a in 0..num_tags {
+            if first_close[a] == usize::MAX {
+                continue;
+            }
+            for b in 0..num_tags {
+                if has_open[b] && last_open[b] > first_close[a] {
+                    following_table.set(a as TagId, b as TagId);
+                }
+            }
+        }
+
+        XmlTree {
+            bp,
+            tags,
+            registry: self.registry,
+            text_leaves,
+            child_table,
+            desc_table,
+            foll_sibling_table,
+            following_table,
+        }
+    }
+}
+
+/// Placeholder offset for closing codes before the final tag count is known.
+#[inline]
+fn num_tags_placeholder() -> u32 {
+    1 << 24
+}
+
+fn set_bit(bits: &mut Vec<u64>, tag: TagId) {
+    let t = tag as usize;
+    if bits.len() <= t / 64 {
+        bits.resize(t / 64 + 1, 0);
+    }
+    bits[t / 64] |= 1u64 << (t % 64);
+}
+
+fn merge_bits(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+fn bits_to_tags(bits: &[u64]) -> Vec<TagId> {
+    let mut out = Vec::new();
+    for (w, &word) in bits.iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            let b = word.trailing_zeros();
+            out.push((w * 64) as TagId + b);
+            word &= word - 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Figure 1 document model:
+    ///
+    /// ```text
+    /// & > parts > part(name-attr, # "Soon discontinued", color>#, stock>#)
+    ///           > part(name-attr, stock>#)
+    /// ```
+    fn figure1_tree() -> XmlTree {
+        let mut b = XmlTreeBuilder::new();
+        b.open("parts");
+        {
+            b.open("part");
+            {
+                b.open_tag_id(reserved::ATTRIBUTES);
+                b.open("name");
+                b.text_leaf(true); // "pen"
+                b.close();
+                b.close();
+                b.text_leaf(false); // "Soon discontinued"
+                b.open("color");
+                b.text_leaf(false); // "blue"
+                b.close();
+                b.open("stock");
+                b.text_leaf(false); // "40"
+                b.close();
+            }
+            b.close();
+            b.open("part");
+            {
+                b.open_tag_id(reserved::ATTRIBUTES);
+                b.open("name");
+                b.text_leaf(true); // "rubber"
+                b.close();
+                b.close();
+                b.open("stock");
+                b.text_leaf(false); // "30"
+                b.close();
+            }
+            b.close();
+        }
+        b.close();
+        b.finish()
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let t = figure1_tree();
+        assert_eq!(t.num_nodes(), 17);
+        assert_eq!(t.num_texts(), 6);
+        let root = t.root();
+        assert_eq!(t.tag_name(t.tag(root)), "&");
+        let parts = t.first_child(root).unwrap();
+        assert_eq!(t.tag_name(t.tag(parts)), "parts");
+        assert_eq!(t.subtree_size(root), 17);
+        assert_eq!(t.subtree_size(parts), 16);
+        let part1 = t.first_child(parts).unwrap();
+        assert_eq!(t.tag_name(t.tag(part1)), "part");
+        assert_eq!(t.subtree_size(part1), 9);
+        let part2 = t.next_sibling(part1).unwrap();
+        assert_eq!(t.tag_name(t.tag(part2)), "part");
+        assert_eq!(t.next_sibling(part2), None);
+        assert_eq!(t.parent(part1), Some(parts));
+        assert_eq!(t.parent(root), None);
+        assert!(t.is_ancestor(parts, part2));
+        assert!(!t.is_ancestor(part1, part2));
+        assert_eq!(t.depth(part1), 2);
+        // Children of part1: @, #, color, stock
+        let kids: Vec<String> =
+            t.children(part1).map(|c| t.tag_name(t.tag(c)).to_string()).collect();
+        assert_eq!(kids, vec!["@", "#", "color", "stock"]);
+    }
+
+    #[test]
+    fn figure1_preorder_and_texts() {
+        let t = figure1_tree();
+        // Global identifiers are 1-based preorders; the root is 1.
+        assert_eq!(t.preorder(t.root()), 1);
+        let all: Vec<NodeId> = t.preorder_nodes().collect();
+        assert_eq!(all.len(), 17);
+        for (i, &x) in all.iter().enumerate() {
+            assert_eq!(t.preorder(x), i + 1);
+            assert_eq!(t.node_at_preorder(i + 1), Some(x));
+        }
+        // Texts are numbered left to right: pen, Soon discontinued, blue, 40, rubber, 30.
+        for d in 0..6 {
+            let node = t.node_of_text(d).unwrap();
+            assert!(t.is_text_leaf(node));
+            assert_eq!(t.text_id_of_leaf(node), Some(d));
+        }
+        // The text ids below the first part are 0..4 (pen, Soon…, blue, 40).
+        let parts = t.first_child(t.root()).unwrap();
+        let part1 = t.first_child(parts).unwrap();
+        assert_eq!(t.text_ids(part1), 0..4);
+        let part2 = t.next_sibling(part1).unwrap();
+        assert_eq!(t.text_ids(part2), 4..6);
+        assert_eq!(t.text_ids(t.root()), 0..6);
+    }
+
+    #[test]
+    fn figure1_tagged_operations() {
+        let t = figure1_tree();
+        let stock = t.tag_id("stock").unwrap();
+        let color = t.tag_id("color").unwrap();
+        let part = t.tag_id("part").unwrap();
+        let root = t.root();
+        assert_eq!(t.subtree_tags(root, stock), 2);
+        assert_eq!(t.subtree_tags(root, color), 1);
+        assert_eq!(t.subtree_tags(root, part), 2);
+        let parts = t.first_child(root).unwrap();
+        let part1 = t.first_child(parts).unwrap();
+        assert_eq!(t.subtree_tags(part1, stock), 1);
+        assert_eq!(t.subtree_tags(part1, part), 1); // includes itself
+        // TaggedDesc finds the first stock in document order.
+        let first_stock = t.tagged_desc(root, stock).unwrap();
+        assert_eq!(t.tag(first_stock), stock);
+        assert!(t.is_ancestor(part1, first_stock));
+        // TaggedFoll from the first part finds nodes after its subtree.
+        let part2 = t.next_sibling(part1).unwrap();
+        let foll_stock = t.tagged_foll(part1, stock).unwrap();
+        assert!(t.is_ancestor(part2, foll_stock));
+        assert_eq!(t.tagged_foll(part2, stock), None);
+        // TaggedPrec from part2 finds the latest stock before it.
+        let prec_stock = t.tagged_prec(part2, stock).unwrap();
+        assert!(t.is_ancestor(part1, prec_stock));
+        // TaggedDesc for a tag that is absent below the node.
+        assert_eq!(t.tagged_desc(part2, color), None);
+    }
+
+    #[test]
+    fn tag_relation_tables() {
+        let t = figure1_tree();
+        let parts = t.tag_id("parts").unwrap();
+        let part = t.tag_id("part").unwrap();
+        let stock = t.tag_id("stock").unwrap();
+        let color = t.tag_id("color").unwrap();
+        assert!(t.tag_relation_possible(parts, part, TagRelation::Child));
+        assert!(!t.tag_relation_possible(part, parts, TagRelation::Child));
+        assert!(t.tag_relation_possible(parts, stock, TagRelation::Descendant));
+        assert!(!t.tag_relation_possible(stock, parts, TagRelation::Descendant));
+        assert!(t.tag_relation_possible(color, stock, TagRelation::FollowingSibling));
+        assert!(!t.tag_relation_possible(stock, color, TagRelation::FollowingSibling));
+        // `stock` closes before the second `part` opens, so part follows stock.
+        assert!(t.tag_relation_possible(stock, part, TagRelation::Following));
+        // Nothing follows the root.
+        let amp = t.tag_id("&").unwrap();
+        assert!(!t.tag_relation_possible(amp, part, TagRelation::Following));
+    }
+
+    #[test]
+    fn single_element_document() {
+        let mut b = XmlTreeBuilder::new();
+        b.open("a");
+        b.close();
+        let t = b.finish();
+        assert_eq!(t.num_nodes(), 2);
+        let a = t.first_child(t.root()).unwrap();
+        assert!(t.is_leaf(a));
+        assert_eq!(t.first_child(a), None);
+        assert_eq!(t.next_sibling(a), None);
+        assert_eq!(t.subtree_size(a), 1);
+        assert_eq!(t.num_texts(), 0);
+        assert_eq!(t.text_ids(a), 0..0);
+    }
+
+    #[test]
+    fn deep_and_wide_tree() {
+        let mut b = XmlTreeBuilder::new();
+        // depth-200 chain each node also having a text child
+        for _ in 0..200 {
+            b.open("nest");
+            b.text_leaf(false);
+        }
+        for _ in 0..200 {
+            b.close();
+        }
+        // followed by 500 flat siblings
+        for _ in 0..500 {
+            b.open("item");
+            b.text_leaf(false);
+            b.close();
+        }
+        let t = b.finish();
+        assert_eq!(t.num_texts(), 700);
+        let nest = t.tag_id("nest").unwrap();
+        let item = t.tag_id("item").unwrap();
+        assert_eq!(t.tag_count(nest), 200);
+        assert_eq!(t.tag_count(item), 500);
+        assert_eq!(t.subtree_tags(t.root(), item), 500);
+        // The deepest nest node has depth 200.
+        let mut x = t.first_child(t.root()).unwrap();
+        let mut depth = 1;
+        while let Some(c) = t.children(x).find(|&c| t.tag(c) == nest) {
+            x = c;
+            depth += 1;
+        }
+        assert_eq!(depth, 200);
+        assert_eq!(t.depth(x), 200);
+        assert!(t.tag_relation_possible(nest, nest, TagRelation::Descendant));
+        assert!(t.tag_relation_possible(nest, item, TagRelation::Following));
+        assert!(!t.tag_relation_possible(item, nest, TagRelation::Descendant));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed elements")]
+    fn unbalanced_builder_panics() {
+        let mut b = XmlTreeBuilder::new();
+        b.open("a");
+        b.finish();
+    }
+}

@@ -1,0 +1,18 @@
+//! XML parsing and the SXSI document model.
+//!
+//! This crate turns raw XML bytes into the two structures the SXSI index is
+//! built from: the succinct tree (via [`sxsi_tree::XmlTreeBuilder`]) and the
+//! ordered list of texts (handed to [`sxsi_text::TextCollection`]).
+//!
+//! * [`parser`] — a dependency-free SAX-style XML parser.
+//! * [`document`] — the model of Section 2 (`&` root, `#` text leaves, `@`
+//!   attribute containers, `%` attribute values) and [`parse_document`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod parser;
+
+pub use document::{parse_document, parse_document_with_options, DocumentOptions, ParsedDocument};
+pub use parser::{escape_attribute, escape_text, unescape, Event, ParseError, Parser};

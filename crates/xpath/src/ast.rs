@@ -1,0 +1,201 @@
+//! Abstract syntax of the XPath fragment "Core+" (Section 5.1 of the paper).
+//!
+//! Core+ is forward Core XPath — the `child`, `descendant`, `self`,
+//! `attribute` and `following-sibling` axes with `*`, tag-name, `text()` and
+//! `node()` tests and nested boolean filters — extended with the text
+//! predicates of XPath 1.0: `=`, `contains`, `starts-with` and `ends-with`.
+
+use sxsi_text::TextPredicate;
+
+/// A navigation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::` (produced by the `//` abbreviation).
+    DescendantOrSelf,
+    /// `self::`
+    SelfAxis,
+    /// `attribute::` (or the `@` abbreviation).
+    Attribute,
+    /// `following-sibling::`
+    FollowingSibling,
+}
+
+/// A node test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// `*` — any element (for the attribute axis: any attribute).
+    Wildcard,
+    /// A tag or attribute name.
+    Name(String),
+    /// `text()`
+    Text,
+    /// `node()`
+    Node,
+}
+
+/// One location step: `axis::test[pred]*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Zero or more filters, implicitly conjoined.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Step {
+    /// A step without predicates.
+    pub fn simple(axis: Axis, test: NodeTest) -> Self {
+        Self { axis, test, predicates: Vec::new() }
+    }
+}
+
+/// A location path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Whether the path starts at the root (`/` or `//`).  Relative paths
+    /// (used inside predicates) start at the context node.
+    pub absolute: bool,
+    /// The steps, outermost first.
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    /// A relative path with the given steps.
+    pub fn relative(steps: Vec<Step>) -> Self {
+        Self { absolute: false, steps }
+    }
+
+    /// True when the path is just `.` (the context node itself).
+    pub fn is_context_only(&self) -> bool {
+        self.steps.is_empty()
+            || (self.steps.len() == 1
+                && self.steps[0].axis == Axis::SelfAxis
+                && self.steps[0].predicates.is_empty())
+    }
+}
+
+/// A filter expression (the content of `[...]`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (`not(...)`).
+    Not(Box<Predicate>),
+    /// Existence of a relative path.
+    Exists(Path),
+    /// A text predicate applied to the string value selected by a relative
+    /// path (`contains(path, "s")`, `path = "s"`, …).  The path is usually
+    /// `.` or a short relative path.
+    TextCompare {
+        /// The value expression the predicate applies to.
+        path: Path,
+        /// The comparison itself (pattern included).
+        op: TextPredicate,
+    },
+}
+
+/// A complete query: an absolute path whose last step selects the result
+/// nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The main path.
+    pub path: Path,
+}
+
+impl Query {
+    /// The number of location steps in the main path.
+    pub fn num_steps(&self) -> usize {
+        self.path.steps.len()
+    }
+}
+
+/// Pretty-printing (used in error messages, benchmark reports and tests).
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Attribute => "attribute",
+            Axis::FollowingSibling => "following-sibling",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeTest::Wildcard => f.write_str("*"),
+            NodeTest::Name(n) => f.write_str(n),
+            NodeTest::Text => f.write_str("text()"),
+            NodeTest::Node => f.write_str("node()"),
+        }
+    }
+}
+
+impl std::fmt::Display for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}::{}", self.axis, self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.absolute {
+            f.write_str("/")?;
+        } else if self.steps.is_empty() {
+            return f.write_str(".");
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::And(a, b) => write!(f, "({a} and {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} or {b})"),
+            Predicate::Not(p) => write!(f, "not({p})"),
+            Predicate::Exists(p) => write!(f, "{p}"),
+            Predicate::TextCompare { path, op } => {
+                let pat = String::from_utf8_lossy(op.pattern());
+                match op {
+                    TextPredicate::Contains(_) => write!(f, "contains({path}, \"{pat}\")"),
+                    TextPredicate::StartsWith(_) => write!(f, "starts-with({path}, \"{pat}\")"),
+                    TextPredicate::EndsWith(_) => write!(f, "ends-with({path}, \"{pat}\")"),
+                    TextPredicate::Equals(_) => write!(f, "{path} = \"{pat}\""),
+                    TextPredicate::LessThan(_) => write!(f, "{path} < \"{pat}\""),
+                    TextPredicate::LessEq(_) => write!(f, "{path} <= \"{pat}\""),
+                    TextPredicate::GreaterThan(_) => write!(f, "{path} > \"{pat}\""),
+                    TextPredicate::GreaterEq(_) => write!(f, "{path} >= \"{pat}\""),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.path)
+    }
+}

@@ -1,0 +1,476 @@
+//! The bottom-up evaluation strategy (Section 5.4.2 of the paper).
+//!
+//! For queries of the shape `/axis::step/.../axis::step[pred]` whose filter
+//! ends in a highly selective text predicate, it is much cheaper to ask the
+//! text index for the matching texts first and verify the *upward* path of
+//! each hit than to run the automaton from the root.  [`BottomUpPlan`]
+//! recognises the eligible shape (the paper's `↑` queries of Figure 14),
+//! extracts the seed predicate, and verifies each seed by walking `Parent`
+//! links — the shift-reduce style `MatchAbove` of Figure 6 specialised to
+//! single-predicate paths.
+//!
+//! Eligibility additionally requires that the predicate's target is either a
+//! `text()` node or an element with text-only content, so that a text-index
+//! hit corresponds exactly to the target's string value (the "single text
+//! node / PCDATA" condition of Section 6.6).
+
+use crate::ast::{Axis, NodeTest, Predicate, Query};
+use crate::eval::Output;
+use sxsi_text::{TextCollection, TextId, TextPredicate};
+use sxsi_tree::{reserved, NodeId, XmlTree};
+
+/// One upward-verified step: the connecting axis and the node test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlanStep {
+    axis: Axis,
+    test: NodeTest,
+}
+
+/// A query decomposed for bottom-up evaluation.
+#[derive(Debug, Clone)]
+pub struct BottomUpPlan {
+    /// Main-path steps up to and including the pivot (the step carrying the
+    /// predicate), outermost first.
+    main_steps: Vec<PlanStep>,
+    /// Steps of the filter path (relative to the pivot), outermost first.
+    filter_steps: Vec<PlanStep>,
+    /// Steps after the pivot (evaluated downward from each verified pivot).
+    trailing_steps: Vec<PlanStep>,
+    /// The seed text predicate.
+    predicate: TextPredicate,
+}
+
+impl BottomUpPlan {
+    /// Attempts to build a bottom-up plan for `query` against `tree`.
+    /// Returns `None` when the query does not have the eligible shape.
+    pub fn try_from_query(query: &Query, tree: &XmlTree) -> Option<BottomUpPlan> {
+        let steps = &query.path.steps;
+        if steps.is_empty() {
+            return None;
+        }
+        // Exactly one step may carry predicates, and exactly one predicate.
+        let mut pivot_idx = None;
+        for (i, s) in steps.iter().enumerate() {
+            if !matches!(s.axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf) {
+                return None;
+            }
+            if !s.predicates.is_empty() {
+                if pivot_idx.is_some() || s.predicates.len() != 1 {
+                    return None;
+                }
+                pivot_idx = Some(i);
+            }
+        }
+        let pivot_idx = pivot_idx?;
+        let pivot = &steps[pivot_idx];
+        // The upward verification produces exactly one pivot candidate per
+        // seed (the nearest matching ancestor), which is only complete when
+        // pivot matches cannot nest: require a concrete, non-recursive tag.
+        match &pivot.test {
+            NodeTest::Name(name) => {
+                if let Some(tag) = tree.tag_id(name) {
+                    if tree.tag_relation_possible(tag, tag, sxsi_tree::TagRelation::Descendant) {
+                        return None;
+                    }
+                }
+            }
+            _ => return None,
+        }
+        let (filter_steps, predicate) = Self::decompose_filter(&pivot.predicates[0])?;
+        // Verify the text-predicate target is a single-text value.
+        let target_test =
+            filter_steps.last().map(|s| &s.test).unwrap_or(&pivot.test);
+        if !Self::target_is_single_text(target_test, tree) {
+            return None;
+        }
+        // Greedy upward matching is exact only when, reading the chain from
+        // the target upwards, every `child` connection precedes every
+        // `descendant` connection.
+        let chain_axes: Vec<Axis> = steps[..=pivot_idx]
+            .iter()
+            .map(|s| s.axis)
+            .chain(filter_steps.iter().map(|s| s.axis))
+            .collect();
+        let mut seen_descendant = false;
+        for axis in chain_axes.iter().rev() {
+            match axis {
+                Axis::Child => {
+                    if seen_descendant {
+                        return None;
+                    }
+                }
+                _ => seen_descendant = true,
+            }
+        }
+        let main_steps = steps[..=pivot_idx]
+            .iter()
+            .map(|s| PlanStep { axis: s.axis, test: s.test.clone() })
+            .collect();
+        let trailing: Vec<PlanStep> = steps[pivot_idx + 1..]
+            .iter()
+            .map(|s| PlanStep { axis: s.axis, test: s.test.clone() })
+            .collect();
+        if trailing.iter().any(|s| !matches!(s.axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf)) {
+            return None;
+        }
+        Some(BottomUpPlan { main_steps, filter_steps, trailing_steps: trailing, predicate })
+    }
+
+    /// Splits the pivot's predicate into (filter path steps, text predicate).
+    fn decompose_filter(pred: &Predicate) -> Option<(Vec<PlanStep>, TextPredicate)> {
+        match pred {
+            Predicate::TextCompare { path, op } => {
+                if path.absolute {
+                    return None;
+                }
+                let mut out = Vec::new();
+                for s in &path.steps {
+                    if !s.predicates.is_empty()
+                        || !matches!(s.axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf)
+                    {
+                        return None;
+                    }
+                    out.push(PlanStep { axis: s.axis, test: s.test.clone() });
+                }
+                Some((out, op.clone()))
+            }
+            Predicate::Exists(path) => {
+                if path.absolute || path.steps.is_empty() {
+                    return None;
+                }
+                let mut out = Vec::new();
+                let last = path.steps.len() - 1;
+                let mut predicate = None;
+                for (i, s) in path.steps.iter().enumerate() {
+                    if !matches!(s.axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf) {
+                        return None;
+                    }
+                    if i == last {
+                        if s.predicates.len() != 1 {
+                            return None;
+                        }
+                        match &s.predicates[0] {
+                            Predicate::TextCompare { path, op } if path.is_context_only() => {
+                                predicate = Some(op.clone());
+                            }
+                            _ => return None,
+                        }
+                    } else if !s.predicates.is_empty() {
+                        return None;
+                    }
+                    out.push(PlanStep { axis: s.axis, test: s.test.clone() });
+                }
+                Some((out, predicate?))
+            }
+            _ => None,
+        }
+    }
+
+    /// The predicate's target must be a text node or an element whose
+    /// children are text only, so its string value is a single text.
+    fn target_is_single_text(test: &NodeTest, tree: &XmlTree) -> bool {
+        match test {
+            NodeTest::Text => true,
+            NodeTest::Name(name) => match tree.tag_id(name) {
+                Some(tag) => {
+                    (0..tree.num_tags() as u32).all(|c| {
+                        c == reserved::TEXT
+                            || !tree.tag_relation_possible(tag, c, sxsi_tree::TagRelation::Child)
+                    })
+                }
+                None => true, // the tag does not occur: zero results either way
+            },
+            _ => false,
+        }
+    }
+
+    /// The seed text predicate.
+    pub fn predicate(&self) -> &TextPredicate {
+        &self.predicate
+    }
+
+    /// Text identifiers matching the seed predicate (the "Text" phase of the
+    /// paper's Figure 15 timing split).
+    pub fn seeds(&self, texts: &TextCollection) -> Vec<TextId> {
+        texts.matching_texts(&self.predicate)
+    }
+
+    /// Verifies the seeds upward and applies the trailing steps (the "Auto"
+    /// phase of Figure 15).  Returns result nodes in document order.
+    pub fn run_from_seeds(&self, tree: &XmlTree, seeds: &[TextId]) -> Vec<NodeId> {
+        let mut pivots: Vec<NodeId> = seeds
+            .iter()
+            .filter_map(|&d| tree.node_of_text(d))
+            .filter_map(|leaf| self.verify_upward(tree, leaf))
+            .collect();
+        pivots.sort_unstable();
+        pivots.dedup();
+        if self.trailing_steps.is_empty() {
+            return pivots;
+        }
+        let mut out = Vec::new();
+        for p in pivots {
+            self.apply_trailing(tree, p, 0, &mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Convenience wrapper: seeds + verification in one call.
+    pub fn execute(&self, tree: &XmlTree, texts: &TextCollection, counting: bool) -> Output {
+        let seeds = self.seeds(texts);
+        let nodes = self.run_from_seeds(tree, &seeds);
+        if counting {
+            Output::Count(nodes.len() as u64)
+        } else {
+            Output::Nodes(nodes)
+        }
+    }
+
+    /// Walks upward from a seed text leaf, matching the filter steps and the
+    /// main steps; returns the pivot node on success.
+    fn verify_upward(&self, tree: &XmlTree, leaf: NodeId) -> Option<NodeId> {
+        // The target node: the text leaf itself for a text() target, its
+        // parent element otherwise.
+        let target_is_text = self
+            .filter_steps
+            .last()
+            .map(|s| matches!(s.test, NodeTest::Text))
+            .unwrap_or_else(|| matches!(self.main_steps.last().expect("non-empty").test, NodeTest::Text));
+        let mut current = if target_is_text {
+            if tree.tag(leaf) != reserved::TEXT {
+                return None;
+            }
+            leaf
+        } else {
+            // Element targets hold their value in a `#` child; attribute
+            // values (`%` leaves) cannot seed an element target.
+            if tree.tag(leaf) != reserved::TEXT {
+                return None;
+            }
+            let parent = tree.parent(leaf)?;
+            current_must_match(tree, parent, self.target_test())?;
+            parent
+        };
+        // Chain of steps above the target, bottom-up, paired with the axis
+        // connecting them to the node below.
+        let chain: Vec<&PlanStep> =
+            self.main_steps.iter().chain(self.filter_steps.iter()).collect();
+        let mut pivot = if self.filter_steps.is_empty() { Some(current) } else { None };
+        // Walk from the last chain element (the target, already matched)
+        // upwards.
+        for i in (1..chain.len()).rev() {
+            let connecting_axis = chain[i].axis;
+            let above = &chain[i - 1];
+            current = match connecting_axis {
+                Axis::Child => {
+                    let parent = tree.parent(current)?;
+                    current_must_match(tree, parent, &above.test)?;
+                    parent
+                }
+                _ => {
+                    // Nearest proper ancestor matching the test.
+                    let mut anc = tree.parent(current)?;
+                    loop {
+                        if node_matches(tree, anc, &above.test) {
+                            break;
+                        }
+                        anc = tree.parent(anc)?;
+                    }
+                    anc
+                }
+            };
+            if i - 1 == self.main_steps.len() - 1 && pivot.is_none() {
+                pivot = Some(current);
+            }
+        }
+        // The outermost step's own axis relates it to the document root.
+        let outer_axis = chain[0].axis;
+        match outer_axis {
+            Axis::Child => {
+                if tree.parent(current)? != tree.root() {
+                    return None;
+                }
+            }
+            _ => {
+                if current == tree.root() {
+                    return None;
+                }
+            }
+        }
+        pivot
+    }
+
+    fn target_test(&self) -> &NodeTest {
+        self.filter_steps
+            .last()
+            .map(|s| &s.test)
+            .unwrap_or_else(|| &self.main_steps.last().expect("non-empty").test)
+    }
+
+    /// Evaluates the trailing steps downward from a verified pivot.
+    fn apply_trailing(&self, tree: &XmlTree, node: NodeId, idx: usize, out: &mut Vec<NodeId>) {
+        if idx == self.trailing_steps.len() {
+            out.push(node);
+            return;
+        }
+        let step = &self.trailing_steps[idx];
+        match step.axis {
+            Axis::Child => {
+                for c in tree.children(node) {
+                    if node_matches(tree, c, &step.test) {
+                        self.apply_trailing(tree, c, idx + 1, out);
+                    }
+                }
+            }
+            _ => {
+                // Descendants: iterate matching nodes within the subtree.
+                match &step.test {
+                    NodeTest::Name(name) => {
+                        if let Some(tag) = tree.tag_id(name) {
+                            for c in tree.tag_nodes_in_range(tag, node + 1, tree.close(node)) {
+                                self.apply_trailing(tree, c, idx + 1, out);
+                            }
+                        }
+                    }
+                    _ => {
+                        let mut stack: Vec<NodeId> = tree.children(node).collect();
+                        while let Some(c) = stack.pop() {
+                            if node_matches(tree, c, &step.test) {
+                                self.apply_trailing(tree, c, idx + 1, out);
+                            }
+                            stack.extend(tree.children(c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn node_matches(tree: &XmlTree, node: NodeId, test: &NodeTest) -> bool {
+    let tag = tree.tag(node);
+    match test {
+        NodeTest::Wildcard => {
+            tag != reserved::ROOT
+                && tag != reserved::TEXT
+                && tag != reserved::ATTRIBUTES
+                && tag != reserved::ATTRIBUTE_VALUE
+        }
+        NodeTest::Name(name) => tree.tag_id(name) == Some(tag),
+        NodeTest::Text => tag == reserved::TEXT,
+        NodeTest::Node => {
+            tag != reserved::ROOT && tag != reserved::ATTRIBUTES && tag != reserved::ATTRIBUTE_VALUE
+        }
+    }
+}
+
+fn current_must_match(tree: &XmlTree, node: NodeId, test: &NodeTest) -> Option<()> {
+    node_matches(tree, node, test).then_some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::eval::{EvalOptions, Evaluator};
+    use crate::parser::parse_query;
+    use sxsi_xml::parse_document;
+
+    const MEDLINE_LIKE: &str = r#"<root>
+<MedlineCitation><Article>
+  <AbstractText>the plus pattern appears here</AbstractText>
+  <AuthorList><Author><LastName>Barnes</LastName></Author>
+  <Author><LastName>Smith</LastName></Author></AuthorList>
+</Article></MedlineCitation>
+<MedlineCitation><Article>
+  <AbstractText>nothing interesting</AbstractText>
+  <AuthorList><Author><LastName>Barlow</LastName></Author></AuthorList>
+</Article></MedlineCitation>
+<MedlineCitation><Article>
+  <AbstractText>another plus here</AbstractText>
+  <AbstractText>twice even: plus</AbstractText>
+  <AuthorList><Author><LastName>Jones</LastName></Author></AuthorList>
+</Article></MedlineCitation>
+</root>"#;
+
+    struct Fixture {
+        tree: sxsi_tree::XmlTree,
+        texts: TextCollection,
+    }
+
+    fn fixture() -> Fixture {
+        let doc = parse_document(MEDLINE_LIKE.as_bytes()).unwrap();
+        let texts = TextCollection::new(&doc.text_slices());
+        Fixture { tree: doc.tree, texts }
+    }
+
+    fn top_down(f: &Fixture, query: &str) -> Vec<NodeId> {
+        let q = parse_query(query).unwrap();
+        let a = compile(&q, &f.tree).unwrap();
+        Evaluator::new(&a, &f.tree, Some(&f.texts), EvalOptions::default()).materialize()
+    }
+
+    fn bottom_up(f: &Fixture, query: &str) -> Option<Vec<NodeId>> {
+        let q = parse_query(query).unwrap();
+        let plan = BottomUpPlan::try_from_query(&q, &f.tree)?;
+        match plan.execute(&f.tree, &f.texts, false) {
+            Output::Nodes(n) => Some(n),
+            Output::Count(_) => None,
+        }
+    }
+
+    #[test]
+    fn eligible_queries_match_top_down() {
+        let f = fixture();
+        let queries = [
+            r#"//Article[ .//AbstractText[ contains(., "plus") ] ]"#,
+            r#"//MedlineCitation[ .//AbstractText[ contains(., "plus") ] ]"#,
+            r#"//Author[ ./LastName[ starts-with(., "Bar") ] ]"#,
+            r#"//MedlineCitation/Article/AuthorList/Author[ ./LastName[starts-with( . , "Bar")] ]"#,
+            r#"//Article[ .//LastName[ . = "Jones" ] ]"#,
+            r#"//AbstractText[ contains(., "plus") ]"#,
+            r#"//Article[ .//AbstractText[ contains(., "plus") ] ]/AuthorList/Author"#,
+        ];
+        for query in queries {
+            let expected = top_down(&f, query);
+            let got = bottom_up(&f, query).unwrap_or_else(|| panic!("{query} should be eligible"));
+            assert_eq!(got, expected, "{query}");
+        }
+    }
+
+    #[test]
+    fn ineligible_queries_are_rejected() {
+        let f = fixture();
+        let rejected = [
+            // Two predicated steps.
+            r#"//Article[ .//LastName[. = "Jones"] ]/AuthorList[ Author ]"#,
+            // Predicate is not a text comparison.
+            "//Article[ AuthorList ]",
+            // Boolean combination.
+            r#"//Article[ contains(.//AbstractText, "a") and contains(.//AbstractText, "b") ]"#,
+            // Mixed-content target (Article has element children).
+            r#"//MedlineCitation[ contains(./Article, "plus") ]"#,
+        ];
+        for query in rejected {
+            let q = parse_query(query).unwrap();
+            assert!(
+                BottomUpPlan::try_from_query(&q, &f.tree).is_none(),
+                "{query} should not be eligible"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_and_counts() {
+        let f = fixture();
+        let q = parse_query(r#"//Article[ .//AbstractText[ contains(., "plus") ] ]"#).unwrap();
+        let plan = BottomUpPlan::try_from_query(&q, &f.tree).unwrap();
+        let seeds = plan.seeds(&f.texts);
+        assert_eq!(seeds.len(), 3); // three abstract texts contain "plus"
+        let result = plan.run_from_seeds(&f.tree, &seeds);
+        assert_eq!(result.len(), 2); // but only two distinct articles
+        assert_eq!(plan.execute(&f.tree, &f.texts, true), Output::Count(2));
+    }
+}

@@ -1,0 +1,556 @@
+//! Compilation of Core+ queries into marking tree automata (Section 5.2).
+//!
+//! The translation is syntax-directed and produces an automaton that is
+//! essentially isomorphic to the query: one state per location step (of the
+//! main path and of every filter path), plus the initial root state.  The
+//! shape of the produced transitions mirrors Figure 3 of the paper:
+//!
+//! * a `descendant` step state `q` carries a default transition
+//!   `q, L∖{@} → ↓₁q ∧ ↓₂q`, an attribute-skipping transition
+//!   `q, {@} → ↓₂q`, and a match transition on its node-test tags whose
+//!   formula marks / checks filters / moves to the next step *and* keeps the
+//!   recursion alive;
+//! * a `child` (or `following-sibling`) step state only recurses on `↓₂`;
+//! * filter paths compile to *existential* states combining their atoms with
+//!   `∨` instead of `∧` and are not bottom states (they must actually find a
+//!   witness);
+//! * the `attribute` axis expands to a two-state chain through the `@`
+//!   container of the model.
+//!
+//! Tag names are resolved against the target document's tag registry; names
+//! that do not occur in the document yield never-matching guards.
+
+use crate::ast::{Axis, NodeTest, Path, Predicate, Query, Step};
+use crate::automaton::{Automaton, Formula, Guard, StateId, StateInfo, StateSet, Transition, MAX_STATES};
+use std::fmt;
+use sxsi_text::TextPredicate;
+use sxsi_tree::{reserved, XmlTree};
+
+/// Error raised when a query cannot be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath compilation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles `query` against the tag vocabulary of `tree`.
+pub fn compile(query: &Query, tree: &XmlTree) -> Result<Automaton, CompileError> {
+    let mut c = Compiler::new(tree);
+    c.compile_query(query)?;
+    Ok(c.finish())
+}
+
+struct Compiler<'a> {
+    tree: &'a XmlTree,
+    transitions: Vec<Vec<Transition>>,
+    info: Vec<StateInfo>,
+    predicates: Vec<TextPredicate>,
+    bottom: StateSet,
+    top: StateSet,
+    marking: StateSet,
+    exact_counting: bool,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(tree: &'a XmlTree) -> Self {
+        Self {
+            tree,
+            transitions: Vec::new(),
+            info: Vec::new(),
+            predicates: Vec::new(),
+            bottom: StateSet::EMPTY,
+            top: StateSet::EMPTY,
+            marking: StateSet::EMPTY,
+            exact_counting: true,
+        }
+    }
+
+    fn new_state(&mut self) -> Result<StateId, CompileError> {
+        if self.transitions.len() >= MAX_STATES {
+            return Err(CompileError {
+                message: format!("query needs more than {MAX_STATES} automaton states"),
+            });
+        }
+        self.transitions.push(Vec::new());
+        self.info.push(StateInfo::default());
+        Ok((self.transitions.len() - 1) as StateId)
+    }
+
+    fn add_transition(&mut self, q: StateId, guard: Guard, formula: Formula) {
+        self.transitions[q as usize].push(Transition { guard, formula });
+    }
+
+    fn register_predicate(&mut self, pred: &TextPredicate) -> usize {
+        if let Some(i) = self.predicates.iter().position(|p| p == pred) {
+            return i;
+        }
+        self.predicates.push(pred.clone());
+        self.predicates.len() - 1
+    }
+
+    fn finish(self) -> Automaton {
+        let mut marking = self.marking;
+        for (q, trans) in self.transitions.iter().enumerate() {
+            if trans.iter().any(|t| t.formula.contains_mark()) {
+                marking.insert(q as StateId);
+            }
+        }
+        Automaton {
+            transitions: self.transitions,
+            top_states: self.top,
+            bottom_states: self.bottom,
+            predicates: self.predicates,
+            state_info: self.info,
+            marking_states: marking,
+            exact_counting: self.exact_counting,
+        }
+    }
+
+    /// Tags matched by a node test in element/attribute position.
+    fn test_guard(&self, test: &NodeTest) -> Guard {
+        match test {
+            NodeTest::Name(name) => match self.tree.tag_id(name) {
+                Some(id) => Guard::Finite(vec![id]),
+                None => Guard::Finite(Vec::new()),
+            },
+            NodeTest::Wildcard => Guard::CoFinite(vec![
+                reserved::ROOT,
+                reserved::TEXT,
+                reserved::ATTRIBUTES,
+                reserved::ATTRIBUTE_VALUE,
+            ]),
+            NodeTest::Text => Guard::Finite(vec![reserved::TEXT]),
+            NodeTest::Node => Guard::CoFinite(vec![
+                reserved::ROOT,
+                reserved::ATTRIBUTES,
+                reserved::ATTRIBUTE_VALUE,
+            ]),
+        }
+    }
+
+    fn compile_query(&mut self, query: &Query) -> Result<(), CompileError> {
+        if query.path.steps.is_empty() {
+            return Err(CompileError { message: "empty query path".into() });
+        }
+        // A result node can be attributed to several witnesses — and hence
+        // counted twice by naive counter addition — only when a descendant
+        // step follows a child/attribute/following-sibling step over a
+        // recursive document.  Flag that shape so counting falls back to
+        // materialization (Section 5.5.3 keeps exact counters otherwise).
+        let mut seen_non_descendant = false;
+        for step in &query.path.steps {
+            match step.axis {
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    if seen_non_descendant {
+                        self.exact_counting = false;
+                    }
+                }
+                _ => seen_non_descendant = true,
+            }
+        }
+        // Compile the main path back to front; the last step marks.
+        let mut next: Option<StateId> = None;
+        let mut next_axis: Option<Axis> = None;
+        for (i, step) in query.path.steps.iter().enumerate().rev() {
+            let marking = i == query.path.steps.len() - 1;
+            let q = self.compile_main_step(step, next, next_axis, marking)?;
+            next = Some(q);
+            next_axis = Some(step.axis);
+        }
+        // The root state: fires on `&` and hands over to the first step.
+        let q0 = self.new_state()?;
+        let first = next.expect("at least one step");
+        let connect = match next_axis.expect("at least one step") {
+            Axis::FollowingSibling => Formula::Down2(first),
+            _ => Formula::Down1(first),
+        };
+        self.add_transition(q0, Guard::Finite(vec![reserved::ROOT]), connect);
+        self.top.insert(q0);
+        Ok(())
+    }
+
+    /// Compiles one step of the main path; returns its state.
+    fn compile_main_step(
+        &mut self,
+        step: &Step,
+        next: Option<StateId>,
+        next_axis: Option<Axis>,
+        marking: bool,
+    ) -> Result<StateId, CompileError> {
+        match step.axis {
+            Axis::Attribute => self.compile_attribute_step(step, next, marking),
+            Axis::SelfAxis => Err(CompileError {
+                message: "the self axis is only supported inside predicates".into(),
+            }),
+            _ => {
+                let q = self.new_state()?;
+                // Formula at a matching node.
+                let mut inner = if marking { Formula::Mark } else { Formula::True };
+                for pred in &step.predicates {
+                    let pf = self.compile_predicate(pred)?;
+                    inner = Formula::and(inner, pf);
+                }
+                if let Some(next_state) = next {
+                    let atom = match next_axis.expect("next axis accompanies next state") {
+                        Axis::FollowingSibling => Formula::Down2(next_state),
+                        _ => Formula::Down1(next_state),
+                    };
+                    inner = Formula::and(inner, atom);
+                }
+                let guard = self.test_guard(&step.test);
+                // For a non-final descendant step whose next step is also a
+                // descendant step, the marks found below nested matches are
+                // already collected through the next step's state (which
+                // stays in the configuration everywhere below the current
+                // match), so re-collecting the own-state value would count
+                // them twice; the match transition therefore only keeps the
+                // sibling recursion.  In every other case the own-state value
+                // is the only carrier of those marks and must be kept.
+                let next_is_descendant = matches!(
+                    next_axis,
+                    Some(Axis::Descendant) | Some(Axis::DescendantOrSelf)
+                );
+                let (recursion, default_formula, default_guard) = match step.axis {
+                    Axis::Descendant | Axis::DescendantOrSelf => (
+                        if !marking && next_is_descendant {
+                            Formula::Down2(q)
+                        } else {
+                            Formula::and(Formula::Down1(q), Formula::Down2(q))
+                        },
+                        Formula::and(Formula::Down1(q), Formula::Down2(q)),
+                        Guard::CoFinite(vec![reserved::ATTRIBUTES]),
+                    ),
+                    _ => (Formula::Down2(q), Formula::Down2(q), Guard::CoFinite(Vec::new())),
+                };
+                let match_formula = Formula::and(inner, recursion);
+                // Specific transition first, then @-skipping (descendant
+                // only), then the default self-loop.
+                self.add_transition(q, guard.clone(), match_formula);
+                if matches!(step.axis, Axis::Descendant | Axis::DescendantOrSelf) {
+                    self.add_transition(
+                        q,
+                        Guard::Finite(vec![reserved::ATTRIBUTES]),
+                        Formula::Down2(q),
+                    );
+                }
+                self.add_transition(q, default_guard, default_formula);
+                self.bottom.insert(q);
+                if marking {
+                    self.marking.insert(q);
+                }
+                // Metadata for jumping.
+                let info = &mut self.info[q as usize];
+                info.bottom = true;
+                if matches!(step.axis, Axis::Descendant | Axis::DescendantOrSelf) {
+                    if let Some(tags) = guard.finite_tags() {
+                        info.descendant_loop = true;
+                        info.relevant_tags = tags.to_vec();
+                        if marking && step.predicates.is_empty() && next.is_none() && tags.len() == 1 {
+                            info.accumulator = Some(tags[0]);
+                        }
+                    }
+                }
+                Ok(q)
+            }
+        }
+    }
+
+    /// Compiles an `attribute::` step of the main path: a chain through the
+    /// `@` container.  Marks the attribute-name node when it is the last
+    /// step.
+    fn compile_attribute_step(
+        &mut self,
+        step: &Step,
+        next: Option<StateId>,
+        marking: bool,
+    ) -> Result<StateId, CompileError> {
+        if next.is_some() {
+            return Err(CompileError {
+                message: "location steps after an attribute step are not supported".into(),
+            });
+        }
+        let q_name = self.new_state()?;
+        let mut inner = if marking { Formula::Mark } else { Formula::True };
+        for pred in &step.predicates {
+            let pf = self.compile_predicate(pred)?;
+            inner = Formula::and(inner, pf);
+        }
+        let guard = match &step.test {
+            NodeTest::Wildcard | NodeTest::Node => Guard::CoFinite(vec![
+                reserved::ROOT,
+                reserved::TEXT,
+                reserved::ATTRIBUTES,
+                reserved::ATTRIBUTE_VALUE,
+            ]),
+            NodeTest::Name(name) => match self.tree.tag_id(name) {
+                Some(id) => Guard::Finite(vec![id]),
+                None => Guard::Finite(Vec::new()),
+            },
+            NodeTest::Text => {
+                return Err(CompileError { message: "attribute::text() is not meaningful".into() })
+            }
+        };
+        self.add_transition(q_name, guard, Formula::and(inner, Formula::Down2(q_name)));
+        self.add_transition(q_name, Guard::CoFinite(Vec::new()), Formula::Down2(q_name));
+        self.bottom.insert(q_name);
+        self.info[q_name as usize].bottom = true;
+        if marking {
+            self.marking.insert(q_name);
+        }
+
+        let q_at = self.new_state()?;
+        self.add_transition(
+            q_at,
+            Guard::Finite(vec![reserved::ATTRIBUTES]),
+            Formula::and(Formula::Down1(q_name), Formula::Down2(q_at)),
+        );
+        self.add_transition(q_at, Guard::CoFinite(Vec::new()), Formula::Down2(q_at));
+        self.bottom.insert(q_at);
+        self.info[q_at as usize].bottom = true;
+        Ok(q_at)
+    }
+
+    /// Compiles a filter expression into the formula checked at the node the
+    /// filter is attached to.
+    fn compile_predicate(&mut self, pred: &Predicate) -> Result<Formula, CompileError> {
+        match pred {
+            Predicate::And(a, b) => {
+                let fa = self.compile_predicate(a)?;
+                let fb = self.compile_predicate(b)?;
+                Ok(Formula::and(fa, fb))
+            }
+            Predicate::Or(a, b) => {
+                let fa = self.compile_predicate(a)?;
+                let fb = self.compile_predicate(b)?;
+                Ok(Formula::or(fa, fb))
+            }
+            Predicate::Not(p) => {
+                let fp = self.compile_predicate(p)?;
+                Ok(Formula::Not(Box::new(fp)))
+            }
+            Predicate::Exists(path) => self.compile_filter_path(path, Formula::True),
+            Predicate::TextCompare { path, op } => {
+                let pred_id = self.register_predicate(op);
+                if path.is_context_only() {
+                    Ok(Formula::Pred(pred_id))
+                } else {
+                    self.compile_filter_path(path, Formula::Pred(pred_id))
+                }
+            }
+        }
+    }
+
+    /// Compiles a relative filter path into the formula to embed at the
+    /// context node; `final_formula` must hold at the node selected by the
+    /// last step (usually `True` for existence, or a text predicate).
+    fn compile_filter_path(&mut self, path: &Path, final_formula: Formula) -> Result<Formula, CompileError> {
+        if path.absolute {
+            return Err(CompileError { message: "absolute paths inside filters are not supported".into() });
+        }
+        if path.steps.is_empty() {
+            return Ok(final_formula);
+        }
+        // Back to front: the formula holding at a node matched by step i.
+        let mut at_match = final_formula;
+        let mut connect_axis = None;
+        for (i, step) in path.steps.iter().enumerate().rev() {
+            // Fold the step's own predicates into the at-match formula.
+            let mut local = at_match;
+            for pred in step.predicates.iter().rev() {
+                let pf = self.compile_predicate(pred)?;
+                local = Formula::and(pf, local);
+            }
+            let q = self.compile_filter_step(step, local)?;
+            let atom = match step.axis {
+                Axis::FollowingSibling => Formula::Down2(q),
+                _ => Formula::Down1(q),
+            };
+            connect_axis = Some(step.axis);
+            at_match = atom;
+            if i == 0 {
+                break;
+            }
+        }
+        let _ = connect_axis;
+        Ok(at_match)
+    }
+
+    /// Creates the existential search state for one filter step; `at_match`
+    /// is the formula that must hold at a node matching the step's test.
+    fn compile_filter_step(&mut self, step: &Step, at_match: Formula) -> Result<StateId, CompileError> {
+        match step.axis {
+            Axis::Attribute => {
+                let q_name = self.new_state()?;
+                let guard = match &step.test {
+                    NodeTest::Wildcard | NodeTest::Node => Guard::CoFinite(vec![
+                        reserved::ROOT,
+                        reserved::TEXT,
+                        reserved::ATTRIBUTES,
+                        reserved::ATTRIBUTE_VALUE,
+                    ]),
+                    NodeTest::Name(name) => match self.tree.tag_id(name) {
+                        Some(id) => Guard::Finite(vec![id]),
+                        None => Guard::Finite(Vec::new()),
+                    },
+                    NodeTest::Text => {
+                        return Err(CompileError { message: "attribute::text() is not meaningful".into() })
+                    }
+                };
+                self.add_transition(q_name, guard, Formula::or(at_match, Formula::Down2(q_name)));
+                self.add_transition(q_name, Guard::CoFinite(Vec::new()), Formula::Down2(q_name));
+                let q_at = self.new_state()?;
+                self.add_transition(q_at, Guard::Finite(vec![reserved::ATTRIBUTES]), Formula::Down1(q_name));
+                self.add_transition(q_at, Guard::CoFinite(Vec::new()), Formula::Down2(q_at));
+                Ok(q_at)
+            }
+            Axis::SelfAxis => Err(CompileError {
+                message: "self steps inside filter paths are only supported as '.'".into(),
+            }),
+            _ => {
+                let q = self.new_state()?;
+                let guard = self.test_guard(&step.test);
+                match step.axis {
+                    Axis::Descendant | Axis::DescendantOrSelf => {
+                        let keep_looking = Formula::or(Formula::Down1(q), Formula::Down2(q));
+                        self.add_transition(q, guard, Formula::or(at_match, keep_looking.clone()));
+                        self.add_transition(q, Guard::Finite(vec![reserved::ATTRIBUTES]), Formula::Down2(q));
+                        self.add_transition(q, Guard::CoFinite(vec![reserved::ATTRIBUTES]), keep_looking);
+                    }
+                    _ => {
+                        self.add_transition(q, guard, Formula::or(at_match, Formula::Down2(q)));
+                        self.add_transition(q, Guard::CoFinite(Vec::new()), Formula::Down2(q));
+                    }
+                }
+                Ok(q)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use sxsi_tree::{TagId, XmlTreeBuilder};
+
+    fn tiny_tree() -> XmlTree {
+        let mut b = XmlTreeBuilder::new();
+        for name in ["site", "listitem", "keyword", "emph", "people", "person", "address"] {
+            b.intern(name);
+        }
+        b.open("site");
+        b.open("listitem");
+        b.open("keyword");
+        b.close();
+        b.close();
+        b.close();
+        b.finish()
+    }
+
+    #[test]
+    fn paper_example_automaton_shape() {
+        // Figure 3: /descendant::listitem/descendant::keyword[child::emph]
+        let tree = tiny_tree();
+        let q = parse_query("/descendant::listitem/descendant::keyword[child::emph]").unwrap();
+        let a = compile(&q, &tree).unwrap();
+        // States: emph filter, keyword step, listitem step, root.
+        assert_eq!(a.num_states(), 4);
+        assert_eq!(a.top_states.len(), 1);
+        // Exactly one marking state (the keyword step).
+        assert_eq!(a.marking_states.len(), 1);
+        // The two descendant steps are bottom states with descendant loops.
+        let jumpable: Vec<bool> = (0..a.num_states() as StateId)
+            .map(|q| a.state_info[q as usize].descendant_loop)
+            .collect();
+        assert_eq!(jumpable.iter().filter(|&&b| b).count(), 2);
+        // The filter state is not a bottom state.
+        assert!(a.bottom_states.len() < a.num_states());
+    }
+
+    #[test]
+    fn accumulator_detection() {
+        let tree = tiny_tree();
+        let q = parse_query("//listitem//keyword").unwrap();
+        let a = compile(&q, &tree).unwrap();
+        let keyword = tree.tag_id("keyword").unwrap();
+        // The keyword state is a pure accumulator; the listitem state is not.
+        let accumulators: Vec<TagId> =
+            a.state_info.iter().filter_map(|i| i.accumulator).collect();
+        assert_eq!(accumulators, vec![keyword]);
+    }
+
+    #[test]
+    fn missing_tags_give_empty_guards() {
+        let tree = tiny_tree();
+        let q = parse_query("//nonexistent").unwrap();
+        let a = compile(&q, &tree).unwrap();
+        let step_state = a
+            .state_info
+            .iter()
+            .position(|i| i.descendant_loop)
+            .expect("descendant step state exists");
+        assert!(a.state_info[step_state].relevant_tags.is_empty());
+    }
+
+    #[test]
+    fn filters_produce_non_bottom_states() {
+        let tree = tiny_tree();
+        let q = parse_query("//people[ .//person[not(address)] ]/person[address]").unwrap();
+        let a = compile(&q, &tree).unwrap();
+        assert!(a.num_states() >= 5);
+        // Some states (the existential filter ones) are not bottom states.
+        assert!(a.bottom_states.len() < a.num_states());
+        // Text predicates were not needed here.
+        assert!(a.predicates.is_empty());
+    }
+
+    #[test]
+    fn text_predicates_are_registered_once() {
+        let tree = tiny_tree();
+        let q = parse_query(
+            r#"//listitem[ contains(., "x") and .//keyword[contains(., "x")] ]"#,
+        )
+        .unwrap();
+        let a = compile(&q, &tree).unwrap();
+        assert_eq!(a.predicates.len(), 1);
+        assert_eq!(a.predicates[0], sxsi_text::TextPredicate::Contains(b"x".to_vec()));
+    }
+
+    #[test]
+    fn wildcard_steps_are_not_jumpable() {
+        let tree = tiny_tree();
+        let q = parse_query("//*//*").unwrap();
+        let a = compile(&q, &tree).unwrap();
+        assert!(a.state_info.iter().all(|i| !i.descendant_loop));
+        assert!(a.state_info.iter().all(|i| i.accumulator.is_none()));
+    }
+
+    #[test]
+    fn attribute_axis_compiles() {
+        let tree = tiny_tree();
+        let q = parse_query("/descendant::*/attribute::*").unwrap();
+        let a = compile(&q, &tree).unwrap();
+        assert!(a.num_states() >= 3);
+        assert_eq!(a.marking_states.len(), 1);
+        let q = parse_query("//listitem/@id/emph");
+        assert!(q.is_ok());
+        assert!(compile(&q.unwrap(), &tree).is_err());
+    }
+
+    #[test]
+    fn too_many_states_rejected() {
+        let tree = tiny_tree();
+        // Build a pathological query with 70 steps.
+        let query_text = format!("/{}", vec!["a"; 70].join("/"));
+        let q = parse_query(&query_text).unwrap();
+        assert!(compile(&q, &tree).is_err());
+    }
+}

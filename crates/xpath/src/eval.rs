@@ -1,0 +1,824 @@
+//! The automaton evaluator: `TopDownRun` with the optimizations of
+//! Sections 5.4 and 5.5 of the paper.
+//!
+//! The evaluator walks the first-child / next-sibling binary view of the
+//! document, maintaining for every visited node the set of automaton states
+//! that can still produce an accepting run.  Three of the paper's
+//! optimizations are implemented and individually switchable (the Figure 12
+//! ablation):
+//!
+//! * **Jumping to relevant nodes** (Section 5.4.1) — when every state of the
+//!   current configuration is a bottom state with a descendant-style
+//!   self-loop, the run skips directly to the top-most nodes carrying a
+//!   *relevant* label using `TaggedDesc`/`TaggedFoll`-style successor
+//!   queries on the tag index.
+//! * **Memoization of transition selection** (Section 5.5.2, the paper's
+//!   just-in-time compilation) — the applicable transitions and the child /
+//!   sibling target configurations are cached per `(label, configuration)`.
+//! * **Lazy whole-region results** (Section 5.5.4) — when the configuration
+//!   is a single pure accumulator state, the result for a region is produced
+//!   as one lazy range (or one counter update) without visiting its nodes.
+//!
+//! Results are produced either as exact counts or as (lazily concatenated)
+//! node sets; `marked`, `visited` and result statistics are recorded for the
+//! Figure 13 experiment.
+
+use crate::automaton::{Automaton, Formula, StateId, StateSet};
+use std::collections::HashMap;
+use std::rc::Rc;
+use sxsi_text::{TextCollection, TextId};
+use sxsi_tree::{reserved, NodeId, TagId, TagRelation, XmlTree};
+
+/// Options controlling which optimizations the evaluator uses.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Jump to relevant nodes instead of traversing every node.
+    pub jumping: bool,
+    /// Memoize transition selection per `(label, configuration)`.
+    pub memoization: bool,
+    /// Produce whole-region lazy results for pure accumulator states.
+    pub lazy_regions: bool,
+    /// Answer text predicates on PCDATA content through the text index
+    /// (pre-computing the matching text identifiers once per predicate)
+    /// instead of extracting and scanning each candidate value.
+    pub text_index_predicates: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self { jumping: true, memoization: true, lazy_regions: true, text_index_predicates: true }
+    }
+}
+
+impl EvalOptions {
+    /// The naive configuration of Figure 12 (full traversal, no caching).
+    pub fn naive() -> Self {
+        Self { jumping: false, memoization: false, lazy_regions: false, text_index_predicates: false }
+    }
+}
+
+/// Counters reported by the evaluator (Figure 13).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalStats {
+    /// Number of nodes on which the run function was invoked.
+    pub visited_nodes: u64,
+    /// Number of nodes marked as potential results during evaluation.
+    pub marked_nodes: u64,
+    /// Number of result nodes (or the final count in counting mode).
+    pub result_nodes: u64,
+}
+
+/// Query output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// Number of result nodes.
+    Count(u64),
+    /// The result nodes (in document order).
+    Nodes(Vec<NodeId>),
+}
+
+impl Output {
+    /// The result count regardless of mode.
+    pub fn count(&self) -> u64 {
+        match self {
+            Output::Count(c) => *c,
+            Output::Nodes(n) => n.len() as u64,
+        }
+    }
+
+    /// The result nodes, if materialized.
+    pub fn nodes(&self) -> Option<&[NodeId]> {
+        match self {
+            Output::Count(_) => None,
+            Output::Nodes(n) => Some(n),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Result representations
+// ---------------------------------------------------------------------
+
+/// Abstraction over the per-state result values accumulated during a run:
+/// either plain counters or lazily concatenated node sets.
+trait ResultOps: Clone {
+    fn empty() -> Self;
+    fn is_empty(&self) -> bool;
+    fn singleton(node: NodeId) -> Self;
+    fn union(self, other: Self) -> Self;
+    fn tag_range(tree: &XmlTree, tag: TagId, lo: usize, hi: usize) -> Self;
+}
+
+/// Counting results (Section 5.5.3: sets replaced by integer counters).
+#[derive(Clone, Copy, Debug, Default)]
+struct CountResult(u64);
+
+impl ResultOps for CountResult {
+    fn empty() -> Self {
+        CountResult(0)
+    }
+    fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+    fn singleton(_node: NodeId) -> Self {
+        CountResult(1)
+    }
+    fn union(self, other: Self) -> Self {
+        CountResult(self.0 + other.0)
+    }
+    fn tag_range(tree: &XmlTree, tag: TagId, lo: usize, hi: usize) -> Self {
+        CountResult(tree.tag_count_in_range(tag, lo, hi) as u64)
+    }
+}
+
+/// Lazily concatenated node sets (Section 5.5.4).
+#[derive(Clone, Debug)]
+enum LazyNodes {
+    Empty,
+    One(NodeId),
+    /// Every `tag`-labeled node with opening parenthesis in `[lo, hi)`.
+    TagRange { tag: TagId, lo: usize, hi: usize },
+    Cat(Rc<LazyNodes>, Rc<LazyNodes>),
+}
+
+impl LazyNodes {
+    fn flatten(&self, tree: &XmlTree, out: &mut Vec<NodeId>) {
+        let mut stack: Vec<&LazyNodes> = vec![self];
+        while let Some(top) = stack.pop() {
+            match top {
+                LazyNodes::Empty => {}
+                LazyNodes::One(n) => out.push(*n),
+                LazyNodes::TagRange { tag, lo, hi } => {
+                    out.extend(tree.tag_nodes_in_range(*tag, *lo, *hi));
+                }
+                LazyNodes::Cat(a, b) => {
+                    stack.push(b);
+                    stack.push(a);
+                }
+            }
+        }
+    }
+}
+
+impl ResultOps for LazyNodes {
+    fn empty() -> Self {
+        LazyNodes::Empty
+    }
+    fn is_empty(&self) -> bool {
+        matches!(self, LazyNodes::Empty)
+    }
+    fn singleton(node: NodeId) -> Self {
+        LazyNodes::One(node)
+    }
+    fn union(self, other: Self) -> Self {
+        match (&self, &other) {
+            (LazyNodes::Empty, _) => other,
+            (_, LazyNodes::Empty) => self,
+            _ => LazyNodes::Cat(Rc::new(self), Rc::new(other)),
+        }
+    }
+    fn tag_range(_tree: &XmlTree, tag: TagId, lo: usize, hi: usize) -> Self {
+        LazyNodes::TagRange { tag, lo, hi }
+    }
+}
+
+/// Result mapping for one forest/node: which states have accepting runs, and
+/// the (non-empty) result value accumulated for each.
+#[derive(Clone, Debug)]
+struct ResMap<R> {
+    accepted: StateSet,
+    results: Vec<(StateId, R)>,
+}
+
+impl<R: ResultOps> ResMap<R> {
+    fn nil(accepted: StateSet) -> Self {
+        Self { accepted, results: Vec::new() }
+    }
+
+    fn accepted(&self, q: StateId) -> bool {
+        self.accepted.contains(q)
+    }
+
+    fn value(&self, q: StateId) -> R {
+        self.results
+            .iter()
+            .find(|(s, _)| *s == q)
+            .map(|(_, r)| r.clone())
+            .unwrap_or_else(R::empty)
+    }
+
+    fn insert(&mut self, q: StateId, accepted: bool, value: R) {
+        if accepted {
+            self.accepted.insert(q);
+        }
+        if !value.is_empty() {
+            self.results.push((q, value));
+        }
+    }
+
+    fn union_with(&mut self, other: ResMap<R>) {
+        self.accepted = self.accepted.union(other.accepted);
+        for (q, r) in other.results {
+            if let Some(slot) = self.results.iter_mut().find(|(s, _)| *s == q) {
+                slot.1 = slot.1.clone().union(r);
+            } else {
+                self.results.push((q, r));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memoized per-(label, configuration) transition selection
+// ---------------------------------------------------------------------
+
+/// The "compiled" behaviour of the automaton for one (label, configuration)
+/// pair: which transitions apply for each state of the configuration, and
+/// the configurations to run on the first child / next sibling.
+#[derive(Debug)]
+struct NodeConfig {
+    /// Per state (in configuration order): indices of applicable transitions.
+    applicable: Vec<(StateId, Vec<u16>)>,
+    down1: StateSet,
+    down2: StateSet,
+}
+
+// ---------------------------------------------------------------------
+// The evaluator
+// ---------------------------------------------------------------------
+
+/// Evaluates a compiled automaton over a document.
+pub struct Evaluator<'a> {
+    automaton: &'a Automaton,
+    tree: &'a XmlTree,
+    texts: Option<&'a TextCollection>,
+    options: EvalOptions,
+    stats: EvalStats,
+    memo: HashMap<(TagId, u64), Rc<NodeConfig>>,
+    /// Per predicate: the sorted text ids whose *whole* content satisfies it
+    /// (only present when `text_index_predicates` is enabled).
+    pred_text_matches: Vec<Option<Vec<TextId>>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator.  `texts` may be `None` for purely structural
+    /// queries; evaluating a text predicate without a text collection
+    /// panics.
+    pub fn new(
+        automaton: &'a Automaton,
+        tree: &'a XmlTree,
+        texts: Option<&'a TextCollection>,
+        options: EvalOptions,
+    ) -> Self {
+        let pred_text_matches = vec![None; automaton.predicates.len()];
+        Self { automaton, tree, texts, options, stats: EvalStats::default(), memo: HashMap::new(), pred_text_matches }
+    }
+
+    /// Statistics of the last run.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Runs the query in counting mode.
+    ///
+    /// For the rare query shapes where one result node may be reached
+    /// through several witnesses (see [`Automaton::exact_counting`]),
+    /// counters cannot simply be added, and the evaluator counts the
+    /// distinct materialized nodes instead.
+    pub fn count(&mut self) -> u64 {
+        if !self.automaton.exact_counting {
+            return self.materialize().len() as u64;
+        }
+        self.prepare_predicates();
+        let res: ResMap<CountResult> = self.run_root();
+        let total: u64 = self.automaton.top_states.iter().map(|q| res.value(q).0).sum();
+        self.stats.result_nodes = total;
+        total
+    }
+
+    /// Runs the query and materializes the result nodes in document order.
+    pub fn materialize(&mut self) -> Vec<NodeId> {
+        self.prepare_predicates();
+        let res: ResMap<LazyNodes> = self.run_root();
+        let mut out = Vec::new();
+        for q in self.automaton.top_states.iter() {
+            res.value(q).flatten(self.tree, &mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        self.stats.result_nodes = out.len() as u64;
+        out
+    }
+
+    /// Runs the query in the requested mode.
+    pub fn evaluate(&mut self, counting: bool) -> Output {
+        if counting {
+            Output::Count(self.count())
+        } else {
+            Output::Nodes(self.materialize())
+        }
+    }
+
+    fn run_root<R: ResultOps>(&mut self) -> ResMap<R> {
+        self.stats = EvalStats::default();
+        let root = self.tree.root();
+        let nil = ResMap::nil(StateSet::EMPTY);
+        self.eval_node(root, self.automaton.top_states, &nil)
+    }
+
+    // -----------------------------------------------------------------
+    // Text predicates
+    // -----------------------------------------------------------------
+
+    /// Pre-computes, for every predicate of the automaton, the text ids whose
+    /// whole content matches, using the text index (backward search +
+    /// locate) — the strategy the paper uses for selective text predicates
+    /// evaluated during a top-down run.
+    fn prepare_predicates(&mut self) {
+        if !self.options.text_index_predicates {
+            return;
+        }
+        let Some(texts) = self.texts else { return };
+        for (i, pred) in self.automaton.predicates.iter().enumerate() {
+            if self.pred_text_matches[i].is_none() {
+                self.pred_text_matches[i] = Some(texts.matching_texts(pred));
+            }
+        }
+    }
+
+    /// Evaluates predicate `id` on node `x`, following the XPath string-value
+    /// semantics: the value of an element is the concatenation of all text
+    /// descendants; the value of a text/attribute-value leaf is its text.
+    fn eval_pred(&mut self, id: usize, x: NodeId) -> bool {
+        let pred = &self.automaton.predicates[id];
+        let texts = self.texts.expect("text predicates require a text collection");
+        let ids = self.tree.string_value_texts(x);
+        match ids.len() {
+            0 => pred.matches_value(b""),
+            1 => {
+                let text_id = ids[0];
+                if let Some(Some(matches)) = self.pred_text_matches.get(id) {
+                    matches.binary_search(&text_id).is_ok()
+                } else {
+                    texts.text_matches(text_id, pred)
+                }
+            }
+            _ => {
+                // Mixed content: build the concatenated string value (the
+                // paper's fallback to the naive text representation).
+                let mut value = Vec::new();
+                for t in ids {
+                    value.extend_from_slice(&texts.get_text(t));
+                }
+                pred.matches_value(&value)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Transition selection
+    // -----------------------------------------------------------------
+
+    fn compute_config(&self, tag: TagId, states: StateSet) -> NodeConfig {
+        let mut applicable = Vec::with_capacity(states.len());
+        let mut down1 = StateSet::EMPTY;
+        let mut down2 = StateSet::EMPTY;
+        for q in states.iter() {
+            let mut indices = Vec::new();
+            for (i, t) in self.automaton.transitions_of(q).iter().enumerate() {
+                if t.guard.matches(tag) {
+                    t.formula.collect_down_states(&mut down1, &mut down2);
+                    indices.push(i as u16);
+                }
+            }
+            applicable.push((q, indices));
+        }
+        NodeConfig { applicable, down1, down2 }
+    }
+
+    fn node_config(&mut self, tag: TagId, states: StateSet) -> Rc<NodeConfig> {
+        if !self.options.memoization {
+            return Rc::new(self.compute_config(tag, states));
+        }
+        if let Some(c) = self.memo.get(&(tag, states.0)) {
+            return Rc::clone(c);
+        }
+        let c = Rc::new(self.compute_config(tag, states));
+        self.memo.insert((tag, states.0), Rc::clone(&c));
+        c
+    }
+
+    // -----------------------------------------------------------------
+    // Core recursion
+    // -----------------------------------------------------------------
+
+    /// Evaluates the binary subtree rooted at node `x` given the sibling
+    /// result `r2` (the evaluation of `x`'s next-sibling forest).
+    fn eval_node<R: ResultOps>(&mut self, x: NodeId, states: StateSet, r2: &ResMap<R>) -> ResMap<R> {
+        self.stats.visited_nodes += 1;
+        let tag = self.tree.tag(x);
+        let cfg = self.node_config(tag, states);
+        let r1: ResMap<R> = if cfg.down1.is_empty() {
+            ResMap::nil(StateSet::EMPTY)
+        } else {
+            let scope_end = self.tree.close(x);
+            self.eval_forest(self.tree.first_child(x), cfg.down1, scope_end)
+        };
+        let automaton = self.automaton;
+        let mut out = ResMap::nil(StateSet::EMPTY);
+        for (q, indices) in &cfg.applicable {
+            for &i in indices {
+                let formula = &automaton.transitions_of(*q)[i as usize].formula;
+                let (ok, value) = self.eval_formula(formula, x, &r1, r2);
+                if ok {
+                    out.insert(*q, true, value);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluates a forest (a node and all its following siblings, with their
+    /// subtrees).  `scope_end` is the parenthesis position just past the
+    /// forest (the closing parenthesis of the enclosing node).
+    fn eval_forest<R: ResultOps>(
+        &mut self,
+        first: Option<NodeId>,
+        states: StateSet,
+        scope_end: usize,
+    ) -> ResMap<R> {
+        let Some(first) = first else {
+            return ResMap::nil(states.intersect(self.automaton.bottom_states));
+        };
+        if states.is_empty() {
+            return ResMap::nil(StateSet::EMPTY);
+        }
+        if self.options.jumping && self.automaton.is_jumpable(states) {
+            return self.eval_jump_region(first, scope_end, states);
+        }
+        self.eval_forest_no_jump(first, states, scope_end)
+    }
+
+    /// Jumping evaluation of a whole region `[start, scope_end)` for a
+    /// configuration of descendant-loop bottom states: only the top-most
+    /// relevant-labeled nodes are visited.
+    fn eval_jump_region<R: ResultOps>(
+        &mut self,
+        start: NodeId,
+        scope_end: usize,
+        states: StateSet,
+    ) -> ResMap<R> {
+        // Lazy whole-region result for a pure accumulator configuration.
+        if self.options.lazy_regions {
+            if let Some(tag) = self.automaton.accumulator_tag(states) {
+                if !self.tree.tag_relation_possible(reserved::ATTRIBUTES, tag, TagRelation::Descendant) {
+                    let count = self.tree.tag_count_in_range(tag, start, scope_end) as u64;
+                    self.stats.marked_nodes += count;
+                    let mut res = ResMap::nil(states);
+                    if count > 0 {
+                        let q = states.iter().next().expect("singleton");
+                        res.insert(q, true, R::tag_range(self.tree, tag, start, scope_end));
+                    }
+                    return res;
+                }
+            }
+        }
+        // The flat frontier iteration below feeds each top-most relevant node
+        // an "accepting but empty" sibling context; that is only sound when
+        // every ↓₂ atom reachable from the configuration targets the
+        // configuration itself (the usual descendant-recursion shape).  The
+        // rare exception — a following-sibling next step — falls back to the
+        // exact sibling-chain traversal.
+        if !self.down2_closure(states).is_subset_of(states) {
+            return self.eval_forest_no_jump(start, states, scope_end);
+        }
+        let relevant = self.automaton.relevant_tags(states);
+        // Every state of a jumpable configuration is a bottom state, so all
+        // of them accept over the region regardless of what is found.
+        let mut res = ResMap::nil(states);
+        if relevant.is_empty() {
+            return res;
+        }
+        let attr_possible: Vec<bool> = relevant
+            .iter()
+            .map(|&t| self.tree.tag_relation_possible(reserved::ATTRIBUTES, t, TagRelation::Descendant))
+            .collect();
+        let sibling_context = ResMap::nil(states);
+        let mut search_from = start;
+        loop {
+            // The next top-most relevant node at or after `search_from`,
+            // skipping occurrences hidden inside attribute containers.
+            let mut best: Option<NodeId> = None;
+            for (ti, &t) in relevant.iter().enumerate() {
+                let mut pos = search_from;
+                while let Some(p) = self.tree.tagged_next(t, pos) {
+                    if p >= scope_end {
+                        break;
+                    }
+                    if attr_possible[ti] {
+                        if let Some(at) = self.attribute_ancestor(p) {
+                            pos = self.tree.close(at) + 1;
+                            continue;
+                        }
+                    }
+                    best = Some(best.map_or(p, |b: usize| b.min(p)));
+                    break;
+                }
+            }
+            let Some(nd) = best else { break };
+            let node_res = self.eval_node(nd, states, &sibling_context);
+            res.union_with(node_res);
+            // Continue after `nd`'s subtree: deeper relevant nodes were
+            // handled by the recursive evaluation of `nd` itself.
+            search_from = self.tree.close(nd) + 1;
+            if search_from >= scope_end {
+                break;
+            }
+        }
+        res
+    }
+
+    /// Union of the `↓₂` targets over all transitions of the states in `set`.
+    fn down2_closure(&self, set: StateSet) -> StateSet {
+        let mut d1 = StateSet::EMPTY;
+        let mut d2 = StateSet::EMPTY;
+        for q in set.iter() {
+            for t in self.automaton.transitions_of(q) {
+                t.formula.collect_down_states(&mut d1, &mut d2);
+            }
+        }
+        d2
+    }
+
+    /// The exact sibling-chain traversal of a forest, used when jumping is
+    /// disabled or unsound for the configuration.
+    fn eval_forest_no_jump<R: ResultOps>(
+        &mut self,
+        first: NodeId,
+        states: StateSet,
+        _scope_end: usize,
+    ) -> ResMap<R> {
+        let mut siblings: Vec<(NodeId, StateSet)> = Vec::new();
+        let mut cur = Some(first);
+        let mut st = states;
+        while let Some(x) = cur {
+            siblings.push((x, st));
+            let cfg = self.node_config(self.tree.tag(x), st);
+            st = cfg.down2;
+            if st.is_empty() {
+                break;
+            }
+            cur = self.tree.next_sibling(x);
+        }
+        let mut r2 = ResMap::nil(st.intersect(self.automaton.bottom_states));
+        for &(x, stx) in siblings.iter().rev() {
+            r2 = self.eval_node(x, stx, &r2);
+        }
+        r2
+    }
+
+    /// The nearest ancestor of `x` labeled `@`, if any.
+    fn attribute_ancestor(&self, x: NodeId) -> Option<NodeId> {
+        let mut cur = self.tree.parent(x);
+        while let Some(p) = cur {
+            if self.tree.tag(p) == reserved::ATTRIBUTES {
+                return Some(p);
+            }
+            cur = self.tree.parent(p);
+        }
+        None
+    }
+
+    // -----------------------------------------------------------------
+    // Formula evaluation
+    // -----------------------------------------------------------------
+
+    fn eval_formula<R: ResultOps>(
+        &mut self,
+        formula: &Formula,
+        x: NodeId,
+        r1: &ResMap<R>,
+        r2: &ResMap<R>,
+    ) -> (bool, R) {
+        match formula {
+            Formula::True => (true, R::empty()),
+            Formula::False => (false, R::empty()),
+            Formula::Mark => {
+                self.stats.marked_nodes += 1;
+                (true, R::singleton(x))
+            }
+            Formula::Down1(q) => (r1.accepted(*q), r1.value(*q)),
+            Formula::Down2(q) => (r2.accepted(*q), r2.value(*q)),
+            Formula::Pred(id) => (self.eval_pred(*id, x), R::empty()),
+            Formula::And(a, b) => {
+                let (ok_a, val_a) = self.eval_formula(a, x, r1, r2);
+                if !ok_a {
+                    return (false, R::empty());
+                }
+                let (ok_b, val_b) = self.eval_formula(b, x, r1, r2);
+                if !ok_b {
+                    return (false, R::empty());
+                }
+                (true, val_a.union(val_b))
+            }
+            Formula::Or(a, b) => {
+                let (ok_a, val_a) = self.eval_formula(a, x, r1, r2);
+                if ok_a {
+                    return (true, val_a);
+                }
+                self.eval_formula(b, x, r1, r2)
+            }
+            Formula::Not(a) => {
+                let (ok, _) = self.eval_formula(a, x, r1, r2);
+                (!ok, R::empty())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse_query;
+    use sxsi_text::TextCollection;
+    use sxsi_xml::parse_document;
+
+    const DOC: &str = r#"<site>
+  <regions>
+    <africa><item id="i1"><name>drum</name><description>
+      <parlist><listitem><text>a <keyword>rare</keyword> drum <emph>loud</emph></text></listitem>
+      <listitem><keyword>old</keyword></listitem></parlist>
+    </description></item></africa>
+    <europe><item id="i2"><name>violin</name><description>classic string instrument</description></item></europe>
+  </regions>
+  <people>
+    <person id="p1"><name>Alice</name><address>Oak street</address><phone>123</phone></person>
+    <person id="p2"><name>Bob</name><homepage>http://b.example</homepage></person>
+  </people>
+  <closed_auctions>
+    <closed_auction><annotation><description><text><keyword>bargain</keyword></text></description></annotation><date>01/01/2000</date></closed_auction>
+    <closed_auction><date>02/02/2000</date></closed_auction>
+  </closed_auctions>
+</site>"#;
+
+    struct Fixture {
+        tree: sxsi_tree::XmlTree,
+        texts: TextCollection,
+    }
+
+    fn fixture() -> Fixture {
+        let doc = parse_document(DOC.as_bytes()).unwrap();
+        let texts = TextCollection::new(&doc.text_slices());
+        Fixture { tree: doc.tree, texts }
+    }
+
+    fn count(f: &Fixture, query: &str, options: EvalOptions) -> u64 {
+        let q = parse_query(query).unwrap();
+        let a = compile(&q, &f.tree).unwrap();
+        let mut e = Evaluator::new(&a, &f.tree, Some(&f.texts), options);
+        e.count()
+    }
+
+    fn nodes(f: &Fixture, query: &str, options: EvalOptions) -> Vec<NodeId> {
+        let q = parse_query(query).unwrap();
+        let a = compile(&q, &f.tree).unwrap();
+        let mut e = Evaluator::new(&a, &f.tree, Some(&f.texts), options);
+        e.materialize()
+    }
+
+    fn all_option_sets() -> Vec<EvalOptions> {
+        let mut out = Vec::new();
+        for jumping in [false, true] {
+            for memoization in [false, true] {
+                for lazy in [false, true] {
+                    for text_idx in [false, true] {
+                        out.push(EvalOptions {
+                            jumping,
+                            memoization,
+                            lazy_regions: lazy,
+                            text_index_predicates: text_idx,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every query evaluated with every optimization combination must agree
+    /// (the Figure 12 ablation is a pure performance experiment).
+    #[test]
+    fn optimizations_do_not_change_results() {
+        let f = fixture();
+        let queries = [
+            "//keyword",
+            "//listitem//keyword",
+            "/site/regions/*/item",
+            "/site/people/person[ phone or homepage]/name",
+            "//listitem[not(.//keyword/emph)]",
+            "/site/closed_auctions/closed_auction[ annotation/description/text/keyword ]/date",
+            "//*",
+            "//*//*",
+            "/descendant::text()",
+            "/descendant::*/attribute::*",
+            r#"//person[ contains(., "Alice") ]"#,
+            r#"//item[ .//keyword[ contains(., "rare") ] ]/name"#,
+        ];
+        for query in queries {
+            let reference = nodes(&f, query, EvalOptions::naive());
+            let ref_count = count(&f, query, EvalOptions::naive());
+            assert_eq!(reference.len() as u64, ref_count, "count vs materialize for {query}");
+            for opts in all_option_sets() {
+                assert_eq!(nodes(&f, query, opts), reference, "{query} with {opts:?}");
+                assert_eq!(count(&f, query, opts), ref_count, "{query} count with {opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_counts_are_correct() {
+        let f = fixture();
+        let o = EvalOptions::default();
+        assert_eq!(count(&f, "//keyword", o), 3);
+        assert_eq!(count(&f, "//listitem//keyword", o), 2);
+        assert_eq!(count(&f, "//listitem/keyword", o), 1);
+        assert_eq!(count(&f, "/site/regions/*/item", o), 2);
+        assert_eq!(count(&f, "/site/people/person", o), 2);
+        assert_eq!(count(&f, "/site/people/person[ phone or homepage]/name", o), 2);
+        assert_eq!(count(&f, "/site/people/person[ address and phone]/name", o), 1);
+        assert_eq!(count(&f, "//person[not(address)]", o), 1);
+        assert_eq!(count(&f, "//closed_auction[ .//keyword]/date", o), 1);
+        assert_eq!(count(&f, "//closed_auction/date", o), 2);
+        assert_eq!(count(&f, "/*", o), 1);
+        assert_eq!(count(&f, "/*[ .//* ]", o), 1);
+        assert_eq!(count(&f, "//item/@id", o), 2);
+        assert_eq!(count(&f, "//person/@id", o), 2);
+        assert_eq!(count(&f, "//nonexistent", o), 0);
+    }
+
+    #[test]
+    fn text_predicate_queries() {
+        let f = fixture();
+        let o = EvalOptions::default();
+        assert_eq!(count(&f, r#"//keyword[ contains(., "rare") ]"#, o), 1);
+        assert_eq!(count(&f, r#"//keyword[ contains(., "zzz") ]"#, o), 0);
+        assert_eq!(count(&f, r#"//person[ .//name[ . = "Alice" ] ]"#, o), 1);
+        assert_eq!(count(&f, r#"//person[ starts-with(.//name, "B") ]"#, o), 1);
+        assert_eq!(count(&f, r#"//name[ ends-with(., "ce") ]"#, o), 1);
+        // String-value semantics over mixed content: the listitem's value is
+        // the concatenation "a rare drum loud".
+        assert_eq!(count(&f, r#"//listitem[ contains(., "rare drum") ]"#, o), 1);
+        assert_eq!(count(&f, r#"//text[ contains(., "a rare") ]"#, o), 1);
+        // Attribute values are texts too.
+        assert_eq!(count(&f, r#"//person[ @id = "p1" ]"#, o), 1);
+    }
+
+    #[test]
+    fn materialized_nodes_are_in_document_order_and_correct() {
+        let f = fixture();
+        let o = EvalOptions::default();
+        let keyword_nodes = nodes(&f, "//keyword", o);
+        assert_eq!(keyword_nodes.len(), 3);
+        assert!(keyword_nodes.windows(2).all(|w| w[0] < w[1]));
+        for &n in &keyword_nodes {
+            assert_eq!(f.tree.tag_name(f.tree.tag(n)), "keyword");
+        }
+        let date_nodes = nodes(&f, "//closed_auction[ .//keyword]/date", o);
+        assert_eq!(date_nodes.len(), 1);
+        assert_eq!(f.tree.tag_name(f.tree.tag(date_nodes[0])), "date");
+    }
+
+    #[test]
+    fn stats_reflect_jumping() {
+        let f = fixture();
+        let q = parse_query("//keyword").unwrap();
+        let a = compile(&q, &f.tree).unwrap();
+        let mut naive = Evaluator::new(&a, &f.tree, Some(&f.texts), EvalOptions::naive());
+        let naive_count = naive.count();
+        let naive_visited = naive.stats().visited_nodes;
+        let mut fast = Evaluator::new(&a, &f.tree, Some(&f.texts), EvalOptions::default());
+        let fast_count = fast.count();
+        let fast_visited = fast.stats().visited_nodes;
+        assert_eq!(naive_count, fast_count);
+        assert!(
+            fast_visited < naive_visited,
+            "jumping should visit fewer nodes ({fast_visited} vs {naive_visited})"
+        );
+    }
+
+    #[test]
+    fn evaluate_wrapper_matches_modes() {
+        let f = fixture();
+        let q = parse_query("//keyword").unwrap();
+        let a = compile(&q, &f.tree).unwrap();
+        let mut e = Evaluator::new(&a, &f.tree, Some(&f.texts), EvalOptions::default());
+        assert_eq!(e.evaluate(true), Output::Count(3));
+        let mut e = Evaluator::new(&a, &f.tree, Some(&f.texts), EvalOptions::default());
+        match e.evaluate(false) {
+            Output::Nodes(n) => assert_eq!(n.len(), 3),
+            other => panic!("expected nodes, got {other:?}"),
+        }
+    }
+}

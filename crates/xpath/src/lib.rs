@@ -1,0 +1,26 @@
+//! XPath Core+ query processing for SXSI (Section 5 of the paper).
+//!
+//! Queries are parsed into a small AST ([`ast`], [`parser`]), compiled into
+//! alternating marking tree automata ([`automaton`], [`compile`]) and
+//! evaluated either top-down with relevant-node jumping and memoization
+//! ([`eval`]) or bottom-up from text-index seeds ([`bottomup`]).  The
+//! benchmark query sets of the paper are collected in [`queries`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod automaton;
+pub mod bottomup;
+pub mod compile;
+pub mod eval;
+pub mod parser;
+pub mod queries;
+
+pub use ast::{Axis, NodeTest, Path, Predicate, Query, Step};
+pub use automaton::{Automaton, Formula, Guard, StateId, StateSet};
+pub use bottomup::BottomUpPlan;
+pub use compile::{compile, CompileError};
+pub use eval::{EvalOptions, EvalStats, Evaluator, Output};
+pub use parser::{parse_query, XPathParseError};
+pub use queries::{NamedQuery, MEDLINE_QUERIES, TREEBANK_QUERIES, WORD_QUERIES, XMARK_QUERIES};

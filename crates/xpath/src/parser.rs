@@ -1,0 +1,562 @@
+//! Parser for the Core+ XPath fragment.
+//!
+//! The grammar follows Section 5.1 of the paper: location paths built from
+//! the forward axes with optional filters, where filters combine relative
+//! paths, `and`/`or`/`not(..)` and the text predicates `=`, `contains`,
+//! `starts-with`, `ends-with`.  Abbreviations are supported: `//` for the
+//! descendant axis, `@name` for `attribute::name`, `.` for `self::node()`,
+//! and a bare name for `child::name`.
+
+use crate::ast::{Axis, NodeTest, Path, Predicate, Query, Step};
+use std::fmt;
+use sxsi_text::TextPredicate;
+
+/// Error produced when a query string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathParseError {
+    /// Byte position in the query string.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for XPathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for XPathParseError {}
+
+/// Parses a complete (absolute) query.
+pub fn parse_query(input: &str) -> Result<Query, XPathParseError> {
+    let mut p = PathParser::new(input);
+    let path = p.parse_path(true)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return p.error("trailing input after query");
+    }
+    if !path.absolute {
+        return Err(XPathParseError { position: 0, message: "query must start with '/' or '//'".into() });
+    }
+    Ok(Query { path })
+}
+
+struct PathParser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PathParser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self { input, bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, XPathParseError> {
+        Err(XPathParseError { position: self.pos, message: message.into() })
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_str(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn is_name_byte(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-') || b >= 0x80
+    }
+
+    fn read_name(&mut self) -> Result<String, XPathParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if Self::is_name_byte(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.error("expected a name");
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn read_string_literal(&mut self) -> Result<String, XPathParseError> {
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.error("expected a string literal"),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let s = self.input[start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        self.error("unterminated string literal")
+    }
+
+    /// Parses a path.  `allow_absolute` is true at the top level.
+    fn parse_path(&mut self, allow_absolute: bool) -> Result<Path, XPathParseError> {
+        self.skip_ws();
+        let mut steps = Vec::new();
+        let mut absolute = false;
+        let mut next_axis: Option<Axis> = None;
+        if allow_absolute {
+            if self.peek_str("//") {
+                self.pos += 2;
+                absolute = true;
+                next_axis = Some(Axis::Descendant);
+            } else if self.peek_str("/") {
+                self.pos += 1;
+                absolute = true;
+                next_axis = Some(Axis::Child);
+            }
+        }
+        loop {
+            self.skip_ws();
+            // Context step `.`: only meaningful in relative paths; it does not
+            // move, so it only contributes when it is the whole path.
+            if self.peek() == Some(b'.') && !self.peek_str("..") {
+                self.pos += 1;
+                if next_axis.is_some() {
+                    return self.error("'.' cannot follow a slash");
+                }
+                // `.` followed by a path continues from the context node.
+            } else {
+                let axis_hint = next_axis.take().unwrap_or(Axis::Child);
+                let step = self.parse_step(axis_hint)?;
+                steps.push(step);
+            }
+            self.skip_ws();
+            if self.peek_str("//") {
+                self.pos += 2;
+                next_axis = Some(Axis::Descendant);
+            } else if self.peek_str("/") {
+                self.pos += 1;
+                next_axis = Some(Axis::Child);
+            } else {
+                break;
+            }
+        }
+        if next_axis.is_some() {
+            return self.error("path ends with a slash");
+        }
+        Ok(Path { absolute, steps })
+    }
+
+    /// Parses one step.  `default_axis` is the axis implied by the preceding
+    /// `/` or `//`.
+    fn parse_step(&mut self, default_axis: Axis) -> Result<Step, XPathParseError> {
+        self.skip_ws();
+        let mut axis = default_axis;
+        let test;
+        if self.eat("@") {
+            axis = Axis::Attribute;
+            test = if self.eat("*") { NodeTest::Wildcard } else { NodeTest::Name(self.read_name()?) };
+        } else if self.eat("*") {
+            test = NodeTest::Wildcard;
+        } else {
+            // Either `axisname::test` or a bare test.
+            let checkpoint = self.pos;
+            if self.peek().map(Self::is_name_byte).unwrap_or(false) {
+                let name = self.read_name()?;
+                if self.eat("::") {
+                    axis = match name.as_str() {
+                        "child" => Axis::Child,
+                        "descendant" => Axis::Descendant,
+                        "descendant-or-self" => Axis::DescendantOrSelf,
+                        "self" => Axis::SelfAxis,
+                        "attribute" => Axis::Attribute,
+                        "following-sibling" => Axis::FollowingSibling,
+                        other => return self.error(format!("unsupported axis '{other}'")),
+                    };
+                    test = self.parse_node_test()?;
+                } else {
+                    // A bare name; it may still be `name()`-style node test.
+                    self.pos = checkpoint;
+                    test = self.parse_node_test()?;
+                }
+            } else {
+                return self.error("expected a step");
+            }
+        }
+        let mut predicates = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("[") {
+                let pred = self.parse_or_expr()?;
+                self.skip_ws();
+                if !self.eat("]") {
+                    return self.error("expected ']' to close the filter");
+                }
+                predicates.push(pred);
+            } else {
+                break;
+            }
+        }
+        Ok(Step { axis, test, predicates })
+    }
+
+    fn parse_node_test(&mut self) -> Result<NodeTest, XPathParseError> {
+        if self.eat("*") {
+            return Ok(NodeTest::Wildcard);
+        }
+        let name = self.read_name()?;
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            // A node-type test.
+            self.pos += 1;
+            self.skip_ws();
+            if !self.eat(")") {
+                return self.error("expected ')' in node type test");
+            }
+            return match name.as_str() {
+                "text" => Ok(NodeTest::Text),
+                "node" => Ok(NodeTest::Node),
+                other => self.error(format!("unsupported node type test '{other}()'")),
+            };
+        }
+        Ok(NodeTest::Name(name))
+    }
+
+    fn parse_or_expr(&mut self) -> Result<Predicate, XPathParseError> {
+        let mut left = self.parse_and_expr()?;
+        loop {
+            self.skip_ws();
+            if self.peek_keyword("or") {
+                self.pos += 2;
+                let right = self.parse_and_expr()?;
+                left = Predicate::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_and_expr(&mut self) -> Result<Predicate, XPathParseError> {
+        let mut left = self.parse_unary_expr()?;
+        loop {
+            self.skip_ws();
+            if self.peek_keyword("and") {
+                self.pos += 3;
+                let right = self.parse_unary_expr()?;
+                left = Predicate::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// True when the keyword occurs here as a word (not a name prefix).
+    fn peek_keyword(&self, kw: &str) -> bool {
+        if !self.peek_str(kw) {
+            return false;
+        }
+        match self.bytes.get(self.pos + kw.len()) {
+            Some(&b) => !Self::is_name_byte(b),
+            None => true,
+        }
+    }
+
+    fn parse_unary_expr(&mut self) -> Result<Predicate, XPathParseError> {
+        self.skip_ws();
+        if self.peek_keyword("not") {
+            let checkpoint = self.pos;
+            self.pos += 3;
+            self.skip_ws();
+            if self.eat("(") {
+                let inner = self.parse_or_expr()?;
+                self.skip_ws();
+                if !self.eat(")") {
+                    return self.error("expected ')' after not(...)");
+                }
+                return Ok(Predicate::Not(Box::new(inner)));
+            }
+            self.pos = checkpoint;
+        }
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let inner = self.parse_or_expr()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return self.error("expected ')'");
+            }
+            return Ok(inner);
+        }
+        // Text functions.
+        for (kw, ctor) in [
+            ("contains", TextFn::Contains),
+            ("starts-with", TextFn::StartsWith),
+            ("ends-with", TextFn::EndsWith),
+        ] {
+            if self.peek_keyword(kw) {
+                let checkpoint = self.pos;
+                self.pos += kw.len();
+                self.skip_ws();
+                if self.eat("(") {
+                    let path = self.parse_path(false)?;
+                    self.skip_ws();
+                    if !self.eat(",") {
+                        return self.error("expected ',' in text function");
+                    }
+                    let literal = self.read_string_literal()?;
+                    self.skip_ws();
+                    if !self.eat(")") {
+                        return self.error("expected ')' to close the text function");
+                    }
+                    let op = match ctor {
+                        TextFn::Contains => TextPredicate::Contains(literal.into_bytes()),
+                        TextFn::StartsWith => TextPredicate::StartsWith(literal.into_bytes()),
+                        TextFn::EndsWith => TextPredicate::EndsWith(literal.into_bytes()),
+                    };
+                    return Ok(Predicate::TextCompare { path, op });
+                }
+                self.pos = checkpoint;
+            }
+        }
+        // A relative path, optionally compared against a literal.
+        let path = self.parse_path(false)?;
+        self.skip_ws();
+        let op = if self.eat("<=") {
+            Some(OpKind::Le)
+        } else if self.eat(">=") {
+            Some(OpKind::Ge)
+        } else if self.eat("=") {
+            Some(OpKind::Eq)
+        } else if self.eat("<") {
+            Some(OpKind::Lt)
+        } else if self.eat(">") {
+            Some(OpKind::Gt)
+        } else {
+            None
+        };
+        match op {
+            None => Ok(Predicate::Exists(path)),
+            Some(kind) => {
+                let literal = self.read_string_literal()?.into_bytes();
+                let op = match kind {
+                    OpKind::Eq => TextPredicate::Equals(literal),
+                    OpKind::Lt => TextPredicate::LessThan(literal),
+                    OpKind::Le => TextPredicate::LessEq(literal),
+                    OpKind::Gt => TextPredicate::GreaterThan(literal),
+                    OpKind::Ge => TextPredicate::GreaterEq(literal),
+                };
+                Ok(Predicate::TextCompare { path, op })
+            }
+        }
+    }
+}
+
+enum TextFn {
+    Contains,
+    StartsWith,
+    EndsWith,
+}
+
+enum OpKind {
+    Eq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> Query {
+        parse_query(s).unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+    }
+
+    #[test]
+    fn simple_paths() {
+        let query = q("/site/regions");
+        assert!(query.path.absolute);
+        assert_eq!(query.num_steps(), 2);
+        assert_eq!(query.path.steps[0].axis, Axis::Child);
+        assert_eq!(query.path.steps[0].test, NodeTest::Name("site".into()));
+        assert_eq!(query.path.steps[1].test, NodeTest::Name("regions".into()));
+
+        let query = q("//listitem//keyword");
+        assert_eq!(query.path.steps[0].axis, Axis::Descendant);
+        assert_eq!(query.path.steps[1].axis, Axis::Descendant);
+
+        let query = q("/site/regions/*/item");
+        assert_eq!(query.path.steps[2].test, NodeTest::Wildcard);
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let query = q("/descendant::listitem/child::keyword");
+        assert_eq!(query.path.steps[0].axis, Axis::Descendant);
+        assert_eq!(query.path.steps[1].axis, Axis::Child);
+        let query = q("/descendant::*/attribute::*");
+        assert_eq!(query.path.steps[1].axis, Axis::Attribute);
+        assert_eq!(query.path.steps[1].test, NodeTest::Wildcard);
+        let query = q("//keyword/@id");
+        assert_eq!(query.path.steps[1].axis, Axis::Attribute);
+        assert_eq!(query.path.steps[1].test, NodeTest::Name("id".into()));
+    }
+
+    #[test]
+    fn node_type_tests() {
+        let query = q("/descendant::text()");
+        assert_eq!(query.path.steps[0].test, NodeTest::Text);
+        let query = q("//*");
+        assert_eq!(query.path.steps[0].test, NodeTest::Wildcard);
+        let query = q("//node()");
+        assert_eq!(query.path.steps[0].test, NodeTest::Node);
+    }
+
+    #[test]
+    fn filters_with_paths_and_booleans() {
+        let query = q("/site/people/person[ profile/gender and profile/age]/name");
+        assert_eq!(query.num_steps(), 4);
+        let person = &query.path.steps[2];
+        assert_eq!(person.predicates.len(), 1);
+        match &person.predicates[0] {
+            Predicate::And(a, b) => {
+                assert!(matches!(**a, Predicate::Exists(_)));
+                assert!(matches!(**b, Predicate::Exists(_)));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+
+        let query = q("//listitem[not(.//keyword/emph)]//parlist");
+        let li = &query.path.steps[0];
+        match &li.predicates[0] {
+            Predicate::Not(inner) => match &**inner {
+                Predicate::Exists(p) => {
+                    assert!(!p.absolute);
+                    assert_eq!(p.steps.len(), 2);
+                    assert_eq!(p.steps[0].axis, Axis::Descendant);
+                    assert_eq!(p.steps[1].axis, Axis::Child);
+                }
+                other => panic!("expected Exists, got {other:?}"),
+            },
+            other => panic!("expected Not, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_filters() {
+        let query = q("//people[ .//person[not(address)] and .//person[not(watches)]]/person[watches]");
+        assert_eq!(query.num_steps(), 2);
+        let people = &query.path.steps[0];
+        assert!(matches!(people.predicates[0], Predicate::And(_, _)));
+        let person = &query.path.steps[1];
+        assert!(matches!(person.predicates[0], Predicate::Exists(_)));
+    }
+
+    #[test]
+    fn text_functions() {
+        let query = q(r#"//Article[ .//AbstractText[ contains (., "foot") or contains( . , "feet") ] ]"#);
+        let article = &query.path.steps[0];
+        match &article.predicates[0] {
+            Predicate::Exists(p) => {
+                let abstract_text = &p.steps[0];
+                match &abstract_text.predicates[0] {
+                    Predicate::Or(a, b) => {
+                        match &**a {
+                            Predicate::TextCompare { path, op } => {
+                                assert!(path.is_context_only());
+                                assert_eq!(op, &TextPredicate::Contains(b"foot".to_vec()));
+                            }
+                            other => panic!("expected TextCompare, got {other:?}"),
+                        }
+                        assert!(matches!(**b, Predicate::TextCompare { .. }));
+                    }
+                    other => panic!("expected Or, got {other:?}"),
+                }
+            }
+            other => panic!("expected Exists, got {other:?}"),
+        }
+
+        let query = q(r#"//MedlineCitation/Article/AuthorList/Author[ ./LastName[starts-with( . , "Bar")] ]"#);
+        let author = &query.path.steps[3];
+        match &author.predicates[0] {
+            Predicate::Exists(p) => {
+                assert_eq!(p.steps[0].axis, Axis::Child);
+                assert_eq!(p.steps[0].test, NodeTest::Name("LastName".into()));
+            }
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_comparison() {
+        let query = q(r#"/site/people/person[ name = "Alice" ]"#);
+        match &query.path.steps[2].predicates[0] {
+            Predicate::TextCompare { path, op } => {
+                assert_eq!(path.steps[0].test, NodeTest::Name("name".into()));
+                assert_eq!(op, &TextPredicate::Equals(b"Alice".to_vec()));
+            }
+            other => panic!("expected TextCompare, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_test_queries() {
+        assert_eq!(q("/*[ .//* ]").num_steps(), 1);
+        assert_eq!(q("//*//*//*//*").num_steps(), 4);
+        assert_eq!(q("//S[.//VP and .//NP]/VP/PP[IN]/NP/VBN").num_steps(), 5);
+        assert_eq!(q("//CC[ not(.//JJ) ]").num_steps(), 1);
+        assert_eq!(q("//NN[.//VBZ or .//IN]/*[.//NN or .//_QUOTE_]").num_steps(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("site/regions").is_err()); // relative at top level
+        assert!(parse_query("/site/").is_err());
+        assert!(parse_query("/site[").is_err());
+        assert!(parse_query("/site[foo").is_err());
+        assert!(parse_query("/site]").is_err());
+        assert!(parse_query("//ancestor::x").is_err()); // backward axis unsupported
+        assert!(parse_query(r#"//a[contains(., "x"]"#).is_err());
+        assert!(parse_query("").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip_parses_again() {
+        for s in [
+            "/site/regions/*/item",
+            "//listitem//keyword",
+            r#"//Article[ .//AbstractText[ contains(., "plus") ] ]"#,
+            "//people[ .//person[not(address)] ]/person[watches]",
+            "/descendant::listitem/descendant::keyword[child::emph]",
+        ] {
+            let first = q(s);
+            let rendered = first.to_string();
+            let second = q(&rendered);
+            assert_eq!(first, second, "roundtrip of {s}");
+        }
+    }
+}

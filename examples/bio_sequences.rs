@@ -1,0 +1,54 @@
+//! Querying gene annotations combined with DNA sequences (the paper's
+//! Section 6.7 scenario): structural XPath over a flat, repetitive document
+//! whose text is DNA, with motif search through the text index.
+//!
+//! Run with `cargo run --release --example bio_sequences`.
+
+use std::time::Instant;
+
+use sxsi::SxsiIndex;
+use sxsi_datagen::{bio, BioConfig};
+
+fn main() {
+    let xml = bio::generate(&BioConfig { num_genes: 120, seed: 5 });
+    println!("generated BioXML corpus: {} bytes", xml.len());
+
+    let start = Instant::now();
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("valid XML");
+    println!("index built in {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
+    let stats = index.stats();
+    println!(
+        "nodes={} texts={} tree index={} KiB, text index={} KiB",
+        stats.num_nodes,
+        stats.num_texts,
+        stats.tree_bytes / 1024,
+        stats.text_index_bytes / 1024
+    );
+
+    // Structural queries over the annotation part.
+    for query in [
+        "//gene",
+        "//gene/transcript",
+        "//gene/transcript/exon",
+        r#"//gene[ ./biotype[ . = "protein_coding" ] ]"#,
+        r#"//gene[ ./status[ . = "KNOWN" ] ]/name"#,
+    ] {
+        let start = Instant::now();
+        let count = index.count(query).expect("valid query");
+        println!("{:55} -> {:6} results in {:.2} ms", query, count, start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Motif search: which promoters contain a given DNA motif?  The motif is
+    // located through the FM-index (backward search + locate), then the
+    // promoter elements are verified bottom-up.
+    for motif in ["ACGTAC", "TTTTTTTT", "GATTACA"] {
+        let query = format!(r#"//gene[ ./promoter[ contains(., "{motif}") ] ]"#);
+        let start = Instant::now();
+        let count = index.count(&query).expect("valid query");
+        let global = index.texts().global_count(motif.as_bytes());
+        println!(
+            "motif {motif:>10}: {count:4} genes ({global:6} total occurrences) in {:.2} ms",
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Text-oriented search over a Medline-like corpus (the paper's Section 6.6
+//! scenario): highly selective `contains`/`starts-with` predicates answered
+//! bottom-up from the FM-index.
+//!
+//! Run with `cargo run --release --example medline_text_search`.
+
+use std::time::Instant;
+
+use sxsi::{SxsiIndex, Strategy};
+use sxsi_datagen::{medline, MedlineConfig};
+use sxsi_xpath::MEDLINE_QUERIES;
+
+fn main() {
+    let xml = medline::generate(&MedlineConfig { num_citations: 800, seed: 7 });
+    println!("generated Medline-like corpus: {} bytes", xml.len());
+
+    let start = Instant::now();
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("valid XML");
+    println!("index built in {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
+    let stats = index.stats();
+    println!(
+        "nodes={} texts={} index={} KiB (plain text copy {} KiB)",
+        stats.num_nodes,
+        stats.num_texts,
+        (stats.tree_bytes + stats.text_index_bytes) / 1024,
+        stats.plain_text_bytes / 1024
+    );
+
+    println!("\n{:<6} {:>9} {:>10} {:>9}  query", "id", "count", "strategy", "time ms");
+    for q in MEDLINE_QUERIES {
+        let start = Instant::now();
+        match index.execute(q.xpath, true) {
+            Ok(result) => {
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                let strategy = match result.strategy {
+                    Strategy::BottomUp => "bottom-up",
+                    Strategy::TopDown => "top-down",
+                };
+                println!(
+                    "{:<6} {:>9} {:>10} {:>9.2}  {}",
+                    q.id,
+                    result.output.count(),
+                    strategy,
+                    ms,
+                    q.xpath.chars().take(70).collect::<String>()
+                );
+            }
+            Err(e) => println!("{:<6} failed: {e}", q.id),
+        }
+    }
+
+    // Direct use of the text collection: the paper's GlobalCount /
+    // ContainsCount / ContainsReport primitives.
+    println!("\nFM-index primitives:");
+    for pattern in ["plus", "blood", "the"] {
+        let global = index.texts().global_count(pattern.as_bytes());
+        let texts = index.texts().contains_count(pattern.as_bytes());
+        println!("  pattern {pattern:>8}: {global:>7} occurrences in {texts:>6} texts");
+    }
+}

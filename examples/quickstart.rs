@@ -1,0 +1,47 @@
+//! Quickstart: build an SXSI index over a small document and query it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use sxsi::SxsiIndex;
+
+fn main() {
+    let xml = r#"<parts>
+  <part name="pen">
+    <color>blue</color>
+    <stock>40</stock>
+    Soon discontinued.
+  </part>
+  <part name="rubber">
+    <stock>30</stock>
+  </part>
+</parts>"#;
+
+    // Build the self-index: the compressed tree + the FM-indexed texts
+    // replace the original document.
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("valid XML");
+    let stats = index.stats();
+    println!(
+        "indexed {} nodes, {} texts, {} tags in {} bytes (document was {} bytes)",
+        stats.num_nodes,
+        stats.num_texts,
+        stats.num_tags,
+        stats.total_bytes(),
+        xml.len()
+    );
+
+    // Counting queries.
+    for query in ["//part", "//stock", "/parts/part[color]/stock", r#"//part[ @name = "pen" ]"#] {
+        println!("count {:45} = {}", query, index.count(query).expect("valid query"));
+    }
+
+    // Text search through the FM-index.
+    let q = r#"//part[ .//color[ contains(., "blu") ] ]"#;
+    println!("count {:45} = {}", q, index.count(q).expect("valid query"));
+
+    // Materialization and serialization (GetSubtree).
+    let nodes = index.materialize("//stock").expect("valid query");
+    for node in nodes {
+        println!("result: {}", index.get_subtree(node));
+    }
+    println!("serialized: {}", index.serialize("//color").expect("valid query"));
+}

@@ -1,0 +1,57 @@
+//! XMark-style analytics: index construction statistics (Figure 8) and the
+//! X01–X17 query set (Figure 10) over a synthetic XMark-like document,
+//! comparing SXSI against the naive in-memory evaluator.
+//!
+//! Run with `cargo run --release --example xmark_analytics`.
+
+use std::time::Instant;
+
+use sxsi::SxsiIndex;
+use sxsi_baseline::NaiveEvaluator;
+use sxsi_datagen::{xmark, XMarkConfig};
+use sxsi_xpath::{parse_query, XMARK_QUERIES};
+
+fn main() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.4, seed: 42 });
+    println!("generated XMark-like corpus: {} KiB", xml.len() / 1024);
+
+    let start = Instant::now();
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("valid XML");
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = index.stats();
+    println!(
+        "construction: {:.0} ms; nodes={} texts={} tags={}",
+        build_ms, stats.num_nodes, stats.num_texts, stats.num_tags
+    );
+    println!(
+        "index size: tree {} KiB + text self-index {} KiB (+ plain text copy {} KiB) vs document {} KiB",
+        stats.tree_bytes / 1024,
+        stats.text_index_bytes / 1024,
+        stats.plain_text_bytes / 1024,
+        xml.len() / 1024
+    );
+
+    let naive = NaiveEvaluator::new(index.tree(), index.texts());
+    println!("\n{:<5} {:>9} {:>12} {:>12} {:>8}", "query", "results", "sxsi ms", "naive ms", "speedup");
+    for q in XMARK_QUERIES {
+        let parsed = parse_query(q.xpath).expect("benchmark query parses");
+
+        let start = Instant::now();
+        let count = index.count(q.xpath).expect("valid query");
+        let sxsi_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let naive_count = naive.count(&parsed) as u64;
+        let naive_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(count, naive_count, "engines disagree on {}", q.id);
+        println!(
+            "{:<5} {:>9} {:>12.2} {:>12.2} {:>7.1}x",
+            q.id,
+            count,
+            sxsi_ms,
+            naive_ms,
+            naive_ms / sxsi_ms.max(0.0001)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! End-to-end equivalence of the SXSI engine and the naive reference
+//! evaluator over the paper's structural query sets (X01–X17, T01–T05) on
+//! synthetic XMark- and Treebank-like corpora.
+
+use sxsi::{SxsiIndex, SxsiOptions};
+use sxsi_baseline::NaiveEvaluator;
+use sxsi_datagen::{treebank, xmark, TreebankConfig, XMarkConfig};
+use sxsi_xpath::eval::EvalOptions;
+use sxsi_xpath::{parse_query, TREEBANK_QUERIES, XMARK_QUERIES};
+
+fn check_queries(index: &SxsiIndex, queries: &[sxsi_xpath::NamedQuery]) {
+    let naive = NaiveEvaluator::new(index.tree(), index.texts());
+    for q in queries {
+        let parsed = parse_query(q.xpath).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let expected = naive.evaluate(&parsed);
+        let got = index.materialize(q.xpath).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        assert_eq!(got, expected, "{} materialization differs", q.id);
+        let count = index.count(q.xpath).unwrap();
+        assert_eq!(count as usize, expected.len(), "{} count differs", q.id);
+    }
+}
+
+#[test]
+fn xmark_queries_match_reference() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.08, seed: 3 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    check_queries(&index, XMARK_QUERIES);
+}
+
+#[test]
+fn treebank_queries_match_reference() {
+    let xml = treebank::generate(&TreebankConfig { num_sentences: 250, seed: 3 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    check_queries(&index, TREEBANK_QUERIES);
+}
+
+#[test]
+fn optimization_ablation_preserves_results_on_xmark() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.05, seed: 11 });
+    let reference = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    let configs = [
+        EvalOptions::naive(),
+        EvalOptions { jumping: true, memoization: false, lazy_regions: false, text_index_predicates: false },
+        EvalOptions { jumping: false, memoization: true, lazy_regions: false, text_index_predicates: true },
+        EvalOptions::default(),
+    ];
+    for eval in configs {
+        let index = SxsiIndex::build_from_xml_with_options(
+            xml.as_bytes(),
+            SxsiOptions { eval, ..Default::default() },
+        )
+        .expect("builds");
+        for q in XMARK_QUERIES {
+            assert_eq!(
+                index.count(q.xpath).unwrap(),
+                reference.count(q.xpath).unwrap(),
+                "{} differs under {eval:?}",
+                q.id
+            );
+        }
+    }
+}

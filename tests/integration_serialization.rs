@@ -1,0 +1,61 @@
+//! Serialization integration tests: the index is a *self*-index, so the
+//! original document (and any subtree) must be reconstructible from it.
+
+use sxsi::SxsiIndex;
+use sxsi_datagen::{medline, xmark, MedlineConfig, XMarkConfig};
+
+#[test]
+fn whole_document_roundtrips_through_the_index() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.03, seed: 21 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    let rendered = index.get_subtree(index.tree().root());
+    // Re-indexing the rendered document gives the same structure and texts.
+    let reindexed = SxsiIndex::build_from_xml(rendered.as_bytes()).expect("round-tripped XML parses");
+    assert_eq!(reindexed.stats().num_nodes, index.stats().num_nodes);
+    assert_eq!(reindexed.stats().num_texts, index.stats().num_texts);
+    for query in ["//keyword", "//person", "//item", "//*"] {
+        assert_eq!(reindexed.count(query).unwrap(), index.count(query).unwrap(), "{query}");
+    }
+}
+
+#[test]
+fn serialized_results_reparse_and_count_consistently() {
+    let xml = medline::generate(&MedlineConfig { num_citations: 40, seed: 22 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    let fragment = index.serialize("//AuthorList").expect("runs");
+    let wrapped = format!("<root>{fragment}</root>");
+    let reparsed = SxsiIndex::build_from_xml(wrapped.as_bytes()).expect("fragment parses");
+    assert_eq!(
+        reparsed.count("//AuthorList").unwrap(),
+        index.count("//AuthorList").unwrap(),
+        "serialized fragments preserve the result set"
+    );
+    assert_eq!(
+        reparsed.count("//Author").unwrap(),
+        index.count("//AuthorList/Author").unwrap(),
+        "nested content survives serialization"
+    );
+}
+
+#[test]
+fn node_values_match_serialized_text() {
+    let xml = medline::generate(&MedlineConfig { num_citations: 10, seed: 23 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    for node in index.materialize("//LastName").expect("runs") {
+        let value = index.node_value(node);
+        let rendered = index.get_subtree(node);
+        assert_eq!(rendered, format!("<LastName>{value}</LastName>"));
+    }
+}
+
+#[test]
+fn get_text_matches_document_order() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.02, seed: 24 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    let tree = index.tree();
+    for d in 0..tree.num_texts().min(200) {
+        let node = tree.node_of_text(d).expect("text leaf exists");
+        assert_eq!(tree.text_id_of_leaf(node), Some(d));
+        assert!(!index.get_text(d).is_empty() || index.get_text(d).is_empty());
+    }
+}

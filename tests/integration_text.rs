@@ -1,0 +1,95 @@
+//! Text-oriented integration tests: the Medline/word query sets against the
+//! naive reference, and consistency of the FM-index predicates with plain
+//! scanning over the generated corpora.
+
+use sxsi::{SxsiIndex, SxsiOptions};
+use sxsi_baseline::NaiveEvaluator;
+use sxsi_datagen::{medline, wiki, MedlineConfig, WikiConfig};
+use sxsi_text::TextPredicate;
+use sxsi_xpath::{parse_query, MEDLINE_QUERIES, WORD_QUERIES};
+
+#[test]
+fn medline_queries_match_reference() {
+    let xml = medline::generate(&MedlineConfig { num_citations: 120, seed: 5 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    let naive = NaiveEvaluator::new(index.tree(), index.texts());
+    for q in MEDLINE_QUERIES {
+        let parsed = parse_query(q.xpath).unwrap();
+        assert_eq!(
+            index.count(q.xpath).unwrap() as usize,
+            naive.count(&parsed),
+            "{} count differs",
+            q.id
+        );
+    }
+}
+
+#[test]
+fn word_queries_match_reference_on_both_corpora() {
+    let medline_xml = medline::generate(&MedlineConfig { num_citations: 100, seed: 6 });
+    let wiki_xml = wiki::generate(&WikiConfig { num_pages: 120, seed: 6 });
+    for xml in [medline_xml, wiki_xml] {
+        let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+        let naive = NaiveEvaluator::new(index.tree(), index.texts());
+        for q in WORD_QUERIES {
+            let parsed = parse_query(q.xpath).unwrap();
+            assert_eq!(
+                index.count(q.xpath).unwrap() as usize,
+                naive.count(&parsed),
+                "{} count differs",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn fm_index_predicates_agree_with_plain_scans() {
+    let xml = medline::generate(&MedlineConfig { num_citations: 80, seed: 7 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    let texts = index.texts();
+    let plain = texts.plain().expect("plain copy kept by default");
+    for pattern in ["plus", "blood", "the", "Barnes", "AUSTRALIA", "zzzz"] {
+        let p = pattern.as_bytes();
+        assert_eq!(texts.contains(p), plain.scan_contains(p), "contains {pattern}");
+        assert_eq!(texts.starts_with(p), plain.scan_starts_with(p), "starts_with {pattern}");
+        assert_eq!(texts.ends_with(p), plain.scan_ends_with(p), "ends_with {pattern}");
+        assert_eq!(texts.equals(p), plain.scan_equals(p), "equals {pattern}");
+        assert_eq!(texts.global_count(p), plain.scan_global_count(p), "global_count {pattern}");
+    }
+}
+
+#[test]
+fn bottom_up_and_top_down_agree() {
+    let xml = medline::generate(&MedlineConfig { num_citations: 120, seed: 8 });
+    let default = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    let forced = SxsiIndex::build_from_xml_with_options(
+        xml.as_bytes(),
+        SxsiOptions { force_top_down: true, ..Default::default() },
+    )
+    .expect("builds");
+    for q in MEDLINE_QUERIES {
+        assert_eq!(
+            default.count(q.xpath).unwrap(),
+            forced.count(q.xpath).unwrap(),
+            "{} strategy mismatch",
+            q.id
+        );
+    }
+}
+
+#[test]
+fn text_extraction_roundtrips() {
+    let xml = medline::generate(&MedlineConfig { num_citations: 30, seed: 9 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    let texts = index.texts();
+    for d in 0..texts.num_texts() {
+        let content = texts.get_text(d);
+        assert_eq!(content.len(), texts.text_len(d));
+        if !content.is_empty() {
+            // The extracted text matches itself through the index.
+            let ids = texts.matching_texts(&TextPredicate::Equals(content.clone()));
+            assert!(ids.contains(&d), "text {d} not found by equality search");
+        }
+    }
+}
