@@ -1,0 +1,106 @@
+//! Microbenchmark: raw rank/select throughput of the succinct building
+//! blocks (RsBitVector, Elias-Fano, Huffman wavelet tree) on synthetic data.
+//! Not a paper figure — a regression guard for the primitives everything
+//! else is built on.
+use sxsi_bench::{header, row, time_avg_ms};
+use sxsi_succinct::wavelet::SequenceIndex;
+use sxsi_succinct::{BitVec, EliasFano, HuffmanWaveletTree, RsBitVector};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    const N: usize = 1 << 20;
+    const PROBES: usize = 100_000;
+    let mut state = 42u64;
+
+    let mut bv = BitVec::new();
+    for _ in 0..N {
+        bv.push(splitmix(&mut state) & 1 == 1);
+    }
+    let rs = RsBitVector::new(&bv);
+    let ones = rs.count_ones();
+
+    let mut values: Vec<u64> = (0..N as u64 / 8).map(|_| splitmix(&mut state) % (N as u64 * 4)).collect();
+    values.sort_unstable();
+    let ef = EliasFano::new(&values, N as u64 * 4);
+
+    let bytes: Vec<u8> = (0..N).map(|_| splitmix(&mut state) as u8).collect();
+    let wt = HuffmanWaveletTree::new(&bytes);
+
+    header(
+        "Micro: succinct primitives",
+        &["operation", "probes", "total ms", "ns/op"],
+    );
+    let report = |name: &str, ms: f64| {
+        row(&[
+            name.to_string(),
+            format!("{PROBES}"),
+            format!("{ms:.2}"),
+            format!("{:.1}", ms * 1e6 / PROBES as f64),
+        ]);
+    };
+
+    let mut probe_state = 7u64;
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0usize;
+        for _ in 0..PROBES {
+            acc = acc.wrapping_add(rs.rank1(splitmix(&mut probe_state) as usize % N));
+        }
+        acc
+    });
+    report("rsbitvec rank1", ms);
+
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0usize;
+        for _ in 0..PROBES {
+            let k = splitmix(&mut probe_state) as usize % ones + 1;
+            acc = acc.wrapping_add(rs.select1(k).unwrap_or(0));
+        }
+        acc
+    });
+    report("rsbitvec select1", ms);
+
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0usize;
+        for _ in 0..PROBES {
+            acc = acc.wrapping_add(ef.rank(splitmix(&mut probe_state) % (N as u64 * 4)));
+        }
+        acc
+    });
+    report("eliasfano rank", ms);
+
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0u64;
+        for _ in 0..PROBES {
+            let k = splitmix(&mut probe_state) as usize % values.len();
+            acc = acc.wrapping_add(ef.get(k).unwrap_or(0));
+        }
+        acc
+    });
+    report("eliasfano get", ms);
+
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0usize;
+        for _ in 0..PROBES {
+            let i = splitmix(&mut probe_state) as usize % N;
+            acc = acc.wrapping_add(wt.rank(bytes[i], i));
+        }
+        acc
+    });
+    report("huffman-wt rank", ms);
+
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0u64;
+        for _ in 0..PROBES {
+            acc = acc.wrapping_add(wt.access(splitmix(&mut probe_state) as usize % N) as u64);
+        }
+        acc
+    });
+    report("huffman-wt access", ms);
+}

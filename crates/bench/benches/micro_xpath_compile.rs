@@ -1,0 +1,35 @@
+//! Microbenchmark: XPath parse + automaton compile latency over the paper's
+//! query sets. Not a paper figure — compilation sits on the critical path of
+//! every cold query, so this guards it against regressions.
+use sxsi_bench::{header, medline_index, row, time_avg_ms, treebank_index, xmark_index};
+use sxsi_xpath::{compile, parse_query, MEDLINE_QUERIES, TREEBANK_QUERIES, XMARK_QUERIES};
+
+fn main() {
+    header(
+        "Micro: XPath parse + compile",
+        &["query set", "queries", "parse ms/query", "compile ms/query"],
+    );
+    for (name, set, index) in [
+        ("xmark", XMARK_QUERIES, xmark_index()),
+        ("medline", MEDLINE_QUERIES, medline_index()),
+        ("treebank", TREEBANK_QUERIES, treebank_index()),
+    ] {
+        let parse_ms = time_avg_ms(20, || {
+            for q in set {
+                let _ = parse_query(q.xpath).expect("query parses");
+            }
+        });
+        let queries: Vec<_> = set.iter().map(|q| parse_query(q.xpath).expect("query parses")).collect();
+        let compile_ms = time_avg_ms(20, || {
+            for q in &queries {
+                let _ = compile(q, index.tree()).expect("query compiles");
+            }
+        });
+        row(&[
+            name.to_string(),
+            format!("{}", set.len()),
+            format!("{:.3}", parse_ms / set.len() as f64),
+            format!("{:.3}", compile_ms / set.len() as f64),
+        ]);
+    }
+}

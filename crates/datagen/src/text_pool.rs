@@ -107,7 +107,7 @@ mod tests {
         let mut r = rng(2);
         let p = paragraph(&mut r, 4000);
         // Common words dominate, rare words still occur somewhere.
-        let the_count = p.split_whitespace().filter(|w| w.trim_end_matches('.') == &"the"[..]).count();
+        let the_count = p.split_whitespace().filter(|w| w.trim_end_matches('.') == "the").count();
         assert!(the_count > 20, "expected many 'the', got {the_count}");
         assert!(p.split_whitespace().count() >= 3000);
     }

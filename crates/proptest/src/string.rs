@@ -1,0 +1,112 @@
+//! String strategies from regex-like patterns.
+//!
+//! The real proptest interprets any `&str` as a full regex; this shim
+//! supports the subset used in the workspace's tests: literal characters,
+//! character classes `[a-z0-9_]` (with ranges), and counted repetition
+//! `{n}` / `{m,n}` applied to the preceding atom.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().expect("unterminated character class");
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().expect("unterminated range");
+                        assert!(lo <= hi, "inverted range in class: {pattern}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class: {pattern}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            _ => Atom::Literal(c),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition bound"),
+                    n.trim().parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern: {pattern}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+            let mut k = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = hi as u64 - lo as u64 + 1;
+                if k < span {
+                    return char::from_u32(lo as u32 + k as u32).expect("range stays in char space");
+                }
+                k -= span;
+            }
+            unreachable!("index within total weight")
+        }
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let span = (piece.max - piece.min) as u64;
+            let n = piece.min + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            for _ in 0..n {
+                out.push(generate_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}

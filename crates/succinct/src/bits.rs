@@ -18,7 +18,7 @@ pub fn select_in_word(word: u64, k: u32) -> u32 {
     // which already narrow the search down to a single word.
     let mut base = 0u32;
     loop {
-        let byte = (w & 0xFF) as u64;
+        let byte = w & 0xFF;
         let cnt = byte.count_ones();
         if cnt >= remaining {
             // The target bit is inside this byte.

@@ -209,7 +209,7 @@ mod tests {
             assert_eq!(ef.rank(p), expected_rank, "rank({p})");
             let expected_succ = values.iter().copied().find(|&v| v >= p);
             assert_eq!(ef.successor(p).map(|(_, v)| v), expected_succ, "successor({p})");
-            let expected_pred = values.iter().copied().filter(|&v| v < p).next_back();
+            let expected_pred = values.iter().copied().rfind(|&v| v < p);
             assert_eq!(ef.predecessor(p).map(|(_, v)| v), expected_pred, "predecessor({p})");
         }
         let collected: Vec<u64> = ef.iter().collect();

@@ -22,7 +22,7 @@ impl IntVector {
     /// # Panics
     /// Panics if `width` is 0 or greater than 64.
     pub fn new(len: usize, width: u32) -> Self {
-        assert!(width >= 1 && width <= 64, "width must be in 1..=64, got {width}");
+        assert!((1..=64).contains(&width), "width must be in 1..=64, got {width}");
         let total_bits = len.checked_mul(width as usize).expect("IntVector size overflow");
         Self { words: vec![0; ceil_div(total_bits, 64)], width, len }
     }

@@ -1,0 +1,185 @@
+//! Randomized oracle tests for the succinct building blocks.
+//!
+//! Every structure is checked against a naive, obviously-correct
+//! re-implementation over inputs drawn from a fixed-seed generator, covering
+//! the corner densities (all-zeros, all-ones, sparse, dense) the paper's
+//! rank/select machinery has to survive.
+
+use sxsi_succinct::wavelet::SequenceIndex;
+use sxsi_succinct::{BalancedWaveletTree, BitVec, EliasFano, HuffmanWaveletTree, RsBitVector};
+
+/// SplitMix64: the same deterministic generator the datagen crate uses.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+}
+
+fn random_bits(rng: &mut Rng, len: usize, ones_per_1000: u64) -> Vec<bool> {
+    (0..len).map(|_| rng.chance(ones_per_1000, 1000)).collect()
+}
+
+fn check_rsbitvec(bits: &[bool]) {
+    let bv: BitVec = bits.iter().copied().collect();
+    let rs = RsBitVector::new(&bv);
+    assert_eq!(rs.len(), bits.len());
+
+    let total_ones = bits.iter().filter(|&&b| b).count();
+    assert_eq!(rs.count_ones(), total_ones);
+    assert_eq!(rs.count_zeros(), bits.len() - total_ones);
+
+    let mut ones = 0usize;
+    for (i, &b) in bits.iter().enumerate() {
+        assert_eq!(rs.get(i), b, "get({i})");
+        assert_eq!(rs.rank1(i), ones, "rank1({i})");
+        assert_eq!(rs.rank0(i), i - ones, "rank0({i})");
+        if b {
+            ones += 1;
+            assert_eq!(rs.select1(ones), Some(i), "select1({ones})");
+        } else {
+            assert_eq!(rs.select0(i + 1 - ones), Some(i), "select0({})", i + 1 - ones);
+        }
+    }
+    assert_eq!(rs.rank1(bits.len()), total_ones);
+    assert_eq!(rs.select1(0), None);
+    assert_eq!(rs.select1(total_ones + 1), None);
+    assert_eq!(rs.select0(bits.len() - total_ones + 1), None);
+
+    // next_one against a forward scan from a handful of positions.
+    let mut rng = Rng::new(7);
+    for _ in 0..64.min(bits.len()) {
+        let i = rng.below(bits.len() as u64) as usize;
+        let expected = (i..bits.len()).find(|&j| bits[j]);
+        assert_eq!(rs.next_one(i), expected, "next_one({i})");
+    }
+}
+
+#[test]
+fn rsbitvec_matches_naive_across_densities() {
+    let mut rng = Rng::new(0xB17_5EED);
+    for &density in &[0u64, 1, 50, 500, 950, 1000] {
+        for &len in &[1usize, 63, 64, 65, 511, 512, 1000, 4096, 10_000] {
+            check_rsbitvec(&random_bits(&mut rng, len, density));
+        }
+    }
+    check_rsbitvec(&[]);
+}
+
+#[test]
+fn eliasfano_matches_naive() {
+    let mut rng = Rng::new(0xEF_5EED);
+    for &(count, universe) in &[(0usize, 100u64), (1, 1), (10, 10), (100, 1 << 14), (500, 1 << 20), (2000, 3000)] {
+        let mut values: Vec<u64> = (0..count).map(|_| rng.below(universe)).collect();
+        values.sort_unstable();
+        let ef = EliasFano::new(&values, universe);
+        assert_eq!(ef.len(), values.len());
+
+        // `get` (a.k.a. select) reproduces every stored value.
+        for (k, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(k), Some(v), "get({k})");
+        }
+        assert_eq!(ef.get(values.len()), None);
+
+        // rank / successor / predecessor / contains versus linear scans,
+        // probing both random points and every stored value ±1.
+        let mut probes: Vec<u64> = (0..200).map(|_| rng.below(universe + 2)).collect();
+        for &v in &values {
+            probes.push(v);
+            probes.push(v.saturating_sub(1));
+            probes.push(v + 1);
+        }
+        for &p in &probes {
+            let naive_rank = values.iter().filter(|&&v| v < p).count();
+            assert_eq!(ef.rank(p), naive_rank, "rank({p})");
+
+            let naive_succ = values.iter().copied().enumerate().find(|&(_, v)| v >= p);
+            assert_eq!(ef.successor(p), naive_succ, "successor({p})");
+
+            // `predecessor` is strict: largest stored value `< p`.
+            let naive_pred = values.iter().copied().enumerate().rev().find(|&(_, v)| v < p);
+            assert_eq!(ef.predecessor(p), naive_pred, "predecessor({p})");
+
+            assert_eq!(ef.contains(p), values.contains(&p), "contains({p})");
+        }
+
+        assert_eq!(ef.iter().collect::<Vec<_>>(), values);
+    }
+}
+
+fn check_wavelet<Sym: Copy + Eq + std::fmt::Debug, S: SequenceIndex<Sym>>(seq: &[Sym], wt: &S, alphabet: &[Sym]) {
+    assert_eq!(wt.len(), seq.len());
+    for (i, &s) in seq.iter().enumerate() {
+        assert_eq!(wt.access(i), s, "access({i})");
+    }
+    for &sym in alphabet {
+        let mut seen = 0usize;
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(wt.rank(sym, i), seen, "rank({i})");
+            if s == sym {
+                seen += 1;
+                assert_eq!(wt.select(sym, seen), Some(i), "select({seen})");
+            }
+        }
+        assert_eq!(wt.rank(sym, seq.len()), seen, "full rank");
+        assert_eq!(wt.select(sym, seen + 1), None, "select past end");
+        assert_eq!(wt.select(sym, 0), None, "select(0)");
+    }
+}
+
+#[test]
+fn huffman_wavelet_matches_naive() {
+    let mut rng = Rng::new(0x33F_5EED);
+    // Skewed distribution: symbol 0 dominates, exercising deep Huffman leaves.
+    for &len in &[0usize, 1, 100, 2000] {
+        let seq: Vec<u8> = (0..len)
+            .map(|_| {
+                if rng.chance(3, 4) {
+                    0
+                } else {
+                    rng.below(250) as u8
+                }
+            })
+            .collect();
+        let wt = HuffmanWaveletTree::new(&seq);
+        let mut alphabet: Vec<u8> = seq.clone();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        alphabet.push(251); // a symbol that never occurs
+        check_wavelet(&seq, &wt, &alphabet);
+    }
+}
+
+#[test]
+fn balanced_wavelet_matches_naive() {
+    let mut rng = Rng::new(0xBA1_5EED);
+    for &(len, sigma) in &[(0usize, 4u32), (1, 1), (300, 3), (1500, 257), (800, 70_000)] {
+        let seq: Vec<u32> = (0..len).map(|_| rng.below(sigma as u64) as u32).collect();
+        let wt = BalancedWaveletTree::new(&seq, sigma);
+        let mut alphabet: Vec<u32> = seq.clone();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        if sigma > 1 {
+            alphabet.push(sigma - 1); // possibly-absent top symbol
+            alphabet.dedup();
+        }
+        check_wavelet(&seq, &wt, &alphabet);
+    }
+}

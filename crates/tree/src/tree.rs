@@ -171,7 +171,7 @@ impl XmlTree {
     /// Number of nodes in the subtree rooted at `x` (including `x`).
     #[inline]
     pub fn subtree_size(&self, x: NodeId) -> usize {
-        (self.close(x) - x + 1) / 2
+        (self.close(x) - x).div_ceil(2)
     }
 
     /// Whether `x` is an ancestor of `y` (a node is an ancestor of itself).
@@ -582,12 +582,12 @@ impl XmlTreeBuilder {
             }
         }
         let mut following_table = TagTable::new(num_tags);
-        for a in 0..num_tags {
-            if first_close[a] == usize::MAX {
+        for (a, &close_a) in first_close.iter().enumerate() {
+            if close_a == usize::MAX {
                 continue;
             }
             for b in 0..num_tags {
-                if has_open[b] && last_open[b] > first_close[a] {
+                if has_open[b] && last_open[b] > close_a {
                     following_table.set(a as TagId, b as TagId);
                 }
             }

@@ -20,6 +20,7 @@ use sxsi_tree::{XmlTree, XmlTreeBuilder};
 
 /// Options controlling model construction.
 #[derive(Debug, Clone)]
+#[derive(Default)]
 pub struct DocumentOptions {
     /// Keep character-data runs that consist solely of whitespace.  The paper
     /// keeps them (they are part of the document); benchmarks usually drop
@@ -27,11 +28,6 @@ pub struct DocumentOptions {
     pub keep_whitespace_text: bool,
 }
 
-impl Default for DocumentOptions {
-    fn default() -> Self {
-        Self { keep_whitespace_text: false }
-    }
-}
 
 /// The parsed document: tree structure plus texts in document order.
 #[derive(Debug, Clone)]
