@@ -1,0 +1,43 @@
+//! Batch-query throughput: queries/sec of the parallel executor at
+//! 1/2/4/8 worker threads over one shared XMark index.
+//!
+//! This is the performance half of the concurrency tentpole (the
+//! correctness half is `tests/integration_concurrency.rs`): the whole X01–
+//! X17 set is compiled once into a [`QueryBatch`] and executed repeatedly
+//! by pools of growing size.  On a machine with `k` available cores the
+//! throughput should grow up to `k` workers and then flatten; results are
+//! asserted identical to the single-threaded run at every pool size.
+use sxsi_bench::{header, measure_batch_qps, row, xmark_index};
+use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+use sxsi_xpath::XMARK_QUERIES;
+
+fn main() {
+    let index = xmark_index();
+    let specs: Vec<QuerySpec> =
+        XMARK_QUERIES.iter().map(|q| QuerySpec::count(q.id, q.xpath)).collect();
+    let batch = QueryBatch::compile(index, specs).expect("benchmark queries compile");
+    let reference = BatchExecutor::new(1).run(index, &batch);
+
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    header(
+        &format!("Concurrency: X01–X17 batch throughput (available parallelism: {parallelism})"),
+        &["threads", "batch ms", "queries/s", "speedup"],
+    );
+    let mut baseline_qps = None;
+    for threads in [1usize, 2, 4, 8] {
+        let executor = BatchExecutor::new(threads);
+        // The equivalence check the figure relies on.
+        let results = executor.run(index, &batch);
+        for (r, expected) in results.iter().zip(&reference) {
+            assert_eq!(r.output, expected.output, "{} diverged at {threads} threads", r.id);
+        }
+        let (median_ns, qps) = measure_batch_qps(&executor, index, &batch, 5);
+        let base = *baseline_qps.get_or_insert(qps);
+        row(&[
+            threads.to_string(),
+            format!("{:.2}", median_ns as f64 / 1e6),
+            format!("{qps:.1}"),
+            format!("{:.2}x", qps / base),
+        ]);
+    }
+}

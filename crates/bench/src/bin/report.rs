@@ -1,0 +1,121 @@
+//! Machine-readable benchmark report: `cargo run -p sxsi-bench --bin report`.
+//!
+//! Runs the quick concurrency benches (the X01–X17 batch in counting and
+//! materializing mode at 1/2/4/8 worker threads over one shared XMark
+//! index) and writes `BENCH_pr2.json` at the repository root: one entry per
+//! `(bench, threads)` pair with the median wall time in nanoseconds and the
+//! derived queries/sec.  The report also records the machine's available
+//! parallelism — on a single-core host the thread-scaling curve is
+//! necessarily flat, and readers of the trajectory need to know that.
+//!
+//! Options: `--scale <f64>` (XMark scale factor, default 0.15) and
+//! `--runs <n>` (timed runs per entry, default 5).  Use `--release` for
+//! numbers worth recording.
+
+use sxsi::SxsiIndex;
+use sxsi_bench::measure_batch_qps;
+use sxsi_datagen::{xmark, XMarkConfig};
+use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+use sxsi_xpath::XMARK_QUERIES;
+
+struct Entry {
+    name: String,
+    threads: usize,
+    median_ns: u128,
+    queries_per_sec: f64,
+}
+
+/// Times `runs` executions of the batch and returns one report entry.
+fn measure(
+    name: &str,
+    executor: &BatchExecutor,
+    index: &SxsiIndex,
+    batch: &QueryBatch,
+    runs: usize,
+) -> Entry {
+    let (median_ns, queries_per_sec) = measure_batch_qps(executor, index, batch, runs);
+    println!(
+        "  {name} threads={} median={:.2} ms queries/s={queries_per_sec:.1}",
+        executor.threads(),
+        median_ns as f64 / 1e6
+    );
+    Entry { name: name.to_string(), threads: executor.threads(), median_ns, queries_per_sec }
+}
+
+fn parse_args() -> (f64, usize) {
+    let mut scale = 0.15;
+    let mut runs = 5;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale <f64>");
+            }
+            "--runs" => {
+                runs = args.next().and_then(|v| v.parse().ok()).expect("--runs <n>");
+            }
+            other => panic!("unknown option '{other}' (expected --scale or --runs)"),
+        }
+    }
+    (scale, runs)
+}
+
+fn main() {
+    let (scale, runs) = parse_args();
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("generating XMark corpus (scale {scale}) ...");
+    let xml = xmark::generate(&XMarkConfig { scale, seed: 42 });
+    println!("building index over {} bytes ...", xml.len());
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds");
+
+    let count_batch = QueryBatch::compile(
+        &index,
+        XMARK_QUERIES.iter().map(|q| QuerySpec::count(q.id, q.xpath)).collect(),
+    )
+    .expect("benchmark queries compile");
+    let materialize_batch = QueryBatch::compile(
+        &index,
+        XMARK_QUERIES.iter().map(|q| QuerySpec::materialize(q.id, q.xpath)).collect(),
+    )
+    .expect("benchmark queries compile");
+
+    let mut entries = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let executor = BatchExecutor::new(threads);
+        entries.push(measure("xmark_x01_x17_count", &executor, &index, &count_batch, runs));
+        entries.push(measure(
+            "xmark_x01_x17_materialize",
+            &executor,
+            &index,
+            &materialize_batch,
+            runs,
+        ));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 2,\n");
+    json.push_str("  \"bench\": \"parallel batch executor over one shared XMark index\",\n");
+    json.push_str(&format!("  \"corpus\": \"xmark scale {scale} seed 42\",\n"));
+    json.push_str(&format!("  \"queries\": {},\n", XMARK_QUERIES.len()));
+    json.push_str(&format!("  \"runs_per_entry\": {runs},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
+    json.push_str(
+        "  \"note\": \"thread scaling is bounded by available_parallelism; \
+         on a single-core host the curve is flat by construction\",\n",
+    );
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"queries_per_sec\": {:.2} }}{comma}\n",
+            e.name, e.threads, e.median_ns, e.queries_per_sec
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    std::fs::write(path, &json).expect("BENCH_pr2.json is writable");
+    println!("\nwrote {}", path);
+}

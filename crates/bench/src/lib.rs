@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use sxsi::{SxsiIndex, SxsiOptions};
 use sxsi_datagen::{medline, treebank, wiki, xmark, MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig};
+use sxsi_engine::{BatchExecutor, QueryBatch};
 
 /// Milliseconds spent running `f` once.
 pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -101,4 +102,26 @@ pub fn wiki_index() -> &'static SxsiIndex {
 /// Builds an index with specific options (used by the ablation figure).
 pub fn build_index(xml: &str, options: SxsiOptions) -> SxsiIndex {
     SxsiIndex::build_from_xml_with_options(xml.as_bytes(), options).expect("index builds")
+}
+
+/// The shared measurement protocol of the concurrency experiments
+/// (`concurrency_throughput` bench and the `report` binary): one warm-up
+/// run, then `runs` timed executions of the whole batch.  Returns the
+/// median wall time in nanoseconds and the derived queries/sec.
+pub fn measure_batch_qps(
+    executor: &BatchExecutor,
+    index: &SxsiIndex,
+    batch: &QueryBatch,
+    runs: usize,
+) -> (u128, f64) {
+    let _ = executor.run(index, batch); // warm-up
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        let _ = executor.run(index, batch);
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    (median, batch.len() as f64 * 1e9 / median as f64)
 }

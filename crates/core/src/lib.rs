@@ -40,7 +40,9 @@ use sxsi_text::{TextCollection, TextCollectionOptions};
 use sxsi_tree::{NodeId, XmlTree};
 use sxsi_xml::{parse_document_with_options, DocumentOptions, ParseError, ParsedDocument};
 use sxsi_xpath::eval::{EvalOptions, EvalStats, Evaluator, Output};
-use sxsi_xpath::{compile, parse_query, BottomUpPlan, CompileError, Query, XPathParseError};
+use sxsi_xpath::{
+    compile, parse_query, Automaton, BottomUpPlan, CompileError, Query, XPathParseError,
+};
 
 pub use serialize::{serialize_subtree, string_value, subtree_to_string};
 pub use sxsi_text::{TextId, TextPredicate};
@@ -121,6 +123,32 @@ pub enum Strategy {
     BottomUp,
 }
 
+/// A query compiled against one index: the planner's strategy choice
+/// frozen together with the artifacts needed to run it.
+///
+/// Produced by [`SxsiIndex::compile`] and consumed by
+/// [`SxsiIndex::execute_compiled`] — and by the `sxsi-engine` batch
+/// executor, which shares one compiled plan across its worker threads
+/// (`CompiledPlan` is `Send + Sync`).  A plan is only meaningful for the
+/// index it was compiled against: tag identifiers are baked in.
+#[derive(Debug)]
+pub enum CompiledPlan {
+    /// Automaton run from the root (with jumping).
+    TopDown(Automaton),
+    /// Text-index seeds verified upward (Section 6.6).
+    BottomUp(BottomUpPlan),
+}
+
+impl CompiledPlan {
+    /// The strategy this plan executes with.
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            CompiledPlan::TopDown(_) => Strategy::TopDown,
+            CompiledPlan::BottomUp(_) => Strategy::BottomUp,
+        }
+    }
+}
+
 /// The outcome of a query execution.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -169,6 +197,13 @@ pub struct SxsiIndex {
 
 impl SxsiIndex {
     /// Parses `xml` and builds the index with default options.
+    ///
+    /// ```
+    /// use sxsi::SxsiIndex;
+    ///
+    /// let index = SxsiIndex::build_from_xml(b"<a><b>hi</b><b/></a>").unwrap();
+    /// assert_eq!(index.count("//b").unwrap(), 2);
+    /// ```
     pub fn build_from_xml(xml: &[u8]) -> Result<Self, BuildError> {
         Self::build_from_xml_with_options(xml, SxsiOptions::default())
     }
@@ -235,38 +270,80 @@ impl SxsiIndex {
         }
     }
 
-    /// Runs `query` and returns the full result (strategy + stats included).
-    pub fn execute(&self, query: &str, counting: bool) -> Result<QueryResult, QueryError> {
-        let parsed = self.parse(query)?;
-        let strategy = self.plan(&parsed);
-        match strategy {
-            Strategy::BottomUp => {
-                let plan = BottomUpPlan::try_from_query(&parsed, &self.tree)
-                    .expect("plan() said the query was eligible");
+    /// Compiles a parsed query into an executable plan, making the same
+    /// strategy choice as [`SxsiIndex::plan`].
+    ///
+    /// Compile once, execute many times (possibly from many threads): see
+    /// [`SxsiIndex::execute_compiled`] and the `sxsi-engine` crate.
+    pub fn compile(&self, query: &Query) -> Result<CompiledPlan, QueryError> {
+        if !self.options.force_top_down {
+            if let Some(plan) = BottomUpPlan::try_from_query(query, &self.tree) {
+                return Ok(CompiledPlan::BottomUp(plan));
+            }
+        }
+        Ok(CompiledPlan::TopDown(compile(query, &self.tree)?))
+    }
+
+    /// Executes a compiled plan.  All mutable state (the evaluator) is
+    /// created locally, so `&self` calls may run concurrently.
+    pub fn execute_compiled(&self, plan: &CompiledPlan, counting: bool) -> QueryResult {
+        match plan {
+            CompiledPlan::BottomUp(plan) => {
                 let output = plan.execute(&self.tree, &self.texts, counting);
                 let stats = EvalStats {
                     visited_nodes: 0,
                     marked_nodes: output.count(),
                     result_nodes: output.count(),
                 };
-                Ok(QueryResult { output, strategy, stats })
+                QueryResult { output, strategy: Strategy::BottomUp, stats }
             }
-            Strategy::TopDown => {
-                let automaton = compile(&parsed, &self.tree)?;
+            CompiledPlan::TopDown(automaton) => {
                 let mut evaluator =
-                    Evaluator::new(&automaton, &self.tree, Some(&self.texts), self.options.eval);
+                    Evaluator::new(automaton, &self.tree, Some(&self.texts), self.options.eval);
                 let output = evaluator.evaluate(counting);
-                Ok(QueryResult { output, strategy, stats: evaluator.stats() })
+                QueryResult { output, strategy: Strategy::TopDown, stats: evaluator.stats() }
             }
         }
     }
 
+    /// Runs `query` and returns the full result (strategy + stats included).
+    pub fn execute(&self, query: &str, counting: bool) -> Result<QueryResult, QueryError> {
+        let parsed = self.parse(query)?;
+        let plan = self.compile(&parsed)?;
+        Ok(self.execute_compiled(&plan, counting))
+    }
+
     /// Number of nodes selected by `query`.
+    ///
+    /// Counting mode never materializes node sets: wherever the automaton
+    /// configuration allows it, whole regions are counted through the
+    /// tag index (Section 5.5.3 of the paper).
+    ///
+    /// ```
+    /// use sxsi::SxsiIndex;
+    ///
+    /// let index = SxsiIndex::build_from_xml(
+    ///     br#"<cd><track len="3:01"/><track len="4:10"/></cd>"#,
+    /// ).unwrap();
+    /// assert_eq!(index.count("/cd/track").unwrap(), 2);
+    /// assert_eq!(index.count(r#"//track[ @len = "4:10" ]"#).unwrap(), 1);
+    /// ```
     pub fn count(&self, query: &str) -> Result<u64, QueryError> {
         Ok(self.execute(query, true)?.output.count())
     }
 
     /// The nodes selected by `query`, in document order.
+    ///
+    /// ```
+    /// use sxsi::SxsiIndex;
+    ///
+    /// let index = SxsiIndex::build_from_xml(b"<a><b>x</b><c/><b/></a>").unwrap();
+    /// let nodes = index.materialize("//b").unwrap();
+    /// assert_eq!(nodes.len(), 2);
+    /// assert!(nodes[0] < nodes[1]); // document order
+    /// assert_eq!(index.node_name(nodes[0]), "b");
+    /// assert_eq!(index.node_value(nodes[0]), "x");
+    /// ```
     pub fn materialize(&self, query: &str) -> Result<Vec<NodeId>, QueryError> {
         let result = self.execute(query, false)?;
         match result.output {

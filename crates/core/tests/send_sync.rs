@@ -1,0 +1,18 @@
+//! Compile-time thread-safety guarantee for the whole index façade.
+//!
+//! `Arc<SxsiIndex>` shared across a thread pool is the central pattern of
+//! `sxsi-engine`; this assertion is what makes that pattern legal.
+
+use sxsi::{CompiledPlan, IndexStats, QueryResult, SxsiIndex, SxsiOptions};
+
+fn require_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn the_index_is_send_and_sync() {
+    require_send_sync::<SxsiIndex>();
+    require_send_sync::<SxsiOptions>();
+    require_send_sync::<IndexStats>();
+    require_send_sync::<QueryResult>();
+    // Compiled plans are shared read-only by every batch worker.
+    require_send_sync::<CompiledPlan>();
+}

@@ -1,0 +1,393 @@
+//! Parallel batch query execution over one shared [`SxsiIndex`].
+//!
+//! The SXSI index is immutable after construction: every structure on the
+//! read path (balanced parentheses, tag sequences, FM-index, automata) is
+//! `Send + Sync`, and all per-query mutable state (the memoization table,
+//! predicate caches, statistics) lives inside the per-thread
+//! [`Evaluator`](sxsi_xpath::eval::Evaluator).  This crate exploits that
+//! shape: a [`QueryBatch`] compiles a set of XPath queries once, and a
+//! [`BatchExecutor`] fans the compiled queries out across a configurable
+//! `std::thread` pool, every worker evaluating against the same shared
+//! index.  Results are identical to sequential evaluation — parallelism is
+//! across queries, never within one.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sxsi::SxsiIndex;
+//! use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+//!
+//! let xml = r#"<parts>
+//!   <part name="pen"><color>blue</color><stock>40</stock></part>
+//!   <part name="rubber"><stock>30</stock></part>
+//! </parts>"#;
+//! let index = Arc::new(SxsiIndex::build_from_xml(xml.as_bytes()).unwrap());
+//!
+//! let batch = QueryBatch::compile(
+//!     &index,
+//!     vec![
+//!         QuerySpec::count("stocks", "//stock"),
+//!         QuerySpec::materialize("blue-parts", r#"//part[ .//color[ contains(., "blu") ] ]"#),
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! let results = BatchExecutor::new(2).run(&index, &batch);
+//! assert_eq!(results[0].output.count(), 2);
+//! assert_eq!(results[1].output.nodes().unwrap().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use sxsi::{CompiledPlan, QueryError, SxsiIndex, Strategy};
+use sxsi_xpath::eval::{EvalStats, Output};
+
+/// How one batch query produces its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Return only the number of selected nodes (Section 5.5.3 counters).
+    Count,
+    /// Materialize the selected nodes in document order.
+    Materialize,
+}
+
+/// One query of a batch: an identifier (echoed back on the result), the
+/// XPath expression and the output mode.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Caller-chosen identifier, copied onto the matching [`BatchResult`].
+    pub id: String,
+    /// The XPath Core+ expression.
+    pub xpath: String,
+    /// Counting or materializing evaluation.
+    pub mode: BatchMode,
+}
+
+impl QuerySpec {
+    /// A counting query.
+    pub fn count(id: impl Into<String>, xpath: impl Into<String>) -> Self {
+        Self { id: id.into(), xpath: xpath.into(), mode: BatchMode::Count }
+    }
+
+    /// A materializing query.
+    pub fn materialize(id: impl Into<String>, xpath: impl Into<String>) -> Self {
+        Self { id: id.into(), xpath: xpath.into(), mode: BatchMode::Materialize }
+    }
+}
+
+/// A query that failed to parse or compile, with its position in the batch.
+#[derive(Debug)]
+pub struct BatchError {
+    /// The identifier of the offending [`QuerySpec`].
+    pub id: String,
+    /// The underlying parse/compile error.
+    pub error: QueryError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query '{}': {}", self.id, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// One compiled query of a batch: the spec plus the frozen
+/// [`CompiledPlan`] — the same strategy choice [`SxsiIndex::execute`]
+/// makes, made once so repeated batch runs (and every worker thread) skip
+/// parsing, planning and compilation.
+struct CompiledQuery {
+    spec: QuerySpec,
+    plan: CompiledPlan,
+}
+
+/// A set of queries compiled against one index, ready to be executed (any
+/// number of times) by a [`BatchExecutor`].
+///
+/// Compilation is tied to the index it was performed against: tag
+/// identifiers baked into the automata are only meaningful for that
+/// document.  Running a batch against a different index is a logic error
+/// (it cannot crash, but the answers would be meaningless).
+pub struct QueryBatch {
+    queries: Vec<CompiledQuery>,
+}
+
+impl fmt::Debug for QueryBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.specs()).finish()
+    }
+}
+
+impl QueryBatch {
+    /// Parses, plans and compiles every spec against `index` (through
+    /// [`SxsiIndex::compile`], so the strategy choice is exactly the one
+    /// sequential execution makes).
+    ///
+    /// Fails on the first malformed query, identifying it by its `id`.
+    pub fn compile(index: &SxsiIndex, specs: Vec<QuerySpec>) -> Result<Self, BatchError> {
+        let mut queries = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let plan = index
+                .parse(&spec.xpath)
+                .and_then(|query| index.compile(&query))
+                .map_err(|error| BatchError { id: spec.id.clone(), error })?;
+            queries.push(CompiledQuery { spec, plan });
+        }
+        Ok(Self { queries })
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The specs the batch was compiled from, in batch order.
+    pub fn specs(&self) -> impl Iterator<Item = &QuerySpec> {
+        self.queries.iter().map(|q| &q.spec)
+    }
+}
+
+/// The result of one batch query.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// The identifier of the originating [`QuerySpec`].
+    pub id: String,
+    /// The strategy the planner chose at compile time.
+    pub strategy: Strategy,
+    /// Count or materialized nodes — identical to what a sequential
+    /// [`Evaluator`](sxsi_xpath::eval::Evaluator) run produces.
+    pub output: Output,
+    /// Evaluator statistics (zeroed for bottom-up runs, as in
+    /// [`SxsiIndex::execute`]).
+    pub stats: EvalStats,
+}
+
+/// Fans a [`QueryBatch`] out across a pool of `std::thread` workers sharing
+/// one immutable index.
+///
+/// Work distribution is dynamic: workers claim the next unstarted query
+/// through an atomic cursor, so a batch mixing cheap and expensive queries
+/// stays balanced.  Results are returned in batch order regardless of
+/// completion order.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    threads: usize,
+}
+
+impl BatchExecutor {
+    /// An executor with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        Self::new(threads)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every query of `batch` against `index`, returning one result per
+    /// query in batch order.
+    ///
+    /// The index is borrowed for the duration of the call; callers holding
+    /// an `Arc<SxsiIndex>` pass `&arc` (auto-deref).  With one worker the
+    /// pool is bypassed and the batch runs on the calling thread.
+    ///
+    /// Workers are spawned afresh on every call (`std::thread::scope`), so
+    /// each run pays roughly tens of microseconds per worker in spawn/join
+    /// overhead; batches should be large enough to amortize that.  For
+    /// very small batches of cheap queries, fewer threads (or `new(1)`)
+    /// can be faster than a wide pool.
+    pub fn run(&self, index: &SxsiIndex, batch: &QueryBatch) -> Vec<BatchResult> {
+        let workers = self.threads.min(batch.len().max(1));
+        if workers <= 1 {
+            return batch.queries.iter().map(|q| run_one(index, q)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<BatchResult>> = Vec::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut produced = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(query) = batch.queries.get(i) else { break };
+                            produced.push((i, run_one(index, query)));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            slots.resize_with(batch.len(), || None);
+            for handle in handles {
+                let produced = handle.join().expect("batch worker panicked");
+                for (i, result) in produced {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots.into_iter().map(|r| r.expect("every query was claimed by a worker")).collect()
+    }
+}
+
+/// Evaluates one compiled query; this is the only code a worker thread
+/// runs, and all mutable state (the evaluator inside
+/// [`SxsiIndex::execute_compiled`]) is allocated locally.
+fn run_one(index: &SxsiIndex, query: &CompiledQuery) -> BatchResult {
+    let counting = query.spec.mode == BatchMode::Count;
+    let result = index.execute_compiled(&query.plan, counting);
+    BatchResult {
+        id: query.spec.id.clone(),
+        strategy: result.strategy,
+        output: result.output,
+        stats: result.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const DOC: &str = r#"<site>
+  <regions>
+    <africa><item id="i1"><name>drum</name><description>
+      <parlist><listitem><text>a <keyword>rare</keyword> drum <emph>loud</emph></text></listitem>
+      <listitem><keyword>old</keyword></listitem></parlist>
+    </description></item></africa>
+    <europe><item id="i2"><name>violin</name><description>classic string instrument</description></item></europe>
+  </regions>
+  <people>
+    <person id="p1"><name>Alice</name><address>Oak street</address><phone>123</phone></person>
+    <person id="p2"><name>Bob</name><homepage>http://b.example</homepage></person>
+  </people>
+</site>"#;
+
+    fn index() -> Arc<SxsiIndex> {
+        Arc::new(SxsiIndex::build_from_xml(DOC.as_bytes()).unwrap())
+    }
+
+    fn specs() -> Vec<QuerySpec> {
+        vec![
+            QuerySpec::count("keywords", "//keyword"),
+            QuerySpec::materialize("items", "/site/regions/*/item"),
+            QuerySpec::count("people", "/site/people/person[ phone or homepage]/name"),
+            QuerySpec::materialize("alice", r#"//person[ .//name[ . = "Alice" ] ]"#),
+            QuerySpec::count("all", "//*"),
+            QuerySpec::materialize("texts", "/descendant::text()"),
+        ]
+    }
+
+    #[test]
+    fn results_match_sequential_execution_at_every_thread_count() {
+        let index = index();
+        let batch = QueryBatch::compile(&index, specs()).unwrap();
+        let reference = BatchExecutor::new(1).run(&index, &batch);
+        for threads in [2, 3, 8] {
+            let parallel = BatchExecutor::new(threads).run(&index, &batch);
+            assert_eq!(parallel.len(), reference.len());
+            for (p, r) in parallel.iter().zip(&reference) {
+                assert_eq!(p.id, r.id);
+                assert_eq!(p.strategy, r.strategy);
+                assert_eq!(p.output, r.output, "query '{}' with {threads} threads", p.id);
+            }
+        }
+    }
+
+    #[test]
+    fn results_match_index_execute() {
+        let index = index();
+        let batch = QueryBatch::compile(&index, specs()).unwrap();
+        let results = BatchExecutor::new(4).run(&index, &batch);
+        for (spec, result) in specs().iter().zip(&results) {
+            let counting = spec.mode == BatchMode::Count;
+            let expected = index.execute(&spec.xpath, counting).unwrap();
+            assert_eq!(result.output, expected.output, "query '{}'", spec.id);
+            assert_eq!(result.strategy, expected.strategy, "query '{}'", spec.id);
+        }
+    }
+
+    #[test]
+    fn planner_choice_is_preserved() {
+        let index = index();
+        let batch = QueryBatch::compile(
+            &index,
+            vec![
+                QuerySpec::count("bottom-up", r#"//person[ .//name[ . = "Alice" ] ]"#),
+                QuerySpec::count("top-down", "//keyword"),
+            ],
+        )
+        .unwrap();
+        let results = BatchExecutor::new(2).run(&index, &batch);
+        assert_eq!(results[0].strategy, Strategy::BottomUp);
+        assert_eq!(results[1].strategy, Strategy::TopDown);
+        assert_eq!(results[0].output.count(), 1);
+        assert_eq!(results[1].output.count(), 2);
+    }
+
+    #[test]
+    fn index_can_be_shared_across_plain_spawned_threads() {
+        let index = index();
+        let batch = Arc::new(QueryBatch::compile(&index, specs()).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let index = Arc::clone(&index);
+                let batch = Arc::clone(&batch);
+                std::thread::spawn(move || BatchExecutor::new(2).run(&index, &batch))
+            })
+            .collect();
+        let reference = BatchExecutor::new(1).run(&index, &batch);
+        for handle in handles {
+            let results = handle.join().unwrap();
+            for (p, r) in results.iter().zip(&reference) {
+                assert_eq!(p.output, r.output);
+            }
+        }
+    }
+
+    #[test]
+    fn compile_errors_identify_the_query() {
+        let index = index();
+        let err = QueryBatch::compile(
+            &index,
+            vec![QuerySpec::count("good", "//keyword"), QuerySpec::count("bad", "keyword")],
+        )
+        .unwrap_err();
+        assert_eq!(err.id, "bad");
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn empty_batch_and_oversized_pool_are_fine() {
+        let index = index();
+        let empty = QueryBatch::compile(&index, Vec::new()).unwrap();
+        assert!(empty.is_empty());
+        assert!(BatchExecutor::new(8).run(&index, &empty).is_empty());
+        let one = QueryBatch::compile(&index, vec![QuerySpec::count("k", "//keyword")]).unwrap();
+        assert_eq!(one.len(), 1);
+        let results = BatchExecutor::new(64).run(&index, &one);
+        assert_eq!(results[0].output.count(), 2);
+    }
+}

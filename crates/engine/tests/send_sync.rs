@@ -1,0 +1,15 @@
+//! Compile-time thread-safety guarantees for the batch engine itself.
+
+use sxsi_engine::{BatchExecutor, BatchResult, QueryBatch, QuerySpec};
+
+fn require_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn engine_types_are_send_and_sync() {
+    // A compiled batch is shared read-only by every worker; results are
+    // collected across threads.
+    require_send_sync::<QueryBatch>();
+    require_send_sync::<BatchExecutor>();
+    require_send_sync::<BatchResult>();
+    require_send_sync::<QuerySpec>();
+}

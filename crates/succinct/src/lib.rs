@@ -21,10 +21,25 @@
 //!
 //! All structures are immutable after construction and are designed for the
 //! access patterns of the SXSI query engine: heavy `rank`/`select` traffic
-//! with good cache behaviour and no per-query allocation.
+//! with good cache behaviour and no per-query allocation.  Being immutable
+//! and free of interior mutability they are also `Send + Sync`
+//! (compile-time asserted in `tests/send_sync.rs`), so one built structure
+//! can serve any number of query threads.
+//!
+//! ```
+//! use sxsi_succinct::{BitVec, RsBitVector};
+//!
+//! let mut bits = BitVec::new();
+//! for i in 0..100 {
+//!     bits.push(i % 3 == 0);
+//! }
+//! let rs = RsBitVector::new(&bits);
+//! assert_eq!(rs.rank1(10), 4);           // ones in [0, 10)
+//! assert_eq!(rs.select1(4), Some(9));    // position of the 4th one (1-based k)
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bits;
 pub mod bitvec;

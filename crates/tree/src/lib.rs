@@ -9,9 +9,28 @@
 //! * [`bp`] — balanced parentheses with range-min-max excess search.
 //! * [`tags`] — tag registry and the tag sequence with per-tag sarrays.
 //! * [`tree`] — [`XmlTree`]: the combined tree index and its builder.
+//!
+//! A built [`XmlTree`] is immutable and `Send + Sync` (compile-time
+//! asserted in `tests/send_sync.rs`): all navigation below is read-only
+//! and safe to issue from many threads at once.
+//!
+//! ```
+//! use sxsi_xml::parse_document;
+//!
+//! let doc = parse_document(b"<a><b/><c><b/></c></a>").unwrap();
+//! let tree = doc.tree; // sxsi_tree::XmlTree
+//! let root = tree.root();
+//! let a = tree.first_child(root).unwrap();
+//! let b_tag = tree.tag_id("b").unwrap();
+//! assert_eq!(tree.tag_name(tree.tag(a)), "a");
+//! assert_eq!(tree.subtree_tags(a, b_tag), 2);
+//! // TaggedDesc: first b-labeled descendant, in constant-ish time.
+//! let b = tree.tagged_desc(a, b_tag).unwrap();
+//! assert_eq!(tree.parent(b), Some(a));
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bp;
 pub mod tags;

@@ -1,0 +1,20 @@
+//! Compile-time thread-safety guarantees for the succinct tree index.
+//!
+//! A built [`XmlTree`] (balanced parentheses, tag sequence, leaf maps) is
+//! immutable and must be `Send + Sync` so the parallel batch executor
+//! (`sxsi-engine`) can navigate one shared tree from many threads.
+
+use sxsi_tree::{BalancedParens, TagRegistry, TagSequence, XmlTree, XmlTreeBuilder};
+
+fn require_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn tree_index_types_are_send_and_sync() {
+    require_send_sync::<XmlTree>();
+    require_send_sync::<BalancedParens>();
+    require_send_sync::<TagRegistry>();
+    require_send_sync::<TagSequence>();
+    // The builder is single-owner but still has to move between threads
+    // (e.g. parse on a worker, build on another).
+    require_send_sync::<XmlTreeBuilder>();
+}

@@ -1,0 +1,13 @@
+//! Compile-time thread-safety guarantees for the document model.
+
+use sxsi_xml::{DocumentOptions, ParsedDocument};
+
+fn require_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn document_model_is_send_and_sync() {
+    // A parsed document (tree + texts) can be handed to another thread for
+    // index construction, or shared once built.
+    require_send_sync::<ParsedDocument>();
+    require_send_sync::<DocumentOptions>();
+}

@@ -25,7 +25,7 @@
 
 use crate::automaton::{Automaton, Formula, StateId, StateSet};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use sxsi_text::{TextCollection, TextId};
 use sxsi_tree::{reserved, NodeId, TagId, TagRelation, XmlTree};
 
@@ -138,7 +138,7 @@ enum LazyNodes {
     One(NodeId),
     /// Every `tag`-labeled node with opening parenthesis in `[lo, hi)`.
     TagRange { tag: TagId, lo: usize, hi: usize },
-    Cat(Rc<LazyNodes>, Rc<LazyNodes>),
+    Cat(Arc<LazyNodes>, Arc<LazyNodes>),
 }
 
 impl LazyNodes {
@@ -174,7 +174,7 @@ impl ResultOps for LazyNodes {
         match (&self, &other) {
             (LazyNodes::Empty, _) => other,
             (_, LazyNodes::Empty) => self,
-            _ => LazyNodes::Cat(Rc::new(self), Rc::new(other)),
+            _ => LazyNodes::Cat(Arc::new(self), Arc::new(other)),
         }
     }
     fn tag_range(_tree: &XmlTree, tag: TagId, lo: usize, hi: usize) -> Self {
@@ -254,7 +254,7 @@ pub struct Evaluator<'a> {
     texts: Option<&'a TextCollection>,
     options: EvalOptions,
     stats: EvalStats,
-    memo: HashMap<(TagId, u64), Rc<NodeConfig>>,
+    memo: HashMap<(TagId, u64), Arc<NodeConfig>>,
     /// Per predicate: the sorted text ids whose *whole* content satisfies it
     /// (only present when `text_index_predicates` is enabled).
     pred_text_matches: Vec<Option<Vec<TextId>>>,
@@ -396,15 +396,15 @@ impl<'a> Evaluator<'a> {
         NodeConfig { applicable, down1, down2 }
     }
 
-    fn node_config(&mut self, tag: TagId, states: StateSet) -> Rc<NodeConfig> {
+    fn node_config(&mut self, tag: TagId, states: StateSet) -> Arc<NodeConfig> {
         if !self.options.memoization {
-            return Rc::new(self.compute_config(tag, states));
+            return Arc::new(self.compute_config(tag, states));
         }
         if let Some(c) = self.memo.get(&(tag, states.0)) {
-            return Rc::clone(c);
+            return Arc::clone(c);
         }
-        let c = Rc::new(self.compute_config(tag, states));
-        self.memo.insert((tag, states.0), Rc::clone(&c));
+        let c = Arc::new(self.compute_config(tag, states));
+        self.memo.insert((tag, states.0), Arc::clone(&c));
         c
     }
 

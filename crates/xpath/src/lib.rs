@@ -1,13 +1,30 @@
 //! XPath Core+ query processing for SXSI (Section 5 of the paper).
 //!
 //! Queries are parsed into a small AST ([`ast`], [`parser`]), compiled into
-//! alternating marking tree automata ([`automaton`], [`compile`]) and
+//! alternating marking tree automata ([`automaton`], [`mod@compile`]) and
 //! evaluated either top-down with relevant-node jumping and memoization
 //! ([`eval`]) or bottom-up from text-index seeds ([`bottomup`]).  The
 //! benchmark query sets of the paper are collected in [`queries`].
+//!
+//! Compiled [`Automaton`]s are immutable and `Send + Sync`; every mutable
+//! piece of a run (memo table, statistics, predicate caches) lives inside
+//! the [`Evaluator`], so one compiled query can be evaluated from many
+//! threads by giving each its own evaluator (see the `sxsi-engine` crate).
+//!
+//! ```
+//! use sxsi_xml::parse_document;
+//! use sxsi_xpath::{compile, parse_query};
+//! use sxsi_xpath::eval::{EvalOptions, Evaluator};
+//!
+//! let doc = parse_document(b"<a><b><c/></b><c/></a>").unwrap();
+//! let query = parse_query("/a//c").unwrap();
+//! let automaton = compile(&query, &doc.tree).unwrap();
+//! let mut evaluator = Evaluator::new(&automaton, &doc.tree, None, EvalOptions::default());
+//! assert_eq!(evaluator.count(), 2);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod automaton;

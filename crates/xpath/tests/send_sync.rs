@@ -1,0 +1,31 @@
+//! Compile-time thread-safety guarantees for the query layer.
+//!
+//! Compiled automata and bottom-up plans are immutable shared inputs for
+//! the parallel batch executor; the [`Evaluator`] itself is `Send` (its
+//! memoization table and statistics are per-instance, never shared), which
+//! lets a worker pool create one evaluator per in-flight query.
+
+use sxsi_xpath::eval::{EvalOptions, EvalStats, Evaluator, Output};
+use sxsi_xpath::{Automaton, BottomUpPlan, Query, StateSet};
+
+fn require_send_sync<T: Send + Sync>() {}
+fn require_send<T: Send>() {}
+
+#[test]
+fn compiled_query_artifacts_are_send_and_sync() {
+    require_send_sync::<Query>();
+    require_send_sync::<Automaton>();
+    require_send_sync::<BottomUpPlan>();
+    require_send_sync::<EvalOptions>();
+    require_send_sync::<EvalStats>();
+    require_send_sync::<Output>();
+    require_send_sync::<StateSet>();
+}
+
+#[test]
+fn evaluator_is_send() {
+    // `Evaluator` borrows the automaton/tree/texts (all `Sync`) and owns
+    // its mutable caches, so a freshly created evaluator may move into a
+    // worker thread.
+    require_send::<Evaluator<'static>>();
+}

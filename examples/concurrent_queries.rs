@@ -1,0 +1,67 @@
+//! Concurrent batch querying: one shared index, many worker threads.
+//!
+//! Builds an XMark-like index once, compiles the paper's X01–X17 query set
+//! into a [`QueryBatch`], and runs the batch at increasing thread counts,
+//! checking that every run returns exactly the sequential answers and
+//! printing the throughput of each pool size.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example concurrent_queries
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sxsi::SxsiIndex;
+use sxsi_datagen::{xmark, XMarkConfig};
+use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+use sxsi_xpath::XMARK_QUERIES;
+
+fn main() {
+    // One immutable index, shared by every worker thread below.
+    let xml = xmark::generate(&XMarkConfig { scale: 0.3, seed: 42 });
+    println!("corpus: {} bytes of XMark-like XML", xml.len());
+    let start = Instant::now();
+    let index = Arc::new(SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds"));
+    println!("index built in {:.1} ms\n", start.elapsed().as_secs_f64() * 1e3);
+
+    // Compile the whole X01–X17 query set once; compilation is shared by
+    // every subsequent run, only evaluation is fanned out.
+    let specs: Vec<QuerySpec> =
+        XMARK_QUERIES.iter().map(|q| QuerySpec::count(q.id, q.xpath)).collect();
+    let batch = QueryBatch::compile(&index, specs).expect("benchmark queries compile");
+
+    // Sequential reference answers.
+    let reference = BatchExecutor::new(1).run(&index, &batch);
+    println!("query answers (sequential):");
+    for r in &reference {
+        println!("  {}  {:>8}  ({:?})", r.id, r.output.count(), r.strategy);
+    }
+    println!();
+
+    // The same batch at growing pool sizes: answers must be identical, and
+    // on a multi-core machine the throughput grows with the pool.
+    println!("threads\truns/s\tqueries/s\tspeedup");
+    let mut baseline = None;
+    for threads in [1usize, 2, 4, 8] {
+        let executor = BatchExecutor::new(threads);
+        let runs = 5;
+        let start = Instant::now();
+        for _ in 0..runs {
+            let results = executor.run(&index, &batch);
+            for (r, expected) in results.iter().zip(&reference) {
+                assert_eq!(r.output, expected.output, "{} diverged at {threads} threads", r.id);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let runs_per_sec = runs as f64 / secs;
+        let qps = runs_per_sec * batch.len() as f64;
+        let base = *baseline.get_or_insert(qps);
+        println!("{threads}\t{runs_per_sec:.2}\t{qps:.1}\t{:.2}x", qps / base);
+    }
+
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n(available parallelism on this machine: {parallelism})");
+}

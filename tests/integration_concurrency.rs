@@ -1,0 +1,108 @@
+//! Parallel-vs-sequential equivalence over the paper's full query sets.
+//!
+//! For every query in `crates/xpath/src/queries.rs` (XMark X01–X17,
+//! Treebank T01–T05, Medline M01–M11, word-based W01–W10), the batch
+//! executor — at several pool sizes — must return exactly the counts and
+//! node sets a sequential [`Evaluator`] produces on the same generated
+//! corpus.  This is the correctness half of the concurrency tentpole: the
+//! throughput half lives in `crates/bench/benches/concurrency_throughput.rs`.
+
+use std::sync::Arc;
+
+use sxsi::SxsiIndex;
+use sxsi_datagen::{medline, treebank, wiki, xmark};
+use sxsi_datagen::{MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig};
+use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+use sxsi_xpath::eval::{EvalOptions, Evaluator};
+use sxsi_xpath::{compile, parse_query, NamedQuery};
+use sxsi_xpath::{MEDLINE_QUERIES, TREEBANK_QUERIES, WORD_QUERIES, XMARK_QUERIES};
+
+/// Sequential reference answers computed with a plain single-threaded
+/// [`Evaluator`] (the pre-engine execution path).
+fn sequential_reference(index: &SxsiIndex, queries: &[NamedQuery]) -> Vec<(u64, Vec<u64>)> {
+    queries
+        .iter()
+        .map(|q| {
+            let parsed = parse_query(q.xpath).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            let automaton =
+                compile(&parsed, index.tree()).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            let mut counter =
+                Evaluator::new(&automaton, index.tree(), Some(index.texts()), EvalOptions::default());
+            let count = counter.count();
+            let mut materializer =
+                Evaluator::new(&automaton, index.tree(), Some(index.texts()), EvalOptions::default());
+            let nodes = materializer.materialize().into_iter().map(|n| n as u64).collect();
+            (count, nodes)
+        })
+        .collect()
+}
+
+/// Runs `queries` through the batch executor at several pool sizes and
+/// checks counts and node sets against the sequential reference.
+fn assert_parallel_matches_sequential(corpus: &str, xml: &str, queries: &[NamedQuery]) {
+    let index = Arc::new(SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds"));
+    let reference = sequential_reference(&index, queries);
+
+    let mut specs = Vec::new();
+    for q in queries {
+        specs.push(QuerySpec::count(format!("{}/count", q.id), q.xpath));
+        specs.push(QuerySpec::materialize(format!("{}/nodes", q.id), q.xpath));
+    }
+    let batch = QueryBatch::compile(&index, specs).expect("benchmark queries compile");
+
+    for threads in [1usize, 2, 4] {
+        let results = BatchExecutor::new(threads).run(&index, &batch);
+        assert_eq!(results.len(), 2 * queries.len());
+        for (qi, q) in queries.iter().enumerate() {
+            let (ref_count, ref_nodes) = &reference[qi];
+            let count_result = &results[2 * qi];
+            let nodes_result = &results[2 * qi + 1];
+            assert_eq!(count_result.id, format!("{}/count", q.id));
+            assert_eq!(
+                count_result.output.count(),
+                *ref_count,
+                "{corpus} {} count diverged at {threads} threads",
+                q.id
+            );
+            let nodes: Vec<u64> = nodes_result
+                .output
+                .nodes()
+                .unwrap_or_else(|| panic!("{} returned a bare count", q.id))
+                .iter()
+                .map(|&n| n as u64)
+                .collect();
+            assert_eq!(
+                &nodes, ref_nodes,
+                "{corpus} {} node set diverged at {threads} threads",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn xmark_queries_parallel_equivalence() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.1, seed: 7 });
+    assert_parallel_matches_sequential("xmark", &xml, XMARK_QUERIES);
+}
+
+#[test]
+fn treebank_queries_parallel_equivalence() {
+    let xml = treebank::generate(&TreebankConfig { num_sentences: 400, seed: 7 });
+    assert_parallel_matches_sequential("treebank", &xml, TREEBANK_QUERIES);
+}
+
+#[test]
+fn medline_queries_parallel_equivalence() {
+    let xml = medline::generate(&MedlineConfig { num_citations: 200, seed: 7 });
+    assert_parallel_matches_sequential("medline", &xml, MEDLINE_QUERIES);
+    // W01–W05 are Medline word queries.
+    assert_parallel_matches_sequential("medline", &xml, &WORD_QUERIES[..5]);
+}
+
+#[test]
+fn wiki_queries_parallel_equivalence() {
+    let xml = wiki::generate(&WikiConfig { num_pages: 120, seed: 7 });
+    // W06–W10 run over the wiki corpus.
+    assert_parallel_matches_sequential("wiki", &xml, &WORD_QUERIES[5..]);
+}
