@@ -42,19 +42,27 @@ fn measure(
     Entry { name: name.to_string(), threads: executor.threads(), median_ns, queries_per_sec }
 }
 
+const USAGE: &str = "usage: report [--scale <f64>] [--runs <n>]";
+
+fn usage_error(message: &str) -> ! {
+    sxsi_bench::usage_error("report", message, USAGE)
+}
+
 fn parse_args() -> (f64, usize) {
     let mut scale = 0.15;
     let mut runs = 5;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => {
-                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale <f64>");
-            }
-            "--runs" => {
-                runs = args.next().and_then(|v| v.parse().ok()).expect("--runs <n>");
-            }
-            other => panic!("unknown option '{other}' (expected --scale or --runs)"),
+            "--scale" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale = v,
+                None => usage_error("--scale expects a floating-point factor"),
+            },
+            "--runs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => runs = v,
+                _ => usage_error("--runs expects a positive integer"),
+            },
+            other => usage_error(&format!("unknown option '{other}'")),
         }
     }
     (scale, runs)

@@ -23,6 +23,27 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Median wall-clock milliseconds over `runs` executions of `f`.
+pub fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Prints a usage error for a report binary and exits with status 2 — a
+/// benchmark driver must never panic on a typo'd flag (a panic looks like a
+/// crash to CI and hides the usage text).
+pub fn usage_error(program: &str, message: &str, usage: &str) -> ! {
+    eprintln!("{program}: {message}\n{usage}");
+    std::process::exit(2);
+}
+
 /// Milliseconds per run, averaged over `runs` executions after one warm-up.
 pub fn time_avg_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
     let _ = f();

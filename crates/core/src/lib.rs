@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod io;
 pub mod serialize;
 
 use std::fmt;
@@ -44,15 +45,22 @@ use sxsi_xpath::{
     compile, parse_query, Automaton, BottomUpPlan, CompileError, Query, XPathParseError,
 };
 
+pub use io::{IoError, ReadFrom, WriteInto, FORMAT_VERSION, MAGIC};
 pub use serialize::{serialize_subtree, string_value, subtree_to_string};
 pub use sxsi_text::{TextId, TextPredicate};
-pub use sxsi_tree::TagId;
+pub use sxsi_tree::{TagId, TreeError};
 pub use sxsi_xpath::eval::Output as QueryOutput;
 
 /// Errors produced when building an index.
+///
+/// Malformed input can never panic the building process: XML syntax errors,
+/// mismatched tags *and* tree-structure violations (unbalanced parentheses,
+/// unclosed elements — see [`sxsi_tree::TreeError`]) all surface here as
+/// structured errors.
 #[derive(Debug)]
 pub enum BuildError {
-    /// The XML input could not be parsed.
+    /// The XML input could not be parsed, or the parsed events did not form
+    /// a well-formed tree.
     Parse(ParseError),
 }
 

@@ -1,0 +1,247 @@
+//! The `sxsi` command-line tool: build, query and inspect `.sxsi` index
+//! files.
+//!
+//! ```text
+//! sxsi build <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
+//!            [--scan-cutoff N] [--keep-whitespace]
+//! sxsi query <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
+//!            [--threads N]
+//! sxsi info  <index.sxsi>
+//! ```
+//!
+//! `build` parses the XML once and writes the versioned binary container;
+//! `query` loads the container (no re-parsing, no BWT reconstruction) and
+//! runs the given XPath expressions through the parallel
+//! [`BatchExecutor`]; `info` prints the stats a capacity planner needs
+//! (node/text/tag counts and per-component sizes).
+//!
+//! Unknown options print usage and exit with a non-zero status; runtime
+//! failures (missing files, corrupt indexes, malformed queries) are reported
+//! on stderr with exit code 1.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sxsi::{SxsiIndex, SxsiOptions};
+use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+
+const USAGE: &str = "\
+usage:
+  sxsi build <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
+             [--scan-cutoff N] [--keep-whitespace]
+  sxsi query <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
+             [--threads N]
+  sxsi info  <index.sxsi>
+
+subcommands:
+  build   parse the XML document and write a versioned .sxsi index file
+  query   load a .sxsi file and run XPath queries (counts by default)
+  info    print size and cardinality statistics of a .sxsi file
+
+build options:
+  --sample-rate N    locate sampling step (default 64; smaller = faster
+                     locate, larger = smaller index)
+  --no-plain-text    drop the plain text copy (smaller index, slower
+                     extraction and no scan cut-off)
+  --scan-cutoff N    occurrence count above which contains() scans the plain
+                     text instead of FM-locating (default 50000)
+  --keep-whitespace  keep whitespace-only text nodes
+
+query options:
+  --materialize      print the selected node identifiers, not just counts
+  --serialize        print the XML serialization of every selected node
+  --threads N        worker threads for multi-query batches (default 1)
+";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("sxsi: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("sxsi: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
+        None => usage_error("missing subcommand"),
+    }
+}
+
+fn parse_number(args: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("{flag} expects a positive integer"))
+}
+
+fn cmd_build(args: &[String]) -> ExitCode {
+    let mut options = SxsiOptions::default();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sample-rate" => match parse_number(&mut it, "--sample-rate") {
+                Ok(n) if n > 0 => options.text.sample_rate = n,
+                Ok(_) | Err(_) => return usage_error("--sample-rate expects a positive integer"),
+            },
+            "--scan-cutoff" => match parse_number(&mut it, "--scan-cutoff") {
+                Ok(n) => options.text.scan_cutoff = n,
+                Err(e) => return usage_error(&e),
+            },
+            "--no-plain-text" => options.text.keep_plain_text = false,
+            "--keep-whitespace" => options.keep_whitespace_text = true,
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}'"))
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [input, output] = paths[..] else {
+        return usage_error("build expects <input.xml> and <output.sxsi>");
+    };
+
+    let xml = match std::fs::read(input) {
+        Ok(xml) => xml,
+        Err(e) => return fail(format_args!("cannot read {input}: {e}")),
+    };
+    let start = Instant::now();
+    let index = match SxsiIndex::build_from_xml_with_options(&xml, options) {
+        Ok(index) => index,
+        Err(e) => return fail(e),
+    };
+    let build_time = start.elapsed();
+    let start = Instant::now();
+    if let Err(e) = index.save_to_file(output) {
+        return fail(format_args!("cannot write {output}: {e}"));
+    }
+    let write_time = start.elapsed();
+
+    let stats = index.stats();
+    let file_bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    println!("indexed {input} ({} bytes of XML) in {build_time:.2?}", xml.len());
+    println!(
+        "  {} nodes, {} elements, {} texts, {} tags",
+        stats.num_nodes, stats.num_elements, stats.num_texts, stats.num_tags
+    );
+    println!(
+        "  in-memory {} bytes (tree {} + text index {} + plain text {})",
+        stats.total_bytes(),
+        stats.tree_bytes,
+        stats.text_index_bytes,
+        stats.plain_text_bytes
+    );
+    println!("wrote {output} ({file_bytes} bytes) in {write_time:.2?}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    let mut materialize = false;
+    let mut serialize = false;
+    let mut threads = 1usize;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--materialize" => materialize = true,
+            "--serialize" => serialize = true,
+            "--threads" => match parse_number(&mut it, "--threads") {
+                Ok(n) if n > 0 => threads = n,
+                Ok(_) | Err(_) => return usage_error("--threads expects a positive integer"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}'"))
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let Some((path, queries)) = positional.split_first() else {
+        return usage_error("query expects <index.sxsi> and at least one XPath expression");
+    };
+    if queries.is_empty() {
+        return usage_error("query expects at least one XPath expression");
+    }
+
+    let start = Instant::now();
+    let index = match SxsiIndex::load_from_file(path) {
+        Ok(index) => index,
+        Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+    };
+    let load_time = start.elapsed();
+    eprintln!("loaded {path} in {load_time:.2?}");
+
+    let specs: Vec<QuerySpec> = queries
+        .iter()
+        .map(|q| {
+            if materialize || serialize {
+                QuerySpec::materialize(q.as_str(), q.as_str())
+            } else {
+                QuerySpec::count(q.as_str(), q.as_str())
+            }
+        })
+        .collect();
+    let batch = match QueryBatch::compile(&index, specs) {
+        Ok(batch) => batch,
+        Err(e) => return fail(e),
+    };
+    let start = Instant::now();
+    let results = BatchExecutor::new(threads).run(&index, &batch);
+    let query_time = start.elapsed();
+
+    for result in &results {
+        match result.output.nodes() {
+            Some(nodes) if serialize => {
+                println!("{}:", result.id);
+                for &node in nodes {
+                    println!("{}", index.get_subtree(node));
+                }
+            }
+            Some(nodes) => {
+                let preorders: Vec<String> =
+                    nodes.iter().map(|&n| index.tree().preorder(n).to_string()).collect();
+                println!("{}: {} nodes [{}]", result.id, nodes.len(), preorders.join(", "));
+            }
+            None => println!("{}: {}", result.id, result.output.count()),
+        }
+    }
+    eprintln!("ran {} queries in {query_time:.2?} on {threads} thread(s)", results.len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return usage_error(&format!("unknown option '{flag}'"));
+    }
+    let [path] = args else {
+        return usage_error("info expects exactly one <index.sxsi>");
+    };
+    let start = Instant::now();
+    let index = match SxsiIndex::load_from_file(path) {
+        Ok(index) => index,
+        Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+    };
+    let load_time = start.elapsed();
+
+    let stats = index.stats();
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("{path} (format v{}, {file_bytes} bytes on disk, loaded in {load_time:.2?})", sxsi::FORMAT_VERSION);
+    println!("  nodes:        {}", stats.num_nodes);
+    println!("  elements:     {}", stats.num_elements);
+    println!("  texts:        {}", stats.num_texts);
+    println!("  tags:         {}", stats.num_tags);
+    println!("  tree index:   {} bytes", stats.tree_bytes);
+    println!("  text index:   {} bytes", stats.text_index_bytes);
+    println!("  plain texts:  {} bytes", stats.plain_text_bytes);
+    println!("  total memory: {} bytes", stats.total_bytes());
+    let options = index.options();
+    println!(
+        "  options: sample_rate={} plain_text={} scan_cutoff={}",
+        options.text.sample_rate, options.text.keep_plain_text, options.text.scan_cutoff
+    );
+    ExitCode::SUCCESS
+}

@@ -7,6 +7,7 @@
 
 use crate::bits::ceil_div;
 use crate::SpaceUsage;
+use sxsi_io::{corrupt, read_u64_vec, read_usize, write_u64_slice, write_usize, IoError, ReadFrom, WriteInto};
 
 /// A simple append-friendly bitvector backed by `u64` words.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -126,6 +127,35 @@ impl SpaceUsage for BitVec {
     }
 }
 
+impl WriteInto for BitVec {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.len)?;
+        write_u64_slice(w, &self.words)
+    }
+}
+
+impl ReadFrom for BitVec {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let len = read_usize(r)?;
+        let words = read_u64_vec(r)?;
+        if words.len() != ceil_div(len, 64) {
+            return Err(corrupt(format!(
+                "BitVec of {len} bits needs {} words, found {}",
+                ceil_div(len, 64),
+                words.len()
+            )));
+        }
+        if len % 64 != 0 {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(corrupt("BitVec has non-zero bits past its length"));
+                }
+            }
+        }
+        Ok(Self { words, len })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +206,30 @@ mod tests {
     fn get_out_of_range_panics() {
         let bv = BitVec::filled(10, false);
         bv.get(10);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        for n in [0usize, 1, 63, 64, 65, 500] {
+            let bv: BitVec = (0..n).map(|i| i % 5 == 2).collect();
+            let back = BitVec::from_bytes(&bv.to_bytes()).unwrap();
+            assert_eq!(bv, back, "len {n}");
+        }
+    }
+
+    #[test]
+    fn serialization_rejects_bad_payloads() {
+        let bv: BitVec = (0..70).map(|i| i % 2 == 0).collect();
+        let bytes = bv.to_bytes();
+        // Truncated.
+        assert!(BitVec::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Wrong word count: claim 128 bits but keep 2 words' payload intact.
+        let mut wrong = bytes.clone();
+        wrong[0] = 200;
+        assert!(BitVec::from_bytes(&wrong).is_err());
+        // Non-zero trailing bits.
+        let mut dirty = bytes.clone();
+        *dirty.last_mut().unwrap() = 0x80;
+        assert!(BitVec::from_bytes(&dirty).is_err());
     }
 }

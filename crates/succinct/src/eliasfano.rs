@@ -18,6 +18,7 @@
 
 use crate::bits::{bits_for, ceil_div};
 use crate::{BitVec, RsBitVector, SpaceUsage};
+use sxsi_io::{corrupt, read_u32, read_u64, read_u64_vec, read_usize, write_u32, write_u64, write_u64_slice, write_usize, IoError, ReadFrom, WriteInto};
 
 /// Compressed monotone sequence (a.k.a. sparse bit set) with rank/select.
 #[derive(Clone, Debug)]
@@ -187,6 +188,48 @@ impl SpaceUsage for EliasFano {
     }
 }
 
+impl WriteInto for EliasFano {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_u32(w, self.low_bits)?;
+        write_usize(w, self.len)?;
+        write_u64(w, self.universe)?;
+        write_u64_slice(w, &self.low)?;
+        self.upper.write_into(w)
+    }
+}
+
+impl ReadFrom for EliasFano {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let low_bits = read_u32(r)?;
+        if !(1..=64).contains(&low_bits) {
+            return Err(corrupt(format!("EliasFano low_bits {low_bits} not in 1..=64")));
+        }
+        let len = read_usize(r)?;
+        let universe = read_u64(r)?;
+        let low = read_u64_vec(r)?;
+        let expected_low = ceil_div(
+            len.checked_mul(low_bits as usize)
+                .ok_or_else(|| corrupt("EliasFano low-bit array overflows the address space"))?,
+            64,
+        )
+        .max(1);
+        if low.len() != expected_low {
+            return Err(corrupt(format!(
+                "EliasFano of {len} values needs {expected_low} low words, found {}",
+                low.len()
+            )));
+        }
+        let upper = RsBitVector::read_from(r)?;
+        if upper.count_ones() != len {
+            return Err(corrupt(format!(
+                "EliasFano upper bitmap holds {} ones for {len} values",
+                upper.count_ones()
+            )));
+        }
+        Ok(Self { low, low_bits, upper, len, universe })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +307,24 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn rejects_decreasing() {
         EliasFano::new(&[5, 3], 10);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        for values in [vec![], vec![0u64], (0..500).map(|i| i * 37 + 5).collect::<Vec<_>>()] {
+            let universe = values.last().map_or(10, |&v| v + 1);
+            let ef = EliasFano::new(&values, universe);
+            let back = EliasFano::from_bytes(&ef.to_bytes()).unwrap();
+            assert_eq!(back.len(), values.len());
+            assert_eq!(back.universe(), universe);
+            assert_eq!(back.iter().collect::<Vec<_>>(), values);
+            for probe in [0, universe / 2, universe] {
+                assert_eq!(back.rank(probe), ef.rank(probe));
+            }
+        }
+        let ef = EliasFano::new(&[1, 5, 9], 10);
+        let bytes = ef.to_bytes();
+        assert!(EliasFano::from_bytes(&bytes[..bytes.len() - 2]).is_err());
     }
 }
 

@@ -7,6 +7,7 @@
 
 use crate::bits::{bits_for, ceil_div};
 use crate::SpaceUsage;
+use sxsi_io::{corrupt, read_u32, read_u64_vec, read_usize, write_u32, write_u64_slice, write_usize, IoError, ReadFrom, WriteInto};
 
 /// An immutable-width, mutable-content packed array of unsigned integers.
 #[derive(Clone, Debug, Default)]
@@ -118,6 +119,36 @@ impl SpaceUsage for IntVector {
     }
 }
 
+impl WriteInto for IntVector {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_u32(w, self.width)?;
+        write_usize(w, self.len)?;
+        write_u64_slice(w, &self.words)
+    }
+}
+
+impl ReadFrom for IntVector {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let width = read_u32(r)?;
+        if !(1..=64).contains(&width) {
+            return Err(corrupt(format!("IntVector width {width} not in 1..=64")));
+        }
+        let len = read_usize(r)?;
+        let total_bits = len
+            .checked_mul(width as usize)
+            .ok_or_else(|| corrupt("IntVector size overflows the address space"))?;
+        let words = read_u64_vec(r)?;
+        if words.len() != ceil_div(total_bits, 64) {
+            return Err(corrupt(format!(
+                "IntVector of {len} x {width}-bit entries needs {} words, found {}",
+                ceil_div(total_bits, 64),
+                words.len()
+            )));
+        }
+        Ok(Self { words, width, len })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +193,24 @@ mod tests {
         let values = vec![5u64, 9, 0, 12, 7];
         let v = IntVector::from_values(&values);
         assert_eq!(v.iter().collect::<Vec<_>>(), values);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        for width in [1u32, 13, 64] {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let values: Vec<u64> = (0..300u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & mask).collect();
+            let v = IntVector::from_values_with_width(&values, width);
+            let back = IntVector::from_bytes(&v.to_bytes()).unwrap();
+            assert_eq!(back.width(), width);
+            assert_eq!(back.iter().collect::<Vec<_>>(), values);
+        }
+        // Invalid width and truncation are rejected.
+        let v = IntVector::from_values(&[1, 2, 3]);
+        let mut bytes = v.to_bytes();
+        assert!(IntVector::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        bytes[0] = 65;
+        assert!(IntVector::from_bytes(&bytes).is_err());
     }
 
     #[test]

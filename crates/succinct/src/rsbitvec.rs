@@ -13,6 +13,7 @@
 
 use crate::bits::{ceil_div, select0_in_word, select_in_word};
 use crate::{BitVec, SpaceUsage};
+use sxsi_io::{corrupt, read_u64_vec, read_usize, write_u64_slice, write_usize, IoError, ReadFrom, WriteInto};
 
 const WORDS_PER_SUPERBLOCK: usize = 8; // 512 bits
 const SELECT_SAMPLE: usize = 8192;
@@ -272,6 +273,38 @@ impl From<&BitVec> for RsBitVector {
     }
 }
 
+impl WriteInto for RsBitVector {
+    /// Only the raw bits are stored; the rank directory and select samples
+    /// are rebuilt in one linear pass on load (they are derived data, and
+    /// rebuilding keeps the format independent of directory layout).
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.len)?;
+        write_u64_slice(w, &self.words)
+    }
+}
+
+impl ReadFrom for RsBitVector {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let len = read_usize(r)?;
+        let words = read_u64_vec(r)?;
+        if words.len() != ceil_div(len, 64) {
+            return Err(corrupt(format!(
+                "RsBitVector of {len} bits needs {} words, found {}",
+                ceil_div(len, 64),
+                words.len()
+            )));
+        }
+        if len % 64 != 0 {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(corrupt("RsBitVector has non-zero bits past its length"));
+                }
+            }
+        }
+        Ok(Self::from_words(words, len))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +393,22 @@ mod tests {
         assert_eq!(rs.next_one(11), Some(50));
         assert_eq!(rs.next_one(51), Some(99));
         assert_eq!(rs.next_one(100), None);
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_rank_select() {
+        for n in [0usize, 1, 511, 512, 513, 5000] {
+            let (rs, bits) = build((0..n).map(|i| i % 7 == 0));
+            let back = RsBitVector::from_bytes(&rs.to_bytes()).unwrap();
+            check_all(&back, &bits);
+        }
+    }
+
+    #[test]
+    fn serialization_rejects_truncation() {
+        let (rs, _) = build((0..1000).map(|i| i % 3 == 0));
+        let bytes = rs.to_bytes();
+        assert!(RsBitVector::from_bytes(&bytes[..bytes.len() / 2]).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use super::SequenceIndex;
 use crate::bits::bits_for;
 use crate::{BitVec, RsBitVector, SpaceUsage};
+use sxsi_io::{corrupt, read_u32, read_usize, read_usize_vec, write_u32, write_usize, write_usize_slice, IoError, ReadFrom, WriteInto};
 
 /// Balanced wavelet tree over `u32` symbols in `[0, alphabet_size)`.
 #[derive(Clone, Debug)]
@@ -201,6 +202,60 @@ impl SpaceUsage for BalancedWaveletTree {
     }
 }
 
+impl WriteInto for BalancedWaveletTree {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.len)?;
+        write_u32(w, self.alphabet_size)?;
+        for level in &self.levels {
+            level.write_into(w)?;
+        }
+        for bounds in &self.bounds {
+            write_usize_slice(w, bounds)?;
+        }
+        Ok(())
+    }
+}
+
+impl ReadFrom for BalancedWaveletTree {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let len = read_usize(r)?;
+        let alphabet_size = read_u32(r)?;
+        if alphabet_size == 0 {
+            return Err(corrupt("BalancedWaveletTree alphabet must be non-empty"));
+        }
+        let height = if alphabet_size <= 1 { 0 } else { bits_for(alphabet_size as u64 - 1) };
+        let mut levels = Vec::with_capacity(height as usize);
+        for l in 0..height {
+            let level = RsBitVector::read_from(r)?;
+            if level.len() != len {
+                return Err(corrupt(format!(
+                    "wavelet level {l} holds {} bits, expected {len}",
+                    level.len()
+                )));
+            }
+            levels.push(level);
+        }
+        let mut bounds = Vec::with_capacity(height as usize);
+        for l in 0..height as usize {
+            let node_bounds = read_usize_vec(r)?;
+            if node_bounds.len() != 1usize << l {
+                return Err(corrupt(format!(
+                    "wavelet level {l} declares {} node bounds, expected {}",
+                    node_bounds.len(),
+                    1usize << l
+                )));
+            }
+            if node_bounds.windows(2).any(|w| w[0] > w[1])
+                || node_bounds.last().is_some_and(|&b| b > len)
+            {
+                return Err(corrupt(format!("wavelet level {l} bounds are not monotone within the sequence")));
+            }
+            bounds.push(node_bounds);
+        }
+        Ok(Self { levels, bounds, len, height, alphabet_size })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +313,24 @@ mod tests {
     #[should_panic(expected = "exceeds alphabet size")]
     fn rejects_out_of_range_symbols() {
         BalancedWaveletTree::new(&[5], 5);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        use sxsi_io::{ReadFrom, WriteInto};
+        for (seq, alphabet) in [
+            (vec![], 16u32),
+            (vec![0u32; 20], 1),
+            ((0..2000u32).map(|i| (i * 37) % 13).collect(), 13),
+        ] {
+            let wt = BalancedWaveletTree::new(&seq, alphabet);
+            let back = BalancedWaveletTree::from_bytes(&wt.to_bytes()).unwrap();
+            check_sequence_index(&seq, &back);
+            assert_eq!(back.alphabet_size(), alphabet);
+        }
+        let wt = BalancedWaveletTree::new(&[1, 2, 3], 5);
+        let bytes = wt.to_bytes();
+        assert!(BalancedWaveletTree::from_bytes(&bytes[..bytes.len() - 4]).is_err());
     }
 }
 

@@ -8,6 +8,7 @@
 
 use super::SequenceIndex;
 use crate::{BitVec, RsBitVector, SpaceUsage};
+use sxsi_io::{corrupt, read_usize, read_usize_vec, write_usize, write_usize_slice, IoError, ReadFrom, WriteInto};
 
 #[derive(Clone, Debug, Default)]
 struct Code {
@@ -50,49 +51,25 @@ impl HuffmanWaveletTree {
         }
 
         // Build the tree shape by walking each present symbol's code.
-        struct BuildNode {
-            bits: BitVec,
-            child: [usize; 2],
-            leaf: [u8; 2],
-        }
-        let mut nodes: Vec<BuildNode> =
-            vec![BuildNode { bits: BitVec::new(), child: [usize::MAX; 2], leaf: [0; 2] }];
-        for sym in 0..256usize {
-            if counts[sym] == 0 {
-                continue;
-            }
-            let code = &codes[sym];
-            let mut cur = 0usize;
-            for depth in 0..code.len {
-                let bit = ((code.bits >> (code.len - 1 - depth)) & 1) as usize;
-                if depth + 1 == code.len {
-                    nodes[cur].leaf[bit] = sym as u8;
-                    break;
-                }
-                if nodes[cur].child[bit] == usize::MAX {
-                    nodes.push(BuildNode { bits: BitVec::new(), child: [usize::MAX; 2], leaf: [0; 2] });
-                    let new_idx = nodes.len() - 1;
-                    nodes[cur].child[bit] = new_idx;
-                }
-                cur = nodes[cur].child[bit];
-            }
-        }
+        let shape = TreeShape::from_codes(&codes, &counts);
         // Fill bitmaps by pushing each symbol down its code path.
+        let mut bits: Vec<BitVec> = shape.expected_bits.iter().map(|&n| BitVec::with_capacity(n)).collect();
         for &b in seq {
             let code = &codes[b as usize];
             let mut cur = 0usize;
             for depth in 0..code.len {
                 let bit = (code.bits >> (code.len - 1 - depth)) & 1 == 1;
-                nodes[cur].bits.push(bit);
+                bits[cur].push(bit);
                 if depth + 1 == code.len {
                     break;
                 }
-                cur = nodes[cur].child[bit as usize];
+                cur = shape.child[cur][bit as usize];
             }
         }
-        let nodes = nodes
+        let nodes = bits
             .into_iter()
-            .map(|n| Node { bitmap: RsBitVector::new(&n.bits), child: n.child, leaf: n.leaf })
+            .zip(shape.child.iter().zip(&shape.leaf))
+            .map(|(b, (&child, &leaf))| Node { bitmap: RsBitVector::new(&b), child, leaf })
             .collect();
         Self { nodes, codes, len: seq.len(), counts }
     }
@@ -193,6 +170,115 @@ impl SpaceUsage for HuffmanWaveletTree {
         self.nodes.iter().map(|n| n.bitmap.size_bytes()).sum::<usize>()
             + self.codes.len() * std::mem::size_of::<Code>()
             + crate::slice_bytes(&self.counts)
+    }
+}
+
+/// The code-tree topology implied by a set of canonical Huffman codes:
+/// child pointers, leaf symbols, and the number of bits each internal node's
+/// bitmap must hold.  Deterministic in the symbol counts, which is what makes
+/// the serialized format self-validating: only counts and bitmaps are stored,
+/// and the topology (hence every child index) is rebuilt on load.
+struct TreeShape {
+    child: Vec<[usize; 2]>,
+    leaf: Vec<[u8; 2]>,
+    /// Bits expected in each node's bitmap: the total count of the symbols
+    /// whose code path passes through the node.
+    expected_bits: Vec<usize>,
+}
+
+impl TreeShape {
+    fn from_codes(codes: &[Code], counts: &[usize]) -> Self {
+        let mut shape =
+            Self { child: vec![[usize::MAX; 2]], leaf: vec![[0; 2]], expected_bits: vec![0] };
+        for sym in 0..256usize {
+            if counts[sym] == 0 {
+                continue;
+            }
+            let code = &codes[sym];
+            let mut cur = 0usize;
+            for depth in 0..code.len {
+                let bit = ((code.bits >> (code.len - 1 - depth)) & 1) as usize;
+                shape.expected_bits[cur] += counts[sym];
+                if depth + 1 == code.len {
+                    shape.leaf[cur][bit] = sym as u8;
+                    break;
+                }
+                if shape.child[cur][bit] == usize::MAX {
+                    shape.child.push([usize::MAX; 2]);
+                    shape.leaf.push([0; 2]);
+                    shape.expected_bits.push(0);
+                    let new_idx = shape.child.len() - 1;
+                    shape.child[cur][bit] = new_idx;
+                }
+                cur = shape.child[cur][bit];
+            }
+        }
+        shape
+    }
+}
+
+impl WriteInto for HuffmanWaveletTree {
+    /// Stores only the sequence length, the 256 symbol counts and the node
+    /// bitmaps; codes and tree topology are deterministic functions of the
+    /// counts and are rebuilt (and cross-checked) on load.
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.len)?;
+        write_usize_slice(w, &self.counts)?;
+        write_usize(w, self.nodes.len())?;
+        for node in &self.nodes {
+            node.bitmap.write_into(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl ReadFrom for HuffmanWaveletTree {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let len = read_usize(r)?;
+        let counts = read_usize_vec(r)?;
+        if counts.len() != 256 {
+            return Err(corrupt(format!("HuffmanWaveletTree needs 256 symbol counts, found {}", counts.len())));
+        }
+        let mut total: usize = 0;
+        for &c in &counts {
+            total = total
+                .checked_add(c)
+                .ok_or_else(|| corrupt("HuffmanWaveletTree symbol counts overflow"))?;
+        }
+        if total != len {
+            return Err(corrupt(format!(
+                "HuffmanWaveletTree symbol counts sum to {total}, expected length {len}"
+            )));
+        }
+        let codes = build_huffman_codes(&counts);
+        let num_nodes = read_usize(r)?;
+        let distinct = counts.iter().filter(|&&c| c > 0).count();
+        if len == 0 || distinct <= 1 {
+            if num_nodes != 0 {
+                return Err(corrupt("degenerate HuffmanWaveletTree must have no nodes"));
+            }
+            return Ok(Self { nodes: Vec::new(), codes, len, counts });
+        }
+        let shape = TreeShape::from_codes(&codes, &counts);
+        if num_nodes != shape.child.len() {
+            return Err(corrupt(format!(
+                "HuffmanWaveletTree holds {num_nodes} nodes, code tree implies {}",
+                shape.child.len()
+            )));
+        }
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for (i, (&child, &leaf)) in shape.child.iter().zip(&shape.leaf).enumerate() {
+            let bitmap = RsBitVector::read_from(r)?;
+            if bitmap.len() != shape.expected_bits[i] {
+                return Err(corrupt(format!(
+                    "HuffmanWaveletTree node {i} bitmap holds {} bits, expected {}",
+                    bitmap.len(),
+                    shape.expected_bits[i]
+                )));
+            }
+            nodes.push(Node { bitmap, child, leaf });
+        }
+        Ok(Self { nodes, codes, len, counts })
     }
 }
 
@@ -309,6 +395,32 @@ mod tests {
         let seq: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
         let wt = HuffmanWaveletTree::new(&seq);
         check_sequence_index(&seq, &wt);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        for seq in [
+            Vec::new(),
+            vec![b'z'; 50],
+            b"abracadabra".to_vec(),
+            (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect(),
+        ] {
+            let wt = HuffmanWaveletTree::new(&seq);
+            let back = HuffmanWaveletTree::from_bytes(&wt.to_bytes()).unwrap();
+            check_sequence_index(&seq, &back);
+        }
+    }
+
+    #[test]
+    fn serialization_rejects_inconsistent_counts() {
+        let wt = HuffmanWaveletTree::new(b"abracadabra");
+        let bytes = wt.to_bytes();
+        assert!(HuffmanWaveletTree::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Perturb one symbol count: sum no longer matches the length.
+        let mut wrong = bytes.clone();
+        // counts start right after the 8-byte length and an 8-byte count-len.
+        wrong[16 + 8 * (b'a' as usize)] ^= 1;
+        assert!(HuffmanWaveletTree::from_bytes(&wrong).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::bwt::build_collection_bwt;
 use crate::fmindex::{FmIndex, LocateOutcome, RowRange, DEFAULT_SAMPLE_RATE};
 use crate::plain::{contains_slice, PlainTexts, TextId};
+use sxsi_io::{corrupt, read_bool, read_u32_vec, read_u8, read_usize, write_bool, write_u32_slice, write_u8, write_usize, IoError, ReadFrom, WriteInto};
 use sxsi_succinct::EliasFano;
 
 /// A text-predicate as it appears in an XPath filter.
@@ -250,32 +251,62 @@ impl TextCollection {
             return (0..self.num_texts).collect();
         }
         // Decide between FM-locate and plain scan based on the global count
-        // (Section 6.3): counting is cheap, so use it as the planner.
+        // (Section 6.3): counting is cheap, so use it as the planner — the
+        // backward search that produces the count is the same one the locate
+        // path consumes.
+        let range = self.fm.backward_search(pattern);
         if let Some(plain) = &self.plain {
-            let global = self.fm.count(pattern);
-            if global > self.options.scan_cutoff {
+            if range.len() > self.options.scan_cutoff {
                 return plain.scan_contains(pattern);
             }
         }
-        let range = self.fm.backward_search(pattern);
         let mut ids: Vec<TextId> = (range.start..range.end).map(|row| self.locate_row(row).0).collect();
         ids.sort_unstable();
         ids.dedup();
         ids
     }
 
-    /// Number of texts containing `pattern`.
+    /// Number of texts containing `pattern`, without materializing the
+    /// full id vector: the scan path counts matching texts directly, and the
+    /// locate path deduplicates through a hash set instead of building and
+    /// sorting one entry per occurrence.
     pub fn contains_count(&self, pattern: &[u8]) -> usize {
-        self.contains(pattern).len()
+        if pattern.is_empty() {
+            return self.num_texts;
+        }
+        let range = self.fm.backward_search(pattern);
+        if range.is_empty() {
+            return 0;
+        }
+        if let Some(plain) = &self.plain {
+            if range.len() > self.options.scan_cutoff {
+                return plain.scan_contains_count(pattern);
+            }
+        }
+        let mut seen = std::collections::HashSet::with_capacity(range.len().min(self.num_texts));
+        for row in range.start..range.end {
+            seen.insert(self.locate_row(row).0);
+        }
+        seen.len()
     }
 
     /// Positions `(text, offset)` of every occurrence of `pattern`
     /// (the paper's `ContainsReport`).
+    ///
+    /// Uses the same plan as [`TextCollection::contains`]: counting through
+    /// the FM-index is cheap, and when the pattern occurs more often than
+    /// the scan cut-off a sequential pass over the plain store beats
+    /// locating every occurrence through the BWT (Section 6.3).
     pub fn contains_positions(&self, pattern: &[u8]) -> Vec<(TextId, usize)> {
         if pattern.is_empty() {
             return Vec::new();
         }
         let range = self.fm.backward_search(pattern);
+        if let Some(plain) = &self.plain {
+            if range.len() > self.options.scan_cutoff {
+                return plain.scan_contains_positions(pattern);
+            }
+        }
         let mut out: Vec<(TextId, usize)> = (range.start..range.end).map(|row| self.locate_row(row)).collect();
         out.sort_unstable();
         out
@@ -392,6 +423,56 @@ impl TextCollection {
         ids
     }
 
+    /// Assembles a collection from deserialized parts, used by the
+    /// [`ReadFrom`] implementation after cross-validating them.
+    fn from_parts(
+        fm: FmIndex,
+        doc: Vec<u32>,
+        starts: EliasFano,
+        num_texts: usize,
+        total_len: usize,
+        plain: Option<PlainTexts>,
+        options: TextCollectionOptions,
+    ) -> Result<Self, IoError> {
+        if fm.len() != total_len {
+            return Err(corrupt(format!(
+                "FM-index covers {} symbols, collection declares {total_len}",
+                fm.len()
+            )));
+        }
+        if fm.symbol_count(0) != num_texts {
+            return Err(corrupt(format!(
+                "BWT holds {} end-markers for {num_texts} texts",
+                fm.symbol_count(0)
+            )));
+        }
+        if doc.len() != num_texts {
+            return Err(corrupt(format!("Doc array holds {} entries for {num_texts} texts", doc.len())));
+        }
+        if doc.iter().any(|&d| d as usize >= num_texts.max(1)) {
+            return Err(corrupt("Doc array references a text id out of range"));
+        }
+        if starts.len() != num_texts {
+            return Err(corrupt(format!(
+                "start-offset sequence holds {} entries for {num_texts} texts",
+                starts.len()
+            )));
+        }
+        if starts.iter().any(|s| s as usize >= total_len.max(1)) {
+            return Err(corrupt("text start offset lies outside the concatenation"));
+        }
+        match &plain {
+            Some(p) if p.num_texts() != num_texts => {
+                return Err(corrupt(format!(
+                    "plain store holds {} texts, collection declares {num_texts}",
+                    p.num_texts()
+                )));
+            }
+            _ => {}
+        }
+        Ok(Self { fm, doc, starts, num_texts, total_len, plain, options })
+    }
+
     fn complement(&self, sorted_ids: &[TextId]) -> Vec<TextId> {
         let mut out = Vec::with_capacity(self.num_texts - sorted_ids.len());
         let mut it = sorted_ids.iter().copied().peekable();
@@ -403,6 +484,61 @@ impl TextCollection {
             }
         }
         out
+    }
+}
+
+impl WriteInto for TextCollectionOptions {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.sample_rate)?;
+        write_bool(w, self.keep_plain_text)?;
+        write_usize(w, self.scan_cutoff)
+    }
+}
+
+impl ReadFrom for TextCollectionOptions {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let sample_rate = read_usize(r)?;
+        if sample_rate == 0 {
+            return Err(corrupt("text collection sample rate must be positive"));
+        }
+        let keep_plain_text = read_bool(r)?;
+        let scan_cutoff = read_usize(r)?;
+        Ok(Self { sample_rate, keep_plain_text, scan_cutoff })
+    }
+}
+
+impl WriteInto for TextCollection {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        self.options.write_into(w)?;
+        write_usize(w, self.num_texts)?;
+        write_usize(w, self.total_len)?;
+        self.fm.write_into(w)?;
+        write_u32_slice(w, &self.doc)?;
+        self.starts.write_into(w)?;
+        match &self.plain {
+            Some(plain) => {
+                write_u8(w, 1)?;
+                plain.write_into(w)
+            }
+            None => write_u8(w, 0),
+        }
+    }
+}
+
+impl ReadFrom for TextCollection {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let options = TextCollectionOptions::read_from(r)?;
+        let num_texts = read_usize(r)?;
+        let total_len = read_usize(r)?;
+        let fm = FmIndex::read_from(r)?;
+        let doc = read_u32_vec(r)?;
+        let starts = EliasFano::read_from(r)?;
+        let plain = match read_u8(r)? {
+            0 => None,
+            1 => Some(PlainTexts::read_from(r)?),
+            other => return Err(corrupt(format!("invalid plain-store flag {other}"))),
+        };
+        Self::from_parts(fm, doc, starts, num_texts, total_len, plain, options)
     }
 }
 
@@ -452,6 +588,46 @@ mod tests {
         let mut expected = vec![(0usize, 1usize), (0, 3), (1, 1), (1, 4)];
         expected.sort_unstable();
         assert_eq!(tc.contains_positions(b"an"), expected);
+    }
+
+    #[test]
+    fn scan_cutoff_path_agrees_with_fm_locate() {
+        // Force a tiny cut-off so high-frequency patterns take the plain
+        // scan, and check every contains flavour agrees with the FM path
+        // (cut-off effectively disabled).
+        let texts: Vec<String> = (0..60).map(|i| format!("abc abca cabx {}", i % 7)).collect();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let scanning = TextCollection::with_options(
+            &refs,
+            TextCollectionOptions { scan_cutoff: 2, ..Default::default() },
+        );
+        let locating = TextCollection::with_options(
+            &refs,
+            TextCollectionOptions { scan_cutoff: usize::MAX, ..Default::default() },
+        );
+        for pattern in ["abc", "a", "ca", "x 3", "zzz", "abca"] {
+            let p = pattern.as_bytes();
+            assert_eq!(scanning.contains(p), locating.contains(p), "contains {pattern:?}");
+            assert_eq!(
+                scanning.contains_positions(p),
+                locating.contains_positions(p),
+                "positions {pattern:?}"
+            );
+            assert_eq!(
+                scanning.contains_count(p),
+                locating.contains_count(p),
+                "count {pattern:?}"
+            );
+            assert_eq!(scanning.contains_count(p), scanning.contains(p).len());
+        }
+    }
+
+    #[test]
+    fn contains_count_without_plain_store() {
+        let tc = collection_no_plain(&PAPER_TEXTS);
+        assert_eq!(tc.contains_count(b"e"), 4);
+        assert_eq!(tc.contains_count(b""), PAPER_TEXTS.len());
+        assert_eq!(tc.contains_count(b"zzz"), 0);
     }
 
     #[test]
@@ -533,6 +709,39 @@ mod tests {
         assert_eq!(tc.ends_with(b"0"), vec![3, 5]);
         assert!(tc.plain().is_none());
         assert!(tc.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn serialization_roundtrip_with_and_without_plain_store() {
+        for tc in [collection(&PAPER_TEXTS), collection_no_plain(&PAPER_TEXTS)] {
+            let back = TextCollection::from_bytes(&tc.to_bytes()).unwrap();
+            assert_eq!(back.num_texts(), tc.num_texts());
+            assert_eq!(back.total_len(), tc.total_len());
+            assert_eq!(back.plain().is_some(), tc.plain().is_some());
+            for (i, t) in PAPER_TEXTS.iter().enumerate() {
+                assert_eq!(back.get_text(i), t.as_bytes());
+            }
+            for pattern in ["on", "e", "0", "zzz"] {
+                let p = pattern.as_bytes();
+                assert_eq!(back.contains(p), tc.contains(p));
+                assert_eq!(back.starts_with(p), tc.starts_with(p));
+                assert_eq!(back.ends_with(p), tc.ends_with(p));
+                assert_eq!(back.less_than(p), tc.less_than(p));
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_rejects_truncation_and_mismatch() {
+        let tc = collection(&PAPER_TEXTS);
+        let bytes = tc.to_bytes();
+        for cut in [0, 5, 17, bytes.len() / 2, bytes.len() - 1] {
+            assert!(TextCollection::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Declare one text more than the structures hold.
+        let mut wrong = bytes.clone();
+        wrong[17] = 7; // num_texts field (after the 17-byte options block)
+        assert!(TextCollection::from_bytes(&wrong).is_err());
     }
 
     #[test]

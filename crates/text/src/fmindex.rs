@@ -10,6 +10,7 @@
 //! the paper's `Doc` array resolves the text directly (that resolution lives
 //! in [`crate::collection::TextCollection`], which owns `Doc`).
 
+use sxsi_io::{corrupt, read_usize, read_usize_vec, write_usize, write_usize_slice, IoError, ReadFrom, WriteInto};
 use sxsi_succinct::wavelet::SequenceIndex;
 use sxsi_succinct::{BitVec, HuffmanWaveletTree, IntVector, RsBitVector, SpaceUsage};
 
@@ -249,6 +250,66 @@ impl FmIndex {
     }
 }
 
+impl WriteInto for FmIndex {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.len)?;
+        write_usize(w, self.sample_rate)?;
+        self.bwt.write_into(w)?;
+        write_usize_slice(w, &self.c)?;
+        self.sampled.write_into(w)?;
+        self.samples.write_into(w)
+    }
+}
+
+impl ReadFrom for FmIndex {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let len = read_usize(r)?;
+        let sample_rate = read_usize(r)?;
+        if sample_rate == 0 {
+            return Err(corrupt("FM-index sample rate must be positive"));
+        }
+        let bwt = HuffmanWaveletTree::read_from(r)?;
+        if bwt.len() != len {
+            return Err(corrupt(format!("FM-index BWT holds {} symbols, expected {len}", bwt.len())));
+        }
+        let c = read_usize_vec(r)?;
+        if c.len() != 257 {
+            return Err(corrupt(format!("FM-index C array holds {} entries, expected 257", c.len())));
+        }
+        if c[0] != 0 || c[256] != len || c.windows(2).any(|w| w[0] > w[1]) {
+            return Err(corrupt("FM-index C array is not a cumulative count over the text"));
+        }
+        // The C array must agree with the BWT's per-symbol counts, otherwise
+        // backward search would silently return wrong ranges.
+        for b in 0u16..256 {
+            if c[b as usize + 1] - c[b as usize] != bwt.count(b as u8) {
+                return Err(corrupt(format!("FM-index C array disagrees with the BWT on symbol {b}")));
+            }
+        }
+        let sampled = RsBitVector::read_from(r)?;
+        if sampled.len() != len {
+            return Err(corrupt(format!(
+                "FM-index sampling bitmap covers {} rows, expected {len}",
+                sampled.len()
+            )));
+        }
+        let samples = IntVector::read_from(r)?;
+        if samples.len() != sampled.count_ones() {
+            return Err(corrupt(format!(
+                "FM-index holds {} samples for {} sampled rows",
+                samples.len(),
+                sampled.count_ones()
+            )));
+        }
+        // Sample values are text positions; an out-of-range one would make
+        // locate silently report positions past the end of the collection.
+        if let Some(bad) = samples.iter().find(|&v| v as usize >= len) {
+            return Err(corrupt(format!("FM-index sample {bad} lies outside the {len}-symbol text")));
+        }
+        Ok(Self { bwt, c, len, sampled, samples, sample_rate })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +395,30 @@ mod tests {
         assert_eq!(na.len(), 2);
         let nothing = fm.backward_search(b"nab");
         assert!(nothing.is_empty());
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_search_and_locate() {
+        let texts = ["pen", "Soon discontinued", "blue", "40", "rubber", "30"];
+        let (fm, concat) = build(&texts, 4);
+        let back = FmIndex::from_bytes(&fm.to_bytes()).unwrap();
+        assert_eq!(back.len(), fm.len());
+        assert_eq!(back.sample_rate(), fm.sample_rate());
+        for pattern in ["n", "on", "blue", "zzz", "0"] {
+            assert_eq!(back.count(pattern.as_bytes()), naive_count(&concat, pattern.as_bytes()));
+        }
+        for row in 0..fm.len() {
+            assert_eq!(back.locate_walk(row), fm.locate_walk(row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn serialization_rejects_truncation() {
+        let (fm, _) = build(&["banana"], 2);
+        let bytes = fm.to_bytes();
+        for cut in [0, 8, 20, bytes.len() - 1] {
+            assert!(FmIndex::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! that plain store, and also serves as the "naive string buffer" baseline
 //! the paper compares the FM-index against.
 
+use sxsi_io::{corrupt, read_bytes, read_usize_vec, write_bytes, write_usize_slice, IoError, ReadFrom, WriteInto};
+
 /// Identifier of a text within the collection (0-based, document order).
 pub type TextId = usize;
 
@@ -71,6 +73,33 @@ impl PlainTexts {
         (0..self.num_texts()).filter(|&id| self.text_contains(id, pattern)).collect()
     }
 
+    /// Number of texts containing `pattern`, without materializing the ids.
+    pub fn scan_contains_count(&self, pattern: &[u8]) -> usize {
+        (0..self.num_texts()).filter(|&id| self.text_contains(id, pattern)).count()
+    }
+
+    /// Positions `(text, offset)` of every (possibly overlapping) occurrence
+    /// of `pattern`, in increasing `(text, offset)` order — the scan-based
+    /// counterpart of the FM-index `ContainsReport`.
+    pub fn scan_contains_positions(&self, pattern: &[u8]) -> Vec<(TextId, usize)> {
+        let mut out = Vec::new();
+        if pattern.is_empty() {
+            return out;
+        }
+        for id in 0..self.num_texts() {
+            let text = self.text(id);
+            if pattern.len() > text.len() {
+                continue;
+            }
+            for (off, w) in text.windows(pattern.len()).enumerate() {
+                if w == pattern {
+                    out.push((id, off));
+                }
+            }
+        }
+        out
+    }
+
     /// Total number of (possibly overlapping) occurrences of `pattern` across
     /// all texts; the naive counterpart of the FM-index `GlobalCount`.
     pub fn scan_global_count(&self, pattern: &[u8]) -> usize {
@@ -90,6 +119,27 @@ impl PlainTexts {
     /// All texts ending with `pattern`.
     pub fn scan_ends_with(&self, pattern: &[u8]) -> Vec<TextId> {
         (0..self.num_texts()).filter(|&id| self.text(id).ends_with(pattern)).collect()
+    }
+}
+
+impl WriteInto for PlainTexts {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_bytes(w, &self.data)?;
+        write_usize_slice(w, &self.offsets)
+    }
+}
+
+impl ReadFrom for PlainTexts {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let data = read_bytes(r)?;
+        let offsets = read_usize_vec(r)?;
+        if offsets.first() != Some(&0) || offsets.last() != Some(&data.len()) {
+            return Err(corrupt("plain-text offsets do not span the data buffer"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(corrupt("plain-text offsets are not monotone"));
+        }
+        Ok(Self { data, offsets })
     }
 }
 
@@ -156,5 +206,37 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn text_out_of_range_panics() {
         PlainTexts::new(&["a"]).text(1);
+    }
+
+    #[test]
+    fn scan_position_variants_agree() {
+        let texts = ["banana", "bandana", "", "aaa"];
+        let store = PlainTexts::new(&texts);
+        assert_eq!(
+            store.scan_contains_positions(b"an"),
+            vec![(0, 1), (0, 3), (1, 1), (1, 4)]
+        );
+        assert_eq!(store.scan_contains_positions(b"aa"), vec![(3, 0), (3, 1)]);
+        assert_eq!(store.scan_contains_positions(b""), vec![]);
+        assert_eq!(store.scan_contains_count(b"an"), 2);
+        assert_eq!(store.scan_contains_count(b"ban"), store.scan_contains(b"ban").len());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let texts = ["pen", "", "Soon discontinued", "blue"];
+        let store = PlainTexts::new(&texts);
+        let back = PlainTexts::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(back.num_texts(), store.num_texts());
+        for i in 0..texts.len() {
+            assert_eq!(back.text(i), store.text(i));
+        }
+        let bytes = store.to_bytes();
+        assert!(PlainTexts::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+        // Break monotonicity of the offsets (last offset lives at the tail).
+        let mut wrong = bytes.clone();
+        let n = wrong.len();
+        wrong[n - 8..].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert!(PlainTexts::from_bytes(&wrong).is_err());
     }
 }

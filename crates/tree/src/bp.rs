@@ -12,6 +12,8 @@
 //! superblock level so long searches skip whole regions.  Excess at an
 //! arbitrary position is computed in constant time from `rank`.
 
+use crate::error::TreeError;
+use sxsi_io::{IoError, ReadFrom, WriteInto};
 use sxsi_succinct::{BitVec, RsBitVector, SpaceUsage};
 
 /// Bits per block of the min/max directory.
@@ -37,14 +39,31 @@ impl BalancedParens {
     /// Builds the structure from a parenthesis bitmap (`true` = `(`).
     ///
     /// # Panics
-    /// Panics if the sequence is not balanced.
+    /// Panics if the sequence is not balanced; serving code should prefer
+    /// [`BalancedParens::try_new`], which returns a structured error instead.
     pub fn new(parens: &BitVec) -> Self {
-        let bits = RsBitVector::new(parens);
+        Self::try_new(parens).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`BalancedParens::new`]: returns
+    /// [`TreeError::Unbalanced`] instead of panicking when the sequence has a
+    /// non-zero final excess *or* dips below zero anywhere (a malformation
+    /// such as `)(` that the navigation operations could otherwise trip
+    /// over), so malformed input can never panic a serving process.
+    pub fn try_new(parens: &BitVec) -> Result<Self, TreeError> {
+        Self::try_from_bits(RsBitVector::new(parens))
+    }
+
+    /// Builds the directories over an already-frozen bitmap, validating
+    /// balance.  This is the reconstruction path used when loading a
+    /// persisted index.
+    pub fn try_from_bits(bits: RsBitVector) -> Result<Self, TreeError> {
         let len = bits.len();
         let n_blocks = len.div_ceil(BLOCK_BITS).max(1);
         let mut block_min = vec![i64::MAX; n_blocks];
         let mut block_max = vec![i64::MIN; n_blocks];
         let mut excess: i64 = 0;
+        let mut first_dip: Option<usize> = None;
         for b in 0..n_blocks {
             let lo = b * BLOCK_BITS;
             let hi = ((b + 1) * BLOCK_BITS).min(len);
@@ -52,13 +71,18 @@ impl BalancedParens {
             let mut max = i64::MIN;
             for p in lo..hi {
                 excess += if bits.get(p) { 1 } else { -1 };
+                if excess < 0 && first_dip.is_none() {
+                    first_dip = Some(p);
+                }
                 min = min.min(excess);
                 max = max.max(excess);
             }
             block_min[b] = min;
             block_max[b] = max;
         }
-        assert!(len == 0 || excess == 0, "parenthesis sequence is not balanced (final excess {excess})");
+        if len > 0 && (excess != 0 || first_dip.is_some()) {
+            return Err(TreeError::Unbalanced { position: first_dip, final_excess: excess });
+        }
         let n_super = n_blocks.div_ceil(SUPER_FACTOR);
         let mut super_min = vec![i64::MAX; n_super];
         let mut super_max = vec![i64::MIN; n_super];
@@ -67,7 +91,7 @@ impl BalancedParens {
             super_min[s] = super_min[s].min(block_min[b]);
             super_max[s] = super_max[s].max(block_max[b]);
         }
-        Self { bits, block_min, block_max, super_min, super_max }
+        Ok(Self { bits, block_min, block_max, super_min, super_max })
     }
 
     /// Number of parentheses (twice the number of tree nodes).
@@ -265,6 +289,22 @@ impl BalancedParens {
     }
 }
 
+impl WriteInto for BalancedParens {
+    /// Only the parenthesis bitmap is stored; the range-min-max directories
+    /// are derived data and are rebuilt — with full balance validation — on
+    /// load.
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        self.bits.write_into(w)
+    }
+}
+
+impl ReadFrom for BalancedParens {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let bits = RsBitVector::read_from(r)?;
+        Self::try_from_bits(bits).map_err(|e| sxsi_io::corrupt(e.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,5 +449,52 @@ mod tests {
     fn unbalanced_rejected() {
         let bits: BitVec = "(()".chars().map(|c| c == '(').collect();
         BalancedParens::new(&bits);
+    }
+
+    #[test]
+    fn try_new_returns_structured_errors() {
+        let bits: BitVec = "(()".chars().map(|c| c == '(').collect();
+        assert_eq!(
+            BalancedParens::try_new(&bits).unwrap_err(),
+            TreeError::Unbalanced { position: None, final_excess: 1 }
+        );
+        // ")(" has final excess zero but dips below zero at position 0:
+        // the old assert-based constructor accepted it and navigation could
+        // panic later; try_new rejects it up front.
+        let bits: BitVec = ")(".chars().map(|c| c == '(').collect();
+        assert_eq!(
+            BalancedParens::try_new(&bits).unwrap_err(),
+            TreeError::Unbalanced { position: Some(0), final_excess: 0 }
+        );
+        assert!(BalancedParens::try_new(&BitVec::new()).is_ok());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        for s in ["", "()", "((()())(()))", &("(".repeat(800) + &")".repeat(800))] {
+            let b = if s.is_empty() {
+                BalancedParens::try_new(&BitVec::new()).unwrap()
+            } else {
+                bp(s)
+            };
+            let back = BalancedParens::from_bytes(&b.to_bytes()).unwrap();
+            assert_eq!(back.len(), b.len());
+            for i in 0..b.len() {
+                if b.is_open(i) {
+                    assert_eq!(back.find_close(i), b.find_close(i));
+                    assert_eq!(back.enclose(i), b.enclose(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_rejects_unbalanced_bits() {
+        // Craft a serialized form of an unbalanced sequence by serializing
+        // the raw bitmap of "(()" directly.
+        let bits: BitVec = "(()".chars().map(|c| c == '(').collect();
+        let rs = RsBitVector::new(&bits);
+        let err = BalancedParens::from_bytes(&rs.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("not balanced"), "{err}");
     }
 }

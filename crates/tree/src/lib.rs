@@ -33,9 +33,11 @@
 #![deny(missing_docs)]
 
 pub mod bp;
+pub mod error;
 pub mod tags;
 pub mod tree;
 
 pub use bp::BalancedParens;
+pub use error::TreeError;
 pub use tags::{reserved, TagId, TagRegistry, TagSequence};
 pub use tree::{NodeId, TagRelation, XmlTree, XmlTreeBuilder};

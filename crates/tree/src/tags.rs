@@ -8,7 +8,9 @@
 //! answered by one Elias–Fano *sarray* of occurrence positions per tag,
 //! mirroring the paper's per-row Okanohara–Sadakane structures.
 
+use crate::error::TreeError;
 use std::collections::HashMap;
+use sxsi_io::{corrupt, read_string, read_usize, write_str, write_usize, IoError, ReadFrom, WriteInto};
 use sxsi_succinct::{EliasFano, IntVector, SpaceUsage};
 
 /// Numeric identifier of a tag name.
@@ -105,11 +107,23 @@ impl TagSequence {
     /// Builds the sequence.  `codes[i]` must already be the opening/closing
     /// code of parenthesis `i` (opening codes `< num_tags`, closing codes in
     /// `[num_tags, 2*num_tags)`).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range code; see [`TagSequence::try_new`] for the
+    /// fallible variant.
     pub fn new(codes: &[u32], num_tags: usize) -> Self {
+        Self::try_new(codes, num_tags).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`TagSequence::new`]: returns
+    /// [`TreeError::TagCodeOutOfRange`] instead of panicking.
+    pub fn try_new(codes: &[u32], num_tags: usize) -> Result<Self, TreeError> {
         let len = codes.len();
         let mut per_tag: Vec<Vec<usize>> = vec![Vec::new(); num_tags];
         for (i, &c) in codes.iter().enumerate() {
-            assert!((c as usize) < 2 * num_tags, "tag code {c} out of range at position {i}");
+            if c as usize >= 2 * num_tags {
+                return Err(TreeError::TagCodeOutOfRange { code: c, position: i, num_tags });
+            }
             if (c as usize) < num_tags {
                 per_tag[c as usize].push(i);
             }
@@ -120,7 +134,7 @@ impl TagSequence {
             .collect();
         let packed: Vec<u64> = codes.iter().map(|&c| c as u64).collect();
         let width = sxsi_succinct::bits::bits_for((2 * num_tags).saturating_sub(1).max(1) as u64);
-        Self { codes: IntVector::from_values_with_width(&packed, width), open_positions, num_tags }
+        Ok(Self { codes: IntVector::from_values_with_width(&packed, width), open_positions, num_tags })
     }
 
     /// Number of parenthesis positions covered.
@@ -181,6 +195,70 @@ impl TagSequence {
     /// Heap bytes used.
     pub fn size_bytes(&self) -> usize {
         self.codes.size_bytes() + self.open_positions.iter().map(|ef| ef.size_bytes()).sum::<usize>()
+    }
+}
+
+impl WriteInto for TagRegistry {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.names.len())?;
+        for name in &self.names {
+            write_str(w, name)?;
+        }
+        Ok(())
+    }
+}
+
+impl ReadFrom for TagRegistry {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let len = read_usize(r)?;
+        if len < reserved::NAMES.len() {
+            return Err(corrupt(format!("tag registry holds {len} names, fewer than the reserved set")));
+        }
+        let mut names = Vec::with_capacity(len.min(1 << 16));
+        let mut by_name = HashMap::new();
+        for id in 0..len {
+            let name = read_string(r)?;
+            if id < reserved::NAMES.len() && name != reserved::NAMES[id] {
+                return Err(corrupt(format!(
+                    "reserved tag {id} is {name:?}, expected {:?}",
+                    reserved::NAMES[id]
+                )));
+            }
+            if by_name.insert(name.clone(), id as TagId).is_some() {
+                return Err(corrupt(format!("duplicate tag name {name:?}")));
+            }
+            names.push(name);
+        }
+        Ok(Self { names, by_name })
+    }
+}
+
+impl WriteInto for TagSequence {
+    /// Stores the packed code sequence and the tag count; the per-tag
+    /// occurrence sarrays are rebuilt (with code-range validation) on load.
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.num_tags)?;
+        self.codes.write_into(w)
+    }
+}
+
+impl ReadFrom for TagSequence {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let num_tags = read_usize(r)?;
+        let codes = IntVector::read_from(r)?;
+        let expected_width =
+            sxsi_succinct::bits::bits_for((2 * num_tags).saturating_sub(1).max(1) as u64);
+        if codes.width() != expected_width {
+            return Err(corrupt(format!(
+                "tag sequence packs codes in {} bits, expected {expected_width}",
+                codes.width()
+            )));
+        }
+        let decoded: Vec<u32> = codes
+            .iter()
+            .map(|c| u32::try_from(c).map_err(|_| corrupt(format!("tag code {c} exceeds u32"))))
+            .collect::<Result<_, _>>()?;
+        Self::try_new(&decoded, num_tags).map_err(|e| corrupt(e.to_string()))
     }
 }
 
@@ -272,5 +350,43 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bad_codes() {
         TagSequence::new(&[7], 2);
+    }
+
+    #[test]
+    fn try_new_reports_bad_codes() {
+        assert_eq!(
+            TagSequence::try_new(&[7], 2).unwrap_err(),
+            crate::TreeError::TagCodeOutOfRange { code: 7, position: 0, num_tags: 2 }
+        );
+    }
+
+    #[test]
+    fn registry_serialization_roundtrip() {
+        let mut reg = TagRegistry::new();
+        reg.intern("article");
+        reg.intern("tïtle");
+        let back = TagRegistry::from_bytes(&reg.to_bytes()).unwrap();
+        assert_eq!(back.names(), reg.names());
+        assert_eq!(back.lookup("article"), reg.lookup("article"));
+        assert_eq!(back.lookup("&"), Some(reserved::ROOT));
+        // A registry whose reserved prefix was tampered with is rejected.
+        let mut bytes = reg.to_bytes();
+        // First name is "&" at offset 8 (count) + 8 (len prefix).
+        bytes[16] = b'x';
+        assert!(TagRegistry::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn sequence_serialization_roundtrip() {
+        let codes = [0u32, 1, 3, 1, 3, 2];
+        let seq = TagSequence::new(&codes, 2);
+        let back = TagSequence::from_bytes(&seq.to_bytes()).unwrap();
+        assert_eq!(back.len(), seq.len());
+        assert_eq!(back.num_tags(), 2);
+        for i in 0..codes.len() {
+            assert_eq!(back.code(i), seq.code(i));
+        }
+        assert_eq!(back.select_open(1, 2), Some(3));
+        assert!(TagSequence::from_bytes(&seq.to_bytes()[..5]).is_err());
     }
 }

@@ -16,7 +16,9 @@
 //! interface the XML parser drives.
 
 use crate::bp::BalancedParens;
+use crate::error::TreeError;
 use crate::tags::{reserved, TagId, TagRegistry, TagSequence};
+use sxsi_io::{corrupt, read_usize, write_usize, IoError, ReadFrom, WriteInto};
 use sxsi_succinct::{BitVec, RsBitVector, SpaceUsage};
 
 /// A tree node: the position of its opening parenthesis in `Par`.
@@ -71,6 +73,35 @@ impl TagTable {
 
     fn size_bytes(&self) -> usize {
         self.rows.iter().map(|r| r.len() * 8).sum()
+    }
+}
+
+impl WriteInto for TagTable {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.num_tags)?;
+        for row in &self.rows {
+            sxsi_io::write_u64_slice(w, row)?;
+        }
+        Ok(())
+    }
+}
+
+impl ReadFrom for TagTable {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let num_tags = read_usize(r)?;
+        let words = num_tags.div_ceil(64);
+        let mut rows = Vec::with_capacity(num_tags.min(1 << 16));
+        for row_idx in 0..num_tags {
+            let row = sxsi_io::read_u64_vec(r)?;
+            if row.len() != words {
+                return Err(corrupt(format!(
+                    "tag table row {row_idx} holds {} words, expected {words}",
+                    row.len()
+                )));
+            }
+            rows.push(row);
+        }
+        Ok(Self { rows, num_tags })
     }
 }
 
@@ -400,6 +431,107 @@ impl XmlTree {
     }
 }
 
+impl WriteInto for XmlTree {
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        self.bp.write_into(w)?;
+        self.tags.write_into(w)?;
+        self.registry.write_into(w)?;
+        self.text_leaves.write_into(w)?;
+        self.child_table.write_into(w)?;
+        self.desc_table.write_into(w)?;
+        self.foll_sibling_table.write_into(w)?;
+        self.following_table.write_into(w)
+    }
+}
+
+impl ReadFrom for XmlTree {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let bp = BalancedParens::read_from(r)?;
+        let tags = TagSequence::read_from(r)?;
+        let registry = TagRegistry::read_from(r)?;
+        let text_leaves = RsBitVector::read_from(r)?;
+        let child_table = TagTable::read_from(r)?;
+        let desc_table = TagTable::read_from(r)?;
+        let foll_sibling_table = TagTable::read_from(r)?;
+        let following_table = TagTable::read_from(r)?;
+
+        if tags.len() != bp.len() {
+            return Err(corrupt(format!(
+                "tag sequence covers {} positions, parentheses {}",
+                tags.len(),
+                bp.len()
+            )));
+        }
+        if text_leaves.len() != bp.len() {
+            return Err(corrupt(format!(
+                "text-leaf bitmap covers {} positions, parentheses {}",
+                text_leaves.len(),
+                bp.len()
+            )));
+        }
+        let num_tags = tags.num_tags();
+        if registry.len() != num_tags {
+            return Err(corrupt(format!(
+                "registry holds {} names for {num_tags} tag codes",
+                registry.len()
+            )));
+        }
+        for (name, table) in [
+            ("child", &child_table),
+            ("descendant", &desc_table),
+            ("following-sibling", &foll_sibling_table),
+            ("following", &following_table),
+        ] {
+            if table.num_tags != num_tags {
+                return Err(corrupt(format!(
+                    "{name} table covers {} tags, expected {num_tags}",
+                    table.num_tags
+                )));
+            }
+        }
+        // Every opening parenthesis must carry an opening code, every closing
+        // parenthesis the closing code of its matching open — this is what
+        // lets `tag()` and the navigation operations run unchecked.
+        let mut stack: Vec<TagId> = Vec::new();
+        for i in 0..bp.len() {
+            let code = tags.code(i) as usize;
+            if bp.is_open(i) {
+                if code >= num_tags {
+                    return Err(corrupt(format!(
+                        "opening parenthesis at {i} carries closing code {code}"
+                    )));
+                }
+                stack.push(code as TagId);
+            } else {
+                let open_tag = stack.pop().ok_or_else(|| corrupt("unmatched closing parenthesis"))?;
+                if code != open_tag as usize + num_tags {
+                    return Err(corrupt(format!(
+                        "closing parenthesis at {i} carries code {code}, expected {}",
+                        open_tag as usize + num_tags
+                    )));
+                }
+            }
+        }
+        // Text leaves must sit on opening parentheses (otherwise text-to-node
+        // resolution would read a closing position as a node).
+        for pos in text_leaves.iter_ones() {
+            if !bp.is_open(pos) {
+                return Err(corrupt(format!("text leaf marked at closing parenthesis {pos}")));
+            }
+        }
+        Ok(Self {
+            bp,
+            tags,
+            registry,
+            text_leaves,
+            child_table,
+            desc_table,
+            foll_sibling_table,
+            following_table,
+        })
+    }
+}
+
 /// SAX-like builder for [`XmlTree`].
 ///
 /// Call [`XmlTreeBuilder::open`]/[`XmlTreeBuilder::close`] for every element
@@ -524,9 +656,23 @@ impl XmlTreeBuilder {
     /// Finishes the document and builds the immutable [`XmlTree`].
     ///
     /// # Panics
-    /// Panics if elements are still open (besides the synthetic root).
-    pub fn finish(mut self) -> XmlTree {
-        assert_eq!(self.stack.len(), 1, "unclosed elements remain");
+    /// Panics if elements are still open (besides the synthetic root);
+    /// serving code should prefer [`XmlTreeBuilder::try_finish`].
+    pub fn finish(self) -> XmlTree {
+        self.try_finish().unwrap_or_else(|e| match e {
+            TreeError::UnclosedElements { .. } => panic!("unclosed elements remain ({e})"),
+            other => panic!("{other}"),
+        })
+    }
+
+    /// Fallible counterpart of [`XmlTreeBuilder::finish`]: returns a
+    /// structured [`TreeError`] instead of panicking when elements are still
+    /// open or the recorded structure is not balanced, so malformed input
+    /// can never panic a serving process.
+    pub fn try_finish(mut self) -> Result<XmlTree, TreeError> {
+        if self.stack.len() != 1 {
+            return Err(TreeError::UnclosedElements { open: self.stack.len().saturating_sub(1) });
+        }
         self.close(); // close the synthetic root
         self.finished = true;
 
@@ -544,8 +690,8 @@ impl XmlTreeBuilder {
                 }
             })
             .collect();
-        let bp = BalancedParens::new(&self.parens);
-        let tags = TagSequence::new(&codes, num_tags);
+        let bp = BalancedParens::try_new(&self.parens)?;
+        let tags = TagSequence::try_new(&codes, num_tags)?;
         let text_leaves = RsBitVector::new(&self.text_leaves);
 
         let mut child_table = TagTable::new(num_tags);
@@ -593,7 +739,7 @@ impl XmlTreeBuilder {
             }
         }
 
-        XmlTree {
+        Ok(XmlTree {
             bp,
             tags,
             registry: self.registry,
@@ -602,7 +748,7 @@ impl XmlTreeBuilder {
             desc_table,
             foll_sibling_table,
             following_table,
-        }
+        })
     }
 }
 
@@ -853,5 +999,46 @@ mod tests {
         let mut b = XmlTreeBuilder::new();
         b.open("a");
         b.finish();
+    }
+
+    #[test]
+    fn try_finish_reports_unclosed_elements() {
+        let mut b = XmlTreeBuilder::new();
+        b.open("a");
+        b.open("b");
+        assert_eq!(b.try_finish().unwrap_err(), TreeError::UnclosedElements { open: 2 });
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_navigation_and_tags() {
+        let t = figure1_tree();
+        let back = XmlTree::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back.num_nodes(), t.num_nodes());
+        assert_eq!(back.num_texts(), t.num_texts());
+        assert_eq!(back.num_tags(), t.num_tags());
+        for x in t.preorder_nodes() {
+            assert_eq!(back.tag(x), t.tag(x));
+            assert_eq!(back.parent(x), t.parent(x));
+            assert_eq!(back.first_child(x), t.first_child(x));
+            assert_eq!(back.next_sibling(x), t.next_sibling(x));
+            assert_eq!(back.is_text_leaf(x), t.is_text_leaf(x));
+            assert_eq!(back.text_ids(x), t.text_ids(x));
+        }
+        let stock = t.tag_id("stock").unwrap();
+        assert_eq!(back.tag_id("stock"), Some(stock));
+        assert_eq!(back.tagged_desc(back.root(), stock), t.tagged_desc(t.root(), stock));
+        let part = t.tag_id("part").unwrap();
+        let parts = t.tag_id("parts").unwrap();
+        assert!(back.tag_relation_possible(parts, part, TagRelation::Child));
+        assert!(!back.tag_relation_possible(part, parts, TagRelation::Child));
+    }
+
+    #[test]
+    fn serialization_rejects_truncation_and_tampering() {
+        let t = figure1_tree();
+        let bytes = t.to_bytes();
+        for cut in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(XmlTree::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

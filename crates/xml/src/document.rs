@@ -132,7 +132,13 @@ pub fn parse_document_with_options(
             message: format!("element <{open}> is never closed"),
         });
     }
-    let tree = builder.finish();
+    // The event loop above already rejects mismatched and unclosed tags, so
+    // this cannot fail on parser output — but routing through `try_finish`
+    // guarantees that no input, however malformed, can panic the process.
+    let tree = builder.try_finish().map_err(|e| ParseError {
+        position: parser.position(),
+        message: format!("malformed tree structure: {e}"),
+    })?;
     debug_assert_eq!(tree.num_texts(), texts.len(), "text leaves and texts must align");
     Ok(ParsedDocument { tree, texts, num_elements, num_attributes })
 }

@@ -224,12 +224,31 @@ impl<'a> Parser<'a> {
 }
 
 /// Resolves entity and character references in raw character data.
+///
+/// Unrecognised or malformed references (`&unknown;`, `&#;`, `&#x;`, bare
+/// `&`, out-of-range code points such as `&#x110000;`) are preserved
+/// literally, matching the lenient behaviour real-world corpora require.
+///
+/// The lookahead after an `&` only walks bytes that can legally appear in an
+/// entity body (ASCII alphanumerics and `#`), stopping at the first other
+/// byte.  This keeps the function linear — character data full of bare
+/// ampersands previously scanned ahead to the end of the run for a `;` that
+/// never comes, giving O(n²) — while still decoding every reference the
+/// unbounded scan decoded (entity bodies containing other bytes were never
+/// recognised anyway).
 pub fn unescape(raw: &[u8]) -> String {
     let mut out = String::with_capacity(raw.len());
     let mut i = 0;
     while i < raw.len() {
         if raw[i] == b'&' {
-            if let Some(end) = raw[i..].iter().position(|&b| b == b';') {
+            let mut body_end = i + 1;
+            while body_end < raw.len()
+                && (raw[body_end].is_ascii_alphanumeric() || raw[body_end] == b'#')
+            {
+                body_end += 1;
+            }
+            if body_end < raw.len() && raw[body_end] == b';' {
+                let end = body_end - i; // offset of ';' relative to the '&'
                 let entity = &raw[i + 1..i + end];
                 let replacement: Option<String> = match entity {
                     b"amp" => Some("&".into()),
@@ -244,7 +263,9 @@ pub fn unescape(raw: &[u8]) -> String {
                         } else {
                             String::from_utf8_lossy(digits).parse::<u32>().ok()
                         };
-                        code.and_then(char::from_u32).map(|c| c.to_string())
+                        // NUL is excluded: XML 1.0 forbids it, and the text
+                        // index reserves byte 0 for its end-markers.
+                        code.filter(|&c| c != 0).and_then(char::from_u32).map(|c| c.to_string())
                     }
                     _ => None,
                 };
@@ -389,6 +410,45 @@ mod tests {
         assert!(last.is_err());
         let mut p = Parser::new(b"<!-- never closed");
         assert!(p.next_event().is_err());
+    }
+
+    #[test]
+    fn malformed_entities_are_literal() {
+        // Empty numeric bodies, bare ampersands and out-of-range code points
+        // all degrade to literal output, never a panic or a dropped byte.
+        assert_eq!(unescape(b"&#;"), "&#;");
+        assert_eq!(unescape(b"&#x;"), "&#x;");
+        assert_eq!(unescape(b"&;"), "&;");
+        assert_eq!(unescape(b"a & b && c"), "a & b && c");
+        assert_eq!(unescape(b"trailing &"), "trailing &");
+        assert_eq!(unescape(b"&#x110000;"), "&#x110000;"); // beyond char::MAX
+        assert_eq!(unescape(b"&#0;"), "&#0;"); // NUL is not valid XML text
+        assert_eq!(unescape(b"&#xD800;"), "&#xD800;"); // surrogate
+        assert_eq!(unescape(b"&#9999999999;"), "&#9999999999;"); // overflows u32
+        // Valid references still resolve, including heavily zero-padded
+        // numeric forms the XML spec allows.
+        assert_eq!(unescape(b"&#x0010FFFF;"), "\u{10FFFF}");
+        assert_eq!(unescape(b"&#x000000000041;"), "A");
+        assert_eq!(unescape(b"&#000000000065;"), "A");
+        assert_eq!(unescape(b"&amp;&#65;"), "&A");
+    }
+
+    #[test]
+    fn entity_lookahead_is_bounded() {
+        // A semicolon far beyond an ampersand run must not turn every '&'
+        // into a scan to the end of the run: the lookahead stops at the
+        // first byte that cannot be part of an entity body, keeping
+        // unescape linear.
+        let mut input = vec![b'&'; 10_000];
+        input.extend_from_slice(b" end;");
+        let out = unescape(&input);
+        assert_eq!(out.len(), input.len());
+        assert!(out.starts_with("&&&&"));
+        assert!(out.ends_with(" end;"));
+        // A reference whose body contains a space was never recognised; the
+        // bounded scan agrees.
+        assert_eq!(unescape(b"&not an entity;"), "&not an entity;");
+        assert_eq!(unescape(b"&unknownentityname;"), "&unknownentityname;");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Save → load → query equivalence over the paper's full query sets.
+//!
+//! The persistence tentpole promises that a loaded index is *the same
+//! index*: for every one of the 43 paper queries (XMark X01–X17, Treebank
+//! T01–T05, Medline M01–M11, word W01–W10) the counts and the materialized
+//! node sets of the loaded index must be identical to the in-memory index it
+//! was saved from — both through the sequential [`SxsiIndex`] API and
+//! through the parallel [`BatchExecutor`] — and corrupt, truncated or
+//! version-mismatched files must fail with structured errors, never panics.
+
+use sxsi::{IoError, ReadFrom, SxsiIndex, WriteInto};
+use sxsi_datagen::{medline, treebank, wiki, xmark};
+use sxsi_datagen::{MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig};
+use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+use sxsi_xpath::NamedQuery;
+use sxsi_xpath::{MEDLINE_QUERIES, TREEBANK_QUERIES, WORD_QUERIES, XMARK_QUERIES};
+
+/// Builds, saves to an in-memory buffer, reloads, and checks that every
+/// query answers identically on both indexes.
+fn assert_roundtrip_equivalence(corpus: &str, xml: &str, queries: &[NamedQuery]) {
+    let built = SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds");
+    let bytes = built.to_bytes();
+    let loaded = SxsiIndex::from_bytes(&bytes).expect("index loads");
+    assert_eq!(loaded.stats(), built.stats(), "{corpus} stats diverged");
+
+    for q in queries {
+        assert_eq!(
+            loaded.count(q.xpath).unwrap(),
+            built.count(q.xpath).unwrap(),
+            "{corpus} {} count diverged after reload",
+            q.id
+        );
+        assert_eq!(
+            loaded.materialize(q.xpath).unwrap(),
+            built.materialize(q.xpath).unwrap(),
+            "{corpus} {} node set diverged after reload",
+            q.id
+        );
+    }
+
+    // The parallel batch executor must work against the loaded index too:
+    // compile the batch against it and compare with the built index.
+    let specs: Vec<QuerySpec> = queries
+        .iter()
+        .flat_map(|q| {
+            [
+                QuerySpec::count(format!("{}/count", q.id), q.xpath),
+                QuerySpec::materialize(format!("{}/nodes", q.id), q.xpath),
+            ]
+        })
+        .collect();
+    let batch = QueryBatch::compile(&loaded, specs.clone()).expect("batch compiles on loaded index");
+    let reference_batch = QueryBatch::compile(&built, specs).expect("batch compiles on built index");
+    let results = BatchExecutor::new(2).run(&loaded, &batch);
+    let reference = BatchExecutor::new(1).run(&built, &reference_batch);
+    for (r, expected) in results.iter().zip(&reference) {
+        assert_eq!(r.id, expected.id);
+        assert_eq!(r.strategy, expected.strategy, "{corpus} {} strategy diverged", r.id);
+        assert_eq!(r.output, expected.output, "{corpus} {} batch output diverged", r.id);
+    }
+}
+
+#[test]
+fn xmark_queries_survive_reload() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.08, seed: 11 });
+    assert_roundtrip_equivalence("xmark", &xml, XMARK_QUERIES);
+}
+
+#[test]
+fn treebank_queries_survive_reload() {
+    let xml = treebank::generate(&TreebankConfig { num_sentences: 300, seed: 11 });
+    assert_roundtrip_equivalence("treebank", &xml, TREEBANK_QUERIES);
+}
+
+#[test]
+fn medline_queries_survive_reload() {
+    let xml = medline::generate(&MedlineConfig { num_citations: 150, seed: 11 });
+    assert_roundtrip_equivalence("medline", &xml, MEDLINE_QUERIES);
+    assert_roundtrip_equivalence("medline", &xml, &WORD_QUERIES[..5]);
+}
+
+#[test]
+fn wiki_word_queries_survive_reload() {
+    let xml = wiki::generate(&WikiConfig { num_pages: 100, seed: 11 });
+    assert_roundtrip_equivalence("wiki", &xml, &WORD_QUERIES[5..]);
+}
+
+#[test]
+fn file_roundtrip_through_the_filesystem() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.02, seed: 3 });
+    let built = SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds");
+    let path = std::env::temp_dir().join(format!("sxsi-test-{}.sxsi", std::process::id()));
+    built.save_to_file(&path).expect("index saves");
+    let loaded = SxsiIndex::load_from_file(&path).expect("index loads");
+    std::fs::remove_file(&path).ok();
+    for q in XMARK_QUERIES {
+        assert_eq!(loaded.count(q.xpath).unwrap(), built.count(q.xpath).unwrap(), "{}", q.id);
+    }
+}
+
+#[test]
+fn options_survive_reload() {
+    use sxsi::SxsiOptions;
+    let xml = xmark::generate(&XMarkConfig { scale: 0.01, seed: 5 });
+    let mut options = SxsiOptions::default();
+    options.text.keep_plain_text = false;
+    options.text.sample_rate = 8;
+    options.force_top_down = true;
+    let built =
+        SxsiIndex::build_from_xml_with_options(xml.as_bytes(), options).expect("index builds");
+    let loaded = SxsiIndex::from_bytes(&built.to_bytes()).expect("index loads");
+    assert!(!loaded.options().text.keep_plain_text);
+    assert_eq!(loaded.options().text.sample_rate, 8);
+    assert!(loaded.options().force_top_down);
+    assert!(loaded.texts().plain().is_none());
+    for q in &XMARK_QUERIES[..6] {
+        assert_eq!(loaded.count(q.xpath).unwrap(), built.count(q.xpath).unwrap(), "{}", q.id);
+    }
+}
+
+#[test]
+fn corrupt_truncated_and_mismatched_files_error_structurally() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.01, seed: 9 });
+    let built = SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds");
+    let bytes = built.to_bytes();
+
+    // Wrong magic.
+    let mut bad_magic = bytes.clone();
+    bad_magic[3] = b'?';
+    assert!(matches!(SxsiIndex::from_bytes(&bad_magic), Err(IoError::BadMagic { .. })));
+
+    // Future format version.
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        SxsiIndex::from_bytes(&future),
+        Err(IoError::UnsupportedVersion { found: 2, .. })
+    ));
+
+    // Truncation at a spread of byte positions (header, each section, tail).
+    for fraction in [0usize, 5, 11, 13, 40, 70, 95, 99] {
+        let cut = bytes.len() * fraction / 100;
+        assert!(SxsiIndex::from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} accepted");
+    }
+
+    // Single-byte corruption at a spread of positions: structured error,
+    // never a panic, never a silently-loaded index.
+    for fraction in [2usize, 10, 20, 35, 50, 65, 80, 97] {
+        let pos = 12 + (bytes.len() - 13) * fraction / 100;
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= 0x10;
+        assert!(SxsiIndex::from_bytes(&corrupted).is_err(), "corruption at byte {pos} accepted");
+    }
+
+    // An empty and a garbage file.
+    assert!(SxsiIndex::from_bytes(&[]).is_err());
+    assert!(SxsiIndex::from_bytes(&[0u8; 64]).is_err());
+    // The pristine bytes still load (the checks above cloned).
+    assert!(SxsiIndex::from_bytes(&bytes).is_ok());
+}
