@@ -17,7 +17,7 @@
 //!   descendant queries, representing the streaming approach.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dom;
 pub mod naive;

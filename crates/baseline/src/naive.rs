@@ -6,10 +6,21 @@
 //! (the textbook evaluation strategy), re-traverses subtrees for every
 //! filter, and evaluates text predicates by extracting and scanning string
 //! values — no succinct index operations, no automata, no jumping.
+//!
+//! Like the indexed engine it oracles, the evaluator implements XPath's
+//! *ordered* step semantics: each step's selection is materialized per
+//! context node in axis order (document order for forward axes, reverse
+//! document order for reverse axes), predicates apply left to right with
+//! re-indexing, and positional predicates (`[n]`, `[position() op n]`,
+//! `[last()]`) index that exact sequence.  The reverse and ordered axes are
+//! evaluated from first principles — `parent`/`ancestor` by parent loops,
+//! `following`/`preceding` by full preorder enumeration with subtree-range
+//! comparisons — deliberately *not* the BP-range scans the indexed direct
+//! evaluator uses, so the two stay independent implementations.
 
 use sxsi_text::{TextCollection, TextPredicate};
 use sxsi_tree::{reserved, NodeId, XmlTree};
-use sxsi_xpath::{Axis, NodeTest, Path, Predicate, Query};
+use sxsi_xpath::{Axis, NodeTest, Path, Predicate, Query, Step};
 
 /// Naive recursive evaluator.
 pub struct NaiveEvaluator<'a> {
@@ -25,16 +36,7 @@ impl<'a> NaiveEvaluator<'a> {
 
     /// Evaluates an absolute query, returning result nodes in document order.
     pub fn evaluate(&self, query: &Query) -> Vec<NodeId> {
-        let mut context = vec![self.tree.root()];
-        for step in &query.path.steps {
-            context = self.apply_step(&context, step.axis, &step.test);
-            for pred in &step.predicates {
-                context.retain(|&n| self.eval_predicate(n, pred));
-            }
-            context.sort_unstable();
-            context.dedup();
-        }
-        context
+        self.eval_steps(&[self.tree.root()], &query.path.steps)
     }
 
     /// Number of nodes selected by the query.
@@ -42,56 +44,162 @@ impl<'a> NaiveEvaluator<'a> {
         self.evaluate(query).len()
     }
 
-    fn apply_step(&self, context: &[NodeId], axis: Axis, test: &NodeTest) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        for &node in context {
-            match axis {
-                Axis::Child => {
-                    for c in self.tree.children(node) {
-                        if self.matches(c, test) {
-                            out.push(c);
+    /// Evaluates a step chain with ordered per-context semantics.
+    fn eval_steps(&self, context: &[NodeId], steps: &[Step]) -> Vec<NodeId> {
+        let mut context = context.to_vec();
+        for step in steps {
+            let mut out = Vec::new();
+            for &node in &context {
+                let mut candidates = self.apply_step(node, step.axis, &step.test);
+                for pred in &step.predicates {
+                    let last = candidates.len();
+                    let mut kept = Vec::new();
+                    for (i, &cand) in candidates.iter().enumerate() {
+                        if self.eval_predicate(cand, pred, i + 1, last) {
+                            kept.push(cand);
                         }
                     }
+                    candidates = kept;
                 }
-                Axis::Descendant | Axis::DescendantOrSelf => {
-                    if axis == Axis::DescendantOrSelf && self.matches(node, test) {
-                        out.push(node);
+                out.extend(candidates);
+            }
+            out.sort_unstable();
+            out.dedup();
+            context = out;
+            if context.is_empty() {
+                break;
+            }
+        }
+        context
+    }
+
+    /// The nodes one context node's step selects, in axis order.
+    fn apply_step(&self, node: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        match axis {
+            Axis::Child => {
+                for c in self.tree.children(node) {
+                    if self.matches(c, test) {
+                        out.push(c);
                     }
-                    self.collect_descendants(node, test, &mut out);
                 }
-                Axis::SelfAxis => {
-                    if self.matches(node, test) {
-                        out.push(node);
-                    }
+            }
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                if axis == Axis::DescendantOrSelf && self.matches(node, test) {
+                    out.push(node);
                 }
-                Axis::Attribute => {
-                    for c in self.tree.children(node) {
-                        if self.tree.tag(c) == reserved::ATTRIBUTES {
-                            for attr in self.tree.children(c) {
-                                let name_matches = match test {
-                                    NodeTest::Wildcard | NodeTest::Node => true,
-                                    NodeTest::Name(n) => self.tree.tag_id(n) == Some(self.tree.tag(attr)),
-                                    NodeTest::Text => false,
-                                };
-                                if name_matches {
-                                    out.push(attr);
-                                }
+                self.collect_descendants(node, test, &mut out);
+            }
+            Axis::SelfAxis => {
+                if self.matches(node, test) {
+                    out.push(node);
+                }
+            }
+            Axis::Attribute => {
+                for c in self.tree.children(node) {
+                    if self.tree.tag(c) == reserved::ATTRIBUTES {
+                        for attr in self.tree.children(c) {
+                            let name_matches = match test {
+                                NodeTest::Wildcard | NodeTest::Node => true,
+                                NodeTest::Name(n) => self.tree.tag_id(n) == Some(self.tree.tag(attr)),
+                                NodeTest::Text => false,
+                            };
+                            if name_matches {
+                                out.push(attr);
                             }
                         }
                     }
                 }
-                Axis::FollowingSibling => {
-                    let mut cur = self.tree.next_sibling(node);
-                    while let Some(s) = cur {
-                        if self.matches(s, test) {
-                            out.push(s);
-                        }
-                        cur = self.tree.next_sibling(s);
+            }
+            Axis::FollowingSibling => {
+                let mut cur = self.tree.next_sibling(node);
+                while let Some(s) = cur {
+                    if self.matches(s, test) {
+                        out.push(s);
+                    }
+                    cur = self.tree.next_sibling(s);
+                }
+            }
+            Axis::PrecedingSibling => {
+                let mut cur = self.tree.prev_sibling(node);
+                while let Some(s) = cur {
+                    if self.matches(s, test) {
+                        out.push(s);
+                    }
+                    cur = self.tree.prev_sibling(s);
+                }
+            }
+            Axis::Parent => {
+                if let Some(p) = self.parent_skipping_attributes(node) {
+                    if self.matches(p, test) {
+                        out.push(p);
                     }
                 }
             }
+            Axis::Ancestor | Axis::AncestorOrSelf => {
+                if axis == Axis::AncestorOrSelf && self.matches(node, test) {
+                    out.push(node);
+                }
+                let mut cur = self.parent_skipping_attributes(node);
+                while let Some(p) = cur {
+                    if self.matches(p, test) {
+                        out.push(p);
+                    }
+                    cur = self.parent_skipping_attributes(p);
+                }
+            }
+            Axis::Following => {
+                // Everything whose whole subtree starts after this node's
+                // subtree ends, by first-principles preorder enumeration.
+                let node_end = self.tree.close(node);
+                for y in self.tree.preorder_nodes() {
+                    if y > node_end && self.matches(y, test) && !self.inside_attributes(y) {
+                        out.push(y);
+                    }
+                }
+            }
+            Axis::Preceding => {
+                // Everything that ends before this node starts (which
+                // excludes ancestors by construction), reverse document
+                // order.
+                for y in self.tree.preorder_nodes() {
+                    if y >= node {
+                        break;
+                    }
+                    if self.tree.close(y) < node
+                        && self.matches(y, test)
+                        && !self.inside_attributes(y)
+                    {
+                        out.push(y);
+                    }
+                }
+                out.reverse();
+            }
         }
         out
+    }
+
+    /// Whether any ancestor of `y` is an `@` attribute container.
+    fn inside_attributes(&self, y: NodeId) -> bool {
+        let mut cur = self.tree.parent(y);
+        while let Some(p) = cur {
+            if self.tree.tag(p) == reserved::ATTRIBUTES {
+                return true;
+            }
+            cur = self.tree.parent(p);
+        }
+        false
+    }
+
+    /// The XPath parent: the `@` container is part of the encoding, not of
+    /// the logical tree, so the parent of an attribute node is its element.
+    fn parent_skipping_attributes(&self, node: NodeId) -> Option<NodeId> {
+        let p = self.tree.parent(node)?;
+        if self.tree.tag(p) == reserved::ATTRIBUTES {
+            self.tree.parent(p)
+        } else {
+            Some(p)
+        }
     }
 
     fn collect_descendants(&self, node: NodeId, test: &NodeTest, out: &mut Vec<NodeId>) {
@@ -124,36 +232,27 @@ impl<'a> NaiveEvaluator<'a> {
         }
     }
 
-    fn eval_predicate(&self, node: NodeId, pred: &Predicate) -> bool {
+    fn eval_predicate(&self, node: NodeId, pred: &Predicate, position: usize, last: usize) -> bool {
         match pred {
-            Predicate::And(a, b) => self.eval_predicate(node, a) && self.eval_predicate(node, b),
-            Predicate::Or(a, b) => self.eval_predicate(node, a) || self.eval_predicate(node, b),
-            Predicate::Not(p) => !self.eval_predicate(node, p),
+            Predicate::And(a, b) => {
+                self.eval_predicate(node, a, position, last)
+                    && self.eval_predicate(node, b, position, last)
+            }
+            Predicate::Or(a, b) => {
+                self.eval_predicate(node, a, position, last)
+                    || self.eval_predicate(node, b, position, last)
+            }
+            Predicate::Not(p) => !self.eval_predicate(node, p, position, last),
+            Predicate::Position(p) => p.matches(position, last),
             Predicate::Exists(path) => !self.eval_relative_path(node, path).is_empty(),
             Predicate::TextCompare { path, op } => {
-                if path.is_context_only() {
-                    self.text_matches(node, op)
-                } else {
-                    self.eval_relative_path(node, path).iter().any(|&n| self.text_matches(n, op))
-                }
+                self.eval_relative_path(node, path).iter().any(|&n| self.text_matches(n, op))
             }
         }
     }
 
     fn eval_relative_path(&self, node: NodeId, path: &Path) -> Vec<NodeId> {
-        let mut context = vec![node];
-        for step in &path.steps {
-            context = self.apply_step(&context, step.axis, &step.test);
-            for pred in &step.predicates {
-                context.retain(|&n| self.eval_predicate(n, pred));
-            }
-            context.sort_unstable();
-            context.dedup();
-            if context.is_empty() {
-                break;
-            }
-        }
-        context
+        self.eval_steps(&[node], &path.steps)
     }
 
     /// The XPath string value of a node, built by extraction.
@@ -203,6 +302,26 @@ mod tests {
         assert_eq!(count(r#"//person[ .//name[ . = "Alice" ] ]"#), 1);
         assert_eq!(count(r#"//keyword[ contains(., "ar") ]"#), 1);
         assert_eq!(count(r#"//keyword[ contains(., "zz") ]"#), 0);
+    }
+
+    #[test]
+    fn reverse_axes_and_positions() {
+        let (tree, texts) = fixture();
+        let e = NaiveEvaluator::new(&tree, &texts);
+        let count = |q: &str| e.count(&parse_query(q).unwrap());
+        assert_eq!(count("//keyword/ancestor::item"), 1);
+        assert_eq!(count("//keyword/parent::listitem"), 1);
+        assert_eq!(count("//name/.."), 2);
+        assert_eq!(count("//address/preceding-sibling::name"), 1);
+        assert_eq!(count("//person/preceding-sibling::person"), 1);
+        assert_eq!(count("//person[1]"), 1);
+        assert_eq!(count("//person[last()]"), 1);
+        assert_eq!(count("//person[position() <= 2]"), 2);
+        assert_eq!(count("//item/following::person"), 0); // item comes after people
+        assert_eq!(count("//item/preceding::person"), 2);
+        assert_eq!(count("//keyword/ancestor-or-self::keyword"), 1);
+        assert_eq!(count("//@id/.."), 2); // attribute parents skip the @ container
+        assert_eq!(count("/site/.."), 0); // the super-root is unselectable
     }
 
     #[test]

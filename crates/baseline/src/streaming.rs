@@ -55,6 +55,80 @@ impl StreamingCounter {
     }
 }
 
+impl StreamingCounter {
+    /// Counts the distinct elements named `parent` that have at least one
+    /// child element named `child` — the streaming equivalent of
+    /// `//child/parent::parent` — in one pass, without building any tree.
+    pub fn count_parent_of(xml: &[u8], parent: &str, child: &str) -> Result<usize, ParseError> {
+        let mut parser = Parser::new(xml);
+        // For every open element: (is the parent tag, has a matching child).
+        let mut open: Vec<(bool, bool)> = Vec::new();
+        let mut count = 0usize;
+        loop {
+            match parser.next_event()? {
+                Event::StartElement { name, self_closing, .. } => {
+                    if name == child {
+                        if let Some(top) = open.last_mut() {
+                            top.1 = true;
+                        }
+                    }
+                    if !self_closing {
+                        open.push((name == parent, false));
+                    }
+                    // A self-closing parent candidate has no children and
+                    // can never count.
+                }
+                Event::EndElement { .. } => {
+                    if let Some((is_parent, has_child)) = open.pop() {
+                        if is_parent && has_child {
+                            count += 1;
+                        }
+                    }
+                }
+                Event::Text(_) => {}
+                Event::Eof => break,
+            }
+        }
+        Ok(count)
+    }
+
+    /// Counts the elements named `tag` that are the `n`-th (1-based)
+    /// `tag`-named child of their (element) parent — the streaming
+    /// equivalent of `//*/tag[n]` under the ordered positional semantics —
+    /// in one pass.
+    pub fn count_nth_child(xml: &[u8], tag: &str, n: usize) -> Result<usize, ParseError> {
+        let mut parser = Parser::new(xml);
+        // Per open element: how many `tag` children seen so far.  The
+        // document element itself has no tracked parent, matching the
+        // indexed query's `//*` context (the synthetic root is not `*`).
+        let mut seen: Vec<usize> = Vec::new();
+        let mut count = 0usize;
+        loop {
+            match parser.next_event()? {
+                Event::StartElement { name, self_closing, .. } => {
+                    if name == tag {
+                        if let Some(top) = seen.last_mut() {
+                            *top += 1;
+                            if *top == n {
+                                count += 1;
+                            }
+                        }
+                    }
+                    if !self_closing {
+                        seen.push(0);
+                    }
+                }
+                Event::EndElement { .. } => {
+                    seen.pop();
+                }
+                Event::Text(_) => {}
+                Event::Eof => break,
+            }
+        }
+        Ok(count)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +149,31 @@ mod tests {
         let xml = b"<a><b><b><c/></b></b></a>";
         assert_eq!(StreamingCounter::count_descendant_path(xml, &["b"]).unwrap(), 2);
         assert_eq!(StreamingCounter::count_descendant_path(xml, &["b", "c"]).unwrap(), 1);
+    }
+
+    #[test]
+    fn counts_parents_with_matching_children() {
+        let xml = b"<a><p><c/><c/></p><p><d/></p><q><p><c/></p></q><p/></a>";
+        assert_eq!(StreamingCounter::count_parent_of(xml, "p", "c").unwrap(), 2);
+        assert_eq!(StreamingCounter::count_parent_of(xml, "p", "d").unwrap(), 1);
+        assert_eq!(StreamingCounter::count_parent_of(xml, "q", "p").unwrap(), 1);
+        assert_eq!(StreamingCounter::count_parent_of(xml, "p", "z").unwrap(), 0);
+        // Only direct children count, and nesting is handled per element.
+        assert_eq!(StreamingCounter::count_parent_of(xml, "a", "c").unwrap(), 0);
+        assert_eq!(StreamingCounter::count_parent_of(xml, "q", "c").unwrap(), 0);
+    }
+
+    #[test]
+    fn counts_positional_children() {
+        let xml = b"<a><p><c/><c/><c/></p><p><d/><c/></p></a>";
+        // Three c's in the first p (positions 1..3), one in the second
+        // (position 1, the d does not advance c's position).
+        assert_eq!(StreamingCounter::count_nth_child(xml, "c", 1).unwrap(), 2);
+        assert_eq!(StreamingCounter::count_nth_child(xml, "c", 2).unwrap(), 1);
+        assert_eq!(StreamingCounter::count_nth_child(xml, "c", 3).unwrap(), 1);
+        assert_eq!(StreamingCounter::count_nth_child(xml, "c", 4).unwrap(), 0);
+        // The document element has no tracked parent.
+        assert_eq!(StreamingCounter::count_nth_child(xml, "a", 1).unwrap(), 0);
+        assert_eq!(StreamingCounter::count_nth_child(xml, "p", 2).unwrap(), 1);
     }
 }

@@ -2,7 +2,6 @@
 //! time split for bottom-up queries) vs the naive evaluator.
 use sxsi_baseline::NaiveEvaluator;
 use sxsi_bench::{header, medline_index, row, time_avg_ms, time_ms};
-use sxsi::Strategy;
 use sxsi_xpath::{parse_query, BottomUpPlan, MEDLINE_QUERIES};
 
 fn main() {
@@ -28,7 +27,7 @@ fn main() {
         row(&[
             q.id.to_string(),
             format!("{}", result.output.count()),
-            match result.strategy { Strategy::BottomUp => "bottom-up".into(), Strategy::TopDown => "top-down".into() },
+            result.strategy.name().into(),
             format!("{text_ms:.2}"),
             format!("{auto_ms:.2}"),
             format!("{total_ms:.2}"),

@@ -1,28 +1,46 @@
 //! Machine-readable benchmark report: `cargo run -p sxsi-bench --bin report`.
 //!
-//! Runs the quick concurrency benches (the X01–X17 batch in counting and
-//! materializing mode at 1/2/4/8 worker threads over one shared XMark
-//! index) and writes `BENCH_pr2.json` at the repository root: one entry per
-//! `(bench, threads)` pair with the median wall time in nanoseconds and the
-//! derived queries/sec.  The report also records the machine's available
-//! parallelism — on a single-core host the thread-scaling curve is
-//! necessarily flat, and readers of the trajectory need to know that.
+//! Two experiment families, written to `BENCH_pr4.json` at the repository
+//! root:
+//!
+//! * the quick concurrency benches carried over from PR 2 (the X01–X17
+//!   batch in counting and materializing mode at 1/2/4/8 worker threads
+//!   over one shared XMark index), one entry per `(bench, threads)` pair;
+//! * per-query timings for the O01–O20 reverse/ordered-axis and
+//!   positional-predicate queries introduced in PR 4, on their own corpora
+//!   (XMark / Treebank / Medline / wiki), with the strategy the planner
+//!   chose (`top-down` after a forward rewrite, or `direct`).
+//!
+//! The report also records the machine's available parallelism — on a
+//! single-core host the thread-scaling curve is necessarily flat, and
+//! readers of the trajectory need to know that.
 //!
 //! Options: `--scale <f64>` (XMark scale factor, default 0.15) and
 //! `--runs <n>` (timed runs per entry, default 5).  Use `--release` for
 //! numbers worth recording.
 
 use sxsi::SxsiIndex;
-use sxsi_bench::measure_batch_qps;
-use sxsi_datagen::{xmark, XMarkConfig};
+use sxsi_bench::{measure_batch_qps, median_ms};
+use sxsi_datagen::{
+    medline, treebank, wiki, xmark, MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig,
+};
 use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
-use sxsi_xpath::XMARK_QUERIES;
+use sxsi_xpath::{ORDERED_QUERIES, XMARK_QUERIES};
 
 struct Entry {
     name: String,
     threads: usize,
     median_ns: u128,
     queries_per_sec: f64,
+}
+
+/// One per-query timing for the ordered-axes experiment.
+struct QueryEntry {
+    id: &'static str,
+    corpus: &'static str,
+    strategy: &'static str,
+    count: u64,
+    median_ns: u128,
 }
 
 /// Times `runs` executions of the batch and returns one report entry.
@@ -42,10 +60,15 @@ fn measure(
     Entry { name: name.to_string(), threads: executor.threads(), median_ns, queries_per_sec }
 }
 
-const USAGE: &str = "usage: report [--scale <f64>] [--runs <n>]";
+const USAGE: &str = "usage: report [--scale <f64>] [--runs <n>]\n\
+                     runs the X01-X17 concurrency batches and the O01-O20 \
+                     ordered-axis queries, writing BENCH_pr4.json";
 
 fn usage_error(message: &str) -> ! {
-    sxsi_bench::usage_error("report", message, USAGE)
+    // The benchmark queries are plain XPath: print the supported fragment
+    // alongside the usage so a typo'd query is debuggable from the terminal.
+    let help = sxsi_xpath::fragment_help();
+    sxsi_bench::usage_error("report", message, &format!("{USAGE}\n{help}"));
 }
 
 fn parse_args() -> (f64, usize) {
@@ -66,6 +89,58 @@ fn parse_args() -> (f64, usize) {
         }
     }
     (scale, runs)
+}
+
+/// Runs every O-query against its corpus index, `runs` times each.
+/// `xmark_index` is the index the concurrency benches already built —
+/// reused here so the expensive construction does not run twice.
+fn measure_ordered_queries(xmark_index: SxsiIndex, runs: usize) -> Vec<QueryEntry> {
+    let corpora: Vec<(&'static str, SxsiIndex)> = vec![
+        ("xmark", xmark_index),
+        (
+            "treebank",
+            build("treebank", &treebank::generate(&TreebankConfig { num_sentences: 400, seed: 42 })),
+        ),
+        (
+            "medline",
+            build("medline", &medline::generate(&MedlineConfig { num_citations: 300, seed: 42 })),
+        ),
+        ("wiki", build("wiki", &wiki::generate(&WikiConfig { num_pages: 300, seed: 42 }))),
+    ];
+    let mut entries = Vec::new();
+    for (corpus, index) in corpora {
+        for q in ORDERED_QUERIES.iter().filter(|q| q.corpus == corpus) {
+            // Compile once and time execution only, like the concurrency
+            // batches — parse/rewrite/plan overhead would otherwise drown
+            // the cheap queries.
+            let parsed = index.parse(q.xpath).expect("ordered query parses");
+            let plan = index.compile(&parsed).expect("ordered query compiles");
+            let result = index.execute_compiled(&plan, true);
+            let median = median_ms(runs, || {
+                index.execute_compiled(&plan, true);
+            });
+            println!(
+                "  {} [{}] count={} median={median:.3} ms  {}",
+                q.id,
+                result.strategy.name(),
+                result.output.count(),
+                q.xpath
+            );
+            entries.push(QueryEntry {
+                id: q.id,
+                corpus,
+                strategy: result.strategy.name(),
+                count: result.output.count(),
+                median_ns: (median * 1e6) as u128,
+            });
+        }
+    }
+    entries
+}
+
+fn build(corpus: &str, xml: &str) -> SxsiIndex {
+    println!("building {corpus} index ({} bytes of XML) ...", xml.len());
+    SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds")
 }
 
 fn main() {
@@ -100,12 +175,15 @@ fn main() {
             runs,
         ));
     }
+    let ordered = measure_ordered_queries(index, runs);
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 2,\n");
-    json.push_str("  \"bench\": \"parallel batch executor over one shared XMark index\",\n");
-    json.push_str(&format!("  \"corpus\": \"xmark scale {scale} seed 42\",\n"));
+    json.push_str("  \"pr\": 4,\n");
+    json.push_str(
+        "  \"bench\": \"parallel batch executor + reverse/ordered-axis queries (O01-O20)\",\n",
+    );
+    json.push_str(&format!("  \"corpus\": \"xmark scale {scale} seed 42 (+ treebank/medline/wiki defaults)\",\n"));
     json.push_str(&format!("  \"queries\": {},\n", XMARK_QUERIES.len()));
     json.push_str(&format!("  \"runs_per_entry\": {runs},\n"));
     json.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
@@ -121,9 +199,18 @@ fn main() {
             e.name, e.threads, e.median_ns, e.queries_per_sec
         ));
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"ordered_axis_queries\": [\n");
+    for (i, e) in ordered.iter().enumerate() {
+        let comma = if i + 1 == ordered.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"corpus\": \"{}\", \"strategy\": \"{}\", \"count\": {}, \"median_ns\": {} }}{comma}\n",
+            e.id, e.corpus, e.strategy, e.count, e.median_ns
+        ));
+    }
     json.push_str("  ]\n}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
-    std::fs::write(path, &json).expect("BENCH_pr2.json is writable");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    std::fs::write(path, &json).expect("BENCH_pr4.json is writable");
     println!("\nwrote {}", path);
 }

@@ -166,12 +166,19 @@ impl SxsiIndex {
 
     /// Writes the index to a `.sxsi` file (buffered).
     ///
-    /// ```no_run
+    /// Build once (expensive), persist, reload anywhere (cheap — no
+    /// re-parsing, no suffix array, no BWT):
+    ///
+    /// ```
     /// use sxsi::SxsiIndex;
-    /// let index = SxsiIndex::build_from_xml(b"<a><b>hi</b></a>").unwrap();
-    /// index.save_to_file("doc.sxsi").unwrap();
-    /// let loaded = SxsiIndex::load_from_file("doc.sxsi").unwrap();
-    /// assert_eq!(loaded.count("//b").unwrap(), 1);
+    ///
+    /// let path = std::env::temp_dir().join("sxsi-doctest-save.sxsi");
+    /// let index = SxsiIndex::build_from_xml(b"<a><b>hi</b><b/></a>").unwrap();
+    /// index.save_to_file(&path).unwrap();
+    ///
+    /// let loaded = SxsiIndex::load_from_file(&path).unwrap();
+    /// assert_eq!(loaded.count("//b").unwrap(), 2);
+    /// # std::fs::remove_file(&path).unwrap();
     /// ```
     pub fn save_to_file(&self, path: impl AsRef<Path>) -> Result<(), IoError> {
         let mut w = BufWriter::new(File::create(path)?);
@@ -188,6 +195,27 @@ impl SxsiIndex {
     }
 
     /// Loads an index from a `.sxsi` file (buffered).
+    ///
+    /// A reloaded index answers queries exactly like the instance that
+    /// wrote it — including queries outside the forward fragment:
+    ///
+    /// ```
+    /// use sxsi::SxsiIndex;
+    ///
+    /// let path = std::env::temp_dir().join("sxsi-doctest-load.sxsi");
+    /// SxsiIndex::build_from_xml(b"<a><b>hi</b><c/><b/></a>")
+    ///     .unwrap()
+    ///     .save_to_file(&path)
+    ///     .unwrap();
+    ///
+    /// let loaded = SxsiIndex::load_from_file(&path).unwrap();
+    /// assert_eq!(loaded.count("/a/b[last()]").unwrap(), 1);
+    /// assert_eq!(loaded.count("//c/preceding-sibling::b").unwrap(), 1);
+    /// # std::fs::remove_file(&path).unwrap();
+    /// ```
+    ///
+    /// Truncated, corrupt or version-mismatched files fail with a
+    /// structured [`IoError`], never a panic.
     pub fn load_from_file(path: impl AsRef<Path>) -> Result<Self, IoError> {
         let mut r = BufReader::new(File::open(path)?);
         Self::read_from(&mut r)

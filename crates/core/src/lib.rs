@@ -30,7 +30,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod io;
 pub mod serialize;
@@ -42,7 +42,8 @@ use sxsi_tree::{NodeId, XmlTree};
 use sxsi_xml::{parse_document_with_options, DocumentOptions, ParseError, ParsedDocument};
 use sxsi_xpath::eval::{EvalOptions, EvalStats, Evaluator, Output};
 use sxsi_xpath::{
-    compile, parse_query, Automaton, BottomUpPlan, CompileError, Query, XPathParseError,
+    compile, parse_query, requires_direct, rewrite_to_forward, Automaton, BottomUpPlan,
+    CompileError, DirectEvaluator, Query, XPathParseError,
 };
 
 pub use io::{IoError, ReadFrom, WriteInto, FORMAT_VERSION, MAGIC};
@@ -122,13 +123,29 @@ pub struct SxsiOptions {
 }
 
 /// Which evaluation strategy answered a query (the paper's Figure 14
-/// annotations: `↓` top-down, `↑` bottom-up).
+/// annotations: `↓` top-down, `↑` bottom-up; `Direct` covers the
+/// reverse/ordered-axis extension beyond the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// Automaton run from the root (with jumping).
     TopDown,
     /// Text-index seeds verified upward.
     BottomUp,
+    /// Ordered per-context evaluation by direct BP-tree navigation —
+    /// chosen for reverse/ordered axes and positional predicates that the
+    /// forward rewrites could not eliminate.
+    Direct,
+}
+
+impl Strategy {
+    /// Short lowercase name, as printed by the CLI and the bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::TopDown => "top-down",
+            Strategy::BottomUp => "bottom-up",
+            Strategy::Direct => "direct",
+        }
+    }
 }
 
 /// A query compiled against one index: the planner's strategy choice
@@ -145,6 +162,8 @@ pub enum CompiledPlan {
     TopDown(Automaton),
     /// Text-index seeds verified upward (Section 6.6).
     BottomUp(BottomUpPlan),
+    /// Ordered direct-navigation evaluation of the (rewritten) query.
+    Direct(Query),
 }
 
 impl CompiledPlan {
@@ -153,6 +172,7 @@ impl CompiledPlan {
         match self {
             CompiledPlan::TopDown(_) => Strategy::TopDown,
             CompiledPlan::BottomUp(_) => Strategy::BottomUp,
+            CompiledPlan::Direct(_) => Strategy::Direct,
         }
     }
 }
@@ -267,23 +287,39 @@ impl SxsiIndex {
     }
 
     /// Chooses the evaluation strategy for a query (Section 6.6: bottom-up
-    /// whenever the shape and the content model allow it).
+    /// whenever the shape and the content model allow it; direct ordered
+    /// evaluation for reverse/ordered axes and positional predicates the
+    /// forward rewrites cannot eliminate).
+    ///
+    /// This is [`SxsiIndex::compile`] minus the plan itself, so the two can
+    /// never disagree; queries that fail to compile report `TopDown` (the
+    /// strategy whose compiler produces the error).
     pub fn plan(&self, query: &Query) -> Strategy {
-        if self.options.force_top_down {
-            return Strategy::TopDown;
-        }
-        match BottomUpPlan::try_from_query(query, &self.tree) {
-            Some(_) => Strategy::BottomUp,
-            None => Strategy::TopDown,
-        }
+        self.compile(query).map_or(Strategy::TopDown, |plan| plan.strategy())
     }
 
     /// Compiles a parsed query into an executable plan, making the same
     /// strategy choice as [`SxsiIndex::plan`].
     ///
+    /// Queries outside the forward automaton fragment are first rewritten
+    /// toward it (`sxsi_xpath::rewrite`); shapes that stay outside — reverse
+    /// or ordered axes without a provable forward equivalent, positional
+    /// predicates — compile to a [`CompiledPlan::Direct`] plan carrying the
+    /// rewritten query.
+    ///
     /// Compile once, execute many times (possibly from many threads): see
     /// [`SxsiIndex::execute_compiled`] and the `sxsi-engine` crate.
     pub fn compile(&self, query: &Query) -> Result<CompiledPlan, QueryError> {
+        let rewritten;
+        let query = if requires_direct(query) {
+            rewritten = rewrite_to_forward(query);
+            if requires_direct(&rewritten) {
+                return Ok(CompiledPlan::Direct(rewritten));
+            }
+            &rewritten
+        } else {
+            query
+        };
         if !self.options.force_top_down {
             if let Some(plan) = BottomUpPlan::try_from_query(query, &self.tree) {
                 return Ok(CompiledPlan::BottomUp(plan));
@@ -310,6 +346,16 @@ impl SxsiIndex {
                     Evaluator::new(automaton, &self.tree, Some(&self.texts), self.options.eval);
                 let output = evaluator.evaluate(counting);
                 QueryResult { output, strategy: Strategy::TopDown, stats: evaluator.stats() }
+            }
+            CompiledPlan::Direct(query) => {
+                let evaluator = DirectEvaluator::new(&self.tree, Some(&self.texts));
+                let output = evaluator.run(query, counting);
+                let stats = EvalStats {
+                    visited_nodes: 0,
+                    marked_nodes: output.count(),
+                    result_nodes: output.count(),
+                };
+                QueryResult { output, strategy: Strategy::Direct, stats }
             }
         }
     }
@@ -482,8 +528,33 @@ mod tests {
     fn errors_are_reported() {
         let idx = index();
         assert!(matches!(idx.count("book"), Err(QueryError::Parse(_))));
-        assert!(matches!(idx.count("//ancestor::book"), Err(QueryError::Parse(_))));
+        assert!(matches!(idx.count("//sideways::book"), Err(QueryError::Parse(_))));
         assert!(SxsiIndex::build_from_xml(b"<a><b></a>").is_err());
+    }
+
+    #[test]
+    fn reverse_axes_and_positional_predicates() {
+        let idx = index();
+        // Rewritable shapes stay on the automaton path.
+        let q = idx.parse("//last/ancestor::book").unwrap();
+        assert_eq!(idx.plan(&q), Strategy::TopDown);
+        assert_eq!(idx.count("//last/ancestor::book").unwrap(), 2);
+        assert_eq!(idx.count("//title/parent::journal").unwrap(), 1);
+        // Non-rewritable shapes run on the direct strategy.
+        let q = idx.parse("//title/preceding-sibling::*").unwrap();
+        assert_eq!(idx.plan(&q), Strategy::Direct);
+        let result = idx.execute("/library/book[last()]/title", false).unwrap();
+        assert_eq!(result.strategy, Strategy::Direct);
+        assert_eq!(result.output.count(), 1);
+        assert_eq!(
+            idx.serialize("/library/book[last()]/title").unwrap(),
+            "<title>Tree Automata</title>"
+        );
+        assert_eq!(idx.count("/library/book[1]").unwrap(), 1);
+        assert_eq!(idx.count("//book[position() <= 2]").unwrap(), 2);
+        assert_eq!(idx.count("//author/following::journal").unwrap(), 1);
+        assert_eq!(idx.count("//journal/preceding::book").unwrap(), 2);
+        assert_eq!(idx.count("//abstract/..").unwrap(), 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! rationale is documented per corpus in `DESIGN.md`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bio;
 pub mod medline;

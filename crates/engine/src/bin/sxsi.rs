@@ -51,6 +51,8 @@ query options:
   --materialize      print the selected node identifiers, not just counts
   --serialize        print the XML serialization of every selected node
   --threads N        worker threads for multi-query batches (default 1)
+
+`sxsi query --help` additionally prints the supported XPath fragment.
 ";
 
 fn usage_error(message: &str) -> ExitCode {
@@ -63,12 +65,24 @@ fn fail(message: impl std::fmt::Display) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Prints usage plus the XPath fragment summary.  The summary is generated
+/// by `sxsi_xpath::fragment_help` from the parser's own axis table, so this
+/// help text cannot drift from what the parser accepts.
+fn print_help() -> ExitCode {
+    println!("{USAGE}\n{}", sxsi_xpath::fragment_help());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return print_help();
+    }
     match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("help") => print_help(),
         Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
         None => usage_error("missing subcommand"),
     }

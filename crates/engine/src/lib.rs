@@ -118,6 +118,24 @@ struct CompiledQuery {
 /// identifiers baked into the automata are only meaningful for that
 /// document.  Running a batch against a different index is a logic error
 /// (it cannot crash, but the answers would be meaningless).
+///
+/// ```
+/// use sxsi::SxsiIndex;
+/// use sxsi_engine::{QueryBatch, QuerySpec};
+///
+/// let index = SxsiIndex::build_from_xml(b"<a><b>x</b><b/><c/></a>").unwrap();
+/// let batch = QueryBatch::compile(
+///     &index,
+///     vec![
+///         QuerySpec::count("bs", "//b"),
+///         QuerySpec::count("first", "/a/*[1]"),           // positional → direct strategy
+///         QuerySpec::materialize("parents", "//b/.."),    // rewritten forward
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(batch.specs().count(), 3);
+/// ```
 pub struct QueryBatch {
     queries: Vec<CompiledQuery>,
 }
@@ -184,6 +202,26 @@ pub struct BatchResult {
 /// through an atomic cursor, so a batch mixing cheap and expensive queries
 /// stays balanced.  Results are returned in batch order regardless of
 /// completion order.
+///
+/// ```
+/// use sxsi::SxsiIndex;
+/// use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+///
+/// let index = SxsiIndex::build_from_xml(b"<a><b>x</b><b/><c/></a>").unwrap();
+/// let batch = QueryBatch::compile(
+///     &index,
+///     vec![QuerySpec::count("bs", "//b"), QuerySpec::count("last", "/a/*[last()]")],
+/// )
+/// .unwrap();
+///
+/// // Results are identical at every pool size, in batch order.
+/// let sequential = BatchExecutor::new(1).run(&index, &batch);
+/// let parallel = BatchExecutor::new(4).run(&index, &batch);
+/// assert_eq!(sequential[0].output.count(), 2);
+/// assert_eq!(sequential[1].output.count(), 1);
+/// assert_eq!(parallel[0].output, sequential[0].output);
+/// assert_eq!(parallel[1].output, sequential[1].output);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct BatchExecutor {
     threads: usize,

@@ -15,7 +15,7 @@
 //!   baseline of Tables II/III.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bwt;
 pub mod collection;

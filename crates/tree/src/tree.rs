@@ -236,6 +236,17 @@ impl XmlTree {
         (after < self.bp.len() && self.bp.is_open(after)).then_some(after)
     }
 
+    /// Previous sibling of `x`, if any.
+    ///
+    /// In the balanced-parentheses encoding the position just before an
+    /// opening parenthesis is either the parent's opening parenthesis (then
+    /// `x` is a first child) or the closing parenthesis of the previous
+    /// sibling, whose opening parenthesis `find_open` recovers in O(log n).
+    #[inline]
+    pub fn prev_sibling(&self, x: NodeId) -> Option<NodeId> {
+        (x > 0 && !self.bp.is_open(x - 1)).then(|| self.bp.find_open(x - 1))
+    }
+
     /// Parent of `x`, or `None` for the super-root.
     #[inline]
     pub fn parent(&self, x: NodeId) -> Option<NodeId> {

@@ -132,6 +132,14 @@ fn check_tree(tree: &XmlTree, dom: &Dom) {
         });
         assert_eq!(next_sibling, expected_sibling, "next_sibling of {pre}");
 
+        let prev_sibling = tree.prev_sibling(x).map(pre0);
+        let expected_prev = dom.parent[pre].and_then(|p| {
+            let sibs = &dom.children[p];
+            let k = sibs.iter().position(|&c| c == pre).expect("in parent's child list");
+            k.checked_sub(1).map(|k| sibs[k])
+        });
+        assert_eq!(prev_sibling, expected_prev, "prev_sibling of {pre}");
+
         let children: Vec<usize> = tree.children(x).map(pre0).collect();
         assert_eq!(children, dom.children[pre], "children of {pre}");
 

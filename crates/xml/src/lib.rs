@@ -9,7 +9,7 @@
 //!   attribute containers, `%` attribute values) and [`parse_document`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod document;
 pub mod parser;

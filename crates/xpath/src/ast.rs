@@ -4,6 +4,12 @@
 //! `attribute` and `following-sibling` axes with `*`, tag-name, `text()` and
 //! `node()` tests and nested boolean filters — extended with the text
 //! predicates of XPath 1.0: `=`, `contains`, `starts-with` and `ends-with`.
+//!
+//! Beyond the paper, the fragment also covers the reverse and ordered axes
+//! of full Core XPath (`parent`, `ancestor`, `ancestor-or-self`,
+//! `preceding-sibling`, `following`, `preceding`) and the positional
+//! predicates `[n]`, `[position() op n]` and `[last()]`, evaluated with
+//! XPath's per-context ordered semantics (see [`crate::direct`]).
 
 use sxsi_text::TextPredicate;
 
@@ -22,6 +28,68 @@ pub enum Axis {
     Attribute,
     /// `following-sibling::`
     FollowingSibling,
+    /// `parent::` (or the `..` abbreviation).
+    Parent,
+    /// `ancestor::`
+    Ancestor,
+    /// `ancestor-or-self::`
+    AncestorOrSelf,
+    /// `preceding-sibling::`
+    PrecedingSibling,
+    /// `following::` (everything after the context node's subtree, in
+    /// document order).
+    Following,
+    /// `preceding::` (everything strictly before the context node except its
+    /// ancestors, in reverse document order).
+    Preceding,
+}
+
+/// The axis-name table: every named axis of the fragment paired with its AST
+/// variant.  This single table drives the parser, the `Display`
+/// implementation and the generated fragment help (`crate::fragment_help`),
+/// so the three can never drift apart.
+pub const AXIS_NAMES: &[(&str, Axis)] = &[
+    ("child", Axis::Child),
+    ("descendant", Axis::Descendant),
+    ("descendant-or-self", Axis::DescendantOrSelf),
+    ("self", Axis::SelfAxis),
+    ("attribute", Axis::Attribute),
+    ("following-sibling", Axis::FollowingSibling),
+    ("parent", Axis::Parent),
+    ("ancestor", Axis::Ancestor),
+    ("ancestor-or-self", Axis::AncestorOrSelf),
+    ("preceding-sibling", Axis::PrecedingSibling),
+    ("following", Axis::Following),
+    ("preceding", Axis::Preceding),
+];
+
+impl Axis {
+    /// True for the reverse axes, whose nodes are produced (and positionally
+    /// indexed) in *reverse* document order.
+    pub fn is_reverse(self) -> bool {
+        matches!(
+            self,
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::PrecedingSibling
+                | Axis::Preceding
+        )
+    }
+
+    /// True for the axes of the paper's forward Core+ fragment, which the
+    /// tree automata of [`crate::compile()`] can evaluate directly.
+    pub fn is_forward_core(self) -> bool {
+        matches!(
+            self,
+            Axis::Child
+                | Axis::Descendant
+                | Axis::DescendantOrSelf
+                | Axis::SelfAxis
+                | Axis::Attribute
+                | Axis::FollowingSibling
+        )
+    }
 }
 
 /// A node test.
@@ -80,6 +148,44 @@ impl Path {
     }
 }
 
+/// A positional predicate: a constraint on the context position of a node
+/// within the node list its step selected *from one context node*, counted
+/// in axis order (document order for forward axes, reverse document order
+/// for reverse axes), 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PositionPred {
+    /// `[n]` / `[position() = n]`
+    Eq(u32),
+    /// `[position() != n]`
+    Ne(u32),
+    /// `[position() < n]`
+    Lt(u32),
+    /// `[position() <= n]`
+    Le(u32),
+    /// `[position() > n]`
+    Gt(u32),
+    /// `[position() >= n]`
+    Ge(u32),
+    /// `[last()]` / `[position() = last()]`
+    Last,
+}
+
+impl PositionPred {
+    /// Whether a node at 1-based `position` in a selection of `last` nodes
+    /// satisfies the predicate.
+    pub fn matches(self, position: usize, last: usize) -> bool {
+        match self {
+            PositionPred::Eq(n) => position == n as usize,
+            PositionPred::Ne(n) => position != n as usize,
+            PositionPred::Lt(n) => position < n as usize,
+            PositionPred::Le(n) => position <= n as usize,
+            PositionPred::Gt(n) => position > n as usize,
+            PositionPred::Ge(n) => position >= n as usize,
+            PositionPred::Last => position == last,
+        }
+    }
+}
+
 /// A filter expression (the content of `[...]`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
@@ -100,6 +206,43 @@ pub enum Predicate {
         /// The comparison itself (pattern included).
         op: TextPredicate,
     },
+    /// A positional constraint (`[n]`, `[position() op n]`, `[last()]`).
+    Position(PositionPred),
+}
+
+impl Predicate {
+    /// True when the predicate (or any nested sub-expression) constrains the
+    /// context position.
+    pub fn uses_position(&self) -> bool {
+        match self {
+            Predicate::Position(_) => true,
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.uses_position() || b.uses_position(),
+            Predicate::Not(p) => p.uses_position(),
+            Predicate::Exists(path) | Predicate::TextCompare { path, .. } => {
+                path.steps.iter().any(|s| s.predicates.iter().any(Predicate::uses_position))
+            }
+        }
+    }
+
+    /// Visits the axis of every step nested anywhere inside the predicate.
+    fn visit_axes(&self, f: &mut impl FnMut(Axis)) {
+        match self {
+            Predicate::Position(_) => {}
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.visit_axes(f);
+                b.visit_axes(f);
+            }
+            Predicate::Not(p) => p.visit_axes(f),
+            Predicate::Exists(path) | Predicate::TextCompare { path, .. } => {
+                for s in &path.steps {
+                    f(s.axis);
+                    for p in &s.predicates {
+                        p.visit_axes(f);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A complete query: an absolute path whose last step selects the result
@@ -115,19 +258,40 @@ impl Query {
     pub fn num_steps(&self) -> usize {
         self.path.steps.len()
     }
+
+    /// Visits the axis of every step of the query — main path and every
+    /// nested filter path.
+    pub fn visit_axes(&self, mut f: impl FnMut(Axis)) {
+        for s in &self.path.steps {
+            f(s.axis);
+            for p in &s.predicates {
+                p.visit_axes(&mut f);
+            }
+        }
+    }
+
+    /// True when any step (main path or nested) uses a reverse axis or one
+    /// of the ordered axes `following`/`preceding`.
+    pub fn uses_non_core_axes(&self) -> bool {
+        let mut found = false;
+        self.visit_axes(|a| found |= !a.is_forward_core());
+        found
+    }
+
+    /// True when any predicate of the query constrains the context position.
+    pub fn uses_position(&self) -> bool {
+        self.path.steps.iter().any(|s| s.predicates.iter().any(Predicate::uses_position))
+    }
 }
 
 /// Pretty-printing (used in error messages, benchmark reports and tests).
 impl std::fmt::Display for Axis {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            Axis::Child => "child",
-            Axis::Descendant => "descendant",
-            Axis::DescendantOrSelf => "descendant-or-self",
-            Axis::SelfAxis => "self",
-            Axis::Attribute => "attribute",
-            Axis::FollowingSibling => "following-sibling",
-        };
+        let s = AXIS_NAMES
+            .iter()
+            .find(|(_, a)| a == self)
+            .map(|(name, _)| *name)
+            .expect("every axis variant appears in AXIS_NAMES");
         f.write_str(s)
     }
 }
@@ -190,6 +354,21 @@ impl std::fmt::Display for Predicate {
                     TextPredicate::GreaterEq(_) => write!(f, "{path} >= \"{pat}\""),
                 }
             }
+            Predicate::Position(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl std::fmt::Display for PositionPred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PositionPred::Eq(n) => write!(f, "{n}"),
+            PositionPred::Ne(n) => write!(f, "position() != {n}"),
+            PositionPred::Lt(n) => write!(f, "position() < {n}"),
+            PositionPred::Le(n) => write!(f, "position() <= {n}"),
+            PositionPred::Gt(n) => write!(f, "position() > {n}"),
+            PositionPred::Ge(n) => write!(f, "position() >= {n}"),
+            PositionPred::Last => write!(f, "last()"),
         }
     }
 }

@@ -140,6 +140,36 @@ impl<'a> Compiler<'a> {
         if query.path.steps.is_empty() {
             return Err(CompileError { message: "empty query path".into() });
         }
+        // The automata of this module implement the paper's *forward* Core+
+        // fragment.  Reverse/ordered axes and positional predicates are the
+        // job of the direct evaluator (`crate::direct`); the `SxsiIndex`
+        // planner routes them there (after trying the forward rewrites of
+        // `crate::rewrite`), so hitting this error means `compile` was
+        // called directly on a query outside the automaton fragment.
+        if query.uses_non_core_axes() {
+            return Err(CompileError {
+                message: "reverse/ordered axes compile to the direct evaluation strategy, \
+                          not to a tree automaton"
+                    .into(),
+            });
+        }
+        if query.uses_position() {
+            return Err(CompileError {
+                message: "positional predicates require ordered evaluation (direct strategy)"
+                    .into(),
+            });
+        }
+        // `descendant-or-self` is only equivalent to `descendant` when the
+        // context can never satisfy the node test — true for the first step
+        // (the context is the synthetic root) but not later, and never
+        // inside filters, where the context node itself must be considered.
+        // Those shapes also run on the direct evaluator.
+        if query.path.steps.iter().skip(1).any(|s| s.axis == Axis::DescendantOrSelf) {
+            return Err(CompileError {
+                message: "descendant-or-self after the first step requires the direct strategy"
+                    .into(),
+            });
+        }
         // A result node can be attributed to several witnesses — and hence
         // counted twice by naive counter addition — only when a descendant
         // step follows a child/attribute/following-sibling step over a
@@ -336,6 +366,10 @@ impl<'a> Compiler<'a> {
                 let fp = self.compile_predicate(p)?;
                 Ok(Formula::Not(Box::new(fp)))
             }
+            Predicate::Position(_) => Err(CompileError {
+                message: "positional predicates require ordered evaluation (direct strategy)"
+                    .into(),
+            }),
             Predicate::Exists(path) => self.compile_filter_path(path, Formula::True),
             Predicate::TextCompare { path, op } => {
                 let pred_id = self.register_predicate(op);
@@ -414,11 +448,15 @@ impl<'a> Compiler<'a> {
             Axis::SelfAxis => Err(CompileError {
                 message: "self steps inside filter paths are only supported as '.'".into(),
             }),
+            Axis::DescendantOrSelf => Err(CompileError {
+                message: "descendant-or-self inside filter paths requires the direct strategy"
+                    .into(),
+            }),
             _ => {
                 let q = self.new_state()?;
                 let guard = self.test_guard(&step.test);
                 match step.axis {
-                    Axis::Descendant | Axis::DescendantOrSelf => {
+                    Axis::Descendant => {
                         let keep_looking = Formula::or(Formula::Down1(q), Formula::Down2(q));
                         self.add_transition(q, guard, Formula::or(at_match, keep_looking.clone()));
                         self.add_transition(q, Guard::Finite(vec![reserved::ATTRIBUTES]), Formula::Down2(q));

@@ -1,0 +1,586 @@
+//! Ordered, navigation-based query evaluation — the engine behind the
+//! reverse axes (`parent`, `ancestor`, `ancestor-or-self`,
+//! `preceding-sibling`, `preceding`), the `following` axis and the
+//! positional predicates `[n]` / `[position() op n]` / `[last()]`.
+//!
+//! The tree automata of [`crate::eval`] process the document in one forward
+//! pass and accumulate *sets* of result nodes; that is exactly why they are
+//! fast, and exactly why they cannot express positional predicates (which
+//! need the per-context *sequence* a step selects) or reverse axes (which
+//! walk against the first-child/next-sibling grain).  This module is the
+//! other half of the evaluation contract: a direct evaluator over the BP
+//! tree's full navigation (`parent`, `prev_sibling`, subtree ranges) that
+//! materializes each step's selection *per context node, in axis order* —
+//! document order for forward axes, reverse document order for reverse axes
+//! — so positional predicates index the exact sequence XPath prescribes.
+//!
+//! The `SxsiIndex` planner first tries to rewrite a query into the forward
+//! fragment ([`crate::rewrite`]); only queries that remain outside it are
+//! evaluated here.  Results are always returned deduplicated in document
+//! order, like every other strategy.
+//!
+//! Model-specific semantics (shared with the naive baseline oracle):
+//!
+//! * the synthetic super-root `&` is never selectable by any node test;
+//! * the attribute encoding (`@` containers, attribute-name nodes, `%`
+//!   value leaves) is invisible to every axis except `attribute::` —
+//!   `descendant`, `following` and `preceding` skip `@` subtrees, and
+//!   `parent`/`ancestor` step over the `@` container so the parent of an
+//!   attribute node is its owning element.
+
+use crate::ast::{Axis, NodeTest, Path, Predicate, Query, Step};
+use crate::eval::Output;
+use sxsi_text::TextCollection;
+use sxsi_tree::{reserved, NodeId, XmlTree};
+
+/// Evaluates queries by direct tree navigation with XPath's ordered,
+/// per-context semantics.
+pub struct DirectEvaluator<'a> {
+    tree: &'a XmlTree,
+    texts: Option<&'a TextCollection>,
+}
+
+/// A node test with the tag name resolved to its id once per step, so the
+/// document-scale scans compare ids instead of hashing strings per node.
+enum ResolvedTest {
+    /// A name test; `None` when the name does not occur in the document.
+    Name(Option<sxsi_tree::TagId>),
+    /// `*`
+    Wildcard,
+    /// `text()`
+    Text,
+    /// `node()`
+    Node,
+}
+
+impl<'a> DirectEvaluator<'a> {
+    /// Creates an evaluator.  `texts` may be `None` for purely structural
+    /// queries; evaluating a text predicate without a text collection
+    /// panics.
+    pub fn new(tree: &'a XmlTree, texts: Option<&'a TextCollection>) -> Self {
+        Self { tree, texts }
+    }
+
+    /// Runs the query and returns the selected nodes in document order.
+    pub fn evaluate(&self, query: &Query) -> Vec<NodeId> {
+        self.eval_steps(&[self.tree.root()], &query.path.steps)
+    }
+
+    /// Number of nodes selected by the query.
+    pub fn count(&self, query: &Query) -> u64 {
+        self.evaluate(query).len() as u64
+    }
+
+    /// Runs the query in the requested mode.
+    pub fn run(&self, query: &Query, counting: bool) -> Output {
+        if counting {
+            Output::Count(self.count(query))
+        } else {
+            Output::Nodes(self.evaluate(query))
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Step evaluation
+    // -----------------------------------------------------------------
+
+    /// Evaluates a chain of steps from a sorted, deduplicated context set;
+    /// the result is again sorted and deduplicated (document order).
+    fn eval_steps(&self, context: &[NodeId], steps: &[Step]) -> Vec<NodeId> {
+        let mut context = context.to_vec();
+        for step in steps {
+            let mut out = Vec::new();
+            let positional = step.predicates.iter().any(Predicate::uses_position);
+            if !positional
+                && matches!(step.axis, Axis::Following | Axis::Preceding)
+                && context.len() > 1
+            {
+                // Union fast path: `following` of a context set is everything
+                // after the earliest subtree end, `preceding` everything that
+                // closes before the latest context start — one scan instead
+                // of one scan per context node.  Only valid without
+                // positional predicates (positions are per context node).
+                out = self.ordered_axis_union(&context, step.axis, &step.test);
+                out.retain(|&n| {
+                    step.predicates.iter().all(|p| self.eval_predicate(n, p, 1, 1))
+                });
+            } else {
+                for &node in &context {
+                    let mut candidates = self.axis_nodes(node, step.axis, &step.test);
+                    for pred in &step.predicates {
+                        let last = candidates.len();
+                        let mut kept = Vec::with_capacity(candidates.len());
+                        for (i, &cand) in candidates.iter().enumerate() {
+                            if self.eval_predicate(cand, pred, i + 1, last) {
+                                kept.push(cand);
+                            }
+                        }
+                        candidates = kept;
+                    }
+                    out.extend(candidates);
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            context = out;
+            if context.is_empty() {
+                break;
+            }
+        }
+        context
+    }
+
+    /// The nodes a step's axis + node test select from one context node, in
+    /// axis order (document order for forward axes, reverse document order
+    /// for reverse axes).
+    fn axis_nodes(&self, node: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+        let tree = self.tree;
+        // Resolve the tag name against the registry once — the loops below
+        // visit up to the whole document, and a per-node HashMap lookup of
+        // a constant name would dominate the scans.
+        let test = self.resolve(test);
+        let test = &test;
+        let mut out = Vec::new();
+        match axis {
+            Axis::Child => {
+                for c in tree.children(node) {
+                    if self.matches(c, test) {
+                        out.push(c);
+                    }
+                }
+            }
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                if axis == Axis::DescendantOrSelf && self.matches(node, test) {
+                    out.push(node);
+                }
+                // Descendants are exactly the nodes opening inside this
+                // node's parenthesis range; the iterative scan (unlike a
+                // per-level recursion) cannot overflow the stack on deeply
+                // nested documents.
+                self.scan_range(node + 1, tree.close(node), usize::MAX, test, &mut out);
+            }
+            Axis::SelfAxis => {
+                if self.matches(node, test) {
+                    out.push(node);
+                }
+            }
+            Axis::Attribute => {
+                for c in tree.children(node) {
+                    if tree.tag(c) == reserved::ATTRIBUTES {
+                        for attr in tree.children(c) {
+                            let name_matches = match test {
+                                ResolvedTest::Wildcard | ResolvedTest::Node => true,
+                                ResolvedTest::Name(id) => *id == Some(tree.tag(attr)),
+                                ResolvedTest::Text => false,
+                            };
+                            if name_matches {
+                                out.push(attr);
+                            }
+                        }
+                    }
+                }
+            }
+            Axis::FollowingSibling => {
+                let mut cur = tree.next_sibling(node);
+                while let Some(s) = cur {
+                    if self.matches(s, test) {
+                        out.push(s);
+                    }
+                    cur = tree.next_sibling(s);
+                }
+            }
+            Axis::PrecedingSibling => {
+                let mut cur = tree.prev_sibling(node);
+                while let Some(s) = cur {
+                    if self.matches(s, test) {
+                        out.push(s);
+                    }
+                    cur = tree.prev_sibling(s);
+                }
+            }
+            Axis::Parent => {
+                if let Some(p) = self.parent_element(node) {
+                    if self.matches(p, test) {
+                        out.push(p);
+                    }
+                }
+            }
+            Axis::Ancestor => {
+                let mut cur = self.parent_element(node);
+                while let Some(p) = cur {
+                    if self.matches(p, test) {
+                        out.push(p);
+                    }
+                    cur = self.parent_element(p);
+                }
+            }
+            Axis::AncestorOrSelf => {
+                if self.matches(node, test) {
+                    out.push(node);
+                }
+                let mut cur = self.parent_element(node);
+                while let Some(p) = cur {
+                    if self.matches(p, test) {
+                        out.push(p);
+                    }
+                    cur = self.parent_element(p);
+                }
+            }
+            Axis::Following => {
+                self.scan_range(self.following_start(node), usize::MAX, usize::MAX, test, &mut out);
+            }
+            Axis::Preceding => {
+                // Nodes whose subtree closes before `node` opens; ancestors
+                // close later and are therefore excluded automatically.
+                self.scan_range(1, node, node, test, &mut out);
+                out.reverse();
+            }
+        }
+        out
+    }
+
+    /// Union evaluation of `following`/`preceding` over a whole (sorted)
+    /// context set: both axes are monotone in the context node, so the union
+    /// is a single contiguous condition.
+    fn ordered_axis_union(&self, context: &[NodeId], axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+        let test = &self.resolve(test);
+        let mut out = Vec::new();
+        match axis {
+            Axis::Following => {
+                let from =
+                    context.iter().map(|&x| self.following_start(x)).min().expect("non-empty");
+                self.scan_range(from, usize::MAX, usize::MAX, test, &mut out);
+            }
+            Axis::Preceding => {
+                let max_open = *context.last().expect("non-empty");
+                self.scan_range(1, max_open, max_open, test, &mut out);
+            }
+            _ => unreachable!("union evaluation only covers following/preceding"),
+        }
+        out
+    }
+
+    /// Where the `following` scan of `node` starts.  Normally just past the
+    /// node's subtree — but when the context node sits *inside* an `@`
+    /// attribute container (an attribute-name or `%` value node), starting
+    /// there would expose the container's remaining attribute siblings: the
+    /// scan's container-skip only triggers on a container's opening
+    /// parenthesis, which lies before the start.  Jump past the enclosing
+    /// container instead (its following region equals the attribute's).
+    fn following_start(&self, node: NodeId) -> usize {
+        let mut start = self.tree.close(node) + 1;
+        let mut cur = self.tree.parent(node);
+        while let Some(p) = cur {
+            if self.tree.tag(p) == reserved::ATTRIBUTES {
+                start = start.max(self.tree.close(p) + 1);
+            }
+            cur = self.tree.parent(p);
+        }
+        start
+    }
+
+    /// Collects, in document order, every node whose opening parenthesis
+    /// lies in `[from, to)` and whose subtree closes before `close_before`,
+    /// skipping attribute-encoding subtrees.
+    fn scan_range(
+        &self,
+        from: usize,
+        to: usize,
+        close_before: usize,
+        test: &ResolvedTest,
+        out: &mut Vec<NodeId>,
+    ) {
+        let tree = self.tree;
+        let end = to.min(2 * tree.num_nodes());
+        let mut pos = from;
+        while pos < end {
+            if !tree.is_node(pos) {
+                pos += 1;
+                continue;
+            }
+            if tree.tag(pos) == reserved::ATTRIBUTES {
+                pos = tree.close(pos) + 1;
+                continue;
+            }
+            if tree.close(pos) < close_before && self.matches(pos, test) {
+                out.push(pos);
+            }
+            pos += 1;
+        }
+    }
+
+    /// The parent for XPath purposes: steps over the `@` container so the
+    /// parent of an attribute node is its owning element.
+    fn parent_element(&self, x: NodeId) -> Option<NodeId> {
+        let p = self.tree.parent(x)?;
+        if self.tree.tag(p) == reserved::ATTRIBUTES {
+            self.tree.parent(p)
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Resolves a node test against the document's tag registry so the
+    /// evaluation loops compare tag ids instead of hashing names.
+    fn resolve(&self, test: &NodeTest) -> ResolvedTest {
+        match test {
+            NodeTest::Wildcard => ResolvedTest::Wildcard,
+            NodeTest::Name(name) => ResolvedTest::Name(self.tree.tag_id(name)),
+            NodeTest::Text => ResolvedTest::Text,
+            NodeTest::Node => ResolvedTest::Node,
+        }
+    }
+
+    fn matches(&self, node: NodeId, test: &ResolvedTest) -> bool {
+        let tag = self.tree.tag(node);
+        match test {
+            ResolvedTest::Wildcard => {
+                tag != reserved::ROOT
+                    && tag != reserved::TEXT
+                    && tag != reserved::ATTRIBUTES
+                    && tag != reserved::ATTRIBUTE_VALUE
+            }
+            ResolvedTest::Name(id) => *id == Some(tag),
+            ResolvedTest::Text => tag == reserved::TEXT,
+            ResolvedTest::Node => {
+                tag != reserved::ROOT
+                    && tag != reserved::ATTRIBUTES
+                    && tag != reserved::ATTRIBUTE_VALUE
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Predicates
+    // -----------------------------------------------------------------
+
+    /// Evaluates a filter on `node`, which sits at 1-based `position` of a
+    /// selection of `last` nodes (axis order).
+    fn eval_predicate(&self, node: NodeId, pred: &Predicate, position: usize, last: usize) -> bool {
+        match pred {
+            Predicate::And(a, b) => {
+                self.eval_predicate(node, a, position, last)
+                    && self.eval_predicate(node, b, position, last)
+            }
+            Predicate::Or(a, b) => {
+                self.eval_predicate(node, a, position, last)
+                    || self.eval_predicate(node, b, position, last)
+            }
+            Predicate::Not(p) => !self.eval_predicate(node, p, position, last),
+            Predicate::Position(p) => p.matches(position, last),
+            Predicate::Exists(path) => !self.eval_relative(node, path).is_empty(),
+            Predicate::TextCompare { path, op } => {
+                self.eval_relative(node, path).iter().any(|&n| self.text_matches(n, op))
+            }
+        }
+    }
+
+    fn eval_relative(&self, node: NodeId, path: &Path) -> Vec<NodeId> {
+        debug_assert!(!path.absolute, "filter paths are relative");
+        self.eval_steps(&[node], &path.steps)
+    }
+
+    fn text_matches(&self, node: NodeId, op: &sxsi_text::TextPredicate) -> bool {
+        let texts = self.texts.expect("text predicates require a text collection");
+        let ids = self.tree.string_value_texts(node);
+        let mut value = Vec::new();
+        for t in ids {
+            value.extend_from_slice(&texts.get_text(t));
+        }
+        op.matches_value(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use sxsi_text::TextCollection;
+    use sxsi_xml::parse_document;
+
+    const DOC: &str = r#"<site>
+  <regions>
+    <africa><item id="i1"><name>drum</name><description>
+      <parlist><listitem><text>a <keyword>rare</keyword> drum <emph>loud</emph></text></listitem>
+      <listitem><keyword>old</keyword></listitem></parlist>
+    </description></item></africa>
+    <europe><item id="i2"><name>violin</name><description>classic string instrument</description></item></europe>
+  </regions>
+  <people>
+    <person id="p1"><name>Alice</name><address>Oak street</address><phone>123</phone></person>
+    <person id="p2"><name>Bob</name><homepage>http://b.example</homepage></person>
+    <person id="p3"><name>Eve</name><phone>456</phone></person>
+  </people>
+</site>"#;
+
+    struct Fixture {
+        tree: sxsi_tree::XmlTree,
+        texts: TextCollection,
+    }
+
+    fn fixture() -> Fixture {
+        let doc = parse_document(DOC.as_bytes()).unwrap();
+        let texts = TextCollection::new(&doc.text_slices());
+        Fixture { tree: doc.tree, texts }
+    }
+
+    fn count(f: &Fixture, query: &str) -> u64 {
+        let q = parse_query(query).unwrap();
+        DirectEvaluator::new(&f.tree, Some(&f.texts)).count(&q)
+    }
+
+    fn names(f: &Fixture, query: &str) -> Vec<String> {
+        let q = parse_query(query).unwrap();
+        DirectEvaluator::new(&f.tree, Some(&f.texts))
+            .evaluate(&q)
+            .into_iter()
+            .map(|n| f.tree.tag_name(f.tree.tag(n)).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn forward_axes_match_expected_counts() {
+        let f = fixture();
+        assert_eq!(count(&f, "//keyword"), 2);
+        assert_eq!(count(&f, "/site/regions/*/item"), 2);
+        assert_eq!(count(&f, "//person[phone]"), 2);
+        assert_eq!(count(&f, r#"//person[ .//name[ . = "Alice" ] ]"#), 1);
+        assert_eq!(count(&f, "//item/@id"), 2);
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        let f = fixture();
+        assert_eq!(count(&f, "//keyword/parent::listitem"), 1);
+        assert_eq!(count(&f, "//keyword/.."), 2); // text + listitem parents
+        assert_eq!(count(&f, "//keyword/ancestor::item"), 1);
+        // keyword "rare": text, listitem, parlist, description, item,
+        // africa, regions, site; keyword "old" adds its own listitem.
+        assert_eq!(count(&f, "//keyword/ancestor::*"), 9);
+        assert_eq!(count(&f, "//name/ancestor-or-self::name"), 5);
+        // Parent of an attribute node is its element (the @ container is
+        // invisible).
+        assert_eq!(count(&f, "//@id/parent::person"), 3);
+        assert_eq!(count(&f, "//@id/.."), 5);
+        // The super-root is never selectable.
+        assert_eq!(count(&f, "/site/.."), 0);
+        assert_eq!(count(&f, "/site/ancestor::*"), 0);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let f = fixture();
+        assert_eq!(count(&f, "//address/preceding-sibling::name"), 1);
+        assert_eq!(count(&f, "//address/following-sibling::phone"), 1);
+        assert_eq!(count(&f, "//person/preceding-sibling::person"), 2);
+        // Nearest-first ordering: [1] is the immediately preceding sibling.
+        assert_eq!(names(&f, "//phone/preceding-sibling::*[1]"), ["address", "name"]);
+    }
+
+    #[test]
+    fn following_and_preceding() {
+        let f = fixture();
+        // africa's following: europe subtree + people subtree contents.
+        assert_eq!(count(&f, "//africa/following::item"), 1);
+        assert_eq!(count(&f, "//europe/preceding::keyword"), 2);
+        // preceding excludes ancestors.
+        assert_eq!(count(&f, "//keyword/preceding::regions"), 0);
+        // following/preceding never see the attribute encoding.
+        assert_eq!(count(&f, "//africa/following::id"), 0);
+        // Union fast path agrees with per-context evaluation.
+        assert_eq!(count(&f, "//person/preceding::item"), 2);
+        assert_eq!(count(&f, "//item/following::person"), 3);
+    }
+
+    #[test]
+    fn following_from_attribute_context_skips_sibling_attributes() {
+        // The scan starts inside the @ container here; it must not expose
+        // the remaining attribute-name nodes of the same element.
+        let doc = r#"<a><b id="1" name="n" class="c"><x/></b><c/></a>"#;
+        let parsed = sxsi_xml::parse_document(doc.as_bytes()).unwrap();
+        let texts = TextCollection::new(&parsed.text_slices());
+        let f = Fixture { tree: parsed.tree, texts };
+        assert_eq!(names(&f, "//@id/following::*"), ["x", "c"]);
+        assert_eq!(names(&f, "//@name/following::*"), ["x", "c"]);
+        // Union fast path (context of two attribute nodes) agrees.
+        assert_eq!(names(&f, "//b/@*/following::*"), ["x", "c"]);
+        // And preceding from an attribute context stays clean too.
+        assert_eq!(names(&f, "//c/preceding::*"), ["b", "x"]);
+        assert_eq!(count(&f, "//@class/preceding::x"), 0);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let f = fixture();
+        assert_eq!(names(&f, "/site/people/person[1]/name"), ["name"]);
+        assert_eq!(count(&f, "/site/people/person[2]"), 1);
+        assert_eq!(count(&f, "/site/people/person[last()]"), 1);
+        assert_eq!(count(&f, "/site/people/person[position() <= 2]"), 2);
+        assert_eq!(count(&f, "/site/people/person[position() > 1]"), 2);
+        assert_eq!(count(&f, "/site/people/person[position() != 2]"), 2);
+        assert_eq!(count(&f, "/site/people/person[7]"), 0);
+        // Positions re-index after each predicate: the 2nd person with a
+        // phone is Eve, not Bob.
+        let q = parse_query("/site/people/person[phone][2]/name").unwrap();
+        let nodes = DirectEvaluator::new(&f.tree, Some(&f.texts)).evaluate(&q);
+        assert_eq!(nodes.len(), 1);
+        let texts: Vec<u8> = f
+            .tree
+            .string_value_texts(nodes[0])
+            .into_iter()
+            .flat_map(|t| f.texts.get_text(t))
+            .collect();
+        assert_eq!(texts, b"Eve");
+        // Positional predicates inside filter paths.
+        assert_eq!(count(&f, "//person[ *[1][self::phone] ]"), 0); // first child is name
+        assert_eq!(count(&f, "//person[ *[2][self::phone] ]"), 1); // Eve: name, phone
+    }
+
+    #[test]
+    fn positions_on_reverse_axes_count_backwards() {
+        let f = fixture();
+        // ancestor::*[1] is the nearest ancestor.
+        assert_eq!(names(&f, "//keyword/ancestor::*[1]"), ["text", "listitem"]);
+        // ancestor::*[last()] is the outermost element (site).
+        assert_eq!(names(&f, "//keyword/ancestor::*[last()]"), ["site"]);
+        // preceding::keyword[1] is the closest preceding keyword.
+        assert_eq!(count(&f, "//people/preceding::keyword[1]"), 1);
+    }
+
+    #[test]
+    fn deeply_nested_documents_do_not_overflow_the_stack() {
+        // The direct strategy serves production queries (CLI, batch
+        // executor); a 50k-deep chain must evaluate, not abort.
+        let depth = 50_000;
+        let mut xml = String::with_capacity(8 * depth);
+        for _ in 0..depth {
+            xml.push_str("<d>");
+        }
+        for _ in 0..depth {
+            xml.push_str("</d>");
+        }
+        let doc = parse_document(xml.as_bytes()).unwrap();
+        let e = DirectEvaluator::new(&doc.tree, None);
+        let q = parse_query("//d[last()]").unwrap();
+        assert_eq!(e.count(&q), 1);
+        let q = parse_query("//d[1]/descendant::d").unwrap();
+        assert_eq!(e.count(&q), (depth - 1) as u64);
+    }
+
+    #[test]
+    fn self_axis_steps() {
+        let f = fixture();
+        assert_eq!(count(&f, "/site/self::site"), 1);
+        assert_eq!(count(&f, "/site/self::regions"), 0);
+        assert_eq!(count(&f, "//person[ self::person ]"), 3);
+        assert_eq!(count(&f, "//*[ self::keyword ]"), 2);
+    }
+
+    #[test]
+    fn descendant_or_self_in_filters_includes_self() {
+        let f = fixture();
+        assert_eq!(count(&f, "//keyword[ descendant-or-self::keyword ]"), 2);
+        assert_eq!(count(&f, "//keyword[ descendant::keyword ]"), 0);
+        assert_eq!(count(&f, "//item/descendant-or-self::item"), 2);
+    }
+}

@@ -5,9 +5,21 @@
 //! paths, `and`/`or`/`not(..)` and the text predicates `=`, `contains`,
 //! `starts-with`, `ends-with`.  Abbreviations are supported: `//` for the
 //! descendant axis, `@name` for `attribute::name`, `.` for `self::node()`,
-//! and a bare name for `child::name`.
+//! `..` for `parent::node()`, and a bare name for `child::name`.
+//!
+//! Beyond the paper's forward fragment, the full axis set of Core XPath is
+//! accepted (`parent`, `ancestor`, `ancestor-or-self`, `preceding-sibling`,
+//! `following`, `preceding` — see [`AXIS_NAMES`] for the authoritative
+//! table), together with the positional predicates `[n]`,
+//! `[position() op n]` and `[last()]`.
+//!
+//! `//` followed by a *bare* test keeps compiling to a single `descendant`
+//! step (the paper's abbreviation); `//` followed by an explicit axis, `@`
+//! or `..` expands to `descendant-or-self::node()/` plus that step, which
+//! is the XPath 1.0 definition and the only reading that is correct for
+//! reverse axes.
 
-use crate::ast::{Axis, NodeTest, Path, Predicate, Query, Step};
+use crate::ast::{Axis, NodeTest, Path, Predicate, PositionPred, Query, Step, AXIS_NAMES};
 use std::fmt;
 use sxsi_text::TextPredicate;
 
@@ -143,7 +155,14 @@ impl<'a> PathParser<'a> {
             self.skip_ws();
             // Context step `.`: only meaningful in relative paths; it does not
             // move, so it only contributes when it is the whole path.
-            if self.peek() == Some(b'.') && !self.peek_str("..") {
+            if self.peek_str("..") {
+                self.pos += 2;
+                // `//..` means descendant-or-self::node()/parent::node().
+                if next_axis.take() == Some(Axis::Descendant) {
+                    steps.push(Step::simple(Axis::DescendantOrSelf, NodeTest::Node));
+                }
+                steps.push(Step::simple(Axis::Parent, NodeTest::Node));
+            } else if self.peek() == Some(b'.') {
                 self.pos += 1;
                 if next_axis.is_some() {
                     return self.error("'.' cannot follow a slash");
@@ -151,7 +170,14 @@ impl<'a> PathParser<'a> {
                 // `.` followed by a path continues from the context node.
             } else {
                 let axis_hint = next_axis.take().unwrap_or(Axis::Child);
-                let step = self.parse_step(axis_hint)?;
+                let (step, explicit) = self.parse_step(axis_hint)?;
+                // `//` followed by an explicit axis (or `@`) is, per XPath
+                // 1.0, `descendant-or-self::node()/` plus that step — the
+                // single-descendant-step shortcut is only equivalent for a
+                // bare (child-implied) test.
+                if explicit && axis_hint == Axis::Descendant {
+                    steps.push(Step::simple(Axis::DescendantOrSelf, NodeTest::Node));
+                }
                 steps.push(step);
             }
             self.skip_ws();
@@ -172,13 +198,17 @@ impl<'a> PathParser<'a> {
     }
 
     /// Parses one step.  `default_axis` is the axis implied by the preceding
-    /// `/` or `//`.
-    fn parse_step(&mut self, default_axis: Axis) -> Result<Step, XPathParseError> {
+    /// `/` or `//`.  The returned flag is true when the step named its axis
+    /// explicitly (`axis::test` or the `@` abbreviation) rather than relying
+    /// on the default.
+    fn parse_step(&mut self, default_axis: Axis) -> Result<(Step, bool), XPathParseError> {
         self.skip_ws();
         let mut axis = default_axis;
+        let mut explicit = false;
         let test;
         if self.eat("@") {
             axis = Axis::Attribute;
+            explicit = true;
             test = if self.eat("*") { NodeTest::Wildcard } else { NodeTest::Name(self.read_name()?) };
         } else if self.eat("*") {
             test = NodeTest::Wildcard;
@@ -188,15 +218,11 @@ impl<'a> PathParser<'a> {
             if self.peek().map(Self::is_name_byte).unwrap_or(false) {
                 let name = self.read_name()?;
                 if self.eat("::") {
-                    axis = match name.as_str() {
-                        "child" => Axis::Child,
-                        "descendant" => Axis::Descendant,
-                        "descendant-or-self" => Axis::DescendantOrSelf,
-                        "self" => Axis::SelfAxis,
-                        "attribute" => Axis::Attribute,
-                        "following-sibling" => Axis::FollowingSibling,
-                        other => return self.error(format!("unsupported axis '{other}'")),
+                    axis = match AXIS_NAMES.iter().find(|(n, _)| *n == name) {
+                        Some((_, a)) => *a,
+                        None => return self.error(format!("unsupported axis '{name}'")),
                     };
+                    explicit = true;
                     test = self.parse_node_test()?;
                 } else {
                     // A bare name; it may still be `name()`-style node test.
@@ -221,7 +247,7 @@ impl<'a> PathParser<'a> {
                 break;
             }
         }
-        Ok(Step { axis, test, predicates })
+        Ok((Step { axis, test, predicates }, explicit))
     }
 
     fn parse_node_test(&mut self) -> Result<NodeTest, XPathParseError> {
@@ -310,6 +336,27 @@ impl<'a> PathParser<'a> {
             }
             return Ok(inner);
         }
+        // Positional predicates: `[n]`, `[last()]`, `[position() op n]`.
+        if self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            let n = self.read_position_number()?;
+            return Ok(Predicate::Position(PositionPred::Eq(n)));
+        }
+        if self.peek_keyword("last") {
+            let checkpoint = self.pos;
+            self.pos += 4;
+            if self.eat_call_parens() {
+                return Ok(Predicate::Position(PositionPred::Last));
+            }
+            self.pos = checkpoint;
+        }
+        if self.peek_keyword("position") {
+            let checkpoint = self.pos;
+            self.pos += 8;
+            if self.eat_call_parens() {
+                return self.parse_position_comparison();
+            }
+            self.pos = checkpoint;
+        }
         // Text functions.
         for (kw, ctor) in [
             ("contains", TextFn::Contains),
@@ -372,6 +419,94 @@ impl<'a> PathParser<'a> {
             }
         }
     }
+}
+
+impl PathParser<'_> {
+    /// Consumes `( )` (whitespace allowed inside), as in `last()`.
+    fn eat_call_parens(&mut self) -> bool {
+        let checkpoint = self.pos;
+        self.skip_ws();
+        if self.eat("(") {
+            self.skip_ws();
+            if self.eat(")") {
+                return true;
+            }
+        }
+        self.pos = checkpoint;
+        false
+    }
+
+    /// Reads a positive integer literal for a positional predicate.
+    fn read_position_number(&mut self) -> Result<u32, XPathParseError> {
+        let start = self.pos;
+        while self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.error("expected a position number");
+        }
+        if self.peek().map(Self::is_name_byte).unwrap_or(false) {
+            return self.error("a position number cannot be followed by a name character");
+        }
+        let n: u32 = self.input[start..self.pos]
+            .parse()
+            .map_err(|_| XPathParseError { position: start, message: "position number out of range".into() })?;
+        if n == 0 {
+            return self.error("positions are 1-based; [0] never selects anything");
+        }
+        Ok(n)
+    }
+
+    /// Parses the tail of `position() op …`.
+    fn parse_position_comparison(&mut self) -> Result<Predicate, XPathParseError> {
+        self.skip_ws();
+        let op = if self.eat("!=") {
+            PosOp::Ne
+        } else if self.eat("<=") {
+            PosOp::Le
+        } else if self.eat(">=") {
+            PosOp::Ge
+        } else if self.eat("=") {
+            PosOp::Eq
+        } else if self.eat("<") {
+            PosOp::Lt
+        } else if self.eat(">") {
+            PosOp::Gt
+        } else {
+            return self.error("expected a comparison operator after position()");
+        };
+        self.skip_ws();
+        if self.peek_keyword("last") {
+            let checkpoint = self.pos;
+            self.pos += 4;
+            if self.eat_call_parens() {
+                return match op {
+                    PosOp::Eq => Ok(Predicate::Position(PositionPred::Last)),
+                    _ => self.error("only 'position() = last()' is supported with last()"),
+                };
+            }
+            self.pos = checkpoint;
+        }
+        let n = self.read_position_number()?;
+        let pred = match op {
+            PosOp::Eq => PositionPred::Eq(n),
+            PosOp::Ne => PositionPred::Ne(n),
+            PosOp::Lt => PositionPred::Lt(n),
+            PosOp::Le => PositionPred::Le(n),
+            PosOp::Gt => PositionPred::Gt(n),
+            PosOp::Ge => PositionPred::Ge(n),
+        };
+        Ok(Predicate::Position(pred))
+    }
+}
+
+enum PosOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
 }
 
 enum TextFn {
@@ -539,9 +674,108 @@ mod tests {
         assert!(parse_query("/site[").is_err());
         assert!(parse_query("/site[foo").is_err());
         assert!(parse_query("/site]").is_err());
-        assert!(parse_query("//ancestor::x").is_err()); // backward axis unsupported
+        assert!(parse_query("//after::x").is_err()); // not an axis
         assert!(parse_query(r#"//a[contains(., "x"]"#).is_err());
         assert!(parse_query("").is_err());
+        assert!(parse_query("//item[0]").is_err()); // positions are 1-based
+        assert!(parse_query("//item[position() < last()]").is_err());
+        assert!(parse_query("//item[position()]").is_err());
+    }
+
+    #[test]
+    fn reverse_and_ordered_axes_parse() {
+        let query = q("//keyword/ancestor::item");
+        assert_eq!(query.num_steps(), 2);
+        assert_eq!(query.path.steps[1].axis, Axis::Ancestor);
+        let query = q("/site/people/person/name/parent::person");
+        assert_eq!(query.path.steps[4].axis, Axis::Parent);
+        let query = q("//date/preceding-sibling::*");
+        assert_eq!(query.path.steps[1].axis, Axis::PrecedingSibling);
+        assert_eq!(query.path.steps[1].test, NodeTest::Wildcard);
+        let query = q("//africa/following::item");
+        assert_eq!(query.path.steps[1].axis, Axis::Following);
+        let query = q("//date/preceding::keyword");
+        assert_eq!(query.path.steps[1].axis, Axis::Preceding);
+        let query = q("//name/ancestor-or-self::*");
+        assert_eq!(query.path.steps[1].axis, Axis::AncestorOrSelf);
+        assert!(query.uses_non_core_axes());
+        assert!(!q("//keyword").uses_non_core_axes());
+    }
+
+    #[test]
+    fn double_slash_with_explicit_axis_expands_to_descendant_or_self() {
+        // `//parent::x` is descendant-or-self::node()/parent::x, NOT a bare
+        // parent step from the root.
+        let query = q("//parent::regions");
+        assert_eq!(query.num_steps(), 2);
+        assert_eq!(query.path.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(query.path.steps[0].test, NodeTest::Node);
+        assert_eq!(query.path.steps[1].axis, Axis::Parent);
+        // Same for `@` and `..`.
+        let query = q("//@id");
+        assert_eq!(query.num_steps(), 2);
+        assert_eq!(query.path.steps[1].axis, Axis::Attribute);
+        let query = q("//item//..");
+        assert_eq!(query.num_steps(), 3);
+        assert_eq!(query.path.steps[2].axis, Axis::Parent);
+        // A bare test keeps the paper's single-descendant-step abbreviation.
+        let query = q("//item");
+        assert_eq!(query.num_steps(), 1);
+        assert_eq!(query.path.steps[0].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parent_abbreviation() {
+        let query = q("/site/regions/..");
+        assert_eq!(query.num_steps(), 3);
+        assert_eq!(query.path.steps[2].axis, Axis::Parent);
+        assert_eq!(query.path.steps[2].test, NodeTest::Node);
+        let query = q("/site/regions/../people");
+        assert_eq!(query.num_steps(), 4);
+        assert_eq!(query.path.steps[3].test, NodeTest::Name("people".into()));
+        // `..` inside predicates.
+        let query = q("//name[../address]");
+        match &query.path.steps[0].predicates[0] {
+            Predicate::Exists(p) => {
+                assert_eq!(p.steps[0].axis, Axis::Parent);
+                assert_eq!(p.steps[1].test, NodeTest::Name("address".into()));
+            }
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positional_predicates_parse() {
+        use crate::ast::PositionPred;
+        let query = q("/site/regions/*/item[1]");
+        assert_eq!(
+            query.path.steps[3].predicates[0],
+            Predicate::Position(PositionPred::Eq(1))
+        );
+        let query = q("//person[last()]");
+        assert_eq!(query.path.steps[0].predicates[0], Predicate::Position(PositionPred::Last));
+        let query = q("//person[position() = last()]");
+        assert_eq!(query.path.steps[0].predicates[0], Predicate::Position(PositionPred::Last));
+        for (text, expected) in [
+            ("//person[position() = 2]", PositionPred::Eq(2)),
+            ("//person[position() != 2]", PositionPred::Ne(2)),
+            ("//person[position() < 3]", PositionPred::Lt(3)),
+            ("//person[position() <= 3]", PositionPred::Le(3)),
+            ("//person[position() > 1]", PositionPred::Gt(1)),
+            ("//person[position() >= 2]", PositionPred::Ge(2)),
+        ] {
+            let query = q(text);
+            assert_eq!(
+                query.path.steps[0].predicates[0],
+                Predicate::Position(expected),
+                "{text}"
+            );
+            assert!(query.uses_position(), "{text}");
+        }
+        // Positional predicates combine with boolean filters.
+        let query = q("//person[address and position() <= 2]");
+        assert!(matches!(query.path.steps[0].predicates[0], Predicate::And(_, _)));
+        assert!(!q("//person[address]").uses_position());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! * `M01`–`M11`: the text-oriented Medline queries of Figure 14.
 //! * `W01`–`W10`: the word-based queries of Figure 16 (W01–W05 over Medline,
 //!   W06–W10 over the wiki corpus).
+//! * `O01`–`O20`: reverse/ordered-axis and positional-predicate queries
+//!   (beyond the paper's fragment), tagged with the corpus they run on.
 //!
 //! These constants are shared by the integration tests, the examples and the
 //! benchmark harness so that every experiment runs exactly the queries the
@@ -115,6 +117,55 @@ pub const WORD_QUERIES: &[NamedQuery] = &[
     NamedQuery { id: "W10", xpath: r#"//page[.//text[ contains( ., "whether accidentally or purposefully")]]/title"# },
 ];
 
+/// A named benchmark query bound to the corpus it runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusQuery {
+    /// Identifier (e.g. "O04").
+    pub id: &'static str,
+    /// The corpus the query targets: `"xmark"`, `"treebank"`, `"medline"`
+    /// or `"wiki"`.
+    pub corpus: &'static str,
+    /// The XPath expression.
+    pub xpath: &'static str,
+}
+
+/// Reverse/ordered-axis and positional-predicate queries (O01–O20).
+///
+/// These exercise the fragment extension beyond the paper: `parent`,
+/// `ancestor`, `ancestor-or-self`, `preceding-sibling`, `following`,
+/// `preceding`, `[n]`, `[position() op n]` and `[last()]`, across all four
+/// corpora.  The leading `//s/ancestor::t` and `//s/parent::t` shapes
+/// (O01, O02, O08, O09, O13, O14, O19) are rewritten to the forward
+/// automaton fragment by `crate::rewrite`; the rest run on the ordered
+/// direct evaluator — `BENCH_pr4.json` records the strategy actually
+/// chosen for each.
+pub const ORDERED_QUERIES: &[CorpusQuery] = &[
+    // XMark.
+    CorpusQuery { id: "O01", corpus: "xmark", xpath: "//keyword/ancestor::item" },
+    CorpusQuery { id: "O02", corpus: "xmark", xpath: "//keyword/parent::text" },
+    CorpusQuery { id: "O03", corpus: "xmark", xpath: "/site/regions/*/item[1]/name" },
+    CorpusQuery { id: "O04", corpus: "xmark", xpath: "/site/people/person[last()]" },
+    CorpusQuery { id: "O05", corpus: "xmark", xpath: "//date/preceding-sibling::*" },
+    CorpusQuery { id: "O06", corpus: "xmark", xpath: "//africa/following::item" },
+    CorpusQuery { id: "O07", corpus: "xmark", xpath: "/site/people/person[position() <= 3]/name" },
+    // Treebank.
+    CorpusQuery { id: "O08", corpus: "treebank", xpath: "//VP/parent::S" },
+    CorpusQuery { id: "O09", corpus: "treebank", xpath: "//NP/ancestor::S" },
+    CorpusQuery { id: "O10", corpus: "treebank", xpath: "//JJ/preceding-sibling::NN" },
+    CorpusQuery { id: "O11", corpus: "treebank", xpath: "//NP/*[last()]" },
+    CorpusQuery { id: "O12", corpus: "treebank", xpath: "//NP/ancestor-or-self::NP" },
+    // Medline.
+    CorpusQuery { id: "O13", corpus: "medline", xpath: "//LastName/ancestor::MedlineCitation" },
+    CorpusQuery { id: "O14", corpus: "medline", xpath: "//AbstractText/parent::Abstract" },
+    CorpusQuery { id: "O15", corpus: "medline", xpath: "//AuthorList/Author[1]/LastName" },
+    CorpusQuery { id: "O16", corpus: "medline", xpath: "//Day/preceding-sibling::*" },
+    CorpusQuery { id: "O17", corpus: "medline", xpath: "//Country/preceding::PMID" },
+    // Wiki.
+    CorpusQuery { id: "O18", corpus: "wiki", xpath: "//revision/preceding-sibling::title" },
+    CorpusQuery { id: "O19", corpus: "wiki", xpath: "//timestamp/ancestor::page" },
+    CorpusQuery { id: "O20", corpus: "wiki", xpath: "//page[position() > 1]/title" },
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +178,9 @@ mod tests {
                 parse_query(q.xpath).unwrap_or_else(|e| panic!("{} failed to parse: {e}", q.id));
             }
         }
+        for q in ORDERED_QUERIES {
+            parse_query(q.xpath).unwrap_or_else(|e| panic!("{} failed to parse: {e}", q.id));
+        }
     }
 
     #[test]
@@ -135,5 +189,35 @@ mod tests {
         assert_eq!(TREEBANK_QUERIES.len(), 5);
         assert_eq!(MEDLINE_QUERIES.len(), 11);
         assert_eq!(WORD_QUERIES.len(), 10);
+        assert_eq!(ORDERED_QUERIES.len(), 20);
+        for corpus in ["xmark", "treebank", "medline", "wiki"] {
+            assert!(
+                ORDERED_QUERIES.iter().any(|q| q.corpus == corpus),
+                "no ordered query targets {corpus}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_queries_exercise_every_new_construct() {
+        use crate::ast::Axis;
+        for axis in [
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::AncestorOrSelf,
+            Axis::PrecedingSibling,
+            Axis::Following,
+            Axis::Preceding,
+        ] {
+            let covered = ORDERED_QUERIES.iter().any(|q| {
+                let mut found = false;
+                parse_query(q.xpath).unwrap().visit_axes(|a| found |= a == axis);
+                found
+            });
+            assert!(covered, "no ordered query uses {axis}");
+        }
+        assert!(ORDERED_QUERIES
+            .iter()
+            .any(|q| parse_query(q.xpath).unwrap().uses_position()));
     }
 }

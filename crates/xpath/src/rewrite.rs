@@ -1,0 +1,235 @@
+//! Reverse-axis → forward-fragment query rewriting.
+//!
+//! The automaton evaluator only understands the forward Core+ fragment, but
+//! several reverse-axis shapes have provably equivalent forward forms (the
+//! classic equivalences of Olteanu et al., *"XPath: Looking Forward"*, also
+//! exploited by the whole-query optimization of Maneth & Nguyen).  The
+//! planner calls [`rewrite_to_forward`] before choosing a strategy: when a
+//! rewrite eliminates every reverse axis, the query keeps the fast
+//! automaton/bottom-up path; otherwise the rewritten (still smaller) query
+//! runs on the [`crate::direct`] evaluator.
+//!
+//! Implemented equivalences (all require a position-free query — moving
+//! steps around changes what positional predicates index):
+//!
+//! 1. **Parent after child** — `…/u/child::s[P]/parent::t[Q]` selects
+//!    exactly the `u` nodes that match `t`, satisfy `Q` and have a child
+//!    `s[P]`:  `…/u∩t[Q][child::s[P]]`.  (The child's parent *is* the
+//!    previous context node.)
+//! 2. **Leading descendant + parent/ancestor** — the ancestors of `//s[P]`
+//!    are exactly the nodes with a descendant `s[P]`, and the parents those
+//!    with such a child:
+//!    `//s[P]/ancestor::t[Q]/…` ≡ `//t[Q][descendant::s[P]]/…` and
+//!    `//s[P]/parent::t[Q]/…` ≡ `//t[Q][child::s[P]]/…`.
+//!    (Only valid for the *first* step, whose context is the root: for a
+//!    later step the ancestors could climb above the earlier context.)
+//!
+//! [`requires_direct`] is the companion classifier: it recognizes every
+//! construct the automata cannot express (reverse/ordered axes, positional
+//! predicates, `self` steps, non-leading `descendant-or-self`) so the
+//! planner can route those queries to ordered direct evaluation.
+
+use crate::ast::{Axis, NodeTest, Path, Predicate, Query, Step};
+
+/// True when the query (after any rewriting the caller performed) needs the
+/// ordered direct evaluator instead of the forward tree automata.
+pub fn requires_direct(query: &Query) -> bool {
+    if query.uses_non_core_axes() || query.uses_position() {
+        return true;
+    }
+    for (i, s) in query.path.steps.iter().enumerate() {
+        // `self` steps and non-leading `descendant-or-self` steps are
+        // outside the automaton fragment (the context node itself must be
+        // testable, which the first-child/next-sibling run cannot do).
+        if s.axis == Axis::SelfAxis || (i > 0 && s.axis == Axis::DescendantOrSelf) {
+            return true;
+        }
+        if s.predicates.iter().any(predicate_needs_direct) {
+            return true;
+        }
+    }
+    false
+}
+
+fn predicate_needs_direct(pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Position(_) => true,
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            predicate_needs_direct(a) || predicate_needs_direct(b)
+        }
+        Predicate::Not(p) => predicate_needs_direct(p),
+        Predicate::Exists(path) | Predicate::TextCompare { path, .. } => {
+            path.steps.iter().any(|s| {
+                matches!(s.axis, Axis::SelfAxis | Axis::DescendantOrSelf)
+                    || s.predicates.iter().any(predicate_needs_direct)
+            })
+        }
+    }
+}
+
+/// Rewrites as many reverse-axis steps as possible into equivalent forward
+/// constructs; the result selects exactly the same nodes as the input.
+/// Queries with positional predicates are returned unchanged (reordering
+/// steps would change what the positions index).
+pub fn rewrite_to_forward(query: &Query) -> Query {
+    if query.uses_position() {
+        return query.clone();
+    }
+    let mut steps = query.path.steps.clone();
+    // Each rule application removes at least one step, so the loop ends.
+    while let Some(new_steps) = apply_leading_rule(&steps).or_else(|| apply_parent_fold(&steps)) {
+        steps = new_steps;
+    }
+    Query { path: Path { absolute: query.path.absolute, steps } }
+}
+
+/// Rule 2: `//s[P]/parent-or-ancestor::t[Q]/…` with the reverse step in
+/// second position (context of the first step is the root).
+fn apply_leading_rule(steps: &[Step]) -> Option<Vec<Step>> {
+    let [first, second, ..] = steps else { return None };
+    if !matches!(first.axis, Axis::Descendant | Axis::DescendantOrSelf) {
+        return None;
+    }
+    let witness_axis = match second.axis {
+        Axis::Ancestor => Axis::Descendant,
+        Axis::Parent => Axis::Child,
+        _ => return None,
+    };
+    let witness = Step {
+        axis: witness_axis,
+        test: first.test.clone(),
+        predicates: first.predicates.clone(),
+    };
+    let mut predicates = second.predicates.clone();
+    predicates.push(Predicate::Exists(Path::relative(vec![witness])));
+    let mut new_steps = vec![Step { axis: Axis::Descendant, test: second.test.clone(), predicates }];
+    new_steps.extend_from_slice(&steps[2..]);
+    Some(new_steps)
+}
+
+/// Rule 1: `…/u[R]/child::s[P]/parent::t[Q]/…` → `…/u∩t[R][Q][child::s[P]]/…`.
+fn apply_parent_fold(steps: &[Step]) -> Option<Vec<Step>> {
+    let i = steps.iter().position(|s| s.axis == Axis::Parent)?;
+    if i < 2 {
+        return None;
+    }
+    let child = &steps[i - 1];
+    if child.axis != Axis::Child {
+        return None;
+    }
+    let grand = &steps[i - 2];
+    let parent = &steps[i];
+    let test = intersect_tests(&grand.test, &parent.test)?;
+    let witness = Step {
+        axis: Axis::Child,
+        test: child.test.clone(),
+        predicates: child.predicates.clone(),
+    };
+    let mut merged = grand.clone();
+    merged.test = test;
+    merged.predicates.extend(parent.predicates.iter().cloned());
+    merged.predicates.push(Predicate::Exists(Path::relative(vec![witness])));
+    let mut new_steps = steps[..i - 2].to_vec();
+    new_steps.push(merged);
+    new_steps.extend_from_slice(&steps[i + 1..]);
+    Some(new_steps)
+}
+
+/// The node test selecting exactly the nodes matched by both `u` and `t`,
+/// when expressible.  Relies on the rewritten step carrying a
+/// `[child::…]` witness: only nodes *with children* survive, so the
+/// text-node difference between `node()`/`text()` and element tests never
+/// shows (text leaves have no children).
+fn intersect_tests(u: &NodeTest, t: &NodeTest) -> Option<NodeTest> {
+    match (u, t) {
+        // `*` and `node()` add no constraint beyond "has a matching child".
+        (_, NodeTest::Wildcard) | (_, NodeTest::Node) => Some(u.clone()),
+        (NodeTest::Name(a), NodeTest::Name(b)) if a == b => Some(u.clone()),
+        (NodeTest::Wildcard | NodeTest::Node, NodeTest::Name(b)) => Some(NodeTest::Name(b.clone())),
+        // Disjoint names, or a text() parent test (nothing's parent is a
+        // text node): not expressible — leave the query to the direct
+        // evaluator.
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn rw(s: &str) -> String {
+        rewrite_to_forward(&parse_query(s).unwrap()).to_string()
+    }
+
+    #[test]
+    fn leading_ancestor_becomes_descendant_with_witness() {
+        assert_eq!(rw("//keyword/ancestor::item"), "/descendant::item[descendant::keyword]");
+        assert_eq!(
+            rw("//keyword/ancestor::item/name"),
+            "/descendant::item[descendant::keyword]/child::name"
+        );
+        assert_eq!(
+            rw("//keyword[emph]/ancestor::item[quantity]"),
+            "/descendant::item[child::quantity][descendant::keyword[child::emph]]"
+        );
+    }
+
+    #[test]
+    fn leading_parent_becomes_descendant_with_child_witness() {
+        assert_eq!(rw("//name/parent::person"), "/descendant::person[child::name]");
+        assert_eq!(rw("//name/.."), "/descendant::node()[child::name]");
+    }
+
+    #[test]
+    fn parent_after_child_folds_into_previous_step() {
+        assert_eq!(rw("/site/people/.."), "/child::site[child::people]");
+        assert_eq!(
+            rw("/site/people/person/name/parent::person"),
+            "/child::site/child::people/child::person[child::name]"
+        );
+        // Name intersection: wildcard ∩ name.
+        assert_eq!(rw("//*/phone/parent::person"), "/descendant::person[child::phone]");
+    }
+
+    #[test]
+    fn rules_chain_until_forward() {
+        let q = rw("//keyword/ancestor::item/name/..");
+        assert_eq!(q, "/descendant::item[descendant::keyword][child::name]");
+        assert!(!requires_direct(&parse_query(&q).unwrap()));
+    }
+
+    #[test]
+    fn unrewritable_shapes_are_left_for_direct_evaluation() {
+        for s in [
+            "//item/preceding-sibling::*",
+            "//africa/following::item",
+            "//date/preceding::keyword",
+            "//keyword/ancestor-or-self::*",
+            "/site/regions/*/item/ancestor::site", // ancestor not in 2nd position
+            "//person[1]/..",                      // positional predicates block rewriting
+        ] {
+            let q = parse_query(s).unwrap();
+            let rewritten = rewrite_to_forward(&q);
+            assert!(requires_direct(&rewritten), "{s} should stay on the direct path");
+        }
+    }
+
+    #[test]
+    fn direct_classifier_covers_the_non_automaton_fragment() {
+        for s in [
+            "//item[2]",
+            "//person[last()]",
+            "//keyword/..",
+            "/site/self::site",
+            "//item/descendant-or-self::item",
+            "//keyword[ descendant-or-self::keyword ]",
+            "//person[ self::person ]",
+        ] {
+            assert!(requires_direct(&parse_query(s).unwrap()), "{s}");
+        }
+        for s in ["//keyword", "/site/people/person[ phone or homepage ]/name", "//item/@id"] {
+            assert!(!requires_direct(&parse_query(s).unwrap()), "{s}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: `parse → Display → parse` is the identity on the AST,
+//! over randomly generated queries covering every axis of [`AXIS_NAMES`],
+//! every node test, nested boolean filters, text predicates and positional
+//! predicates.
+
+use proptest::prelude::*;
+use sxsi_text::TextPredicate;
+use sxsi_xpath::ast::{Axis, NodeTest, Path, PositionPred, Predicate, Query, Step};
+use sxsi_xpath::{parse_query, AXIS_NAMES};
+
+/// A tiny deterministic generator state (xorshift) seeded per case.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn name(&mut self) -> String {
+        let len = 1 + self.below(6) as usize;
+        (0..len).map(|_| (b'a' + self.below(26) as u8) as char).collect()
+    }
+}
+
+fn gen_axis(g: &mut Gen) -> Axis {
+    AXIS_NAMES[g.below(AXIS_NAMES.len() as u64) as usize].1
+}
+
+fn gen_test(g: &mut Gen) -> NodeTest {
+    match g.below(5) {
+        0 => NodeTest::Wildcard,
+        1 => NodeTest::Text,
+        2 => NodeTest::Node,
+        _ => NodeTest::Name(g.name()),
+    }
+}
+
+fn gen_predicate(g: &mut Gen, depth: u32) -> Predicate {
+    let choices = if depth == 0 { 3 } else { 7 };
+    match g.below(choices) {
+        0 => Predicate::Exists(gen_rel_path(g, depth)),
+        1 => {
+            let ops: [fn(Vec<u8>) -> TextPredicate; 6] = [
+                TextPredicate::Contains,
+                TextPredicate::StartsWith,
+                TextPredicate::EndsWith,
+                TextPredicate::Equals,
+                TextPredicate::LessThan,
+                TextPredicate::GreaterEq,
+            ];
+            let op = ops[g.below(6) as usize](g.name().into_bytes());
+            Predicate::TextCompare { path: gen_rel_path(g, depth), op }
+        }
+        2 => {
+            let n = 1 + g.below(9) as u32;
+            let pred = match g.below(7) {
+                0 => PositionPred::Eq(n),
+                1 => PositionPred::Ne(n),
+                2 => PositionPred::Lt(n + 1),
+                3 => PositionPred::Le(n),
+                4 => PositionPred::Gt(n),
+                5 => PositionPred::Ge(n),
+                _ => PositionPred::Last,
+            };
+            Predicate::Position(pred)
+        }
+        3 => Predicate::Not(Box::new(gen_predicate(g, depth - 1))),
+        4 => Predicate::And(
+            Box::new(gen_predicate(g, depth - 1)),
+            Box::new(gen_predicate(g, depth - 1)),
+        ),
+        _ => Predicate::Or(
+            Box::new(gen_predicate(g, depth - 1)),
+            Box::new(gen_predicate(g, depth - 1)),
+        ),
+    }
+}
+
+fn gen_step(g: &mut Gen, depth: u32) -> Step {
+    let mut step = Step::simple(gen_axis(g), gen_test(g));
+    if depth > 0 {
+        for _ in 0..g.below(3) {
+            step.predicates.push(gen_predicate(g, depth - 1));
+        }
+    }
+    step
+}
+
+fn gen_rel_path(g: &mut Gen, depth: u32) -> Path {
+    let steps = (0..1 + g.below(2)).map(|_| gen_step(g, depth.saturating_sub(1))).collect();
+    Path::relative(steps)
+}
+
+fn gen_query(g: &mut Gen) -> Query {
+    let steps = (0..1 + g.below(4)).map(|_| gen_step(g, 2)).collect();
+    Query { path: Path { absolute: true, steps } }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn display_then_parse_is_identity(seed in 1u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let query = gen_query(&mut g);
+        let rendered = query.to_string();
+        let reparsed = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("rendered query {rendered:?} failed to parse: {e}"));
+        prop_assert_eq!(&reparsed, &query, "{}", rendered);
+        // And rendering is a fixpoint.
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+}
+
+/// Every axis round-trips in a minimal query, explicitly (not only when the
+/// random generator happens to produce it).
+#[test]
+fn every_axis_roundtrips() {
+    for (name, axis) in AXIS_NAMES {
+        let rendered = format!("/{name}::node()");
+        let parsed = parse_query(&rendered).unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        assert_eq!(parsed.path.steps.last().unwrap().axis, *axis, "{rendered}");
+        let reparsed = parse_query(&parsed.to_string()).unwrap();
+        assert_eq!(parsed, reparsed, "{rendered}");
+    }
+}

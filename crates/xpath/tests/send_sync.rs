@@ -6,7 +6,7 @@
 //! lets a worker pool create one evaluator per in-flight query.
 
 use sxsi_xpath::eval::{EvalOptions, EvalStats, Evaluator, Output};
-use sxsi_xpath::{Automaton, BottomUpPlan, Query, StateSet};
+use sxsi_xpath::{Automaton, BottomUpPlan, DirectEvaluator, Query, StateSet};
 
 fn require_send_sync<T: Send + Sync>() {}
 fn require_send<T: Send>() {}
@@ -20,6 +20,9 @@ fn compiled_query_artifacts_are_send_and_sync() {
     require_send_sync::<EvalStats>();
     require_send_sync::<Output>();
     require_send_sync::<StateSet>();
+    // The direct evaluator holds no mutable state at all — it is fully
+    // shareable, like the index structures it navigates.
+    require_send_sync::<DirectEvaluator<'static>>();
 }
 
 #[test]

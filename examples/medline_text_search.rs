@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use sxsi::{SxsiIndex, Strategy};
+use sxsi::SxsiIndex;
 use sxsi_datagen::{medline, MedlineConfig};
 use sxsi_xpath::MEDLINE_QUERIES;
 
@@ -32,10 +32,7 @@ fn main() {
         match index.execute(q.xpath, true) {
             Ok(result) => {
                 let ms = start.elapsed().as_secs_f64() * 1e3;
-                let strategy = match result.strategy {
-                    Strategy::BottomUp => "bottom-up",
-                    Strategy::TopDown => "top-down",
-                };
+                let strategy = result.strategy.name();
                 println!(
                     "{:<6} {:>9} {:>10} {:>9.2}  {}",
                     q.id,

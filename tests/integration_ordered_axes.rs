@@ -1,0 +1,133 @@
+//! Oracle suite for the reverse/ordered axes and positional predicates:
+//! on all four corpora, the indexed engine (whatever strategy the planner
+//! picks — forward rewrite or direct ordered evaluation) must select
+//! exactly the nodes the naive baseline evaluator selects, both
+//! sequentially and through the parallel `BatchExecutor`.
+
+use sxsi::{SxsiIndex, Strategy};
+use sxsi_baseline::{NaiveEvaluator, StreamingCounter};
+use sxsi_datagen::{
+    medline, treebank, wiki, xmark, MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig,
+};
+use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+use sxsi_xpath::{parse_query, ORDERED_QUERIES};
+
+/// Corpus-independent queries stressing every new construct, run on every
+/// corpus (they use wildcard/node tests, so they are meaningful anywhere).
+const GENERIC_ORDERED_QUERIES: &[&str] = &[
+    "//*/..",
+    "//*[2]",
+    "//*[last()]",
+    "//*[position() <= 2]/*[1]",
+    "//*/parent::*",
+    "//*/ancestor::*[1]",
+    "//*/ancestor-or-self::*[last()]",
+    "//*/preceding-sibling::*[1]",
+    "//*[1]/following::*[position() <= 3]",
+    "//text()/..",
+    "//@*/..",
+    "//@*/following::*[position() <= 2]",
+    "//@*/preceding::*[1]",
+    "//@*/following::text()", // union fast path from attribute contexts
+    "//*[ *[2] ]",
+    "//*[ following-sibling::* and position() != 1 ]",
+    "//*[not(preceding-sibling::*)]",
+    "//*/self::*[1]",
+    "//*/descendant-or-self::*[2]",
+];
+
+fn corpora() -> Vec<(&'static str, String)> {
+    vec![
+        ("xmark", xmark::generate(&XMarkConfig { scale: 0.03, seed: 11 })),
+        ("treebank", treebank::generate(&TreebankConfig { num_sentences: 60, seed: 11 })),
+        ("medline", medline::generate(&MedlineConfig { num_citations: 40, seed: 11 })),
+        ("wiki", wiki::generate(&WikiConfig { num_pages: 40, seed: 11 })),
+    ]
+}
+
+/// The indexed engine agrees with the naive evaluator on every ordered
+/// query of the benchmark set, on its own corpus.
+#[test]
+fn ordered_queries_match_naive_on_their_corpus() {
+    for (corpus, xml) in corpora() {
+        let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+        let naive = NaiveEvaluator::new(index.tree(), index.texts());
+        for q in ORDERED_QUERIES.iter().filter(|q| q.corpus == corpus) {
+            let parsed = parse_query(q.xpath).unwrap();
+            let expected = naive.evaluate(&parsed);
+            assert!(!expected.is_empty(), "{} selects nothing on {corpus}; weak benchmark query", q.id);
+            assert_eq!(index.materialize(q.xpath).unwrap(), expected, "{} on {corpus}", q.id);
+            assert_eq!(index.count(q.xpath).unwrap() as usize, expected.len(), "{} count", q.id);
+        }
+    }
+}
+
+/// Generic reverse/positional queries agree with the oracle on all four
+/// corpora, sequentially and through the batch executor at several pool
+/// sizes.
+#[test]
+fn generic_ordered_queries_match_naive_everywhere() {
+    for (corpus, xml) in corpora() {
+        let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+        let naive = NaiveEvaluator::new(index.tree(), index.texts());
+        let specs: Vec<QuerySpec> = GENERIC_ORDERED_QUERIES
+            .iter()
+            .map(|q| QuerySpec::materialize(*q, *q))
+            .collect();
+        let batch = QueryBatch::compile(&index, specs).expect("batch compiles");
+        for threads in [1, 4] {
+            let results = BatchExecutor::new(threads).run(&index, &batch);
+            for (query, result) in GENERIC_ORDERED_QUERIES.iter().zip(&results) {
+                let parsed = parse_query(query).unwrap();
+                let expected = naive.evaluate(&parsed);
+                assert_eq!(
+                    result.output.nodes().unwrap(),
+                    expected,
+                    "{query} on {corpus} with {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// The planner rewrites what it can prove forward and sends the rest to
+/// the direct strategy — never to a wrong automaton.
+#[test]
+fn planner_routes_ordered_queries() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.02, seed: 3 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    // Rewritable: leading descendant + ancestor/parent.
+    for q in ["//keyword/ancestor::item", "//keyword/parent::text", "//name/.."] {
+        let parsed = index.parse(q).unwrap();
+        assert_eq!(index.plan(&parsed), Strategy::TopDown, "{q}");
+    }
+    // Not rewritable: ordered axes, positional predicates.
+    for q in ["//date/preceding-sibling::*", "//person[2]", "//africa/following::item"] {
+        let parsed = index.parse(q).unwrap();
+        assert_eq!(index.plan(&parsed), Strategy::Direct, "{q}");
+    }
+    // Both routes agree with each other through the public API.
+    let naive = NaiveEvaluator::new(index.tree(), index.texts());
+    for q in ["//keyword/ancestor::item", "//date/preceding-sibling::*"] {
+        let parsed = parse_query(q).unwrap();
+        assert_eq!(index.materialize(q).unwrap(), naive.evaluate(&parsed), "{q}");
+    }
+}
+
+/// The single-pass streaming counters corroborate parent and positional
+/// counts on XMark (a third, index-free implementation).
+#[test]
+fn streaming_counters_corroborate_reverse_and_positional_counts() {
+    let xml = xmark::generate(&XMarkConfig { scale: 0.03, seed: 7 });
+    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("builds");
+    for (parent, child) in [("listitem", "keyword"), ("item", "name"), ("person", "phone")] {
+        let streamed = StreamingCounter::count_parent_of(xml.as_bytes(), parent, child).unwrap();
+        let query = format!("//{child}/parent::{parent}");
+        assert_eq!(index.count(&query).unwrap() as usize, streamed, "{query}");
+    }
+    for (tag, n) in [("item", 1), ("item", 2), ("person", 3), ("keyword", 1)] {
+        let streamed = StreamingCounter::count_nth_child(xml.as_bytes(), tag, n).unwrap();
+        let query = format!("//*/{tag}[{n}]");
+        assert_eq!(index.count(&query).unwrap() as usize, streamed, "{query}");
+    }
+}
