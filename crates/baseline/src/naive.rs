@@ -44,6 +44,26 @@ impl<'a> NaiveEvaluator<'a> {
         self.evaluate(query).len()
     }
 
+    /// Whether the query selects at least one node.
+    pub fn exists(&self, query: &Query) -> bool {
+        !self.evaluate(query).is_empty()
+    }
+
+    /// The `[offset .. offset + limit]` document-order window of the
+    /// query's result — the oracle for the indexed engine's truncation
+    /// contract.  Deliberately the textbook implementation: evaluate fully,
+    /// then slice; the indexed evaluators must produce the same window
+    /// *without* the full evaluation.
+    pub fn evaluate_window(&self, query: &Query, limit: Option<u64>, offset: u64) -> Vec<NodeId> {
+        let full = self.evaluate(query);
+        let lo = (offset as usize).min(full.len());
+        let hi = match limit {
+            Some(limit) => (lo + limit as usize).min(full.len()),
+            None => full.len(),
+        };
+        full[lo..hi].to_vec()
+    }
+
     /// Evaluates a step chain with ordered per-context semantics.
     fn eval_steps(&self, context: &[NodeId], steps: &[Step]) -> Vec<NodeId> {
         let mut context = context.to_vec();

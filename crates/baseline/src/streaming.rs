@@ -56,6 +56,62 @@ impl StreamingCounter {
 }
 
 impl StreamingCounter {
+    /// Counts the matches of the descendant-only path `tags`, stopping the
+    /// stream as soon as `max` matches were seen — the streaming engine's
+    /// version of the truncation contract: an early answer means the rest
+    /// of the document is never even parsed.  Returns the (possibly capped)
+    /// count; a malformed tail *after* the cap is therefore never
+    /// inspected.
+    pub fn count_descendant_path_limited(
+        xml: &[u8],
+        tags: &[&str],
+        max: usize,
+    ) -> Result<usize, ParseError> {
+        if tags.is_empty() || max == 0 {
+            return Ok(0);
+        }
+        let mut parser = Parser::new(xml);
+        let k = tags.len();
+        let mut open_progress: Vec<usize> = Vec::new();
+        let mut level = 0usize;
+        let mut count = 0usize;
+        loop {
+            match parser.next_event()? {
+                Event::StartElement { name, self_closing, .. } => {
+                    if level >= k - 1 && name == tags[k - 1] {
+                        count += 1;
+                        if count >= max {
+                            return Ok(count);
+                        }
+                    }
+                    let advances = level < k - 1 && name == tags[level];
+                    if advances {
+                        level += 1;
+                    }
+                    if !self_closing {
+                        open_progress.push(if advances { 1 } else { 0 });
+                    } else if advances {
+                        level -= 1;
+                    }
+                }
+                Event::EndElement { .. } => {
+                    if let Some(advanced) = open_progress.pop() {
+                        level -= advanced;
+                    }
+                }
+                Event::Text(_) => {}
+                Event::Eof => break,
+            }
+        }
+        Ok(count)
+    }
+
+    /// Whether the descendant-only path `tags` matches anywhere, reading
+    /// the stream only up to the first match.
+    pub fn exists_descendant_path(xml: &[u8], tags: &[&str]) -> Result<bool, ParseError> {
+        Ok(Self::count_descendant_path_limited(xml, tags, 1)? > 0)
+    }
+
     /// Counts the distinct elements named `parent` that have at least one
     /// child element named `child` — the streaming equivalent of
     /// `//child/parent::parent` — in one pass, without building any tree.
@@ -149,6 +205,25 @@ mod tests {
         let xml = b"<a><b><b><c/></b></b></a>";
         assert_eq!(StreamingCounter::count_descendant_path(xml, &["b"]).unwrap(), 2);
         assert_eq!(StreamingCounter::count_descendant_path(xml, &["b", "c"]).unwrap(), 1);
+    }
+
+    #[test]
+    fn limited_counts_cap_and_stop_the_stream() {
+        let xml = b"<a><b><c/><c/></b><b><d><c/></d></b><c/></a>";
+        for max in 1..6 {
+            let capped = StreamingCounter::count_descendant_path_limited(xml, &["c"], max).unwrap();
+            assert_eq!(capped, 4.min(max));
+        }
+        assert!(StreamingCounter::exists_descendant_path(xml, &["b", "c"]).unwrap());
+        assert!(!StreamingCounter::exists_descendant_path(xml, &["z"]).unwrap());
+        // The stream truly stops early: garbage after the first match is
+        // never parsed when the cap is already satisfied.
+        let broken = b"<a><c/><truncated-in-tag";
+        assert_eq!(
+            StreamingCounter::count_descendant_path_limited(broken, &["c"], 1).unwrap(),
+            1
+        );
+        assert!(StreamingCounter::count_descendant_path_limited(broken, &["c"], 2).is_err());
     }
 
     #[test]

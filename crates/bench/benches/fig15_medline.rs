@@ -2,6 +2,7 @@
 //! time split for bottom-up queries) vs the naive evaluator.
 use sxsi_baseline::NaiveEvaluator;
 use sxsi_bench::{header, medline_index, row, time_avg_ms, time_ms};
+use sxsi::QueryOptions;
 use sxsi_xpath::{parse_query, BottomUpPlan, MEDLINE_QUERIES};
 
 fn main() {
@@ -13,7 +14,7 @@ fn main() {
     );
     for q in MEDLINE_QUERIES {
         let parsed = parse_query(q.xpath).expect("parses");
-        let result = index.execute(q.xpath, true).expect("runs");
+        let result = index.run(q.xpath, &QueryOptions::count()).expect("runs");
         let (text_ms, auto_ms) = match BottomUpPlan::try_from_query(&parsed, index.tree()) {
             Some(plan) => {
                 let (seeds, text_ms) = time_ms(|| plan.seeds(index.texts()));
@@ -26,8 +27,8 @@ fn main() {
         let naive_ms = time_avg_ms(1, || naive.count(&parsed));
         row(&[
             q.id.to_string(),
-            format!("{}", result.output.count()),
-            result.strategy.name().into(),
+            format!("{}", result.count()),
+            result.strategy().name().into(),
             format!("{text_ms:.2}"),
             format!("{auto_ms:.2}"),
             format!("{total_ms:.2}"),

@@ -1,6 +1,6 @@
 //! Machine-readable benchmark report: `cargo run -p sxsi-bench --bin report`.
 //!
-//! Two experiment families, written to `BENCH_pr4.json` at the repository
+//! Three experiment families, written to `BENCH_pr5.json` at the repository
 //! root:
 //!
 //! * the quick concurrency benches carried over from PR 2 (the X01–X17
@@ -9,7 +9,13 @@
 //! * per-query timings for the O01–O20 reverse/ordered-axis and
 //!   positional-predicate queries introduced in PR 4, on their own corpora
 //!   (XMark / Treebank / Medline / wiki), with the strategy the planner
-//!   chose (`top-down` after a forward rewrite, or `direct`).
+//!   chose;
+//! * the PR 5 **early-termination** experiment: for all 43 paper queries
+//!   (X01–X17, T01–T05, M01–M11, W01–W10) *and* O01–O20, the wall time and
+//!   visited-node count of `Exists`, `limit 1` and `limit 10` runs against
+//!   full materialization through the prepared-statement API — the
+//!   "how much of the answer is needed" dimension the query redesign
+//!   opened up.
 //!
 //! The report also records the machine's available parallelism — on a
 //! single-core host the thread-scaling curve is necessarily flat, and
@@ -19,13 +25,15 @@
 //! `--runs <n>` (timed runs per entry, default 5).  Use `--release` for
 //! numbers worth recording.
 
-use sxsi::SxsiIndex;
+use sxsi::{Prepared, QueryOptions, SxsiIndex};
 use sxsi_bench::{measure_batch_qps, median_ms};
 use sxsi_datagen::{
     medline, treebank, wiki, xmark, MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig,
 };
 use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
-use sxsi_xpath::{ORDERED_QUERIES, XMARK_QUERIES};
+use sxsi_xpath::{
+    NamedQuery, MEDLINE_QUERIES, ORDERED_QUERIES, TREEBANK_QUERIES, WORD_QUERIES, XMARK_QUERIES,
+};
 
 struct Entry {
     name: String,
@@ -41,6 +49,24 @@ struct QueryEntry {
     strategy: &'static str,
     count: u64,
     median_ns: u128,
+}
+
+/// One mode's measurement within the early-termination experiment.
+struct ModeSample {
+    median_ns: u128,
+    visited: u64,
+}
+
+/// One per-query early-termination comparison.
+struct EarlyEntry {
+    id: &'static str,
+    corpus: &'static str,
+    strategy: &'static str,
+    count: u64,
+    full: ModeSample,
+    exists: ModeSample,
+    first1: ModeSample,
+    first10: ModeSample,
 }
 
 /// Times `runs` executions of the batch and returns one report entry.
@@ -61,8 +87,11 @@ fn measure(
 }
 
 const USAGE: &str = "usage: report [--scale <f64>] [--runs <n>]\n\
-                     runs the X01-X17 concurrency batches and the O01-O20 \
-                     ordered-axis queries, writing BENCH_pr4.json";
+                     runs the X01-X17 concurrency batches, the O01-O20 \
+                     ordered-axis queries and the early-termination \
+                     comparison (exists / first-1 / first-10 vs full \
+                     materialization) over all paper query sets, writing \
+                     BENCH_pr5.json";
 
 fn usage_error(message: &str) -> ! {
     // The benchmark queries are plain XPath: print the supported fragment
@@ -92,48 +121,105 @@ fn parse_args() -> (f64, usize) {
 }
 
 /// Runs every O-query against its corpus index, `runs` times each.
-/// `xmark_index` is the index the concurrency benches already built —
-/// reused here so the expensive construction does not run twice.
-fn measure_ordered_queries(xmark_index: SxsiIndex, runs: usize) -> Vec<QueryEntry> {
-    let corpora: Vec<(&'static str, SxsiIndex)> = vec![
-        ("xmark", xmark_index),
-        (
-            "treebank",
-            build("treebank", &treebank::generate(&TreebankConfig { num_sentences: 400, seed: 42 })),
-        ),
-        (
-            "medline",
-            build("medline", &medline::generate(&MedlineConfig { num_citations: 300, seed: 42 })),
-        ),
-        ("wiki", build("wiki", &wiki::generate(&WikiConfig { num_pages: 300, seed: 42 }))),
-    ];
+fn measure_ordered_queries(corpora: &[(&'static str, SxsiIndex)], runs: usize) -> Vec<QueryEntry> {
     let mut entries = Vec::new();
     for (corpus, index) in corpora {
-        for q in ORDERED_QUERIES.iter().filter(|q| q.corpus == corpus) {
-            // Compile once and time execution only, like the concurrency
+        for q in ORDERED_QUERIES.iter().filter(|q| q.corpus == *corpus) {
+            // Prepare once and time execution only, like the concurrency
             // batches — parse/rewrite/plan overhead would otherwise drown
             // the cheap queries.
-            let parsed = index.parse(q.xpath).expect("ordered query parses");
-            let plan = index.compile(&parsed).expect("ordered query compiles");
-            let result = index.execute_compiled(&plan, true);
+            let prepared = index.prepare(q.xpath).expect("ordered query prepares");
+            let count_options = QueryOptions::count();
+            let result = prepared.run(index, &count_options);
             let median = median_ms(runs, || {
-                index.execute_compiled(&plan, true);
+                prepared.run(index, &count_options);
             });
             println!(
                 "  {} [{}] count={} median={median:.3} ms  {}",
                 q.id,
-                result.strategy.name(),
-                result.output.count(),
+                prepared.strategy().name(),
+                result.count(),
                 q.xpath
             );
             entries.push(QueryEntry {
                 id: q.id,
                 corpus,
-                strategy: result.strategy.name(),
-                count: result.output.count(),
+                strategy: prepared.strategy().name(),
+                count: result.count(),
                 median_ns: (median * 1e6) as u128,
             });
         }
+    }
+    entries
+}
+
+/// Times one options variant of a prepared query, returning the median wall
+/// time and the visited-node counter of the run.
+fn sample(prepared: &Prepared, index: &SxsiIndex, options: &QueryOptions, runs: usize) -> ModeSample {
+    let visited = prepared.run(index, options).stats().map_or(0, |s| s.visited_nodes);
+    let median = median_ms(runs, || {
+        prepared.run(index, options);
+    });
+    ModeSample { median_ns: (median * 1e6) as u128, visited }
+}
+
+/// The PR 5 experiment: exists / first-1 / first-10 vs full materialization
+/// for every paper query and every ordered query, on its corpus.
+fn measure_early_termination(
+    corpora: &[(&'static str, SxsiIndex)],
+    runs: usize,
+) -> Vec<EarlyEntry> {
+    let sets: &[(&'static str, &[NamedQuery])] = &[
+        ("xmark", XMARK_QUERIES),
+        ("treebank", TREEBANK_QUERIES),
+        ("medline", MEDLINE_QUERIES),
+        ("medline", &WORD_QUERIES[..5]),
+        ("wiki", &WORD_QUERIES[5..]),
+    ];
+    let index_of = |corpus: &str| {
+        &corpora.iter().find(|(c, _)| *c == corpus).expect("corpus built").1
+    };
+    let mut work: Vec<(&'static str, &'static str, &'static str)> = Vec::new();
+    for (corpus, set) in sets {
+        for q in *set {
+            work.push((q.id, corpus, q.xpath));
+        }
+    }
+    for q in ORDERED_QUERIES {
+        work.push((q.id, q.corpus, q.xpath));
+    }
+
+    let mut entries = Vec::new();
+    for (id, corpus, xpath) in work {
+        let index = index_of(corpus);
+        let prepared = index.prepare(xpath).expect("paper query prepares");
+        let full = sample(&prepared, index, &QueryOptions::nodes(), runs);
+        let exists = sample(&prepared, index, &QueryOptions::exists(), runs);
+        let first1 = sample(&prepared, index, &QueryOptions::nodes().with_limit(1), runs);
+        let first10 = sample(&prepared, index, &QueryOptions::nodes().with_limit(10), runs);
+        let count = prepared.run(index, &QueryOptions::count()).count();
+        println!(
+            "  {id} [{}] count={count} full={:.3}ms exists={:.3}ms first1={:.3}ms first10={:.3}ms \
+             visited full/exists/first1 = {}/{}/{}",
+            prepared.strategy().name(),
+            full.median_ns as f64 / 1e6,
+            exists.median_ns as f64 / 1e6,
+            first1.median_ns as f64 / 1e6,
+            first10.median_ns as f64 / 1e6,
+            full.visited,
+            exists.visited,
+            first1.visited,
+        );
+        entries.push(EarlyEntry {
+            id,
+            corpus,
+            strategy: prepared.strategy().name(),
+            count,
+            full,
+            exists,
+            first1,
+            first10,
+        });
     }
     entries
 }
@@ -147,41 +233,55 @@ fn main() {
     let (scale, runs) = parse_args();
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    println!("generating XMark corpus (scale {scale}) ...");
-    let xml = xmark::generate(&XMarkConfig { scale, seed: 42 });
-    println!("building index over {} bytes ...", xml.len());
-    let index = SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds");
+    println!("generating corpora (XMark scale {scale}) ...");
+    let corpora: Vec<(&'static str, SxsiIndex)> = vec![
+        ("xmark", build("xmark", &xmark::generate(&XMarkConfig { scale, seed: 42 }))),
+        (
+            "treebank",
+            build("treebank", &treebank::generate(&TreebankConfig { num_sentences: 400, seed: 42 })),
+        ),
+        (
+            "medline",
+            build("medline", &medline::generate(&MedlineConfig { num_citations: 300, seed: 42 })),
+        ),
+        ("wiki", build("wiki", &wiki::generate(&WikiConfig { num_pages: 300, seed: 42 }))),
+    ];
+    let xmark_index = &corpora[0].1;
 
     let count_batch = QueryBatch::compile(
-        &index,
+        xmark_index,
         XMARK_QUERIES.iter().map(|q| QuerySpec::count(q.id, q.xpath)).collect(),
     )
     .expect("benchmark queries compile");
     let materialize_batch = QueryBatch::compile(
-        &index,
-        XMARK_QUERIES.iter().map(|q| QuerySpec::materialize(q.id, q.xpath)).collect(),
+        xmark_index,
+        XMARK_QUERIES.iter().map(|q| QuerySpec::nodes(q.id, q.xpath)).collect(),
     )
     .expect("benchmark queries compile");
 
     let mut entries = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let executor = BatchExecutor::new(threads);
-        entries.push(measure("xmark_x01_x17_count", &executor, &index, &count_batch, runs));
+        entries.push(measure("xmark_x01_x17_count", &executor, xmark_index, &count_batch, runs));
         entries.push(measure(
             "xmark_x01_x17_materialize",
             &executor,
-            &index,
+            xmark_index,
             &materialize_batch,
             runs,
         ));
     }
-    let ordered = measure_ordered_queries(index, runs);
+    println!("ordered-axis queries (O01-O20) ...");
+    let ordered = measure_ordered_queries(&corpora, runs);
+    println!("early termination: exists / first-1 / first-10 vs full materialization ...");
+    let early = measure_early_termination(&corpora, runs);
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 4,\n");
+    json.push_str("  \"pr\": 5,\n");
     json.push_str(
-        "  \"bench\": \"parallel batch executor + reverse/ordered-axis queries (O01-O20)\",\n",
+        "  \"bench\": \"prepared-statement API: batch throughput, ordered queries, \
+         early termination (exists/first-k vs full)\",\n",
     );
     json.push_str(&format!("  \"corpus\": \"xmark scale {scale} seed 42 (+ treebank/medline/wiki defaults)\",\n"));
     json.push_str(&format!("  \"queries\": {},\n", XMARK_QUERIES.len()));
@@ -208,9 +308,33 @@ fn main() {
             e.id, e.corpus, e.strategy, e.count, e.median_ns
         ));
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"early_termination\": [\n");
+    for (i, e) in early.iter().enumerate() {
+        let comma = if i + 1 == early.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"corpus\": \"{}\", \"strategy\": \"{}\", \"count\": {}, \
+             \"full_ns\": {}, \"full_visited\": {}, \
+             \"exists_ns\": {}, \"exists_visited\": {}, \
+             \"first1_ns\": {}, \"first1_visited\": {}, \
+             \"first10_ns\": {}, \"first10_visited\": {} }}{comma}\n",
+            e.id,
+            e.corpus,
+            e.strategy,
+            e.count,
+            e.full.median_ns,
+            e.full.visited,
+            e.exists.median_ns,
+            e.exists.visited,
+            e.first1.median_ns,
+            e.first1.visited,
+            e.first10.median_ns,
+            e.first10.visited,
+        ));
+    }
     json.push_str("  ]\n}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
-    std::fs::write(path, &json).expect("BENCH_pr4.json is writable");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    std::fs::write(path, &json).expect("BENCH_pr5.json is writable");
     println!("\nwrote {}", path);
 }

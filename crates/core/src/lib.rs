@@ -9,8 +9,15 @@
 //!
 //! # Quick start
 //!
+//! Queries go through a **prepared statement**: [`SxsiIndex::prepare`]
+//! parses, rewrites, plans and compiles once; [`Prepared::run`] executes any
+//! number of times (from any number of threads) with per-run
+//! [`QueryOptions`] saying how much of the answer is needed — existence,
+//! a count, or a `limit`/`offset` window of nodes.  The evaluators stop as
+//! soon as the requested answer is decided.
+//!
 //! ```
-//! use sxsi::SxsiIndex;
+//! use sxsi::{QueryOptions, SxsiIndex};
 //!
 //! let xml = r#"<parts>
 //!   <part name="pen"><color>blue</color><stock>40</stock></part>
@@ -18,21 +25,24 @@
 //! </parts>"#;
 //! let index = SxsiIndex::build_from_xml(xml.as_bytes()).unwrap();
 //!
-//! // Counting query.
-//! assert_eq!(index.count("//stock").unwrap(), 2);
+//! // Prepare once, run in any mode.
+//! let stmt = index.prepare("//stock").unwrap();
+//! assert!(stmt.run(&index, &QueryOptions::exists()).exists());
+//! assert_eq!(stmt.run(&index, &QueryOptions::count()).count(), 2);
+//! let first = stmt.run(&index, &QueryOptions::nodes().with_limit(1));
+//! assert_eq!(first.cursor().len(), 1);
 //!
-//! // Text predicate.
+//! // Convenience wrappers for one-shot queries.
 //! assert_eq!(index.count(r#"//part[ .//color[ contains(., "blu") ] ]"#).unwrap(), 1);
-//!
-//! // Materialize and serialize results.
-//! let result = index.serialize("//color").unwrap();
-//! assert_eq!(result, "<color>blue</color>");
+//! assert!(index.exists("//color").unwrap());
+//! assert_eq!(index.serialize("//color").unwrap(), "<color>blue</color>");
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod io;
+pub mod query;
 pub mod serialize;
 
 use std::fmt;
@@ -40,17 +50,18 @@ use std::fmt;
 use sxsi_text::{TextCollection, TextCollectionOptions};
 use sxsi_tree::{NodeId, XmlTree};
 use sxsi_xml::{parse_document_with_options, DocumentOptions, ParseError, ParsedDocument};
-use sxsi_xpath::eval::{EvalOptions, EvalStats, Evaluator, Output};
+use sxsi_xpath::eval::EvalOptions;
 use sxsi_xpath::{
     compile, parse_query, requires_direct, rewrite_to_forward, Automaton, BottomUpPlan,
-    CompileError, DirectEvaluator, Query, XPathParseError,
+    CompileError, Query, XPathParseError,
 };
 
 pub use io::{IoError, ReadFrom, WriteInto, FORMAT_VERSION, MAGIC};
+pub use query::{NodeCursor, Prepared, QueryMode, QueryOptions, ResultSet};
 pub use serialize::{serialize_subtree, string_value, subtree_to_string};
 pub use sxsi_text::{TextId, TextPredicate};
 pub use sxsi_tree::{TagId, TreeError};
-pub use sxsi_xpath::eval::Output as QueryOutput;
+pub use sxsi_xpath::eval::EvalStats;
 
 /// Errors produced when building an index.
 ///
@@ -151,11 +162,11 @@ impl Strategy {
 /// A query compiled against one index: the planner's strategy choice
 /// frozen together with the artifacts needed to run it.
 ///
-/// Produced by [`SxsiIndex::compile`] and consumed by
-/// [`SxsiIndex::execute_compiled`] — and by the `sxsi-engine` batch
-/// executor, which shares one compiled plan across its worker threads
-/// (`CompiledPlan` is `Send + Sync`).  A plan is only meaningful for the
-/// index it was compiled against: tag identifiers are baked in.
+/// Produced by [`SxsiIndex::compile`] and executed through a [`Prepared`]
+/// statement (see [`SxsiIndex::prepare`]) — including by the `sxsi-engine`
+/// batch executor, which shares one prepared statement across its worker
+/// threads (`CompiledPlan` is `Send + Sync`).  A plan is only meaningful
+/// for the index it was compiled against: tag identifiers are baked in.
 #[derive(Debug)]
 pub enum CompiledPlan {
     /// Automaton run from the root (with jumping).
@@ -175,17 +186,6 @@ impl CompiledPlan {
             CompiledPlan::Direct(_) => Strategy::Direct,
         }
     }
-}
-
-/// The outcome of a query execution.
-#[derive(Debug, Clone)]
-pub struct QueryResult {
-    /// Count or materialized nodes.
-    pub output: Output,
-    /// The strategy the planner chose.
-    pub strategy: Strategy,
-    /// Evaluator statistics (zeroed for bottom-up runs).
-    pub stats: EvalStats,
 }
 
 /// Size report for an index (the paper's Figure 8 space accounting).
@@ -308,7 +308,8 @@ impl SxsiIndex {
     /// rewritten query.
     ///
     /// Compile once, execute many times (possibly from many threads): see
-    /// [`SxsiIndex::execute_compiled`] and the `sxsi-engine` crate.
+    /// [`SxsiIndex::prepare`], [`Prepared::run`] and the `sxsi-engine`
+    /// crate.
     pub fn compile(&self, query: &Query) -> Result<CompiledPlan, QueryError> {
         let rewritten;
         let query = if requires_direct(query) {
@@ -328,46 +329,8 @@ impl SxsiIndex {
         Ok(CompiledPlan::TopDown(compile(query, &self.tree)?))
     }
 
-    /// Executes a compiled plan.  All mutable state (the evaluator) is
-    /// created locally, so `&self` calls may run concurrently.
-    pub fn execute_compiled(&self, plan: &CompiledPlan, counting: bool) -> QueryResult {
-        match plan {
-            CompiledPlan::BottomUp(plan) => {
-                let output = plan.execute(&self.tree, &self.texts, counting);
-                let stats = EvalStats {
-                    visited_nodes: 0,
-                    marked_nodes: output.count(),
-                    result_nodes: output.count(),
-                };
-                QueryResult { output, strategy: Strategy::BottomUp, stats }
-            }
-            CompiledPlan::TopDown(automaton) => {
-                let mut evaluator =
-                    Evaluator::new(automaton, &self.tree, Some(&self.texts), self.options.eval);
-                let output = evaluator.evaluate(counting);
-                QueryResult { output, strategy: Strategy::TopDown, stats: evaluator.stats() }
-            }
-            CompiledPlan::Direct(query) => {
-                let evaluator = DirectEvaluator::new(&self.tree, Some(&self.texts));
-                let output = evaluator.run(query, counting);
-                let stats = EvalStats {
-                    visited_nodes: 0,
-                    marked_nodes: output.count(),
-                    result_nodes: output.count(),
-                };
-                QueryResult { output, strategy: Strategy::Direct, stats }
-            }
-        }
-    }
-
-    /// Runs `query` and returns the full result (strategy + stats included).
-    pub fn execute(&self, query: &str, counting: bool) -> Result<QueryResult, QueryError> {
-        let parsed = self.parse(query)?;
-        let plan = self.compile(&parsed)?;
-        Ok(self.execute_compiled(&plan, counting))
-    }
-
-    /// Number of nodes selected by `query`.
+    /// Number of nodes selected by `query` — a thin wrapper over
+    /// [`Prepared::run`] with [`QueryOptions::count`].
     ///
     /// Counting mode never materializes node sets: wherever the automaton
     /// configuration allows it, whole regions are counted through the
@@ -383,10 +346,26 @@ impl SxsiIndex {
     /// assert_eq!(index.count(r#"//track[ @len = "4:10" ]"#).unwrap(), 1);
     /// ```
     pub fn count(&self, query: &str) -> Result<u64, QueryError> {
-        Ok(self.execute(query, true)?.output.count())
+        Ok(self.run(query, &QueryOptions::count())?.count())
     }
 
-    /// The nodes selected by `query`, in document order.
+    /// Whether `query` selects at least one node — a thin wrapper over
+    /// [`Prepared::run`] with [`QueryOptions::exists`], which stops at the
+    /// first match wherever the plan allows it.
+    ///
+    /// ```
+    /// use sxsi::SxsiIndex;
+    ///
+    /// let index = SxsiIndex::build_from_xml(b"<a><b>x</b></a>").unwrap();
+    /// assert!(index.exists("//b").unwrap());
+    /// assert!(!index.exists("//c").unwrap());
+    /// ```
+    pub fn exists(&self, query: &str) -> Result<bool, QueryError> {
+        Ok(self.run(query, &QueryOptions::exists())?.exists())
+    }
+
+    /// The nodes selected by `query`, in document order — a thin wrapper
+    /// over [`Prepared::run`] with [`QueryOptions::nodes`].
     ///
     /// ```
     /// use sxsi::SxsiIndex;
@@ -399,15 +378,15 @@ impl SxsiIndex {
     /// assert_eq!(index.node_value(nodes[0]), "x");
     /// ```
     pub fn materialize(&self, query: &str) -> Result<Vec<NodeId>, QueryError> {
-        let result = self.execute(query, false)?;
-        match result.output {
-            Output::Nodes(n) => Ok(n),
-            Output::Count(_) => unreachable!("materialization requested"),
-        }
+        Ok(self
+            .run(query, &QueryOptions::nodes())?
+            .into_nodes()
+            .expect("a Nodes-mode run returns nodes"))
     }
 
     /// Serializes every node selected by `query`, concatenated in document
-    /// order (the paper's materialization + serialization phase).
+    /// order (the paper's materialization + serialization phase) — a thin
+    /// wrapper over [`Prepared::run`].
     pub fn serialize(&self, query: &str) -> Result<String, QueryError> {
         let nodes = self.materialize(query)?;
         let mut out = String::new();
@@ -482,17 +461,18 @@ mod tests {
         let q = idx.parse("//book[ author/last ]").unwrap();
         assert_eq!(idx.plan(&q), Strategy::TopDown);
         // Both strategies agree on the answer.
-        let result = idx.execute(r#"//book[ .//last[ . = "Navarro" ] ]"#, true).unwrap();
-        assert_eq!(result.strategy, Strategy::BottomUp);
-        assert_eq!(result.output.count(), 1);
+        let result = idx.run(r#"//book[ .//last[ . = "Navarro" ] ]"#, &QueryOptions::count()).unwrap();
+        assert_eq!(result.strategy(), Strategy::BottomUp);
+        assert_eq!(result.count(), 1);
         let forced = SxsiIndex::build_from_xml_with_options(
             DOC.as_bytes(),
             SxsiOptions { force_top_down: true, ..Default::default() },
         )
         .unwrap();
-        let result = forced.execute(r#"//book[ .//last[ . = "Navarro" ] ]"#, true).unwrap();
-        assert_eq!(result.strategy, Strategy::TopDown);
-        assert_eq!(result.output.count(), 1);
+        let result =
+            forced.run(r#"//book[ .//last[ . = "Navarro" ] ]"#, &QueryOptions::count()).unwrap();
+        assert_eq!(result.strategy(), Strategy::TopDown);
+        assert_eq!(result.count(), 1);
     }
 
     #[test]
@@ -543,9 +523,9 @@ mod tests {
         // Non-rewritable shapes run on the direct strategy.
         let q = idx.parse("//title/preceding-sibling::*").unwrap();
         assert_eq!(idx.plan(&q), Strategy::Direct);
-        let result = idx.execute("/library/book[last()]/title", false).unwrap();
-        assert_eq!(result.strategy, Strategy::Direct);
-        assert_eq!(result.output.count(), 1);
+        let result = idx.run("/library/book[last()]/title", &QueryOptions::nodes()).unwrap();
+        assert_eq!(result.strategy(), Strategy::Direct);
+        assert_eq!(result.count(), 1);
         assert_eq!(
             idx.serialize("/library/book[last()]/title").unwrap(),
             "<title>Tree Automata</title>"
@@ -555,6 +535,61 @@ mod tests {
         assert_eq!(idx.count("//author/following::journal").unwrap(), 1);
         assert_eq!(idx.count("//journal/preceding::book").unwrap(), 2);
         assert_eq!(idx.count("//abstract/..").unwrap(), 2);
+    }
+
+    #[test]
+    fn prepared_statements_window_and_terminate() {
+        let idx = index();
+        // One prepared handle, every mode, repeated runs.
+        let stmt = idx.prepare("//title").unwrap();
+        let full = idx.materialize("//title").unwrap();
+        assert_eq!(full.len(), 3);
+        assert!(stmt.run(&idx, &QueryOptions::exists()).exists());
+        assert_eq!(stmt.run(&idx, &QueryOptions::count()).count(), 3);
+        for offset in 0..4u64 {
+            for limit in 0..4u64 {
+                let result =
+                    stmt.run(&idx, &QueryOptions::nodes().with_limit(limit).with_offset(offset));
+                let lo = (offset as usize).min(full.len());
+                let hi = (offset + limit).min(full.len() as u64) as usize;
+                assert_eq!(result.nodes().unwrap(), &full[lo..hi], "limit {limit} offset {offset}");
+                // Count mode reports the same window arithmetic.
+                let counted =
+                    stmt.run(&idx, &QueryOptions::count().with_limit(limit).with_offset(offset));
+                assert_eq!(counted.count(), (hi - lo) as u64);
+            }
+        }
+        // The cursor yields the nodes lazily, in document order.
+        let result = stmt.run(&idx, &QueryOptions::nodes());
+        let collected: Vec<_> = result.cursor().collect();
+        assert_eq!(collected, full);
+        assert_eq!(result.cursor().len(), 3);
+        // Statistics are omitted on request.
+        assert!(stmt.run(&idx, &QueryOptions::count().with_stats(false)).stats().is_none());
+        assert!(stmt.run(&idx, &QueryOptions::count()).stats().is_some());
+        // Truncation flag: a cut window reports more may exist.
+        assert!(stmt.run(&idx, &QueryOptions::nodes().with_limit(1)).truncated());
+        assert!(!stmt.run(&idx, &QueryOptions::nodes()).truncated());
+    }
+
+    #[test]
+    fn exists_agrees_with_count_on_every_strategy() {
+        let idx = index();
+        let queries = [
+            ("//book", Strategy::TopDown),
+            (r#"//book[ .//last[ . = "Navarro" ] ]"#, Strategy::BottomUp),
+            ("/library/book[last()]", Strategy::Direct),
+            ("//nonexistent", Strategy::TopDown),
+            (r#"//book[ .//last[ . = "Nobody" ] ]"#, Strategy::BottomUp),
+            ("/library/journal[7]", Strategy::Direct),
+        ];
+        for (query, expected_strategy) in queries {
+            let stmt = idx.prepare(query).unwrap();
+            assert_eq!(stmt.strategy(), expected_strategy, "{query}");
+            let result = stmt.run(&idx, &QueryOptions::exists());
+            assert_eq!(result.exists(), idx.count(query).unwrap() > 0, "{query}");
+            assert_eq!(result.strategy(), expected_strategy, "{query}");
+        }
     }
 
     #[test]

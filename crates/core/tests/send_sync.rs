@@ -3,7 +3,7 @@
 //! `Arc<SxsiIndex>` shared across a thread pool is the central pattern of
 //! `sxsi-engine`; this assertion is what makes that pattern legal.
 
-use sxsi::{CompiledPlan, IndexStats, QueryResult, SxsiIndex, SxsiOptions};
+use sxsi::{CompiledPlan, IndexStats, Prepared, QueryOptions, ResultSet, SxsiIndex, SxsiOptions};
 
 fn require_send_sync<T: Send + Sync>() {}
 
@@ -12,7 +12,10 @@ fn the_index_is_send_and_sync() {
     require_send_sync::<SxsiIndex>();
     require_send_sync::<SxsiOptions>();
     require_send_sync::<IndexStats>();
-    require_send_sync::<QueryResult>();
-    // Compiled plans are shared read-only by every batch worker.
+    require_send_sync::<ResultSet>();
+    require_send_sync::<QueryOptions>();
+    // Prepared statements and compiled plans are shared read-only by every
+    // batch worker.
+    require_send_sync::<Prepared>();
     require_send_sync::<CompiledPlan>();
 }

@@ -2,40 +2,51 @@
 //! files.
 //!
 //! ```text
-//! sxsi build <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
-//!            [--scan-cutoff N] [--keep-whitespace]
-//! sxsi query <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
-//!            [--threads N]
-//! sxsi info  <index.sxsi>
+//! sxsi build  <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
+//!             [--scan-cutoff N] [--keep-whitespace]
+//! sxsi query  <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
+//!             [--limit N] [--offset N] [--threads N]
+//! sxsi exists <index.sxsi> <xpath> [<xpath> ...] [--threads N]
+//! sxsi info   <index.sxsi>
 //! ```
 //!
 //! `build` parses the XML once and writes the versioned binary container;
 //! `query` loads the container (no re-parsing, no BWT reconstruction) and
 //! runs the given XPath expressions through the parallel
-//! [`BatchExecutor`]; `info` prints the stats a capacity planner needs
-//! (node/text/tag counts and per-component sizes).
+//! [`BatchExecutor`] (counts by default; `--limit`/`--offset` select a
+//! document-order result window with early termination); `exists` answers
+//! existence only, stopping at the first match; `info` prints the stats a
+//! capacity planner needs (node/text/tag counts and per-component sizes).
 //!
-//! Unknown options print usage and exit with a non-zero status; runtime
-//! failures (missing files, corrupt indexes, malformed queries) are reported
-//! on stderr with exit code 1.
+//! Exit codes (documented in `docs/guide.md`):
+//!
+//! * `0` — success (`exists`: every query matched at least one node)
+//! * `1` — runtime failure (missing files, corrupt indexes, parse errors)
+//! * `2` — usage error (unknown flags, missing operands)
+//! * `3` — a query parsed but compiles to a shape this engine does not
+//!   support; stderr carries a structured
+//!   `sxsi: error=unsupported-query query='…' detail='…'` line
+//! * `4` — `exists` ran fine but at least one query matched nothing
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use sxsi::{SxsiIndex, SxsiOptions};
-use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+use sxsi::{QueryError, QueryOptions, SxsiIndex, SxsiOptions};
+use sxsi_engine::{BatchError, BatchExecutor, QueryBatch, QuerySpec};
 
 const USAGE: &str = "\
 usage:
-  sxsi build <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
-             [--scan-cutoff N] [--keep-whitespace]
-  sxsi query <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
-             [--threads N]
-  sxsi info  <index.sxsi>
+  sxsi build  <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
+              [--scan-cutoff N] [--keep-whitespace]
+  sxsi query  <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
+              [--limit N] [--offset N] [--threads N]
+  sxsi exists <index.sxsi> <xpath> [<xpath> ...] [--threads N]
+  sxsi info   <index.sxsi>
 
 subcommands:
   build   parse the XML document and write a versioned .sxsi index file
   query   load a .sxsi file and run XPath queries (counts by default)
+  exists  report true/false per query, stopping at the first match
   info    print size and cardinality statistics of a .sxsi file
 
 build options:
@@ -50,7 +61,13 @@ build options:
 query options:
   --materialize      print the selected node identifiers, not just counts
   --serialize        print the XML serialization of every selected node
+  --limit N          produce at most N result nodes (document order; the
+                     evaluators stop early once the window is complete)
+  --offset N         skip the first N result nodes (pagination)
   --threads N        worker threads for multi-query batches (default 1)
+
+exit codes: 0 success, 1 runtime failure, 2 usage error,
+            3 unsupported query shape, 4 exists found no match
 
 `sxsi query --help` additionally prints the supported XPath fragment.
 ";
@@ -63,6 +80,24 @@ fn usage_error(message: &str) -> ExitCode {
 fn fail(message: impl std::fmt::Display) -> ExitCode {
     eprintln!("sxsi: {message}");
     ExitCode::FAILURE
+}
+
+/// Reports a query that failed to prepare.  Parse errors are ordinary
+/// runtime failures (exit 1); queries that parse but compile to a shape the
+/// engine does not support exit with the distinct code 3 and a structured
+/// stderr line, so callers can tell "fix the query" apart from "engine
+/// limitation".
+fn fail_prepare(err: BatchError) -> ExitCode {
+    match &err.error {
+        QueryError::Compile(e) => {
+            eprintln!(
+                "sxsi: error=unsupported-query query='{}' detail='{}'",
+                err.id, e
+            );
+            ExitCode::from(3)
+        }
+        _ => fail(err),
+    }
 }
 
 /// Prints usage plus the XPath fragment summary.  The summary is generated
@@ -81,6 +116,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("exists") => cmd_exists(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("help") => print_help(),
         Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
@@ -158,6 +194,8 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let mut materialize = false;
     let mut serialize = false;
     let mut threads = 1usize;
+    let mut limit: Option<u64> = None;
+    let mut offset = 0u64;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -167,6 +205,14 @@ fn cmd_query(args: &[String]) -> ExitCode {
             "--threads" => match parse_number(&mut it, "--threads") {
                 Ok(n) if n > 0 => threads = n,
                 Ok(_) | Err(_) => return usage_error("--threads expects a positive integer"),
+            },
+            "--limit" => match parse_number(&mut it, "--limit") {
+                Ok(n) => limit = Some(n as u64),
+                Err(e) => return usage_error(&e),
+            },
+            "--offset" => match parse_number(&mut it, "--offset") {
+                Ok(n) => offset = n as u64,
+                Err(e) => return usage_error(&e),
             },
             flag if flag.starts_with("--") => {
                 return usage_error(&format!("unknown option '{flag}'"))
@@ -189,28 +235,28 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let load_time = start.elapsed();
     eprintln!("loaded {path} in {load_time:.2?}");
 
-    let specs: Vec<QuerySpec> = queries
-        .iter()
-        .map(|q| {
-            if materialize || serialize {
-                QuerySpec::materialize(q.as_str(), q.as_str())
-            } else {
-                QuerySpec::count(q.as_str(), q.as_str())
-            }
-        })
-        .collect();
+    let mut options = if materialize || serialize {
+        QueryOptions::nodes()
+    } else {
+        QueryOptions::count()
+    };
+    options.limit = limit;
+    options.offset = offset;
+    let specs: Vec<QuerySpec> =
+        queries.iter().map(|q| QuerySpec::new(q.as_str(), q.as_str(), options)).collect();
     let batch = match QueryBatch::compile(&index, specs) {
         Ok(batch) => batch,
-        Err(e) => return fail(e),
+        Err(e) => return fail_prepare(e),
     };
     let start = Instant::now();
     let results = BatchExecutor::new(threads).run(&index, &batch);
     let query_time = start.elapsed();
 
     for result in &results {
-        match result.output.nodes() {
+        let more = if result.result.truncated() { " (more results exist)" } else { "" };
+        match result.result.nodes() {
             Some(nodes) if serialize => {
-                println!("{}:", result.id);
+                println!("{}:{more}", result.id);
                 for &node in nodes {
                     println!("{}", index.get_subtree(node));
                 }
@@ -218,13 +264,62 @@ fn cmd_query(args: &[String]) -> ExitCode {
             Some(nodes) => {
                 let preorders: Vec<String> =
                     nodes.iter().map(|&n| index.tree().preorder(n).to_string()).collect();
-                println!("{}: {} nodes [{}]", result.id, nodes.len(), preorders.join(", "));
+                println!("{}: {} nodes [{}]{more}", result.id, nodes.len(), preorders.join(", "));
             }
-            None => println!("{}: {}", result.id, result.output.count()),
+            None => println!("{}: {}{more}", result.id, result.result.count()),
         }
     }
     eprintln!("ran {} queries in {query_time:.2?} on {threads} thread(s)", results.len());
     ExitCode::SUCCESS
+}
+
+/// `sxsi exists`: existence-only evaluation with early termination.  Exit
+/// code 0 when every query matched, 4 when at least one did not.
+fn cmd_exists(args: &[String]) -> ExitCode {
+    let mut threads = 1usize;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => match parse_number(&mut it, "--threads") {
+                Ok(n) if n > 0 => threads = n,
+                Ok(_) | Err(_) => return usage_error("--threads expects a positive integer"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}'"))
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let Some((path, queries)) = positional.split_first() else {
+        return usage_error("exists expects <index.sxsi> and at least one XPath expression");
+    };
+    if queries.is_empty() {
+        return usage_error("exists expects at least one XPath expression");
+    }
+
+    let index = match SxsiIndex::load_from_file(path) {
+        Ok(index) => index,
+        Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+    };
+    let specs: Vec<QuerySpec> =
+        queries.iter().map(|q| QuerySpec::exists(q.as_str(), q.as_str())).collect();
+    let batch = match QueryBatch::compile(&index, specs) {
+        Ok(batch) => batch,
+        Err(e) => return fail_prepare(e),
+    };
+    let results = BatchExecutor::new(threads).run(&index, &batch);
+    let mut all_found = true;
+    for result in &results {
+        let found = result.result.exists();
+        all_found &= found;
+        println!("{}: {}", result.id, found);
+    }
+    if all_found {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(4)
+    }
 }
 
 fn cmd_info(args: &[String]) -> ExitCode {

@@ -2,20 +2,25 @@
 //!
 //! The SXSI index is immutable after construction: every structure on the
 //! read path (balanced parentheses, tag sequences, FM-index, automata) is
-//! `Send + Sync`, and all per-query mutable state (the memoization table,
-//! predicate caches, statistics) lives inside the per-thread
-//! [`Evaluator`](sxsi_xpath::eval::Evaluator).  This crate exploits that
-//! shape: a [`QueryBatch`] compiles a set of XPath queries once, and a
-//! [`BatchExecutor`] fans the compiled queries out across a configurable
-//! `std::thread` pool, every worker evaluating against the same shared
-//! index.  Results are identical to sequential evaluation — parallelism is
-//! across queries, never within one.
+//! `Send + Sync`, and all per-query mutable state lives inside the
+//! evaluator each run creates locally.  This crate exploits that shape: a
+//! [`QueryBatch`] prepares a set of XPath queries once — each distinct
+//! query string is compiled to a single shared [`Prepared`] statement, even
+//! when it appears many times in the batch — and a [`BatchExecutor`] fans
+//! the prepared queries out across a configurable `std::thread` pool, every
+//! worker evaluating against the same shared index.  Results are identical
+//! to sequential evaluation — parallelism is across queries, never within
+//! one.
+//!
+//! Each [`QuerySpec`] carries its own [`QueryOptions`], so a batch can mix
+//! existence probes, counts, and `limit`/`offset` windows; the early
+//! termination of the underlying evaluators applies per spec.
 //!
 //! # Quick start
 //!
 //! ```
 //! use std::sync::Arc;
-//! use sxsi::SxsiIndex;
+//! use sxsi::{QueryOptions, SxsiIndex};
 //! use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
 //!
 //! let xml = r#"<parts>
@@ -28,56 +33,62 @@
 //!     &index,
 //!     vec![
 //!         QuerySpec::count("stocks", "//stock"),
-//!         QuerySpec::materialize("blue-parts", r#"//part[ .//color[ contains(., "blu") ] ]"#),
+//!         QuerySpec::exists("any-color", "//color"),
+//!         QuerySpec::nodes("blue-parts", r#"//part[ .//color[ contains(., "blu") ] ]"#),
+//!         QuerySpec::new("first-part", "//part", QueryOptions::nodes().with_limit(1)),
 //!     ],
 //! )
 //! .unwrap();
 //!
 //! let results = BatchExecutor::new(2).run(&index, &batch);
-//! assert_eq!(results[0].output.count(), 2);
-//! assert_eq!(results[1].output.nodes().unwrap().len(), 1);
+//! assert_eq!(results[0].result.count(), 2);
+//! assert!(results[1].result.exists());
+//! assert_eq!(results[2].result.nodes().unwrap().len(), 1);
+//! assert_eq!(results[3].result.cursor().len(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 
-use sxsi::{CompiledPlan, QueryError, SxsiIndex, Strategy};
-use sxsi_xpath::eval::{EvalStats, Output};
-
-/// How one batch query produces its result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BatchMode {
-    /// Return only the number of selected nodes (Section 5.5.3 counters).
-    Count,
-    /// Materialize the selected nodes in document order.
-    Materialize,
-}
+use sxsi::{Prepared, QueryError, QueryOptions, ResultSet, SxsiIndex, Strategy};
 
 /// One query of a batch: an identifier (echoed back on the result), the
-/// XPath expression and the output mode.
+/// XPath expression and the run options.
 #[derive(Debug, Clone)]
 pub struct QuerySpec {
     /// Caller-chosen identifier, copied onto the matching [`BatchResult`].
     pub id: String,
     /// The XPath Core+ expression.
     pub xpath: String,
-    /// Counting or materializing evaluation.
-    pub mode: BatchMode,
+    /// How the query runs: output mode, result window, statistics.
+    pub options: QueryOptions,
 }
 
 impl QuerySpec {
+    /// A query with explicit [`QueryOptions`].
+    pub fn new(id: impl Into<String>, xpath: impl Into<String>, options: QueryOptions) -> Self {
+        Self { id: id.into(), xpath: xpath.into(), options }
+    }
+
     /// A counting query.
     pub fn count(id: impl Into<String>, xpath: impl Into<String>) -> Self {
-        Self { id: id.into(), xpath: xpath.into(), mode: BatchMode::Count }
+        Self::new(id, xpath, QueryOptions::count())
+    }
+
+    /// An existence query (stops at the first match).
+    pub fn exists(id: impl Into<String>, xpath: impl Into<String>) -> Self {
+        Self::new(id, xpath, QueryOptions::exists())
     }
 
     /// A materializing query.
-    pub fn materialize(id: impl Into<String>, xpath: impl Into<String>) -> Self {
-        Self { id: id.into(), xpath: xpath.into(), mode: BatchMode::Materialize }
+    pub fn nodes(id: impl Into<String>, xpath: impl Into<String>) -> Self {
+        Self::new(id, xpath, QueryOptions::nodes())
     }
 }
 
@@ -102,22 +113,25 @@ impl std::error::Error for BatchError {
     }
 }
 
-/// One compiled query of a batch: the spec plus the frozen
-/// [`CompiledPlan`] — the same strategy choice [`SxsiIndex::execute`]
-/// makes, made once so repeated batch runs (and every worker thread) skip
-/// parsing, planning and compilation.
-struct CompiledQuery {
+/// One entry of a batch: the spec plus the shared [`Prepared`] statement —
+/// the same strategy choice sequential execution makes, made once per
+/// *distinct* query string.
+struct BatchQuery {
     spec: QuerySpec,
-    plan: CompiledPlan,
+    prepared: Arc<Prepared>,
 }
 
-/// A set of queries compiled against one index, ready to be executed (any
+/// A set of queries prepared against one index, ready to be executed (any
 /// number of times) by a [`BatchExecutor`].
 ///
+/// Identical XPath strings are compiled once: all their specs share one
+/// [`Prepared`] handle, so a batch of a thousand repetitions of one query
+/// pays one parse/plan/compile.
+///
 /// Compilation is tied to the index it was performed against: tag
-/// identifiers baked into the automata are only meaningful for that
-/// document.  Running a batch against a different index is a logic error
-/// (it cannot crash, but the answers would be meaningless).
+/// identifiers baked into the plans are only meaningful for that document.
+/// Running a batch against a different index is a logic error (it cannot
+/// crash, but the answers would be meaningless).
 ///
 /// ```
 /// use sxsi::SxsiIndex;
@@ -128,16 +142,17 @@ struct CompiledQuery {
 ///     &index,
 ///     vec![
 ///         QuerySpec::count("bs", "//b"),
-///         QuerySpec::count("first", "/a/*[1]"),           // positional → direct strategy
-///         QuerySpec::materialize("parents", "//b/.."),    // rewritten forward
+///         QuerySpec::count("first", "/a/*[1]"),     // positional → direct strategy
+///         QuerySpec::nodes("bs-again", "//b"),      // same string: shared handle
 ///     ],
 /// )
 /// .unwrap();
 /// assert_eq!(batch.len(), 3);
-/// assert_eq!(batch.specs().count(), 3);
+/// assert_eq!(batch.num_distinct(), 2);
 /// ```
 pub struct QueryBatch {
-    queries: Vec<CompiledQuery>,
+    queries: Vec<BatchQuery>,
+    num_distinct: usize,
 }
 
 impl fmt::Debug for QueryBatch {
@@ -147,21 +162,30 @@ impl fmt::Debug for QueryBatch {
 }
 
 impl QueryBatch {
-    /// Parses, plans and compiles every spec against `index` (through
-    /// [`SxsiIndex::compile`], so the strategy choice is exactly the one
-    /// sequential execution makes).
+    /// Parses, plans and compiles every *distinct* query string against
+    /// `index` (through [`SxsiIndex::prepare`], so the strategy choice is
+    /// exactly the one sequential execution makes); repeated strings share
+    /// one [`Prepared`] handle.
     ///
     /// Fails on the first malformed query, identifying it by its `id`.
     pub fn compile(index: &SxsiIndex, specs: Vec<QuerySpec>) -> Result<Self, BatchError> {
+        let mut prepared_by_xpath: HashMap<String, Arc<Prepared>> = HashMap::new();
         let mut queries = Vec::with_capacity(specs.len());
         for spec in specs {
-            let plan = index
-                .parse(&spec.xpath)
-                .and_then(|query| index.compile(&query))
-                .map_err(|error| BatchError { id: spec.id.clone(), error })?;
-            queries.push(CompiledQuery { spec, plan });
+            let prepared = match prepared_by_xpath.get(&spec.xpath) {
+                Some(shared) => Arc::clone(shared),
+                None => {
+                    let prepared = index
+                        .prepare(&spec.xpath)
+                        .map(Arc::new)
+                        .map_err(|error| BatchError { id: spec.id.clone(), error })?;
+                    prepared_by_xpath.insert(spec.xpath.clone(), Arc::clone(&prepared));
+                    prepared
+                }
+            };
+            queries.push(BatchQuery { spec, prepared });
         }
-        Ok(Self { queries })
+        Ok(Self { queries, num_distinct: prepared_by_xpath.len() })
     }
 
     /// Number of queries in the batch.
@@ -172,6 +196,12 @@ impl QueryBatch {
     /// True when the batch holds no queries.
     pub fn is_empty(&self) -> bool {
         self.queries.is_empty()
+    }
+
+    /// Number of *distinct* query strings the batch compiled (each backed
+    /// by one shared [`Prepared`] statement).
+    pub fn num_distinct(&self) -> usize {
+        self.num_distinct
     }
 
     /// The specs the batch was compiled from, in batch order.
@@ -185,14 +215,11 @@ impl QueryBatch {
 pub struct BatchResult {
     /// The identifier of the originating [`QuerySpec`].
     pub id: String,
-    /// The strategy the planner chose at compile time.
+    /// The strategy the planner chose at prepare time.
     pub strategy: Strategy,
-    /// Count or materialized nodes — identical to what a sequential
-    /// [`Evaluator`](sxsi_xpath::eval::Evaluator) run produces.
-    pub output: Output,
-    /// Evaluator statistics (zeroed for bottom-up runs, as in
-    /// [`SxsiIndex::execute`]).
-    pub stats: EvalStats,
+    /// The run's [`ResultSet`] — identical to what a sequential
+    /// [`Prepared::run`] produces.
+    pub result: ResultSet,
 }
 
 /// Fans a [`QueryBatch`] out across a pool of `std::thread` workers sharing
@@ -217,10 +244,10 @@ pub struct BatchResult {
 /// // Results are identical at every pool size, in batch order.
 /// let sequential = BatchExecutor::new(1).run(&index, &batch);
 /// let parallel = BatchExecutor::new(4).run(&index, &batch);
-/// assert_eq!(sequential[0].output.count(), 2);
-/// assert_eq!(sequential[1].output.count(), 1);
-/// assert_eq!(parallel[0].output, sequential[0].output);
-/// assert_eq!(parallel[1].output, sequential[1].output);
+/// assert_eq!(sequential[0].result.count(), 2);
+/// assert_eq!(sequential[1].result.count(), 1);
+/// assert_eq!(parallel[0].result.count(), sequential[0].result.count());
+/// assert_eq!(parallel[1].result.count(), sequential[1].result.count());
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct BatchExecutor {
@@ -290,24 +317,18 @@ impl BatchExecutor {
     }
 }
 
-/// Evaluates one compiled query; this is the only code a worker thread
-/// runs, and all mutable state (the evaluator inside
-/// [`SxsiIndex::execute_compiled`]) is allocated locally.
-fn run_one(index: &SxsiIndex, query: &CompiledQuery) -> BatchResult {
-    let counting = query.spec.mode == BatchMode::Count;
-    let result = index.execute_compiled(&query.plan, counting);
-    BatchResult {
-        id: query.spec.id.clone(),
-        strategy: result.strategy,
-        output: result.output,
-        stats: result.stats,
-    }
+/// Evaluates one prepared query; this is the only code a worker thread
+/// runs, and all mutable state (the evaluator inside [`Prepared::run`]) is
+/// allocated locally.
+fn run_one(index: &SxsiIndex, query: &BatchQuery) -> BatchResult {
+    let result = query.prepared.run(index, &query.spec.options);
+    BatchResult { id: query.spec.id.clone(), strategy: query.prepared.strategy(), result }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use sxsi::QueryMode;
 
     const DOC: &str = r#"<site>
   <regions>
@@ -330,11 +351,13 @@ mod tests {
     fn specs() -> Vec<QuerySpec> {
         vec![
             QuerySpec::count("keywords", "//keyword"),
-            QuerySpec::materialize("items", "/site/regions/*/item"),
+            QuerySpec::nodes("items", "/site/regions/*/item"),
             QuerySpec::count("people", "/site/people/person[ phone or homepage]/name"),
-            QuerySpec::materialize("alice", r#"//person[ .//name[ . = "Alice" ] ]"#),
+            QuerySpec::nodes("alice", r#"//person[ .//name[ . = "Alice" ] ]"#),
             QuerySpec::count("all", "//*"),
-            QuerySpec::materialize("texts", "/descendant::text()"),
+            QuerySpec::nodes("texts", "/descendant::text()"),
+            QuerySpec::exists("any-person", "//person"),
+            QuerySpec::new("first-two", "//item", QueryOptions::nodes().with_limit(2)),
         ]
     }
 
@@ -349,22 +372,49 @@ mod tests {
             for (p, r) in parallel.iter().zip(&reference) {
                 assert_eq!(p.id, r.id);
                 assert_eq!(p.strategy, r.strategy);
-                assert_eq!(p.output, r.output, "query '{}' with {threads} threads", p.id);
+                assert_eq!(p.result.count(), r.result.count(), "query '{}'", p.id);
+                assert_eq!(p.result.nodes(), r.result.nodes(), "query '{}'", p.id);
+                assert_eq!(p.result.exists(), r.result.exists(), "query '{}'", p.id);
             }
         }
     }
 
     #[test]
-    fn results_match_index_execute() {
+    fn results_match_sequential_prepared_runs() {
         let index = index();
         let batch = QueryBatch::compile(&index, specs()).unwrap();
         let results = BatchExecutor::new(4).run(&index, &batch);
         for (spec, result) in specs().iter().zip(&results) {
-            let counting = spec.mode == BatchMode::Count;
-            let expected = index.execute(&spec.xpath, counting).unwrap();
-            assert_eq!(result.output, expected.output, "query '{}'", spec.id);
-            assert_eq!(result.strategy, expected.strategy, "query '{}'", spec.id);
+            let expected = index.run(&spec.xpath, &spec.options).unwrap();
+            assert_eq!(result.result.count(), expected.count(), "query '{}'", spec.id);
+            assert_eq!(result.result.nodes(), expected.nodes(), "query '{}'", spec.id);
+            assert_eq!(result.strategy, expected.strategy(), "query '{}'", spec.id);
         }
+    }
+
+    #[test]
+    fn identical_queries_share_one_prepared_statement() {
+        let index = index();
+        let batch = QueryBatch::compile(
+            &index,
+            vec![
+                QuerySpec::count("a", "//keyword"),
+                QuerySpec::nodes("b", "//keyword"),
+                QuerySpec::exists("c", "//keyword"),
+                QuerySpec::new("d", "//keyword", QueryOptions::nodes().with_limit(1)),
+                QuerySpec::count("e", "//person"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.num_distinct(), 2);
+        // The shared handle still honors each spec's own options.
+        let results = BatchExecutor::new(2).run(&index, &batch);
+        assert_eq!(results[0].result.count(), 2);
+        assert_eq!(results[1].result.nodes().unwrap().len(), 2);
+        assert!(results[2].result.exists());
+        assert_eq!(results[3].result.nodes().unwrap().len(), 1);
+        assert_eq!(results[4].result.count(), 2);
     }
 
     #[test]
@@ -381,8 +431,8 @@ mod tests {
         let results = BatchExecutor::new(2).run(&index, &batch);
         assert_eq!(results[0].strategy, Strategy::BottomUp);
         assert_eq!(results[1].strategy, Strategy::TopDown);
-        assert_eq!(results[0].output.count(), 1);
-        assert_eq!(results[1].output.count(), 2);
+        assert_eq!(results[0].result.count(), 1);
+        assert_eq!(results[1].result.count(), 2);
     }
 
     #[test]
@@ -400,7 +450,8 @@ mod tests {
         for handle in handles {
             let results = handle.join().unwrap();
             for (p, r) in results.iter().zip(&reference) {
-                assert_eq!(p.output, r.output);
+                assert_eq!(p.result.count(), r.result.count());
+                assert_eq!(p.result.nodes(), r.result.nodes());
             }
         }
     }
@@ -422,10 +473,32 @@ mod tests {
         let index = index();
         let empty = QueryBatch::compile(&index, Vec::new()).unwrap();
         assert!(empty.is_empty());
+        assert_eq!(empty.num_distinct(), 0);
         assert!(BatchExecutor::new(8).run(&index, &empty).is_empty());
         let one = QueryBatch::compile(&index, vec![QuerySpec::count("k", "//keyword")]).unwrap();
         assert_eq!(one.len(), 1);
         let results = BatchExecutor::new(64).run(&index, &one);
-        assert_eq!(results[0].output.count(), 2);
+        assert_eq!(results[0].result.count(), 2);
+    }
+
+    #[test]
+    fn batch_options_window_results() {
+        let index = index();
+        let full = index.materialize("//*").unwrap();
+        let batch = QueryBatch::compile(
+            &index,
+            vec![
+                QuerySpec::new("w", "//*", QueryOptions::nodes().with_limit(4).with_offset(3)),
+                QuerySpec::new(
+                    "c",
+                    "//*",
+                    QueryOptions { mode: QueryMode::Count, limit: Some(4), offset: 3, collect_stats: true },
+                ),
+            ],
+        )
+        .unwrap();
+        let results = BatchExecutor::new(2).run(&index, &batch);
+        assert_eq!(results[0].result.nodes().unwrap(), &full[3..7]);
+        assert_eq!(results[1].result.count(), 4);
     }
 }

@@ -171,6 +171,25 @@ pub enum PositionPred {
 }
 
 impl PositionPred {
+    /// The smallest `N` such that the predicate rejects every position
+    /// greater than `N`, independently of `last` — or `None` when no such
+    /// bound exists (`!=`, `>`, `>=`, `last()`).
+    ///
+    /// When a step's *first* predicate has a prefix bound, only the first
+    /// `N` nodes of the step's selection can survive it, so the evaluators
+    /// may stop enumerating candidates after `N` hits — the early
+    /// termination that turns `//a[1]` into "find the first `a`".
+    pub fn prefix_bound(self) -> Option<usize> {
+        match self {
+            PositionPred::Eq(n) => Some(n as usize),
+            PositionPred::Lt(n) => Some((n as usize).saturating_sub(1)),
+            PositionPred::Le(n) => Some(n as usize),
+            PositionPred::Ne(_) | PositionPred::Gt(_) | PositionPred::Ge(_) | PositionPred::Last => {
+                None
+            }
+        }
+    }
+
     /// Whether a node at 1-based `position` in a selection of `last` nodes
     /// satisfies the predicate.
     pub fn matches(self, position: usize, last: usize) -> bool {

@@ -264,6 +264,15 @@ pub struct Automaton {
     /// attribute one result node to several witnesses).  When `false` the
     /// evaluator falls back to materializing and counting distinct nodes.
     pub exact_counting: bool,
+    /// Whether every mark the evaluator emits (after the rollback of failed
+    /// formula branches) is guaranteed to survive into the final output —
+    /// i.e. no ancestor-level formula can discard an already-accumulated
+    /// result value.  When `true` the evaluator may *stop the run* as soon
+    /// as enough marks have been emitted (existence queries become O(first
+    /// match)); when `false` truncated runs would be unsound and the
+    /// evaluator runs to completion.  Computed by
+    /// [`Automaton::analyze_truncation_safety`].
+    pub truncation_safe: bool,
 }
 
 impl Automaton {
@@ -305,6 +314,186 @@ impl Automaton {
         }
         let q = set.iter().next().expect("non-empty");
         self.state_info[q as usize].accumulator
+    }
+
+    // -----------------------------------------------------------------
+    // Truncation-safety analysis (early termination)
+    // -----------------------------------------------------------------
+
+    /// States whose sub-runs can contribute result values (a `mark` atom is
+    /// reachable through their transition formulas), computed as a least
+    /// fixpoint over the down-atoms.
+    fn value_states(&self) -> StateSet {
+        let mut v = StateSet::EMPTY;
+        loop {
+            let before = v;
+            for (q, trans) in self.transitions.iter().enumerate() {
+                if v.contains(q as StateId) {
+                    continue;
+                }
+                let produces = trans.iter().any(|t| {
+                    t.formula.contains_mark() || {
+                        let mut d1 = StateSet::EMPTY;
+                        let mut d2 = StateSet::EMPTY;
+                        t.formula.collect_down_states(&mut d1, &mut d2);
+                        !d1.union(d2).intersect(v).is_empty()
+                    }
+                });
+                if produces {
+                    v.insert(q as StateId);
+                }
+            }
+            if v == before {
+                return v;
+            }
+        }
+    }
+
+    /// States that accept on *every* forest: bottom states for which, at any
+    /// node label, some transition applies whose formula is satisfied
+    /// unconditionally (given that the recursively referenced states are
+    /// themselves always-accepting).  Computed as a greatest fixpoint.
+    fn always_accepting_states(&self) -> StateSet {
+        fn unconditional(f: &Formula, always: StateSet) -> bool {
+            match f {
+                Formula::True | Formula::Mark => true,
+                Formula::Down1(q) | Formula::Down2(q) => always.contains(*q),
+                Formula::And(a, b) => unconditional(a, always) && unconditional(b, always),
+                Formula::Or(a, b) => unconditional(a, always) || unconditional(b, always),
+                _ => false,
+            }
+        }
+        let mut always = self.bottom_states;
+        loop {
+            let before = always;
+            for q in before.iter() {
+                let qualifying: Vec<&Guard> = self
+                    .transitions_of(q)
+                    .iter()
+                    .filter(|t| unconditional(&t.formula, always))
+                    .map(|t| &t.guard)
+                    .collect();
+                // The qualifying guards must jointly cover every label: a
+                // co-finite qualifying guard whose exclusions are each
+                // admitted by some other qualifying guard.
+                let covered = qualifying.iter().any(|g| match g {
+                    Guard::CoFinite(excl) => {
+                        excl.iter().all(|&t| qualifying.iter().any(|h| h.matches(t)))
+                    }
+                    Guard::Finite(_) => false,
+                });
+                if !covered {
+                    always.0 &= !(1u64 << q);
+                }
+            }
+            if always == before {
+                return always;
+            }
+        }
+    }
+
+    /// Decides [`Automaton::truncation_safe`]: conservatively verifies that
+    /// once a result value enters a per-node result map it is always pulled
+    /// into the output — no `Or` short-circuit, `Not`, failing conjunct or
+    /// skipped lower-priority transition can drop it.  (Marks discarded
+    /// *locally* by a failing transition formula are not a concern: the
+    /// evaluator rolls its emission counter back on formula failure.)
+    pub fn analyze_truncation_safety(&self) -> bool {
+        let v = self.value_states();
+        let always = self.always_accepting_states();
+
+        // The down-atoms of `f` targeting value states, split by direction.
+        fn value_atoms(f: &Formula, v: StateSet) -> (StateSet, StateSet) {
+            let mut d1 = StateSet::EMPTY;
+            let mut d2 = StateSet::EMPTY;
+            f.collect_down_states(&mut d1, &mut d2);
+            (d1.intersect(v), d2.intersect(v))
+        }
+        fn exposed(f: &Formula, v: StateSet) -> bool {
+            let (d1, d2) = value_atoms(f, v);
+            !d1.union(d2).is_empty()
+        }
+        fn can_fail(f: &Formula, always: StateSet) -> bool {
+            match f {
+                Formula::True | Formula::Mark => false,
+                Formula::Down1(q) | Formula::Down2(q) => !always.contains(*q),
+                Formula::And(a, b) => can_fail(a, always) || can_fail(b, always),
+                Formula::Or(a, b) => can_fail(a, always) && can_fail(b, always),
+                _ => true,
+            }
+        }
+        // Success-path safety of one formula: a satisfied formula must have
+        // pulled every value atom it contains.
+        fn formula_safe(f: &Formula, v: StateSet, always: StateSet) -> bool {
+            match f {
+                Formula::And(a, b) => formula_safe(a, v, always) && formula_safe(b, v, always),
+                Formula::Or(a, b) => {
+                    // A satisfied left branch skips the right; a failed left
+                    // branch has discarded whatever the left pulled.
+                    formula_safe(a, v, always)
+                        && formula_safe(b, v, always)
+                        && !exposed(b, v)
+                        && !(exposed(a, v) && can_fail(a, always))
+                }
+                Formula::Not(a) => !exposed(a, v),
+                _ => true,
+            }
+        }
+        fn guards_may_overlap(a: &Guard, b: &Guard) -> bool {
+            match (a, b) {
+                (Guard::Finite(x), Guard::Finite(y)) => x.iter().any(|t| y.contains(t)),
+                (Guard::Finite(x), Guard::CoFinite(y)) | (Guard::CoFinite(y), Guard::Finite(x)) => {
+                    x.iter().any(|t| !y.contains(t))
+                }
+                (Guard::CoFinite(_), Guard::CoFinite(_)) => true,
+            }
+        }
+        /// Whether every tag admitted by `inner` is admitted by `outer`.
+        fn guard_covers(outer: &Guard, inner: &Guard) -> bool {
+            match (inner, outer) {
+                (Guard::Finite(tags), _) => tags.iter().all(|&t| outer.matches(t)),
+                (Guard::CoFinite(excl), Guard::CoFinite(excl2)) => {
+                    excl2.iter().all(|t| excl.contains(t))
+                }
+                (Guard::CoFinite(_), Guard::Finite(_)) => false,
+            }
+        }
+        let subset = |(a1, a2): (StateSet, StateSet), (b1, b2): (StateSet, StateSet)| {
+            a1.is_subset_of(b1) && a2.is_subset_of(b2)
+        };
+
+        for trans in &self.transitions {
+            for (i, t) in trans.iter().enumerate() {
+                if !formula_safe(&t.formula, v, always) {
+                    return false;
+                }
+                let pulled_i = value_atoms(&t.formula, v);
+                // A *satisfied* transition skipping later ones loses no
+                // marks: the compiler guarantees an earlier satisfied
+                // transition collects a superset of the marks of the later
+                // ones (see the module documentation) — deliberately
+                // dropping only redundant copies, as in nested descendant
+                // chains.  Only the failure path below needs checking.
+                // A failed transition falls through to the next applicable
+                // one: every later overlapping transition must re-pull this
+                // transition's value atoms (whichever fires first), and at
+                // least one unconditional transition must cover the guard so
+                // a pull is guaranteed to happen.
+                if can_fail(&t.formula, always) && !pulled_i.0.union(pulled_i.1).is_empty() {
+                    let overlapping_repull = trans[i + 1..].iter().all(|u| {
+                        !guards_may_overlap(&t.guard, &u.guard)
+                            || subset(pulled_i, value_atoms(&u.formula, v))
+                    });
+                    let rescued = trans[i + 1..].iter().any(|u| {
+                        !can_fail(&u.formula, always) && guard_covers(&u.guard, &t.guard)
+                    });
+                    if !(overlapping_repull && rescued) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Human-readable rendering of the automaton (used by tests and the

@@ -15,9 +15,22 @@
 //! node / PCDATA" condition of Section 6.6).
 
 use crate::ast::{Axis, NodeTest, Predicate, Query};
-use crate::eval::Output;
 use sxsi_text::{TextCollection, TextId, TextPredicate};
 use sxsi_tree::{reserved, NodeId, XmlTree};
+
+/// The outcome of a (possibly truncated) bottom-up run.
+#[derive(Debug, Clone)]
+pub struct BottomUpOutcome {
+    /// Result nodes, deduplicated, in document order.  Under truncation
+    /// this is a prefix of the full result.
+    pub nodes: Vec<NodeId>,
+    /// Whether the seed verification stopped before processing every seed
+    /// (more results may exist).
+    pub truncated: bool,
+    /// Number of tree nodes touched by the upward verifications and the
+    /// trailing-step expansions.
+    pub visited: u64,
+}
 
 /// One upward-verified step: the connecting axis and the node test.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,39 +211,106 @@ impl BottomUpPlan {
     /// Verifies the seeds upward and applies the trailing steps (the "Auto"
     /// phase of Figure 15).  Returns result nodes in document order.
     pub fn run_from_seeds(&self, tree: &XmlTree, seeds: &[TextId]) -> Vec<NodeId> {
-        let mut pivots: Vec<NodeId> = seeds
-            .iter()
-            .filter_map(|&d| tree.node_of_text(d))
-            .filter_map(|leaf| self.verify_upward(tree, leaf))
-            .collect();
-        pivots.sort_unstable();
-        pivots.dedup();
-        if self.trailing_steps.is_empty() {
-            return pivots;
-        }
-        let mut out = Vec::new();
-        for p in pivots {
-            self.apply_trailing(tree, p, 0, &mut out);
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.run_from_seeds_limited(tree, seeds, None).nodes
     }
 
-    /// Convenience wrapper: seeds + verification in one call.
-    pub fn execute(&self, tree: &XmlTree, texts: &TextCollection, counting: bool) -> Output {
-        let seeds = self.seeds(texts);
-        let nodes = self.run_from_seeds(tree, &seeds);
-        if counting {
-            Output::Count(nodes.len() as u64)
-        } else {
-            Output::Nodes(nodes)
+    /// Full materialization: seeds + verification in one call.
+    pub fn materialize(&self, tree: &XmlTree, texts: &TextCollection) -> Vec<NodeId> {
+        self.run_from_seeds(tree, &self.seeds(texts))
+    }
+
+    /// Number of result nodes.
+    pub fn count(&self, tree: &XmlTree, texts: &TextCollection) -> u64 {
+        self.materialize(tree, texts).len() as u64
+    }
+
+    /// Whether the query selects at least one node, verifying seeds only
+    /// until the first survivor.
+    pub fn exists(&self, tree: &XmlTree, texts: &TextCollection) -> bool {
+        !self.run_limited(tree, texts, Some(1)).nodes.is_empty()
+    }
+
+    /// Runs with an optional result budget: seeds are verified in order and
+    /// the run stops once `max_nodes` results are produced.
+    pub fn run_limited(
+        &self,
+        tree: &XmlTree,
+        texts: &TextCollection,
+        max_nodes: Option<usize>,
+    ) -> BottomUpOutcome {
+        self.run_from_seeds_limited(tree, &self.seeds(texts), max_nodes)
+    }
+
+    /// The truncating core of the bottom-up strategy.
+    ///
+    /// Seeds arrive in text-identifier order, which normally is document
+    /// order; and because the eligibility rules guarantee a non-nesting
+    /// pivot tag, the verified pivots (and their disjoint trailing
+    /// expansions) are then produced in document order too, so the run can
+    /// stop as soon as the budget's worth of results exists.  The
+    /// monotonicity is nevertheless *checked* as the pivots stream out:
+    /// should it ever break, the run falls back to full evaluation with a
+    /// final sort, never to a wrong prefix.
+    pub fn run_from_seeds_limited(
+        &self,
+        tree: &XmlTree,
+        seeds: &[TextId],
+        max_nodes: Option<usize>,
+    ) -> BottomUpOutcome {
+        let mut visited = 0u64;
+        let mut pivots: Vec<NodeId> = Vec::new();
+        let mut out: Vec<NodeId> = Vec::new();
+        let mut monotone = true;
+        let mut truncated = false;
+        for &d in seeds {
+            let Some(leaf) = tree.node_of_text(d) else { continue };
+            let Some(p) = self.verify_upward(tree, leaf, &mut visited) else { continue };
+            if let Some(&last) = pivots.last() {
+                if p == last {
+                    continue; // adjacent duplicate pivot (several seeds below it)
+                }
+                if p < last {
+                    monotone = false;
+                }
+            }
+            pivots.push(p);
+            if monotone {
+                if self.trailing_steps.is_empty() {
+                    out.push(p);
+                } else {
+                    let mut expansion = Vec::new();
+                    self.apply_trailing(tree, p, 0, &mut expansion, &mut visited);
+                    expansion.sort_unstable();
+                    expansion.dedup();
+                    out.extend(expansion);
+                }
+                if max_nodes.is_some_and(|cap| out.len() >= cap) {
+                    truncated = true;
+                    break;
+                }
+            }
         }
+        if !monotone {
+            // Order broke: recompute from the full pivot set.
+            pivots.sort_unstable();
+            pivots.dedup();
+            out.clear();
+            if self.trailing_steps.is_empty() {
+                out = pivots;
+            } else {
+                for &p in &pivots {
+                    self.apply_trailing(tree, p, 0, &mut out, &mut visited);
+                }
+                out.sort_unstable();
+                out.dedup();
+            }
+        }
+        BottomUpOutcome { nodes: out, truncated, visited }
     }
 
     /// Walks upward from a seed text leaf, matching the filter steps and the
     /// main steps; returns the pivot node on success.
-    fn verify_upward(&self, tree: &XmlTree, leaf: NodeId) -> Option<NodeId> {
+    fn verify_upward(&self, tree: &XmlTree, leaf: NodeId, visited: &mut u64) -> Option<NodeId> {
         // The target node: the text leaf itself for a text() target, its
         // parent element otherwise.
         let target_is_text = self
@@ -238,6 +318,7 @@ impl BottomUpPlan {
             .last()
             .map(|s| matches!(s.test, NodeTest::Text))
             .unwrap_or_else(|| matches!(self.main_steps.last().expect("non-empty").test, NodeTest::Text));
+        *visited += 1;
         let mut current = if target_is_text {
             if tree.tag(leaf) != reserved::TEXT {
                 return None;
@@ -250,6 +331,7 @@ impl BottomUpPlan {
                 return None;
             }
             let parent = tree.parent(leaf)?;
+            *visited += 1;
             current_must_match(tree, parent, self.target_test())?;
             parent
         };
@@ -266,6 +348,7 @@ impl BottomUpPlan {
             current = match connecting_axis {
                 Axis::Child => {
                     let parent = tree.parent(current)?;
+                    *visited += 1;
                     current_must_match(tree, parent, &above.test)?;
                     parent
                 }
@@ -273,6 +356,7 @@ impl BottomUpPlan {
                     // Nearest proper ancestor matching the test.
                     let mut anc = tree.parent(current)?;
                     loop {
+                        *visited += 1;
                         if node_matches(tree, anc, &above.test) {
                             break;
                         }
@@ -310,7 +394,14 @@ impl BottomUpPlan {
     }
 
     /// Evaluates the trailing steps downward from a verified pivot.
-    fn apply_trailing(&self, tree: &XmlTree, node: NodeId, idx: usize, out: &mut Vec<NodeId>) {
+    fn apply_trailing(
+        &self,
+        tree: &XmlTree,
+        node: NodeId,
+        idx: usize,
+        out: &mut Vec<NodeId>,
+        visited: &mut u64,
+    ) {
         if idx == self.trailing_steps.len() {
             out.push(node);
             return;
@@ -319,8 +410,9 @@ impl BottomUpPlan {
         match step.axis {
             Axis::Child => {
                 for c in tree.children(node) {
+                    *visited += 1;
                     if node_matches(tree, c, &step.test) {
-                        self.apply_trailing(tree, c, idx + 1, out);
+                        self.apply_trailing(tree, c, idx + 1, out, visited);
                     }
                 }
             }
@@ -330,15 +422,17 @@ impl BottomUpPlan {
                     NodeTest::Name(name) => {
                         if let Some(tag) = tree.tag_id(name) {
                             for c in tree.tag_nodes_in_range(tag, node + 1, tree.close(node)) {
-                                self.apply_trailing(tree, c, idx + 1, out);
+                                *visited += 1;
+                                self.apply_trailing(tree, c, idx + 1, out, visited);
                             }
                         }
                     }
                     _ => {
                         let mut stack: Vec<NodeId> = tree.children(node).collect();
                         while let Some(c) = stack.pop() {
+                            *visited += 1;
                             if node_matches(tree, c, &step.test) {
-                                self.apply_trailing(tree, c, idx + 1, out);
+                                self.apply_trailing(tree, c, idx + 1, out, visited);
                             }
                             stack.extend(tree.children(c));
                         }
@@ -415,10 +509,7 @@ mod tests {
     fn bottom_up(f: &Fixture, query: &str) -> Option<Vec<NodeId>> {
         let q = parse_query(query).unwrap();
         let plan = BottomUpPlan::try_from_query(&q, &f.tree)?;
-        match plan.execute(&f.tree, &f.texts, false) {
-            Output::Nodes(n) => Some(n),
-            Output::Count(_) => None,
-        }
+        Some(plan.materialize(&f.tree, &f.texts))
     }
 
     #[test]
@@ -471,6 +562,39 @@ mod tests {
         assert_eq!(seeds.len(), 3); // three abstract texts contain "plus"
         let result = plan.run_from_seeds(&f.tree, &seeds);
         assert_eq!(result.len(), 2); // but only two distinct articles
-        assert_eq!(plan.execute(&f.tree, &f.texts, true), Output::Count(2));
+        assert_eq!(plan.count(&f.tree, &f.texts), 2);
+    }
+
+    #[test]
+    fn limited_runs_produce_exact_prefixes_and_stop_early() {
+        let f = fixture();
+        for query in [
+            r#"//Article[ .//AbstractText[ contains(., "plus") ] ]"#,
+            r#"//Article[ .//AbstractText[ contains(., "plus") ] ]/AuthorList/Author"#,
+            r#"//AbstractText[ contains(., "plus") ]"#,
+        ] {
+            let q = parse_query(query).unwrap();
+            let plan = BottomUpPlan::try_from_query(&q, &f.tree).unwrap();
+            let full = plan.materialize(&f.tree, &f.texts);
+            let full_visited = plan.run_limited(&f.tree, &f.texts, None).visited;
+            for cap in 1..=full.len() + 1 {
+                let limited = plan.run_limited(&f.tree, &f.texts, Some(cap));
+                let take = cap.min(full.len());
+                assert_eq!(&limited.nodes[..take], &full[..take], "{query} cap {cap}");
+                assert!(limited.visited <= full_visited, "{query} cap {cap} visited more");
+            }
+            assert!(plan.exists(&f.tree, &f.texts), "{query}");
+            let first = plan.run_limited(&f.tree, &f.texts, Some(1));
+            assert!(first.truncated || full.len() <= 1);
+            assert!(
+                first.visited < full_visited || full.len() <= 1,
+                "{query}: first-match run should verify fewer nodes"
+            );
+        }
+        // A query with no matches: exists is false, nothing is truncated.
+        let q = parse_query(r#"//Article[ .//AbstractText[ contains(., "zzz") ] ]"#).unwrap();
+        let plan = BottomUpPlan::try_from_query(&q, &f.tree).unwrap();
+        assert!(!plan.exists(&f.tree, &f.texts));
+        assert!(!plan.run_limited(&f.tree, &f.texts, Some(3)).truncated);
     }
 }

@@ -103,7 +103,7 @@ impl<'a> Compiler<'a> {
                 marking.insert(q as StateId);
             }
         }
-        Automaton {
+        let mut automaton = Automaton {
             transitions: self.transitions,
             top_states: self.top,
             bottom_states: self.bottom,
@@ -111,7 +111,10 @@ impl<'a> Compiler<'a> {
             state_info: self.info,
             marking_states: marking,
             exact_counting: self.exact_counting,
-        }
+            truncation_safe: false,
+        };
+        automaton.truncation_safe = automaton.analyze_truncation_safety();
+        automaton
     }
 
     /// Tags matched by a node test in element/attribute position.

@@ -29,15 +29,45 @@
 //!   attribute node is its owning element.
 
 use crate::ast::{Axis, NodeTest, Path, Predicate, Query, Step};
-use crate::eval::Output;
+use std::sync::atomic::{AtomicU64, Ordering};
 use sxsi_text::TextCollection;
 use sxsi_tree::{reserved, NodeId, XmlTree};
+
+/// Options for a [`DirectEvaluator`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectRunOptions {
+    /// Stop once this many result nodes have been produced.  The returned
+    /// nodes are an exact document-order prefix of the full result.
+    pub max_nodes: Option<usize>,
+    /// Stop as soon as *any* result node is found (existence queries); the
+    /// returned prefix then holds at least one node but carries no ordering
+    /// guarantee beyond being actual results.
+    pub exists_only: bool,
+}
+
+/// The outcome of a [`DirectEvaluator`] run.
+#[derive(Debug, Clone)]
+pub struct DirectOutcome {
+    /// Result nodes, deduplicated.  In document order — and, under
+    /// `max_nodes` truncation, an exact prefix of the full result.
+    pub nodes: Vec<NodeId>,
+    /// Whether evaluation stopped before enumerating the full result (more
+    /// results may exist).
+    pub truncated: bool,
+    /// Number of candidate nodes tested during the run (the direct
+    /// strategy's equivalent of the automaton's visited-node counter).
+    pub visited: u64,
+}
 
 /// Evaluates queries by direct tree navigation with XPath's ordered,
 /// per-context semantics.
 pub struct DirectEvaluator<'a> {
     tree: &'a XmlTree,
     texts: Option<&'a TextCollection>,
+    /// Candidate tests performed by the current run (interior mutability so
+    /// the recursive evaluation can stay `&self`; atomic only to keep the
+    /// evaluator `Sync` — each run owns its evaluator).
+    visited: AtomicU64,
 }
 
 /// A node test with the tag name resolved to its id once per step, so the
@@ -58,12 +88,12 @@ impl<'a> DirectEvaluator<'a> {
     /// queries; evaluating a text predicate without a text collection
     /// panics.
     pub fn new(tree: &'a XmlTree, texts: Option<&'a TextCollection>) -> Self {
-        Self { tree, texts }
+        Self { tree, texts, visited: AtomicU64::new(0) }
     }
 
     /// Runs the query and returns the selected nodes in document order.
     pub fn evaluate(&self, query: &Query) -> Vec<NodeId> {
-        self.eval_steps(&[self.tree.root()], &query.path.steps)
+        self.run(query, &DirectRunOptions::default()).nodes
     }
 
     /// Number of nodes selected by the query.
@@ -71,13 +101,35 @@ impl<'a> DirectEvaluator<'a> {
         self.evaluate(query).len() as u64
     }
 
-    /// Runs the query in the requested mode.
-    pub fn run(&self, query: &Query, counting: bool) -> Output {
-        if counting {
-            Output::Count(self.count(query))
-        } else {
-            Output::Nodes(self.evaluate(query))
+    /// Whether the query selects at least one node, stopping at the first
+    /// match.
+    pub fn exists(&self, query: &Query) -> bool {
+        !self.run(query, &DirectRunOptions { exists_only: true, max_nodes: None }).nodes.is_empty()
+    }
+
+    /// Runs the query with the given truncation options.
+    ///
+    /// Early termination applies to the *final* location step: candidate
+    /// enumeration stops once the budget is provably satisfied (leading
+    /// positional predicates like `[1]` additionally cap enumeration at
+    /// every step), so `//a[1]`-style and first-`k` queries do O(first
+    /// match) instead of O(answer) work.
+    pub fn run(&self, query: &Query, options: &DirectRunOptions) -> DirectOutcome {
+        self.visited.store(0, Ordering::Relaxed);
+        let budget = if options.exists_only { Some(1) } else { options.max_nodes };
+        let (mut nodes, mut truncated) = self.eval_steps_budgeted(
+            &[self.tree.root()],
+            &query.path.steps,
+            budget,
+            options.exists_only,
+        );
+        if let (Some(cap), false) = (options.max_nodes, options.exists_only) {
+            if nodes.len() >= cap {
+                nodes.truncate(cap);
+                truncated = true;
+            }
         }
+        DirectOutcome { nodes, truncated, visited: self.visited.load(Ordering::Relaxed) }
     }
 
     // -----------------------------------------------------------------
@@ -85,10 +137,33 @@ impl<'a> DirectEvaluator<'a> {
     // -----------------------------------------------------------------
 
     /// Evaluates a chain of steps from a sorted, deduplicated context set;
-    /// the result is again sorted and deduplicated (document order).
+    /// the result is again sorted and deduplicated (document order).  Used
+    /// for filter paths, which always evaluate fully.
     fn eval_steps(&self, context: &[NodeId], steps: &[Step]) -> Vec<NodeId> {
+        self.eval_steps_budgeted(context, steps, None, false).0
+    }
+
+    /// [`DirectEvaluator::eval_steps`] with early termination on the final
+    /// step: with a budget of `k`, iteration over the (document-ordered)
+    /// context stops as soon as `k` produced nodes provably precede
+    /// everything later contexts can select.  Returns the produced nodes
+    /// (a guaranteed prefix of the full result up to the budget) and
+    /// whether evaluation was cut short.
+    fn eval_steps_budgeted(
+        &self,
+        context: &[NodeId],
+        steps: &[Step],
+        budget: Option<usize>,
+        exists_only: bool,
+    ) -> (Vec<NodeId>, bool) {
         let mut context = context.to_vec();
-        for step in steps {
+        let mut truncated = false;
+        for (si, step) in steps.iter().enumerate() {
+            let is_final = si == steps.len() - 1;
+            let step_budget = if is_final { budget } else { None };
+            // Enumeration caps must not under-collect: a budget cap is only
+            // sound when no predicate can reject candidates.
+            let budget_cap = if step.predicates.is_empty() { step_budget } else { None };
             let mut out = Vec::new();
             let positional = step.predicates.iter().any(Predicate::uses_position);
             if !positional
@@ -100,13 +175,40 @@ impl<'a> DirectEvaluator<'a> {
                 // closes before the latest context start — one scan instead
                 // of one scan per context node.  Only valid without
                 // positional predicates (positions are per context node).
-                out = self.ordered_axis_union(&context, step.axis, &step.test);
+                // Enumeration order matches axis order only for `following`;
+                // `preceding` scans forward and reverses, so it cannot be
+                // capped.
+                let union_cap = if step.axis == Axis::Following { budget_cap } else { None };
+                out = self.ordered_axis_union(&context, step.axis, &step.test, union_cap);
+                if union_cap.is_some_and(|cap| out.len() >= cap) {
+                    truncated = true;
+                }
                 out.retain(|&n| {
                     step.predicates.iter().all(|p| self.eval_predicate(n, p, 1, 1))
                 });
             } else {
-                for &node in &context {
-                    let mut candidates = self.axis_nodes(node, step.axis, &step.test);
+                // Forward "downward/rightward" axes only select nodes at or
+                // after the context node, so a sorted context allows early
+                // termination once the budget's worth of results precedes
+                // every remaining context node.  For these axes enumeration
+                // order is document order, so the budget may also cap the
+                // per-context enumeration; for reverse axes it may not
+                // (their axis-order prefix is not a document-order prefix) —
+                // except under `exists_only`, where any one match suffices.
+                let monotone = matches!(
+                    step.axis,
+                    Axis::Child
+                        | Axis::Descendant
+                        | Axis::DescendantOrSelf
+                        | Axis::SelfAxis
+                        | Axis::Attribute
+                        | Axis::FollowingSibling
+                        | Axis::Following
+                );
+                let enum_cap =
+                    if monotone || (is_final && exists_only) { budget_cap } else { None };
+                for (ci, &node) in context.iter().enumerate() {
+                    let mut candidates = self.axis_nodes(node, step.axis, step, enum_cap);
                     for pred in &step.predicates {
                         let last = candidates.len();
                         let mut kept = Vec::with_capacity(candidates.len());
@@ -118,6 +220,28 @@ impl<'a> DirectEvaluator<'a> {
                         candidates = kept;
                     }
                     out.extend(candidates);
+                    if is_final && exists_only && !out.is_empty() {
+                        truncated = true;
+                        break;
+                    }
+                    if let Some(cap) = step_budget {
+                        if cap == 0 {
+                            // An empty window needs no candidates at all.
+                            out.clear();
+                            truncated = true;
+                            break;
+                        }
+                        if monotone && out.len() >= cap {
+                            out.sort_unstable();
+                            out.dedup();
+                            if out.len() >= cap
+                                && context.get(ci + 1).is_some_and(|&next| out[cap - 1] < next)
+                            {
+                                truncated = true;
+                                break;
+                            }
+                        }
+                    }
                 }
             }
             out.sort_unstable();
@@ -127,18 +251,47 @@ impl<'a> DirectEvaluator<'a> {
                 break;
             }
         }
-        context
+        (context, truncated)
     }
 
     /// The nodes a step's axis + node test select from one context node, in
     /// axis order (document order for forward axes, reverse document order
     /// for reverse axes).
-    fn axis_nodes(&self, node: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+    ///
+    /// `budget_cap` optionally stops the enumeration after that many
+    /// matches; callers only pass it when a prefix (in axis order) is
+    /// provably sufficient.  Independently, a leading `[n]`-style positional
+    /// predicate caps the enumeration at its own prefix bound: every
+    /// candidate past the bound would be rejected by that predicate anyway,
+    /// and because the predicates that have a bound (`=`, `<`, `<=`) never
+    /// look at `last()`, the surviving set is unchanged.
+    fn axis_nodes(
+        &self,
+        node: NodeId,
+        axis: Axis,
+        step: &Step,
+        budget_cap: Option<usize>,
+    ) -> Vec<NodeId> {
         let tree = self.tree;
+        let positional_cap = match step.predicates.first() {
+            Some(Predicate::Position(p)) => p.prefix_bound(),
+            _ => None,
+        };
+        // Preceding enumerates by forward scan and reverses, so a prefix in
+        // axis order cannot be obtained by stopping the scan early.
+        let cap = if axis == Axis::Preceding {
+            None
+        } else {
+            match (positional_cap, budget_cap) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        };
+        let full = |out: &Vec<NodeId>| cap.is_some_and(|c| out.len() >= c);
         // Resolve the tag name against the registry once — the loops below
         // visit up to the whole document, and a per-node HashMap lookup of
         // a constant name would dominate the scans.
-        let test = self.resolve(test);
+        let test = self.resolve(&step.test);
         let test = &test;
         let mut out = Vec::new();
         match axis {
@@ -146,6 +299,9 @@ impl<'a> DirectEvaluator<'a> {
                 for c in tree.children(node) {
                     if self.matches(c, test) {
                         out.push(c);
+                        if full(&out) {
+                            break;
+                        }
                     }
                 }
             }
@@ -157,7 +313,7 @@ impl<'a> DirectEvaluator<'a> {
                 // node's parenthesis range; the iterative scan (unlike a
                 // per-level recursion) cannot overflow the stack on deeply
                 // nested documents.
-                self.scan_range(node + 1, tree.close(node), usize::MAX, test, &mut out);
+                self.scan_range(node + 1, tree.close(node), usize::MAX, test, cap, &mut out);
             }
             Axis::SelfAxis => {
                 if self.matches(node, test) {
@@ -165,9 +321,10 @@ impl<'a> DirectEvaluator<'a> {
                 }
             }
             Axis::Attribute => {
-                for c in tree.children(node) {
+                'attrs: for c in tree.children(node) {
                     if tree.tag(c) == reserved::ATTRIBUTES {
                         for attr in tree.children(c) {
+                            self.visited.fetch_add(1, Ordering::Relaxed);
                             let name_matches = match test {
                                 ResolvedTest::Wildcard | ResolvedTest::Node => true,
                                 ResolvedTest::Name(id) => *id == Some(tree.tag(attr)),
@@ -175,6 +332,9 @@ impl<'a> DirectEvaluator<'a> {
                             };
                             if name_matches {
                                 out.push(attr);
+                                if full(&out) {
+                                    break 'attrs;
+                                }
                             }
                         }
                     }
@@ -185,6 +345,9 @@ impl<'a> DirectEvaluator<'a> {
                 while let Some(s) = cur {
                     if self.matches(s, test) {
                         out.push(s);
+                        if full(&out) {
+                            break;
+                        }
                     }
                     cur = tree.next_sibling(s);
                 }
@@ -194,6 +357,9 @@ impl<'a> DirectEvaluator<'a> {
                 while let Some(s) = cur {
                     if self.matches(s, test) {
                         out.push(s);
+                        if full(&out) {
+                            break;
+                        }
                     }
                     cur = tree.prev_sibling(s);
                 }
@@ -210,6 +376,9 @@ impl<'a> DirectEvaluator<'a> {
                 while let Some(p) = cur {
                     if self.matches(p, test) {
                         out.push(p);
+                        if full(&out) {
+                            break;
+                        }
                     }
                     cur = self.parent_element(p);
                 }
@@ -220,6 +389,9 @@ impl<'a> DirectEvaluator<'a> {
                 }
                 let mut cur = self.parent_element(node);
                 while let Some(p) = cur {
+                    if full(&out) {
+                        break;
+                    }
                     if self.matches(p, test) {
                         out.push(p);
                     }
@@ -227,12 +399,19 @@ impl<'a> DirectEvaluator<'a> {
                 }
             }
             Axis::Following => {
-                self.scan_range(self.following_start(node), usize::MAX, usize::MAX, test, &mut out);
+                self.scan_range(
+                    self.following_start(node),
+                    usize::MAX,
+                    usize::MAX,
+                    test,
+                    cap,
+                    &mut out,
+                );
             }
             Axis::Preceding => {
                 // Nodes whose subtree closes before `node` opens; ancestors
                 // close later and are therefore excluded automatically.
-                self.scan_range(1, node, node, test, &mut out);
+                self.scan_range(1, node, node, test, None, &mut out);
                 out.reverse();
             }
         }
@@ -242,18 +421,24 @@ impl<'a> DirectEvaluator<'a> {
     /// Union evaluation of `following`/`preceding` over a whole (sorted)
     /// context set: both axes are monotone in the context node, so the union
     /// is a single contiguous condition.
-    fn ordered_axis_union(&self, context: &[NodeId], axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+    fn ordered_axis_union(
+        &self,
+        context: &[NodeId],
+        axis: Axis,
+        test: &NodeTest,
+        cap: Option<usize>,
+    ) -> Vec<NodeId> {
         let test = &self.resolve(test);
         let mut out = Vec::new();
         match axis {
             Axis::Following => {
                 let from =
                     context.iter().map(|&x| self.following_start(x)).min().expect("non-empty");
-                self.scan_range(from, usize::MAX, usize::MAX, test, &mut out);
+                self.scan_range(from, usize::MAX, usize::MAX, test, cap, &mut out);
             }
             Axis::Preceding => {
                 let max_open = *context.last().expect("non-empty");
-                self.scan_range(1, max_open, max_open, test, &mut out);
+                self.scan_range(1, max_open, max_open, test, None, &mut out);
             }
             _ => unreachable!("union evaluation only covers following/preceding"),
         }
@@ -281,19 +466,24 @@ impl<'a> DirectEvaluator<'a> {
 
     /// Collects, in document order, every node whose opening parenthesis
     /// lies in `[from, to)` and whose subtree closes before `close_before`,
-    /// skipping attribute-encoding subtrees.
+    /// skipping attribute-encoding subtrees.  An optional `cap` stops the
+    /// scan once that many nodes were collected into `out` (total).
     fn scan_range(
         &self,
         from: usize,
         to: usize,
         close_before: usize,
         test: &ResolvedTest,
+        cap: Option<usize>,
         out: &mut Vec<NodeId>,
     ) {
         let tree = self.tree;
         let end = to.min(2 * tree.num_nodes());
         let mut pos = from;
         while pos < end {
+            if cap.is_some_and(|c| out.len() >= c) {
+                return;
+            }
             if !tree.is_node(pos) {
                 pos += 1;
                 continue;
@@ -332,6 +522,7 @@ impl<'a> DirectEvaluator<'a> {
     }
 
     fn matches(&self, node: NodeId, test: &ResolvedTest) -> bool {
+        self.visited.fetch_add(1, Ordering::Relaxed);
         let tag = self.tree.tag(node);
         match test {
             ResolvedTest::Wildcard => {
@@ -565,6 +756,59 @@ mod tests {
         assert_eq!(e.count(&q), 1);
         let q = parse_query("//d[1]/descendant::d").unwrap();
         assert_eq!(e.count(&q), (depth - 1) as u64);
+    }
+
+    /// Limited runs return exact document-order prefixes for every budget,
+    /// across forward, reverse and positional query shapes.
+    #[test]
+    fn limited_runs_produce_exact_prefixes() {
+        let f = fixture();
+        let e = DirectEvaluator::new(&f.tree, Some(&f.texts));
+        let queries = [
+            "//person",
+            "//*",
+            "//person/preceding-sibling::person",
+            "//keyword/ancestor::*",
+            "//person[phone]",
+            "/site/people/person[position() > 1]",
+            "//item/following::person",
+            "//europe/preceding::keyword",
+            "//name/..",
+        ];
+        for query in queries {
+            let q = parse_query(query).unwrap();
+            let full = e.evaluate(&q);
+            for cap in 1..=full.len() + 1 {
+                let limited =
+                    e.run(&q, &DirectRunOptions { max_nodes: Some(cap), exists_only: false });
+                let take = cap.min(full.len());
+                assert_eq!(limited.nodes, &full[..take], "{query} cap {cap}");
+            }
+            assert_eq!(e.exists(&q), !full.is_empty(), "{query} exists");
+        }
+    }
+
+    /// `//a[1]`-style queries stop at the first match: the positional
+    /// prefix bound caps candidate enumeration.
+    #[test]
+    fn positional_prefix_bound_truncates_enumeration() {
+        let f = fixture();
+        let e = DirectEvaluator::new(&f.tree, Some(&f.texts));
+        let first = parse_query("/site/people/person[1]").unwrap();
+        let all = parse_query("/site/people/person").unwrap();
+        let full = e.run(&all, &DirectRunOptions::default());
+        let limited = e.run(&first, &DirectRunOptions::default());
+        assert_eq!(limited.nodes.len(), 1);
+        assert!(
+            limited.visited < full.visited,
+            "[1] should test fewer candidates ({} vs {})",
+            limited.visited,
+            full.visited
+        );
+        // exists stops even earlier than full evaluation.
+        let exists_run = e.run(&all, &DirectRunOptions { exists_only: true, max_nodes: None });
+        assert!(!exists_run.nodes.is_empty());
+        assert!(exists_run.visited <= full.visited);
     }
 
     #[test]

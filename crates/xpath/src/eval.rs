@@ -22,6 +22,17 @@
 //! Results are produced either as exact counts or as (lazily concatenated)
 //! node sets; `marked`, `visited` and result statistics are recorded for the
 //! Figure 13 experiment.
+//!
+//! # Early termination
+//!
+//! When the compiled automaton is [`truncation_safe`](crate::Automaton::truncation_safe)
+//! — every emitted mark provably survives into the output — the evaluator
+//! can *stop the run* as soon as a mark budget is reached.  [`Evaluator::exists`]
+//! uses a budget of one, turning existence queries from O(answer) into
+//! O(first match) work; [`EvalStats::visited_nodes`] then reports the nodes
+//! actually visited by the truncated run.  Unsafe automata (whose ancestors
+//! can still discard accumulated results) transparently fall back to a full
+//! counting run.
 
 use crate::automaton::{Automaton, Formula, StateId, StateSet};
 use std::collections::HashMap;
@@ -66,33 +77,6 @@ pub struct EvalStats {
     pub marked_nodes: u64,
     /// Number of result nodes (or the final count in counting mode).
     pub result_nodes: u64,
-}
-
-/// Query output.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Output {
-    /// Number of result nodes.
-    Count(u64),
-    /// The result nodes (in document order).
-    Nodes(Vec<NodeId>),
-}
-
-impl Output {
-    /// The result count regardless of mode.
-    pub fn count(&self) -> u64 {
-        match self {
-            Output::Count(c) => *c,
-            Output::Nodes(n) => n.len() as u64,
-        }
-    }
-
-    /// The result nodes, if materialized.
-    pub fn nodes(&self) -> Option<&[NodeId]> {
-        match self {
-            Output::Count(_) => None,
-            Output::Nodes(n) => Some(n),
-        }
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -258,6 +242,13 @@ pub struct Evaluator<'a> {
     /// Per predicate: the sorted text ids whose *whole* content satisfies it
     /// (only present when `text_index_predicates` is enabled).
     pred_text_matches: Vec<Option<Vec<TextId>>>,
+    /// Marks emitted by the current run, net of the rollbacks performed when
+    /// a formula branch fails.  For truncation-safe automata this equals the
+    /// number of results accumulated so far.
+    emitted_marks: u64,
+    /// Abort the run once `emitted_marks` reaches this budget (only ever set
+    /// for truncation-safe automata).
+    mark_budget: Option<u64>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -271,7 +262,22 @@ impl<'a> Evaluator<'a> {
         options: EvalOptions,
     ) -> Self {
         let pred_text_matches = vec![None; automaton.predicates.len()];
-        Self { automaton, tree, texts, options, stats: EvalStats::default(), memo: HashMap::new(), pred_text_matches }
+        Self {
+            automaton,
+            tree,
+            texts,
+            options,
+            stats: EvalStats::default(),
+            memo: HashMap::new(),
+            pred_text_matches,
+            emitted_marks: 0,
+            mark_budget: None,
+        }
+    }
+
+    #[inline]
+    fn budget_exhausted(&self) -> bool {
+        self.mark_budget.is_some_and(|b| self.emitted_marks >= b)
     }
 
     /// Statistics of the last run.
@@ -310,17 +316,29 @@ impl<'a> Evaluator<'a> {
         out
     }
 
-    /// Runs the query in the requested mode.
-    pub fn evaluate(&mut self, counting: bool) -> Output {
-        if counting {
-            Output::Count(self.count())
-        } else {
-            Output::Nodes(self.materialize())
+    /// Whether the query selects at least one node.
+    ///
+    /// For [truncation-safe](crate::Automaton::truncation_safe) automata the
+    /// run *stops at the first emitted mark* — O(first match) instead of
+    /// O(answer) — and [`EvalStats::visited_nodes`] reports only the nodes
+    /// the truncated run actually touched.  Other automata fall back to a
+    /// full counting run.
+    pub fn exists(&mut self) -> bool {
+        if !self.automaton.truncation_safe {
+            return self.count() > 0;
         }
+        self.mark_budget = Some(1);
+        self.prepare_predicates();
+        let _res: ResMap<CountResult> = self.run_root();
+        self.mark_budget = None;
+        let found = self.emitted_marks > 0;
+        self.stats.result_nodes = u64::from(found);
+        found
     }
 
     fn run_root<R: ResultOps>(&mut self) -> ResMap<R> {
         self.stats = EvalStats::default();
+        self.emitted_marks = 0;
         let root = self.tree.root();
         let nil = ResMap::nil(StateSet::EMPTY);
         self.eval_node(root, self.automaton.top_states, &nil)
@@ -415,6 +433,9 @@ impl<'a> Evaluator<'a> {
     /// Evaluates the binary subtree rooted at node `x` given the sibling
     /// result `r2` (the evaluation of `x`'s next-sibling forest).
     fn eval_node<R: ResultOps>(&mut self, x: NodeId, states: StateSet, r2: &ResMap<R>) -> ResMap<R> {
+        if self.budget_exhausted() {
+            return ResMap::nil(StateSet::EMPTY);
+        }
         self.stats.visited_nodes += 1;
         let tag = self.tree.tag(x);
         let cfg = self.node_config(tag, states);
@@ -429,11 +450,14 @@ impl<'a> Evaluator<'a> {
         for (q, indices) in &cfg.applicable {
             for &i in indices {
                 let formula = &automaton.transitions_of(*q)[i as usize].formula;
+                let emitted_before = self.emitted_marks;
                 let (ok, value) = self.eval_formula(formula, x, &r1, r2);
                 if ok {
                     out.insert(*q, true, value);
                     break;
                 }
+                // A failed transition's marks never reach the output.
+                self.emitted_marks = emitted_before;
             }
         }
         out
@@ -475,6 +499,7 @@ impl<'a> Evaluator<'a> {
                 if !self.tree.tag_relation_possible(reserved::ATTRIBUTES, tag, TagRelation::Descendant) {
                     let count = self.tree.tag_count_in_range(tag, start, scope_end) as u64;
                     self.stats.marked_nodes += count;
+                    self.emitted_marks += count;
                     let mut res = ResMap::nil(states);
                     if count > 0 {
                         let q = states.iter().next().expect("singleton");
@@ -507,6 +532,9 @@ impl<'a> Evaluator<'a> {
         let sibling_context = ResMap::nil(states);
         let mut search_from = start;
         loop {
+            if self.budget_exhausted() {
+                break;
+            }
             // The next top-most relevant node at or after `search_from`,
             // skipping occurrences hidden inside attribute containers.
             let mut best: Option<NodeId> = None;
@@ -573,6 +601,9 @@ impl<'a> Evaluator<'a> {
         }
         let mut r2 = ResMap::nil(st.intersect(self.automaton.bottom_states));
         for &(x, stx) in siblings.iter().rev() {
+            if self.budget_exhausted() {
+                break;
+            }
             r2 = self.eval_node(x, stx, &r2);
         }
         r2
@@ -606,6 +637,7 @@ impl<'a> Evaluator<'a> {
             Formula::False => (false, R::empty()),
             Formula::Mark => {
                 self.stats.marked_nodes += 1;
+                self.emitted_marks += 1;
                 (true, R::singleton(x))
             }
             Formula::Down1(q) => (r1.accepted(*q), r1.value(*q)),
@@ -623,14 +655,20 @@ impl<'a> Evaluator<'a> {
                 (true, val_a.union(val_b))
             }
             Formula::Or(a, b) => {
+                let emitted_before = self.emitted_marks;
                 let (ok_a, val_a) = self.eval_formula(a, x, r1, r2);
                 if ok_a {
                     return (true, val_a);
                 }
+                // The failed branch's marks were discarded with its value.
+                self.emitted_marks = emitted_before;
                 self.eval_formula(b, x, r1, r2)
             }
             Formula::Not(a) => {
+                let emitted_before = self.emitted_marks;
                 let (ok, _) = self.eval_formula(a, x, r1, r2);
+                // Marks inside a negation never produce results.
+                self.emitted_marks = emitted_before;
                 (!ok, R::empty())
             }
         }
@@ -808,17 +846,87 @@ mod tests {
         );
     }
 
+    /// `exists` agrees with `count > 0` on every query and every
+    /// optimization combination (truncated or not).
     #[test]
-    fn evaluate_wrapper_matches_modes() {
+    fn exists_agrees_with_count() {
         let f = fixture();
-        let q = parse_query("//keyword").unwrap();
-        let a = compile(&q, &f.tree).unwrap();
-        let mut e = Evaluator::new(&a, &f.tree, Some(&f.texts), EvalOptions::default());
-        assert_eq!(e.evaluate(true), Output::Count(3));
-        let mut e = Evaluator::new(&a, &f.tree, Some(&f.texts), EvalOptions::default());
-        match e.evaluate(false) {
-            Output::Nodes(n) => assert_eq!(n.len(), 3),
-            other => panic!("expected nodes, got {other:?}"),
+        let queries = [
+            "//keyword",
+            "//listitem//keyword",
+            "/site/regions/*/item",
+            "/site/people/person[ phone or homepage]/name",
+            "//listitem[not(.//keyword/emph)]",
+            "//nonexistent",
+            "//keyword//nonexistent",
+            r#"//person[ contains(., "Alice") ]"#,
+            r#"//person[ contains(., "Zebulon") ]"#,
+            "//*//*",
+        ];
+        for query in queries {
+            let q = parse_query(query).unwrap();
+            let a = compile(&q, &f.tree).unwrap();
+            for opts in all_option_sets() {
+                let mut counter = Evaluator::new(&a, &f.tree, Some(&f.texts), opts);
+                let expected = counter.count() > 0;
+                let mut e = Evaluator::new(&a, &f.tree, Some(&f.texts), opts);
+                assert_eq!(e.exists(), expected, "{query} with {opts:?}");
+            }
+        }
+    }
+
+    /// On truncation-safe automata, an existence run visits no more nodes
+    /// than a counting run — and strictly fewer when the first match comes
+    /// early in a large document.
+    #[test]
+    fn exists_truncates_the_run() {
+        // The no-jump evaluator processes sibling chains back to front, so
+        // the match at the end of the document is the first node the run
+        // sees — everything before it is skipped once the budget is hit.
+        let mut xml = String::from("<root>");
+        for _ in 0..500 {
+            xml.push_str("<filler><a/><b/></filler>");
+        }
+        xml.push_str("<hit/></root>");
+        let doc = parse_document(xml.as_bytes()).unwrap();
+        let texts = TextCollection::new(&doc.text_slices());
+        let q = parse_query("//hit").unwrap();
+        let a = compile(&q, &doc.tree).unwrap();
+        assert!(a.truncation_safe, "//hit should be truncation safe");
+        // Disable jumping so the runs actually traverse; the existence run
+        // must stop at the first match.
+        let opts = EvalOptions { jumping: false, ..EvalOptions::default() };
+        let mut counter = Evaluator::new(&a, &doc.tree, Some(&texts), opts);
+        assert_eq!(counter.count(), 1);
+        let full_visited = counter.stats().visited_nodes;
+        let mut e = Evaluator::new(&a, &doc.tree, Some(&texts), opts);
+        assert!(e.exists());
+        let truncated_visited = e.stats().visited_nodes;
+        assert!(
+            truncated_visited < full_visited,
+            "exists should visit fewer nodes ({truncated_visited} vs {full_visited})"
+        );
+    }
+
+    /// The safety analysis accepts plain paths and locally-filtered results
+    /// but rejects shapes whose marks an ancestor predicate may discard.
+    #[test]
+    fn truncation_safety_classification() {
+        let f = fixture();
+        let safe = ["//keyword", "/site/regions/*/item", "//listitem//keyword", "//keyword[emph]"];
+        for query in safe {
+            let q = parse_query(query).unwrap();
+            let a = compile(&q, &f.tree).unwrap();
+            assert!(a.truncation_safe, "{query} should be truncation safe");
+        }
+        let unsafe_queries = [
+            "/site/people/person[ phone or homepage]/name", // ancestor filter discards
+            "//listitem[not(.//keyword)]//text",            // negated ancestor filter
+        ];
+        for query in unsafe_queries {
+            let q = parse_query(query).unwrap();
+            let a = compile(&q, &f.tree).unwrap();
+            assert!(!a.truncation_safe, "{query} must not be truncation safe");
         }
     }
 }

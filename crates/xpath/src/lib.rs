@@ -42,10 +42,10 @@ pub mod rewrite;
 
 pub use ast::{Axis, NodeTest, Path, PositionPred, Predicate, Query, Step, AXIS_NAMES};
 pub use automaton::{Automaton, Formula, Guard, StateId, StateSet};
-pub use bottomup::BottomUpPlan;
+pub use bottomup::{BottomUpOutcome, BottomUpPlan};
 pub use compile::{compile, CompileError};
-pub use direct::DirectEvaluator;
-pub use eval::{EvalOptions, EvalStats, Evaluator, Output};
+pub use direct::{DirectEvaluator, DirectOutcome, DirectRunOptions};
+pub use eval::{EvalOptions, EvalStats, Evaluator};
 pub use parser::{parse_query, XPathParseError};
 pub use queries::{
     NamedQuery, MEDLINE_QUERIES, ORDERED_QUERIES, TREEBANK_QUERIES, WORD_QUERIES, XMARK_QUERIES,

@@ -5,7 +5,7 @@
 //! memoization table and statistics are per-instance, never shared), which
 //! lets a worker pool create one evaluator per in-flight query.
 
-use sxsi_xpath::eval::{EvalOptions, EvalStats, Evaluator, Output};
+use sxsi_xpath::eval::{EvalOptions, EvalStats, Evaluator};
 use sxsi_xpath::{Automaton, BottomUpPlan, DirectEvaluator, Query, StateSet};
 
 fn require_send_sync<T: Send + Sync>() {}
@@ -18,10 +18,13 @@ fn compiled_query_artifacts_are_send_and_sync() {
     require_send_sync::<BottomUpPlan>();
     require_send_sync::<EvalOptions>();
     require_send_sync::<EvalStats>();
-    require_send_sync::<Output>();
+    require_send_sync::<sxsi_xpath::DirectOutcome>();
+    require_send_sync::<sxsi_xpath::BottomUpOutcome>();
     require_send_sync::<StateSet>();
-    // The direct evaluator holds no mutable state at all — it is fully
-    // shareable, like the index structures it navigates.
+    // The direct evaluator stays `Sync` via an atomic visited counter;
+    // results are correct under sharing, but each run resets the counter,
+    // so callers wanting meaningful statistics give each run its own
+    // evaluator (as `Prepared::run` does).
     require_send_sync::<DirectEvaluator<'static>>();
 }
 

@@ -37,7 +37,7 @@ fn main() {
     let reference = BatchExecutor::new(1).run(&index, &batch);
     println!("query answers (sequential):");
     for r in &reference {
-        println!("  {}  {:>8}  ({:?})", r.id, r.output.count(), r.strategy);
+        println!("  {}  {:>8}  ({:?})", r.id, r.result.count(), r.strategy);
     }
     println!();
 
@@ -52,7 +52,7 @@ fn main() {
         for _ in 0..runs {
             let results = executor.run(&index, &batch);
             for (r, expected) in results.iter().zip(&reference) {
-                assert_eq!(r.output, expected.output, "{} diverged at {threads} threads", r.id);
+                assert_eq!(r.result.count(), expected.result.count(), "{} diverged at {threads} threads", r.id);
             }
         }
         let secs = start.elapsed().as_secs_f64();

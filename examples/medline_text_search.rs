@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use sxsi::SxsiIndex;
+use sxsi::{QueryOptions, SxsiIndex};
 use sxsi_datagen::{medline, MedlineConfig};
 use sxsi_xpath::MEDLINE_QUERIES;
 
@@ -26,24 +26,36 @@ fn main() {
         stats.plain_text_bytes / 1024
     );
 
-    println!("\n{:<6} {:>9} {:>10} {:>9}  query", "id", "count", "strategy", "time ms");
+    println!(
+        "\n{:<6} {:>9} {:>10} {:>9} {:>10}  query",
+        "id", "count", "strategy", "count ms", "exists ms"
+    );
     for q in MEDLINE_QUERIES {
-        let start = Instant::now();
-        match index.execute(q.xpath, true) {
-            Ok(result) => {
-                let ms = start.elapsed().as_secs_f64() * 1e3;
-                let strategy = result.strategy.name();
-                println!(
-                    "{:<6} {:>9} {:>10} {:>9.2}  {}",
-                    q.id,
-                    result.output.count(),
-                    strategy,
-                    ms,
-                    q.xpath.chars().take(70).collect::<String>()
-                );
+        let prepared = match index.prepare(q.xpath) {
+            Ok(prepared) => prepared,
+            Err(e) => {
+                println!("{:<6} failed: {e}", q.id);
+                continue;
             }
-            Err(e) => println!("{:<6} failed: {e}", q.id),
-        }
+        };
+        let start = Instant::now();
+        let counted = prepared.run(&index, &QueryOptions::count());
+        let count_ms = start.elapsed().as_secs_f64() * 1e3;
+        // Existence stops at the first verified match — on selective text
+        // queries this skips almost all of the seed verification work.
+        let start = Instant::now();
+        let found = prepared.run(&index, &QueryOptions::exists());
+        let exists_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(found.exists(), counted.count() > 0);
+        println!(
+            "{:<6} {:>9} {:>10} {:>9.2} {:>10.2}  {}",
+            q.id,
+            counted.count(),
+            prepared.strategy().name(),
+            count_ms,
+            exists_ms,
+            q.xpath.chars().take(70).collect::<String>()
+        );
     }
 
     // Direct use of the text collection: the paper's GlobalCount /

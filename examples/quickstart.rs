@@ -2,7 +2,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use sxsi::SxsiIndex;
+use sxsi::{QueryOptions, SxsiIndex};
 
 fn main() {
     let xml = r#"<parts>
@@ -44,4 +44,19 @@ fn main() {
         println!("result: {}", index.get_subtree(node));
     }
     println!("serialized: {}", index.serialize("//color").expect("valid query"));
+
+    // Prepared statements: parse/plan/compile once, run in any mode.  The
+    // options say how much of the answer is needed, and evaluation stops
+    // as soon as that much is decided.
+    let stmt = index.prepare("//part").expect("valid query");
+    println!("exists {:44} = {}", stmt.xpath(), stmt.run(&index, &QueryOptions::exists()).exists());
+    let first = stmt.run(&index, &QueryOptions::nodes().with_limit(1));
+    for node in first.cursor() {
+        println!("first match: {}", index.node_name(node));
+    }
+    println!(
+        "window truncated: {} (strategy {:?})",
+        first.truncated(),
+        first.strategy()
+    );
 }

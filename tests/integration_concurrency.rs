@@ -46,7 +46,7 @@ fn assert_parallel_matches_sequential(corpus: &str, xml: &str, queries: &[NamedQ
     let mut specs = Vec::new();
     for q in queries {
         specs.push(QuerySpec::count(format!("{}/count", q.id), q.xpath));
-        specs.push(QuerySpec::materialize(format!("{}/nodes", q.id), q.xpath));
+        specs.push(QuerySpec::nodes(format!("{}/nodes", q.id), q.xpath));
     }
     let batch = QueryBatch::compile(&index, specs).expect("benchmark queries compile");
 
@@ -59,13 +59,13 @@ fn assert_parallel_matches_sequential(corpus: &str, xml: &str, queries: &[NamedQ
             let nodes_result = &results[2 * qi + 1];
             assert_eq!(count_result.id, format!("{}/count", q.id));
             assert_eq!(
-                count_result.output.count(),
+                count_result.result.count(),
                 *ref_count,
                 "{corpus} {} count diverged at {threads} threads",
                 q.id
             );
             let nodes: Vec<u64> = nodes_result
-                .output
+                .result
                 .nodes()
                 .unwrap_or_else(|| panic!("{} returned a bare count", q.id))
                 .iter()

@@ -1,0 +1,277 @@
+//! The cursor/truncation contract of the prepared-statement API, verified
+//! against the independent naive baseline on all four corpora and all
+//! three strategies (top-down, bottom-up, direct), sequentially and
+//! through the parallel [`BatchExecutor`]:
+//!
+//! * `run(limit = k, offset = j)` equals the `[j .. j+k]` slice of the full
+//!   materialization (the baseline computes the slice the textbook way:
+//!   evaluate fully, then cut);
+//! * `Exists` agrees with `count > 0`;
+//! * a truncated run's `EvalStats::visited_nodes` never exceeds the
+//!   untruncated run's.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sxsi::{QueryOptions, SxsiIndex, Strategy};
+use sxsi_baseline::NaiveEvaluator;
+use sxsi_datagen::{
+    medline, treebank, wiki, xmark, MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig,
+};
+use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+use sxsi_xpath::parse_query;
+
+/// Queries meaningful on every corpus: top-down and direct shapes.
+const GENERIC_QUERIES: &[&str] = &[
+    "//*",
+    "//*//*",
+    "//*[2]",
+    "//*[last()]",
+    "//*[position() <= 3]",
+    "//*/..",
+    "//*/preceding-sibling::*[1]",
+    // A direct-strategy shape whose budgeted final step runs from a
+    // many-node context (regression: `limit 0` used to underflow here).
+    "//*/*[1]",
+];
+
+/// Per-corpus queries chosen to pin each strategy: structural paths
+/// (top-down), selective text filters with a non-nesting pivot
+/// (bottom-up), and ordered/positional shapes (direct).
+fn corpus_queries(corpus: &str) -> Vec<&'static str> {
+    let specific: &[&str] = match corpus {
+        "xmark" => &[
+            "//item",
+            "//listitem//keyword",
+            r#"//item[ .//keyword[ contains(., "a") ] ]"#,
+            r#"//person[ ./name[ contains(., "a") ] ]"#,
+            "//item/following::person",
+        ],
+        "treebank" => &[
+            "//NP",
+            "//NN",
+            r#"//EMPTY[ .//NN[ contains(., "a") ] ]"#,
+            "//NP/ancestor::S",
+        ],
+        "medline" => &[
+            "//Article",
+            "//AuthorList/Author",
+            r#"//Article[ .//AbstractText[ contains(., "a") ] ]"#,
+            r#"//Article[ .//LastName[ starts-with(., "B") ] ]"#,
+        ],
+        "wiki" => &[
+            "//page/title",
+            "//revision",
+            r#"//page[ .//title[ contains(., "a") ] ]"#,
+            "//page[1]/title",
+        ],
+        other => panic!("unknown corpus {other}"),
+    };
+    GENERIC_QUERIES.iter().chain(specific).copied().collect()
+}
+
+fn corpora() -> &'static Vec<(&'static str, SxsiIndex)> {
+    static CORPORA: OnceLock<Vec<(&'static str, SxsiIndex)>> = OnceLock::new();
+    CORPORA.get_or_init(|| {
+        vec![
+            ("xmark", build(&xmark::generate(&XMarkConfig { scale: 0.03, seed: 13 }))),
+            (
+                "treebank",
+                build(&treebank::generate(&TreebankConfig { num_sentences: 60, seed: 13 })),
+            ),
+            ("medline", build(&medline::generate(&MedlineConfig { num_citations: 40, seed: 13 }))),
+            ("wiki", build(&wiki::generate(&WikiConfig { num_pages: 40, seed: 13 }))),
+        ]
+    })
+}
+
+fn build(xml: &str) -> SxsiIndex {
+    SxsiIndex::build_from_xml(xml.as_bytes()).expect("corpus builds")
+}
+
+const WINDOWS: &[(u64, u64)] = &[
+    (0, 0),
+    (1, 0),
+    (1, 1),
+    (2, 0),
+    (3, 2),
+    (7, 0),
+    (1, 10_000),
+    (10_000, 0),
+];
+
+/// The core window property, sequentially, on every corpus × query — and
+/// the suite as a whole must exercise all three strategies on each corpus.
+#[test]
+fn windows_equal_document_order_slices() {
+    for (corpus, index) in corpora() {
+        let naive = NaiveEvaluator::new(index.tree(), index.texts());
+        let mut strategies_seen = Vec::new();
+        for query in corpus_queries(corpus) {
+            let parsed = parse_query(query).unwrap();
+            let prepared = index.prepare(query).unwrap();
+            strategies_seen.push(prepared.strategy());
+            let full = naive.evaluate(&parsed);
+            // Full materialization agrees with the oracle.
+            let all = prepared.run(index, &QueryOptions::nodes());
+            assert_eq!(all.nodes().unwrap(), &full[..], "{corpus} {query} full");
+            // Exists agrees with count > 0.
+            let exists = prepared.run(index, &QueryOptions::exists());
+            assert_eq!(exists.exists(), !full.is_empty(), "{corpus} {query} exists");
+            assert_eq!(
+                prepared.run(index, &QueryOptions::count()).count(),
+                full.len() as u64,
+                "{corpus} {query} count"
+            );
+            for &(limit, offset) in WINDOWS {
+                let expected = naive.evaluate_window(&parsed, Some(limit), offset);
+                let window = prepared
+                    .run(index, &QueryOptions::nodes().with_limit(limit).with_offset(offset));
+                assert_eq!(
+                    window.nodes().unwrap(),
+                    &expected[..],
+                    "{corpus} {query} limit {limit} offset {offset}"
+                );
+                let counted = prepared
+                    .run(index, &QueryOptions::count().with_limit(limit).with_offset(offset));
+                assert_eq!(
+                    counted.count(),
+                    expected.len() as u64,
+                    "{corpus} {query} windowed count limit {limit} offset {offset}"
+                );
+            }
+        }
+        for strategy in [Strategy::TopDown, Strategy::BottomUp, Strategy::Direct] {
+            assert!(
+                strategies_seen.contains(&strategy),
+                "{corpus}: query list exercises no {strategy:?} plan"
+            );
+        }
+    }
+}
+
+/// The truncation flag is exact on every strategy: set iff matching nodes
+/// exist beyond the returned window — in particular NOT set when the
+/// window ends exactly at the last result.
+#[test]
+fn truncation_flag_is_exact_at_the_boundary() {
+    for (corpus, index) in corpora() {
+        for query in corpus_queries(corpus) {
+            let prepared = index.prepare(query).unwrap();
+            let full = prepared.run(index, &QueryOptions::nodes()).count();
+            for (limit, offset, expect_more) in [
+                (full, 0, false),                 // exactly the whole result
+                (full + 1, 0, false),             // window larger than the result
+                (full.saturating_sub(1), 1, false), // tail window, exact end
+                (1, 0, full > 1),                 // proper prefix
+                (full.saturating_sub(1), 0, full >= 1), // all but the last
+            ] {
+                let run = prepared
+                    .run(index, &QueryOptions::nodes().with_limit(limit).with_offset(offset));
+                assert_eq!(
+                    run.truncated(),
+                    expect_more,
+                    "{corpus} {query} limit {limit} offset {offset} (full {full})"
+                );
+            }
+        }
+    }
+}
+
+/// Truncated runs never visit more nodes than untruncated ones.
+#[test]
+fn truncated_runs_visit_no_more_nodes() {
+    for (corpus, index) in corpora() {
+        for query in corpus_queries(corpus) {
+            let prepared = index.prepare(query).unwrap();
+            let full = prepared.run(index, &QueryOptions::nodes());
+            let full_visited = full.stats().unwrap().visited_nodes;
+            let exists = prepared.run(index, &QueryOptions::exists());
+            assert!(
+                exists.stats().unwrap().visited_nodes <= full_visited,
+                "{corpus} {query}: exists visited {} > full {full_visited}",
+                exists.stats().unwrap().visited_nodes,
+            );
+            for limit in [1, 5] {
+                let limited = prepared.run(index, &QueryOptions::nodes().with_limit(limit));
+                assert!(
+                    limited.stats().unwrap().visited_nodes <= full_visited,
+                    "{corpus} {query}: limit {limit} visited {} > full {full_visited}",
+                    limited.stats().unwrap().visited_nodes,
+                );
+            }
+        }
+    }
+}
+
+/// The same contract through the parallel batch executor, at several pool
+/// sizes, with specs mixing every mode.
+#[test]
+fn batch_executor_honors_windows() {
+    for (corpus, index) in corpora() {
+        let naive = NaiveEvaluator::new(index.tree(), index.texts());
+        let queries = corpus_queries(corpus);
+        let mut specs = Vec::new();
+        for q in &queries {
+            specs.push(QuerySpec::exists(format!("{q}/exists"), *q));
+            specs.push(QuerySpec::count(format!("{q}/count"), *q));
+            specs.push(QuerySpec::new(
+                format!("{q}/first"),
+                *q,
+                QueryOptions::nodes().with_limit(1),
+            ));
+            specs.push(QuerySpec::new(
+                format!("{q}/window"),
+                *q,
+                QueryOptions::nodes().with_limit(2).with_offset(1),
+            ));
+        }
+        let batch = QueryBatch::compile(index, specs).expect("batch compiles");
+        for threads in [1usize, 4] {
+            let results = BatchExecutor::new(threads).run(index, &batch);
+            for (qi, q) in queries.iter().enumerate() {
+                let parsed = parse_query(q).unwrap();
+                let full = naive.evaluate(&parsed);
+                let exists = &results[4 * qi];
+                let count = &results[4 * qi + 1];
+                let first = &results[4 * qi + 2];
+                let window = &results[4 * qi + 3];
+                assert_eq!(exists.result.exists(), !full.is_empty(), "{corpus} {q} {threads}t");
+                assert_eq!(count.result.count(), full.len() as u64, "{corpus} {q} {threads}t");
+                assert_eq!(
+                    first.result.nodes().unwrap(),
+                    naive.evaluate_window(&parsed, Some(1), 0),
+                    "{corpus} {q} first @{threads}t"
+                );
+                assert_eq!(
+                    window.result.nodes().unwrap(),
+                    naive.evaluate_window(&parsed, Some(2), 1),
+                    "{corpus} {q} window @{threads}t"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Random windows against the naive slice oracle, on the XMark corpus
+    /// (every strategy appears in its query list).
+    #[test]
+    fn random_windows_match_the_oracle(limit in 0u64..9, offset in 0u64..9, pick in 0usize..12) {
+        let (_, index) = &corpora()[0];
+        let naive = NaiveEvaluator::new(index.tree(), index.texts());
+        let queries = corpus_queries("xmark");
+        let query = queries[pick % queries.len()];
+        let parsed = parse_query(query).unwrap();
+        let expected = naive.evaluate_window(&parsed, Some(limit), offset);
+        let window = index
+            .run(query, &QueryOptions::nodes().with_limit(limit).with_offset(offset))
+            .unwrap();
+        prop_assert_eq!(window.nodes().unwrap(), &expected[..]);
+        let counted = index
+            .run(query, &QueryOptions::count().with_limit(limit).with_offset(offset))
+            .unwrap();
+        prop_assert_eq!(counted.count(), expected.len() as u64);
+    }
+}

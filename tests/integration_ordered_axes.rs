@@ -72,7 +72,7 @@ fn generic_ordered_queries_match_naive_everywhere() {
         let naive = NaiveEvaluator::new(index.tree(), index.texts());
         let specs: Vec<QuerySpec> = GENERIC_ORDERED_QUERIES
             .iter()
-            .map(|q| QuerySpec::materialize(*q, *q))
+            .map(|q| QuerySpec::nodes(*q, *q))
             .collect();
         let batch = QueryBatch::compile(&index, specs).expect("batch compiles");
         for threads in [1, 4] {
@@ -81,7 +81,7 @@ fn generic_ordered_queries_match_naive_everywhere() {
                 let parsed = parse_query(query).unwrap();
                 let expected = naive.evaluate(&parsed);
                 assert_eq!(
-                    result.output.nodes().unwrap(),
+                    result.result.nodes().unwrap(),
                     expected,
                     "{query} on {corpus} with {threads} threads"
                 );
