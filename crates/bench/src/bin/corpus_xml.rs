@@ -1,0 +1,65 @@
+//! Dumps a generated corpus document to stdout:
+//! `cargo run --release -p sxsi-bench --bin corpus_xml -- <corpus> [scale]`.
+//!
+//! Corpora: `xmark` (scale = XMark scale factor, default 0.05),
+//! `treebank` / `medline` / `wiki` / `bio` (scale = record count,
+//! default 50).  Seeds are fixed, so the same invocation always
+//! produces the same document — this is how CI scripts and ad-hoc
+//! shell experiments get a reproducible input without shipping
+//! corpora in the repository.
+
+use std::io::Write;
+
+use sxsi_datagen::{
+    bio, medline, treebank, wiki, xmark, BioConfig, MedlineConfig, TreebankConfig, WikiConfig,
+    XMarkConfig,
+};
+
+const USAGE: &str = "usage: corpus_xml <xmark|treebank|medline|wiki|bio> [scale]";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let corpus = args
+        .next()
+        .unwrap_or_else(|| sxsi_bench::usage_error("corpus_xml", "missing corpus name", USAGE));
+    let scale = args.next();
+    let records = |default: usize| {
+        scale
+            .as_deref()
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    sxsi_bench::usage_error("corpus_xml", "scale must be an integer here", USAGE)
+                })
+            })
+            .unwrap_or(default)
+    };
+    let xml = match corpus.as_str() {
+        "xmark" => {
+            let scale = scale
+                .as_deref()
+                .map(|s| {
+                    s.parse().unwrap_or_else(|_| {
+                        sxsi_bench::usage_error("corpus_xml", "scale must be a float", USAGE)
+                    })
+                })
+                .unwrap_or(0.05);
+            xmark::generate(&XMarkConfig { scale, seed: 42 })
+        }
+        "treebank" => treebank::generate(&TreebankConfig { num_sentences: records(50), seed: 42 }),
+        "medline" => medline::generate(&MedlineConfig { num_citations: records(50), seed: 42 }),
+        "wiki" => wiki::generate(&WikiConfig { num_pages: records(50), seed: 42 }),
+        "bio" => bio::generate(&BioConfig { num_genes: records(50), seed: 42 }),
+        other => sxsi_bench::usage_error(
+            "corpus_xml",
+            &format!("unknown corpus '{other}'"),
+            USAGE,
+        ),
+    };
+    // A broken pipe (e.g. `corpus_xml xmark | head`) is not an error.
+    if let Err(e) = std::io::stdout().write_all(xml.as_bytes()) {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("corpus_xml: {e}");
+            std::process::exit(1);
+        }
+    }
+}

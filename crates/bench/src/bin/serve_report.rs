@@ -1,0 +1,192 @@
+//! Daemon benchmark: `cargo run --release -p sxsi-bench --bin serve_report`.
+//!
+//! Measures what `sxsi serve` exists for: the round-trip latency of a
+//! query answered by a warm daemon, cold (first arrival: compile,
+//! plan, evaluate, render) versus cached (every later arrival of the
+//! same request: one result-cache lookup).  The daemon runs in-process
+//! on a loopback TCP socket, so the measured number includes the real
+//! framing, socket and cache path a client pays — only the network is
+//! localhost.  Writes `BENCH_pr6.json` at the repository root and
+//! fails loudly if the cache did not actually serve the repeats (hit
+//! counters are read back over the protocol's `stats` command).
+//!
+//! Options: `--runs <n>` (cached repeats per query, default 9) and
+//! `--scale <f64>` (XMark scale factor, default 0.15).  Use `--release`
+//! for numbers worth recording.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sxsi::SxsiIndex;
+use sxsi_datagen::{xmark, XMarkConfig};
+use sxsi_engine::server::client::Client;
+use sxsi_engine::server::protocol::Response;
+use sxsi_engine::server::{Listener, OutputKind, ServeOptions, Server};
+use sxsi_xpath::{
+    NamedQuery, MEDLINE_QUERIES, TREEBANK_QUERIES, WORD_QUERIES, XMARK_QUERIES,
+};
+
+const USAGE: &str = "usage: serve_report [--runs <n>] [--scale <f64>]";
+
+fn usage_error(message: &str) -> ! {
+    sxsi_bench::usage_error("serve_report", message, USAGE)
+}
+
+fn parse_args() -> (usize, f64) {
+    let mut runs = 9usize;
+    let mut scale = 0.15f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => runs = v,
+                _ => usage_error("--runs expects a positive integer"),
+            },
+            "--scale" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale = v,
+                None => usage_error("--scale expects a floating-point factor"),
+            },
+            other => usage_error(&format!("unknown option '{other}'")),
+        }
+    }
+    (runs, scale)
+}
+
+struct Entry {
+    id: &'static str,
+    cold_us: f64,
+    warm_us: f64,
+    speedup: f64,
+}
+
+/// One timed round trip; panics on an error frame (paper queries are
+/// all supported).
+fn timed_query(client: &mut Client, query: &NamedQuery) -> f64 {
+    let start = Instant::now();
+    match client.query(None, OutputKind::Count, None, 0, &[query.xpath]) {
+        Ok(Response::Ok { .. }) => start.elapsed().as_secs_f64() * 1e6,
+        Ok(Response::Err { code, message }) => {
+            panic!("{}: error frame {code} {message}", query.id)
+        }
+        Err(e) => panic!("{}: {e}", query.id),
+    }
+}
+
+fn stat(body: &str, key: &str) -> f64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no numeric {key}= in stats body"))
+}
+
+fn main() {
+    let (runs, scale) = parse_args();
+    let queries: Vec<&NamedQuery> = XMARK_QUERIES
+        .iter()
+        .chain(TREEBANK_QUERIES)
+        .chain(MEDLINE_QUERIES)
+        .chain(WORD_QUERIES)
+        .collect();
+
+    println!("building xmark index (scale {scale}) ...");
+    let xml = xmark::generate(&XMarkConfig { scale, seed: 42 });
+    let index = Arc::new(SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds"));
+
+    let listener = Listener::bind_tcp("127.0.0.1:0").expect("loopback socket binds");
+    let addr = listener.local_addr_string();
+    let server = Server::new(vec![("xmark".to_string(), Arc::clone(&index))], ServeOptions::default())
+        .expect("server constructs");
+    let serve = server.clone();
+    let serve_thread = std::thread::spawn(move || serve.serve(listener).expect("serve loop"));
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+
+    println!(
+        "daemon on {addr}; {} paper queries, {runs} cached repeats each",
+        queries.len()
+    );
+    let mut entries = Vec::new();
+    for query in &queries {
+        let cold_us = timed_query(&mut client, query);
+        let mut warm: Vec<f64> = (0..runs).map(|_| timed_query(&mut client, query)).collect();
+        warm.sort_by(f64::total_cmp);
+        let warm_us = warm[warm.len() / 2];
+        let speedup = cold_us / warm_us;
+        println!(
+            "  {:<4} cold {cold_us:>9.1} us   cached {warm_us:>7.1} us   {speedup:>6.1}x",
+            query.id
+        );
+        entries.push(Entry { id: query.id, cold_us, warm_us, speedup });
+    }
+
+    let stats = client.stats().expect("stats round trip");
+    let hits = stat(&stats, "result_cache_hits");
+    let misses = stat(&stats, "result_cache_misses");
+    let hit_rate = stat(&stats, "result_cache_hit_rate");
+    let executed = stat(&stats, "queries_executed");
+    let cached = stat(&stats, "queries_cached");
+    let latency_mean = stat(&stats, "latency_us_mean");
+    assert!(
+        hits >= (queries.len() * runs) as f64,
+        "the repeats were not served from the result cache (hits {hits})"
+    );
+    let cold_total: f64 = entries.iter().map(|e| e.cold_us).sum();
+    let warm_total: f64 = entries.iter().map(|e| e.warm_us).sum();
+    assert!(
+        warm_total < cold_total,
+        "cached round trips must beat cold ones in aggregate ({warm_total} vs {cold_total})"
+    );
+
+    client.shutdown().expect("shutdown command");
+    serve_thread.join().expect("serve loop exits");
+
+    println!(
+        "\ncache: {hits} hits / {misses} misses (rate {hit_rate:.3}); \
+         {executed} executed, {cached} from cache; \
+         server-side executed-query latency mean {latency_mean} us"
+    );
+    println!(
+        "aggregate: cold {:.1} us vs cached {:.1} us ({:.1}x)",
+        cold_total,
+        warm_total,
+        cold_total / warm_total
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 6,\n");
+    json.push_str(
+        "  \"bench\": \"sxsi serve daemon: cold vs result-cached round-trip latency per paper query (loopback TCP)\",\n",
+    );
+    json.push_str(&format!("  \"corpus\": \"xmark scale {scale} seed 42\",\n"));
+    json.push_str(&format!("  \"queries\": {},\n", entries.len()));
+    json.push_str(&format!("  \"cached_repeats_per_query\": {runs},\n"));
+    json.push_str(
+        "  \"note\": \"cold_us is the first arrival (compile + plan + evaluate + render + framing); \
+         warm_us is the median cached repeat (one LRU lookup + framing); both are full \
+         client-side round trips through the daemon's socket path\",\n",
+    );
+    json.push_str(&format!(
+        "  \"result_cache\": {{ \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.3} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"server_latency_us_mean_executed\": {latency_mean},\n"
+    ));
+    json.push_str(&format!(
+        "  \"aggregate\": {{ \"cold_us\": {cold_total:.1}, \"cached_us\": {warm_total:.1}, \
+         \"speedup\": {:.2} }},\n",
+        cold_total / warm_total
+    ));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"cold_us\": {:.1}, \"cached_us\": {:.1}, \"speedup\": {:.2} }}{comma}\n",
+            e.id, e.cold_us, e.warm_us, e.speedup
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
+    std::fs::write(path, &json).expect("BENCH_pr6.json is writable");
+    println!("wrote {path}");
+}

@@ -39,7 +39,12 @@ use sxsi_xpath::{DirectEvaluator, DirectRunOptions};
 use crate::{CompiledPlan, QueryError, Strategy, SxsiIndex};
 
 /// What a query run should produce.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `Hash` is derived (together with `Eq`) so `(index, query, options)`
+/// tuples can key result caches directly — the `sxsi serve` daemon relies
+/// on this; see the `query_options_cache_key_fields` pin test before
+/// adding fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum QueryMode {
     /// Only whether at least one node matches — the run stops at the first
     /// match wherever the plan allows it.  `limit`/`offset` are ignored.
@@ -61,7 +66,15 @@ pub enum QueryMode {
 /// `offset + limit` nodes are known (where the plan shape makes the prefix
 /// provable), so `limit: Some(1)` on a selective query does O(first match)
 /// work instead of O(answer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` is derived so the full option set can serve as (part of) a
+/// result-cache key: two runs with equal options over the same prepared
+/// query on the same index produce the same payload.  Every field is
+/// semantically part of that key (`collect_stats` does not change the
+/// payload, but cache users normalize it rather than the key ignoring
+/// it); the `query_options_cache_key_fields` test pins the field set so
+/// additions revisit cache-key semantics deliberately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryOptions {
     /// The output mode.
     pub mode: QueryMode,
@@ -429,3 +442,63 @@ impl Iterator for NodeCursor<'_> {
 }
 
 impl ExactSizeIterator for NodeCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(value: &impl Hash) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Pins the exact field set that participates in `QueryOptions`'
+    /// `Hash`/`Eq` — i.e. the result-cache key contract.  If this test
+    /// fails to compile because a field was added, removed or renamed:
+    /// decide whether the new field changes the produced payload (then it
+    /// MUST keep participating in `Hash`/`Eq`, and caches keyed on the old
+    /// shape must be considered invalidated) before updating the
+    /// destructuring below.
+    #[test]
+    fn query_options_cache_key_fields() {
+        let options = QueryOptions::default();
+        let QueryOptions { mode, limit, offset, collect_stats } = options;
+        assert_eq!(mode, QueryMode::Nodes);
+        assert_eq!(limit, None);
+        assert_eq!(offset, 0);
+        assert!(collect_stats);
+    }
+
+    /// Equal options hash equal; each field flips the key.
+    #[test]
+    fn query_options_hash_distinguishes_every_field() {
+        let base = QueryOptions::default();
+        assert_eq!(hash_of(&base), hash_of(&QueryOptions::default()));
+        let variants = [
+            QueryOptions { mode: QueryMode::Count, ..base },
+            QueryOptions { mode: QueryMode::Exists, ..base },
+            QueryOptions { limit: Some(1), ..base },
+            QueryOptions { offset: 1, ..base },
+            QueryOptions { collect_stats: false, ..base },
+        ];
+        for variant in variants {
+            assert_ne!(variant, base);
+            // Not a guarantee of the Hash trait, but with the std hasher a
+            // collision here would mean the field is ignored by the derive.
+            assert_ne!(hash_of(&variant), hash_of(&base), "{variant:?}");
+        }
+    }
+
+    /// `QueryMode` itself is hashable and usable as a map key.
+    #[test]
+    fn query_mode_is_hashable() {
+        let mut seen = std::collections::HashSet::new();
+        for mode in [QueryMode::Exists, QueryMode::Count, QueryMode::Nodes] {
+            assert!(seen.insert(mode));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

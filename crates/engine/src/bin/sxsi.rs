@@ -2,12 +2,15 @@
 //! files.
 //!
 //! ```text
-//! sxsi build  <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
-//!             [--scan-cutoff N] [--keep-whitespace]
-//! sxsi query  <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
-//!             [--limit N] [--offset N] [--threads N]
-//! sxsi exists <index.sxsi> <xpath> [<xpath> ...] [--threads N]
-//! sxsi info   <index.sxsi>
+//! sxsi build   <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
+//!              [--scan-cutoff N] [--keep-whitespace]
+//! sxsi query   <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
+//!              [--limit N] [--offset N] [--threads N]
+//! sxsi exists  <index.sxsi> <xpath> [<xpath> ...] [--threads N]
+//! sxsi info    <index.sxsi>
+//! sxsi serve   <[id=]index.sxsi> ... (--socket PATH | --tcp ADDR) [options]
+//! sxsi client  (--socket PATH | --tcp ADDR) <op> [op options]
+//! sxsi queries [--set paper|ordered] [--print0]
 //! ```
 //!
 //! `build` parses the XML once and writes the versioned binary container;
@@ -17,6 +20,13 @@
 //! document-order result window with early termination); `exists` answers
 //! existence only, stopping at the first match; `info` prints the stats a
 //! capacity planner needs (node/text/tag counts and per-component sizes).
+//!
+//! `serve` keeps the loaded indexes warm in a daemon answering queries
+//! over a framed socket protocol (`docs/protocol.md`) with plan and
+//! result LRU caches plus live metrics; `client` talks to such a
+//! daemon, printing query bodies byte-identical to `query`/`exists`;
+//! `queries` lists the paper's query sets for scripting (`--print0`
+//! because query M11 contains literal newlines).
 //!
 //! Exit codes (documented in `docs/guide.md`):
 //!
@@ -28,26 +38,46 @@
 //!   `sxsi: error=unsupported-query query='…' detail='…'` line
 //! * `4` — `exists` ran fine but at least one query matched nothing
 
+use std::io::{self, Write as _};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use sxsi::{QueryError, QueryOptions, SxsiIndex, SxsiOptions};
+use sxsi_engine::server::client::{exit_code_for, Client};
+use sxsi_engine::server::protocol::Response;
+use sxsi_engine::server::{render_batch_result, Listener, OutputKind, ServeOptions, Server};
 use sxsi_engine::{BatchError, BatchExecutor, QueryBatch, QuerySpec};
 
 const USAGE: &str = "\
 usage:
-  sxsi build  <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
-              [--scan-cutoff N] [--keep-whitespace]
-  sxsi query  <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
-              [--limit N] [--offset N] [--threads N]
-  sxsi exists <index.sxsi> <xpath> [<xpath> ...] [--threads N]
-  sxsi info   <index.sxsi>
+  sxsi build   <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
+               [--scan-cutoff N] [--keep-whitespace]
+  sxsi query   <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
+               [--limit N] [--offset N] [--threads N]
+  sxsi exists  <index.sxsi> <xpath> [<xpath> ...] [--threads N]
+  sxsi info    <index.sxsi>
+  sxsi serve   <[id=]index.sxsi> [<[id=]index.sxsi> ...]
+               (--socket PATH | --tcp ADDR) [--threads N]
+               [--plan-cache N] [--result-cache N] [--read-timeout SECS]
+  sxsi client  (--socket PATH | --tcp ADDR) <op> [op options]
+               ops: query [--index ID] [--materialize|--serialize]
+                          [--limit N] [--offset N] <xpath> [<xpath> ...]
+                    exists [--index ID] <xpath> [<xpath> ...]
+                    stats | info | ping | shutdown
+  sxsi queries [--set paper|ordered] [--print0]
 
 subcommands:
-  build   parse the XML document and write a versioned .sxsi index file
-  query   load a .sxsi file and run XPath queries (counts by default)
-  exists  report true/false per query, stopping at the first match
-  info    print size and cardinality statistics of a .sxsi file
+  build    parse the XML document and write a versioned .sxsi index file
+  query    load a .sxsi file and run XPath queries (counts by default)
+  exists   report true/false per query, stopping at the first match
+  info     print size and cardinality statistics of a .sxsi file
+  serve    answer queries from warm indexes over a framed socket protocol,
+           with plan/result LRU caches and live metrics (see docs/protocol.md)
+  client   send ops to a running daemon; query/exists bodies are
+           byte-identical to the in-process query/exists subcommands
+  queries  list the paper's query sets as id<TAB>xpath records for
+           scripting (--print0 emits NUL terminators: M11 contains newlines)
 
 build options:
   --sample-rate N    locate sampling step (default 64; smaller = faster
@@ -65,6 +95,15 @@ query options:
                      evaluators stop early once the window is complete)
   --offset N         skip the first N result nodes (pagination)
   --threads N        worker threads for multi-query batches (default 1)
+
+serve options:
+  --socket PATH      listen on a Unix-domain socket (removed on shutdown)
+  --tcp ADDR         listen on a TCP address (port 0 picks one; the bound
+                     address is printed as 'listening on ...')
+  --threads N        executor worker threads (default: available cores)
+  --plan-cache N     compiled-plan LRU entries (default 128, 0 disables)
+  --result-cache N   result LRU entries (default 128, 0 disables)
+  --read-timeout S   per-connection idle timeout in seconds (default 30)
 
 exit codes: 0 success, 1 runtime failure, 2 usage error,
             3 unsupported query shape, 4 exists found no match
@@ -118,6 +157,9 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("exists") => cmd_exists(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        Some("queries") => cmd_queries(&args[1..]),
         Some("help") => print_help(),
         Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
         None => usage_error("missing subcommand"),
@@ -252,25 +294,49 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let results = BatchExecutor::new(threads).run(&index, &batch);
     let query_time = start.elapsed();
 
+    let output = if serialize {
+        OutputKind::Serialize
+    } else if materialize {
+        OutputKind::Nodes
+    } else {
+        OutputKind::Count
+    };
+    let stdout = io::stdout();
+    let mut out = io::BufWriter::new(stdout.lock());
+    let mut rendered = String::new();
     for result in &results {
-        let more = if result.result.truncated() { " (more results exist)" } else { "" };
-        match result.result.nodes() {
-            Some(nodes) if serialize => {
-                println!("{}:{more}", result.id);
-                for &node in nodes {
-                    println!("{}", index.get_subtree(node));
-                }
-            }
-            Some(nodes) => {
-                let preorders: Vec<String> =
-                    nodes.iter().map(|&n| index.tree().preorder(n).to_string()).collect();
-                println!("{}: {} nodes [{}]{more}", result.id, nodes.len(), preorders.join(", "));
-            }
-            None => println!("{}: {}{more}", result.id, result.result.count()),
+        rendered.clear();
+        render_batch_result(&index, result, output, &mut rendered);
+        match check_stdout_write(out.write_all(rendered.as_bytes())) {
+            WriteOutcome::Written => {}
+            WriteOutcome::PipeClosed => return ExitCode::SUCCESS,
+            WriteOutcome::Failed(code) => return code,
         }
+    }
+    match check_stdout_write(out.flush()) {
+        WriteOutcome::Written => {}
+        WriteOutcome::PipeClosed => return ExitCode::SUCCESS,
+        WriteOutcome::Failed(code) => return code,
     }
     eprintln!("ran {} queries in {query_time:.2?} on {threads} thread(s)", results.len());
     ExitCode::SUCCESS
+}
+
+/// How a stdout write went.  A closed downstream pipe
+/// (`sxsi query … | head`) is normal usage, not a failure: printing
+/// stops but the process exits cleanly.
+enum WriteOutcome {
+    Written,
+    PipeClosed,
+    Failed(ExitCode),
+}
+
+fn check_stdout_write(result: io::Result<()>) -> WriteOutcome {
+    match result {
+        Ok(()) => WriteOutcome::Written,
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => WriteOutcome::PipeClosed,
+        Err(e) => WriteOutcome::Failed(fail(format_args!("cannot write to stdout: {e}"))),
+    }
 }
 
 /// `sxsi exists`: existence-only evaluation with early termination.  Exit
@@ -310,10 +376,29 @@ fn cmd_exists(args: &[String]) -> ExitCode {
     };
     let results = BatchExecutor::new(threads).run(&index, &batch);
     let mut all_found = true;
+    let stdout = io::stdout();
+    let mut out = io::BufWriter::new(stdout.lock());
+    let mut rendered = String::new();
+    let mut pipe_closed = false;
     for result in &results {
-        let found = result.result.exists();
-        all_found &= found;
-        println!("{}: {}", result.id, found);
+        all_found &= result.result.exists();
+        if pipe_closed {
+            continue;
+        }
+        rendered.clear();
+        render_batch_result(&index, result, OutputKind::Exists, &mut rendered);
+        match check_stdout_write(out.write_all(rendered.as_bytes())) {
+            WriteOutcome::Written => {}
+            // The exit code carries the answer even when the reader
+            // hung up, so keep evaluating `all_found`.
+            WriteOutcome::PipeClosed => pipe_closed = true,
+            WriteOutcome::Failed(code) => return code,
+        }
+    }
+    if !pipe_closed {
+        if let WriteOutcome::Failed(code) = check_stdout_write(out.flush()) {
+            return code;
+        }
     }
     if all_found {
         ExitCode::SUCCESS
@@ -353,4 +438,305 @@ fn cmd_info(args: &[String]) -> ExitCode {
         options.text.sample_rate, options.text.keep_plain_text, options.text.scan_cutoff
     );
     ExitCode::SUCCESS
+}
+
+/// `sxsi serve`: load the indexes once, then answer queries over a
+/// framed socket until a `shutdown` command arrives.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut socket: Option<&String> = None;
+    let mut tcp: Option<&String> = None;
+    let mut options = ServeOptions::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(path) => socket = Some(path),
+                None => return usage_error("--socket expects a path"),
+            },
+            "--tcp" => match it.next() {
+                Some(addr) => tcp = Some(addr),
+                None => return usage_error("--tcp expects an address like 127.0.0.1:7878"),
+            },
+            "--threads" => match parse_number(&mut it, "--threads") {
+                Ok(n) => options.threads = n,
+                Err(e) => return usage_error(&e),
+            },
+            "--plan-cache" => match parse_number(&mut it, "--plan-cache") {
+                Ok(n) => options.plan_cache_capacity = n,
+                Err(e) => return usage_error(&e),
+            },
+            "--result-cache" => match parse_number(&mut it, "--result-cache") {
+                Ok(n) => options.result_cache_capacity = n,
+                Err(e) => return usage_error(&e),
+            },
+            "--read-timeout" => match parse_number(&mut it, "--read-timeout") {
+                Ok(n) if n > 0 => options.read_timeout = Duration::from_secs(n as u64),
+                Ok(_) | Err(_) => return usage_error("--read-timeout expects seconds > 0"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}'"))
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if positional.is_empty() {
+        return usage_error("serve expects at least one <[id=]index.sxsi>");
+    }
+    let (socket, tcp) = match (socket, tcp) {
+        (Some(s), None) => (Some(s), None),
+        (None, Some(t)) => (None, Some(t)),
+        _ => return usage_error("serve expects exactly one of --socket or --tcp"),
+    };
+
+    let mut indexes: Vec<(String, Arc<SxsiIndex>)> = Vec::new();
+    for spec in positional {
+        // `id=path` names the index explicitly; a bare path uses its
+        // file stem as the id.
+        let (id, path) = match spec.split_once('=') {
+            Some((id, path)) => (id.to_string(), path),
+            None => {
+                let stem = std::path::Path::new(spec.as_str())
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                (stem, spec.as_str())
+            }
+        };
+        let start = Instant::now();
+        let index = match SxsiIndex::load_from_file(path) {
+            Ok(index) => index,
+            Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+        };
+        eprintln!("loaded {path} as '{id}' in {:.2?}", start.elapsed());
+        indexes.push((id, Arc::new(index)));
+    }
+
+    let server = match Server::new(indexes, options) {
+        Ok(server) => server,
+        Err(e) => return fail(e),
+    };
+    let listener = match (socket, tcp) {
+        (Some(path), None) => {
+            match Listener::bind_unix(std::path::Path::new(path.as_str())) {
+                Ok(l) => l,
+                Err(e) => return fail(format_args!("cannot bind {path}: {e}")),
+            }
+        }
+        (None, Some(addr)) => match Listener::bind_tcp(addr) {
+            Ok(l) => l,
+            Err(e) => return fail(format_args!("cannot bind {addr}: {e}")),
+        },
+        _ => unreachable!("validated above"),
+    };
+    // Scripts wait for this line (and, for --tcp with port 0, parse the
+    // actual address out of it) before connecting.
+    println!("listening on {}", listener.local_addr_string());
+    let _ = io::stdout().flush();
+
+    let served = server.serve(listener);
+    if let Some(path) = socket {
+        let _ = std::fs::remove_file(path);
+    }
+    match served {
+        Ok(()) => {
+            eprintln!("shut down after draining connections");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format_args!("serve failed: {e}")),
+    }
+}
+
+/// Connection flags shared by every `sxsi client` op.
+fn connect_client(socket: Option<&String>, tcp: Option<&String>) -> Result<Client, String> {
+    match (socket, tcp) {
+        (Some(path), None) => Client::connect_unix(std::path::Path::new(path.as_str()))
+            .map_err(|e| format!("cannot connect to {path}: {e}")),
+        (None, Some(addr)) => {
+            Client::connect_tcp(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+        }
+        _ => Err("client expects exactly one of --socket or --tcp before the op".into()),
+    }
+}
+
+/// `sxsi client`: one op against a running daemon.
+fn cmd_client(args: &[String]) -> ExitCode {
+    let mut socket: Option<&String> = None;
+    let mut tcp: Option<&String> = None;
+    let mut it = args.iter();
+    let op = loop {
+        match it.next().map(String::as_str) {
+            Some("--socket") => match it.next() {
+                Some(path) => socket = Some(path),
+                None => return usage_error("--socket expects a path"),
+            },
+            Some("--tcp") => match it.next() {
+                Some(addr) => tcp = Some(addr),
+                None => return usage_error("--tcp expects an address"),
+            },
+            Some(flag) if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}' before the client op"))
+            }
+            Some(op) => break op,
+            None => return usage_error("client expects an op (query/exists/stats/info/ping/shutdown)"),
+        }
+    };
+    let rest: Vec<&String> = it.collect();
+    let mut client = match connect_client(socket, tcp) {
+        Ok(client) => client,
+        Err(e) => return fail(e),
+    };
+    match op {
+        "query" => client_query(&mut client, &rest, false),
+        "exists" => client_query(&mut client, &rest, true),
+        "stats" => client_body(client.stats()),
+        "info" => client_body(client.info()),
+        "ping" => match client.ping() {
+            Ok(()) => {
+                println!("pong");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "shutdown" => match client.shutdown() {
+            Ok(()) => {
+                println!("server shutting down");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        other => usage_error(&format!("unknown client op '{other}'")),
+    }
+}
+
+fn client_body(body: Result<String, sxsi_engine::server::client::ClientError>) -> ExitCode {
+    match body {
+        Ok(body) => {
+            let stdout = io::stdout();
+            let mut out = io::BufWriter::new(stdout.lock());
+            match check_stdout_write(out.write_all(body.as_bytes()).and_then(|()| out.flush())) {
+                WriteOutcome::Failed(code) => code,
+                _ => ExitCode::SUCCESS,
+            }
+        }
+        Err(e) => fail(e),
+    }
+}
+
+/// The `query` and `exists` client ops.  The printed body is exactly
+/// what the in-process subcommand would print; error frames map back to
+/// the CLI exit-code taxonomy (`unsupported-query` → 3), and `exists`
+/// keeps its "4 when any query matched nothing" contract via the
+/// response's `all_found=` detail.
+fn client_query(client: &mut Client, args: &[&String], exists: bool) -> ExitCode {
+    let mut index_id: Option<&String> = None;
+    let mut materialize = false;
+    let mut serialize = false;
+    let mut limit: Option<u64> = None;
+    let mut offset = 0u64;
+    let mut xpaths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--index" => match it.next() {
+                Some(id) => index_id = Some(id),
+                None => return usage_error("--index expects an index id"),
+            },
+            "--materialize" if !exists => materialize = true,
+            "--serialize" if !exists => serialize = true,
+            "--limit" if !exists => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => limit = Some(n),
+                None => return usage_error("--limit expects a non-negative integer"),
+            },
+            "--offset" if !exists => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => offset = n,
+                None => return usage_error("--offset expects a non-negative integer"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}'"))
+            }
+            _ => xpaths.push(arg.as_str()),
+        }
+    }
+    if xpaths.is_empty() {
+        return usage_error("expected at least one XPath expression");
+    }
+    let output = if exists {
+        OutputKind::Exists
+    } else if serialize {
+        OutputKind::Serialize
+    } else if materialize {
+        OutputKind::Nodes
+    } else {
+        OutputKind::Count
+    };
+    match client.query(index_id.map(String::as_str), output, limit, offset, &xpaths) {
+        Ok(Response::Ok { detail, body }) => {
+            let stdout = io::stdout();
+            let mut out = io::BufWriter::new(stdout.lock());
+            if let WriteOutcome::Failed(code) =
+                check_stdout_write(out.write_all(body.as_bytes()).and_then(|()| out.flush()))
+            {
+                return code;
+            }
+            eprintln!("server: {detail}");
+            if exists && detail.split_whitespace().any(|t| t == "all_found=false") {
+                return ExitCode::from(4);
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Err { code, message }) => {
+            eprintln!("sxsi: error={code} {message}");
+            ExitCode::from(exit_code_for(code) as u8)
+        }
+        Err(e) => fail(e),
+    }
+}
+
+/// `sxsi queries`: dump the paper's query sets for shell scripting.
+fn cmd_queries(args: &[String]) -> ExitCode {
+    let mut set = "paper";
+    let mut print0 = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--print0" => print0 = true,
+            "--set" => match it.next().map(String::as_str) {
+                Some(s @ ("paper" | "ordered")) => set = s,
+                _ => return usage_error("--set expects 'paper' or 'ordered'"),
+            },
+            flag => return usage_error(&format!("unknown option '{flag}'")),
+        }
+    }
+    let terminator = if print0 { b'\0' } else { b'\n' };
+    let mut records: Vec<String> = Vec::new();
+    if set == "paper" {
+        for group in [
+            sxsi_xpath::XMARK_QUERIES,
+            sxsi_xpath::TREEBANK_QUERIES,
+            sxsi_xpath::MEDLINE_QUERIES,
+            sxsi_xpath::WORD_QUERIES,
+        ] {
+            records.extend(group.iter().map(|q| format!("{}\t{}", q.id, q.xpath)));
+        }
+    } else {
+        records.extend(
+            sxsi_xpath::ORDERED_QUERIES
+                .iter()
+                .map(|q| format!("{}\t{}\t{}", q.id, q.corpus, q.xpath)),
+        );
+    }
+    let stdout = io::stdout();
+    let mut out = io::BufWriter::new(stdout.lock());
+    let written: io::Result<()> = records
+        .iter()
+        .try_for_each(|record| {
+            out.write_all(record.as_bytes())?;
+            out.write_all(&[terminator])
+        })
+        .and_then(|()| out.flush());
+    match check_stdout_write(written) {
+        WriteOutcome::Failed(code) => code,
+        _ => ExitCode::SUCCESS,
+    }
 }

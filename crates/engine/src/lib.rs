@@ -50,11 +50,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod server;
+
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use sxsi::{Prepared, QueryError, QueryOptions, ResultSet, SxsiIndex, Strategy};
 
@@ -208,6 +211,28 @@ impl QueryBatch {
     pub fn specs(&self) -> impl Iterator<Item = &QuerySpec> {
         self.queries.iter().map(|q| &q.spec)
     }
+
+    /// Assembles a batch from already-prepared statements, bypassing
+    /// compilation — the path a plan cache takes (see
+    /// [`server::Server`]): specs whose `Prepared` handle survived in
+    /// the cache are batched without re-paying parse/plan/compile.
+    ///
+    /// Each pair couples one spec with the statement to run it on; as
+    /// with [`QueryBatch::compile`], a statement is only meaningful for
+    /// the index it was prepared against.
+    pub fn from_prepared(queries: Vec<(QuerySpec, Arc<Prepared>)>) -> Self {
+        let num_distinct = {
+            let mut seen = std::collections::HashSet::new();
+            queries.iter().filter(|(spec, _)| seen.insert(spec.xpath.as_str())).count()
+        };
+        Self {
+            queries: queries
+                .into_iter()
+                .map(|(spec, prepared)| BatchQuery { spec, prepared })
+                .collect(),
+            num_distinct,
+        }
+    }
 }
 
 /// The result of one batch query.
@@ -220,6 +245,11 @@ pub struct BatchResult {
     /// The run's [`ResultSet`] — identical to what a sequential
     /// [`Prepared::run`] produces.
     pub result: ResultSet,
+    /// Wall-clock time this query's evaluation took on its worker
+    /// thread (just the [`Prepared::run`] call — queueing, spawn and
+    /// join overhead excluded), so per-query latency stays exact even
+    /// through the batch fan-out.
+    pub elapsed: Duration,
 }
 
 /// Fans a [`QueryBatch`] out across a pool of `std::thread` workers sharing
@@ -321,8 +351,10 @@ impl BatchExecutor {
 /// runs, and all mutable state (the evaluator inside [`Prepared::run`]) is
 /// allocated locally.
 fn run_one(index: &SxsiIndex, query: &BatchQuery) -> BatchResult {
+    let start = Instant::now();
     let result = query.prepared.run(index, &query.spec.options);
-    BatchResult { id: query.spec.id.clone(), strategy: query.prepared.strategy(), result }
+    let elapsed = start.elapsed();
+    BatchResult { id: query.spec.id.clone(), strategy: query.prepared.strategy(), result, elapsed }
 }
 
 #[cfg(test)]

@@ -48,7 +48,8 @@ pub use direct::{DirectEvaluator, DirectOutcome, DirectRunOptions};
 pub use eval::{EvalOptions, EvalStats, Evaluator};
 pub use parser::{parse_query, XPathParseError};
 pub use queries::{
-    NamedQuery, MEDLINE_QUERIES, ORDERED_QUERIES, TREEBANK_QUERIES, WORD_QUERIES, XMARK_QUERIES,
+    CorpusQuery, NamedQuery, MEDLINE_QUERIES, ORDERED_QUERIES, TREEBANK_QUERIES, WORD_QUERIES,
+    XMARK_QUERIES,
 };
 pub use rewrite::{requires_direct, rewrite_to_forward};
 

@@ -253,6 +253,57 @@ fn batch_executor_honors_windows() {
     }
 }
 
+/// An `--offset` at or past the end of the full result is a legal,
+/// empty window: no nodes, count 0, truncation flag clear (there is
+/// nothing "more" beyond it) — on every corpus and therefore on all
+/// three strategies, with and without a limit, agreeing with the naive
+/// slice oracle even at `u64::MAX` (the window arithmetic must
+/// saturate, not wrap).
+#[test]
+fn offset_past_end_is_an_empty_untruncated_window() {
+    for (corpus, index) in corpora() {
+        let naive = NaiveEvaluator::new(index.tree(), index.texts());
+        for query in corpus_queries(corpus) {
+            let parsed = parse_query(query).unwrap();
+            let prepared = index.prepare(query).unwrap();
+            let full = prepared.run(index, &QueryOptions::count()).count();
+            for offset in [full, full + 1, full + 1_000, u64::MAX] {
+                for limit in [None, Some(0), Some(1), Some(5)] {
+                    let mut options = QueryOptions::nodes().with_offset(offset);
+                    options.limit = limit;
+                    let window = prepared.run(index, &options);
+                    let expected = naive.evaluate_window(&parsed, limit, offset);
+                    assert!(
+                        expected.is_empty(),
+                        "oracle slice past the end must be empty ({corpus} {query})"
+                    );
+                    assert_eq!(
+                        window.nodes().unwrap(),
+                        &[] as &[_],
+                        "{corpus} {query} offset {offset} limit {limit:?} nodes"
+                    );
+                    assert!(
+                        !window.truncated(),
+                        "{corpus} {query} offset {offset} limit {limit:?} must not be truncated"
+                    );
+                    let mut count_options = QueryOptions::count().with_offset(offset);
+                    count_options.limit = limit;
+                    let counted = prepared.run(index, &count_options);
+                    assert_eq!(
+                        counted.count(),
+                        0,
+                        "{corpus} {query} offset {offset} limit {limit:?} count"
+                    );
+                    assert!(
+                        !counted.truncated(),
+                        "{corpus} {query} offset {offset} limit {limit:?} count truncation"
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     /// Random windows against the naive slice oracle, on the XMark corpus
