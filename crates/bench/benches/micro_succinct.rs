@@ -1,10 +1,14 @@
 //! Microbenchmark: raw rank/select throughput of the succinct building
-//! blocks (RsBitVector, Elias-Fano, Huffman wavelet tree) on synthetic data.
-//! Not a paper figure — a regression guard for the primitives everything
-//! else is built on.
+//! blocks — the classic RsBitVector next to the cache-line-interleaved
+//! bitmap, the pointer (Huffman) wavelet tree next to the wavelet matrix,
+//! plus Elias-Fano — on synthetic data.  Not a paper figure — a regression
+//! guard for the primitives everything else is built on, with the backend
+//! variant printed per row.
 use sxsi_bench::{header, row, time_avg_ms};
 use sxsi_succinct::wavelet::SequenceIndex;
-use sxsi_succinct::{BitVec, EliasFano, HuffmanWaveletTree, RsBitVector};
+use sxsi_succinct::{
+    BitVec, EliasFano, HuffmanWaveletTree, InterleavedRsBitVector, RsBitVector, WaveletMatrix,
+};
 
 fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
@@ -24,6 +28,7 @@ fn main() {
         bv.push(splitmix(&mut state) & 1 == 1);
     }
     let rs = RsBitVector::new(&bv);
+    let ilv = InterleavedRsBitVector::from(&bv);
     let ones = rs.count_ones();
 
     let mut values: Vec<u64> = (0..N as u64 / 8).map(|_| splitmix(&mut state) % (N as u64 * 4)).collect();
@@ -32,14 +37,17 @@ fn main() {
 
     let bytes: Vec<u8> = (0..N).map(|_| splitmix(&mut state) as u8).collect();
     let wt = HuffmanWaveletTree::new(&bytes);
+    let syms: Vec<u64> = bytes.iter().map(|&b| b as u64).collect();
+    let wm = WaveletMatrix::new(&syms, 256);
 
     header(
         "Micro: succinct primitives",
-        &["operation", "probes", "total ms", "ns/op"],
+        &["operation", "variant", "probes", "total ms", "ns/op"],
     );
-    let report = |name: &str, ms: f64| {
+    let report = |name: &str, variant: &str, ms: f64| {
         row(&[
             name.to_string(),
+            variant.to_string(),
             format!("{PROBES}"),
             format!("{ms:.2}"),
             format!("{:.1}", ms * 1e6 / PROBES as f64),
@@ -54,7 +62,16 @@ fn main() {
         }
         acc
     });
-    report("rsbitvec rank1", ms);
+    report("bitvec rank1", "classic", ms);
+
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0usize;
+        for _ in 0..PROBES {
+            acc = acc.wrapping_add(ilv.rank1(splitmix(&mut probe_state) as usize % N));
+        }
+        acc
+    });
+    report("bitvec rank1", "interleaved", ms);
 
     let ms = time_avg_ms(3, || {
         let mut acc = 0usize;
@@ -64,7 +81,17 @@ fn main() {
         }
         acc
     });
-    report("rsbitvec select1", ms);
+    report("bitvec select1", "classic", ms);
+
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0usize;
+        for _ in 0..PROBES {
+            let k = splitmix(&mut probe_state) as usize % ones + 1;
+            acc = acc.wrapping_add(ilv.select1(k).unwrap_or(0));
+        }
+        acc
+    });
+    report("bitvec select1", "interleaved", ms);
 
     let ms = time_avg_ms(3, || {
         let mut acc = 0usize;
@@ -73,7 +100,7 @@ fn main() {
         }
         acc
     });
-    report("eliasfano rank", ms);
+    report("eliasfano rank", "sarray", ms);
 
     let ms = time_avg_ms(3, || {
         let mut acc = 0u64;
@@ -83,7 +110,7 @@ fn main() {
         }
         acc
     });
-    report("eliasfano get", ms);
+    report("eliasfano get", "sarray", ms);
 
     let ms = time_avg_ms(3, || {
         let mut acc = 0usize;
@@ -93,7 +120,17 @@ fn main() {
         }
         acc
     });
-    report("huffman-wt rank", ms);
+    report("seq rank", "pointer", ms);
+
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0usize;
+        for _ in 0..PROBES {
+            let i = splitmix(&mut probe_state) as usize % N;
+            acc = acc.wrapping_add(wm.rank_sym(syms[i], i));
+        }
+        acc
+    });
+    report("seq rank", "matrix", ms);
 
     let ms = time_avg_ms(3, || {
         let mut acc = 0u64;
@@ -102,5 +139,14 @@ fn main() {
         }
         acc
     });
-    report("huffman-wt access", ms);
+    report("seq access", "pointer", ms);
+
+    let ms = time_avg_ms(3, || {
+        let mut acc = 0u64;
+        for _ in 0..PROBES {
+            acc = acc.wrapping_add(wm.access_sym(splitmix(&mut probe_state) as usize % N));
+        }
+        acc
+    });
+    report("seq access", "matrix", ms);
 }

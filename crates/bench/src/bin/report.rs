@@ -1,6 +1,6 @@
 //! Machine-readable benchmark report: `cargo run -p sxsi-bench --bin report`.
 //!
-//! Three experiment families, written to `BENCH_pr5.json` at the repository
+//! Four experiment families, written to `BENCH_pr7.json` at the repository
 //! root:
 //!
 //! * the quick concurrency benches carried over from PR 2 (the X01–X17
@@ -15,15 +15,22 @@
 //!   visited-node count of `Exists`, `limit 1` and `limit 10` runs against
 //!   full materialization through the prepared-statement API — the
 //!   "how much of the answer is needed" dimension the query redesign
-//!   opened up.
+//!   opened up;
+//! * the PR 7 **succinct-primitive micro-benchmarks**: before/after
+//!   throughput of every hot-path primitive — classic two-level rank vs the
+//!   cache-line-interleaved bitmap, and the pointer (Huffman) wavelet tree
+//!   vs the wavelet matrix — with the primitive variant recorded per row.
 //!
 //! The report also records the machine's available parallelism — on a
 //! single-core host the thread-scaling curve is necessarily flat, and
 //! readers of the trajectory need to know that.
 //!
-//! Options: `--scale <f64>` (XMark scale factor, default 0.15) and
-//! `--runs <n>` (timed runs per entry, default 5).  Use `--release` for
-//! numbers worth recording.
+//! Options: `--scale <f64>` (XMark scale factor, default 0.15),
+//! `--runs <n>` (timed runs per entry, default 5) and a repeatable
+//! `--section <name>` restricting the run to named experiment sections
+//! (`concurrency`, `ordered_axis_queries`, `early_termination`,
+//! `micro_succinct`; unknown names exit with status 2).  Use `--release`
+//! for numbers worth recording.
 
 use sxsi::{Prepared, QueryOptions, SxsiIndex};
 use sxsi_bench::{measure_batch_qps, median_ms};
@@ -31,6 +38,8 @@ use sxsi_datagen::{
     medline, treebank, wiki, xmark, MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig,
 };
 use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
+use sxsi_succinct::wavelet::SequenceIndex;
+use sxsi_succinct::{BitVec, HuffmanWaveletTree, InterleavedRsBitVector, RsBitVector, WaveletMatrix};
 use sxsi_xpath::{
     NamedQuery, MEDLINE_QUERIES, ORDERED_QUERIES, TREEBANK_QUERIES, WORD_QUERIES, XMARK_QUERIES,
 };
@@ -86,12 +95,19 @@ fn measure(
     Entry { name: name.to_string(), threads: executor.threads(), median_ns, queries_per_sec }
 }
 
-const USAGE: &str = "usage: report [--scale <f64>] [--runs <n>]\n\
+const USAGE: &str = "usage: report [--scale <f64>] [--runs <n>] [--section <name>]...\n\
                      runs the X01-X17 concurrency batches, the O01-O20 \
-                     ordered-axis queries and the early-termination \
+                     ordered-axis queries, the early-termination \
                      comparison (exists / first-1 / first-10 vs full \
-                     materialization) over all paper query sets, writing \
-                     BENCH_pr5.json";
+                     materialization) over all paper query sets, and the \
+                     succinct-primitive micro-benchmarks, writing \
+                     BENCH_pr7.json.  --section restricts the run to the \
+                     named sections (concurrency, ordered_axis_queries, \
+                     early_termination, micro_succinct)";
+
+/// The experiment sections `--section` can select.
+const SECTIONS: &[&str] =
+    &["concurrency", "ordered_axis_queries", "early_termination", "micro_succinct"];
 
 fn usage_error(message: &str) -> ! {
     // The benchmark queries are plain XPath: print the supported fragment
@@ -100,9 +116,10 @@ fn usage_error(message: &str) -> ! {
     sxsi_bench::usage_error("report", message, &format!("{USAGE}\n{help}"));
 }
 
-fn parse_args() -> (f64, usize) {
+fn parse_args() -> (f64, usize, Vec<String>) {
     let mut scale = 0.15;
     let mut runs = 5;
+    let mut sections: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -114,10 +131,21 @@ fn parse_args() -> (f64, usize) {
                 Some(v) if v > 0 => runs = v,
                 _ => usage_error("--runs expects a positive integer"),
             },
+            "--section" => match args.next() {
+                // An unknown section name is a hard error (exit status 2):
+                // a typo'd CI invocation must fail loudly, not silently
+                // skip the experiment it meant to run.
+                Some(name) if SECTIONS.contains(&name.as_str()) => sections.push(name),
+                Some(name) => usage_error(&format!(
+                    "unknown section '{name}' (known: {})",
+                    SECTIONS.join(", ")
+                )),
+                None => usage_error("--section expects a section name"),
+            },
             other => usage_error(&format!("unknown option '{other}'")),
         }
     }
-    (scale, runs)
+    (scale, runs, sections)
 }
 
 /// Runs every O-query against its corpus index, `runs` times each.
@@ -224,117 +252,308 @@ fn measure_early_termination(
     entries
 }
 
+/// One micro-benchmark row: a primitive operation under one backend
+/// variant.
+struct MicroEntry {
+    name: &'static str,
+    variant: &'static str,
+    probes: usize,
+    ns_per_op: f64,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The PR 7 experiment: before/after throughput of every hot-path succinct
+/// primitive.  "classic"/"pointer" are the pre-PR7 structures; the
+/// "interleaved" bitmap and the "matrix" sequence are the replacements the
+/// live query path now defaults to.
+fn measure_micro_succinct(runs: usize) -> Vec<MicroEntry> {
+    // Out-of-cache working sets: the interleaved layout's whole point is
+    // fewer memory fetches per operation, which only shows once the rank
+    // directory no longer rides along in L2 with the bit data.
+    const BIT_N: usize = 1 << 26;
+    const SEQ_N: usize = 1 << 24;
+    const PROBES: usize = 100_000;
+    let mut state = 42u64;
+
+    let mut bv = BitVec::new();
+    for _ in 0..BIT_N {
+        bv.push(splitmix(&mut state) & 1 == 1);
+    }
+    let classic = RsBitVector::new(&bv);
+    let interleaved = InterleavedRsBitVector::from(&bv);
+    let ones = classic.count_ones();
+
+    let bytes: Vec<u8> = (0..SEQ_N).map(|_| splitmix(&mut state) as u8).collect();
+    let pointer = HuffmanWaveletTree::new(&bytes);
+    let syms: Vec<u64> = bytes.iter().map(|&b| b as u64).collect();
+    let matrix = WaveletMatrix::new(&syms, 256);
+
+    let mut entries = Vec::new();
+    let mut record = |name: &'static str, variant: &'static str, mut op: Box<dyn FnMut() -> usize>| {
+        // Minimum over the runs, not the median: external noise (this often
+        // runs on shared machines) only ever adds time, so the fastest run
+        // is the best estimate of the primitive's true cost.
+        std::hint::black_box(op()); // warm-up pass
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..runs.max(1) {
+            let t = std::time::Instant::now();
+            std::hint::black_box(op());
+            best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        let ns_per_op = best_ms * 1e6 / PROBES as f64;
+        println!("  {name} [{variant}] {ns_per_op:.1} ns/op over {PROBES} probes");
+        entries.push(MicroEntry { name, variant, probes: PROBES, ns_per_op });
+    };
+
+    let probes: Vec<usize> = {
+        let mut ps = 7u64;
+        (0..PROBES).map(|_| splitmix(&mut ps) as usize % BIT_N).collect()
+    };
+    let rank_probes = probes.clone();
+    let c = classic.clone();
+    record("rank1", "classic", Box::new(move || rank_probes.iter().map(|&i| c.rank1(i)).sum()));
+    let rank_probes = probes.clone();
+    let iv = interleaved.clone();
+    record("rank1", "interleaved", Box::new(move || rank_probes.iter().map(|&i| iv.rank1(i)).sum()));
+
+    let select_probes: Vec<usize> = {
+        let mut ps = 11u64;
+        (0..PROBES).map(|_| splitmix(&mut ps) as usize % ones + 1).collect()
+    };
+    let sp = select_probes.clone();
+    let c = classic.clone();
+    record(
+        "select1",
+        "classic",
+        Box::new(move || sp.iter().map(|&k| c.select1(k).unwrap_or(0)).sum()),
+    );
+    let sp = select_probes;
+    let iv = interleaved.clone();
+    record(
+        "select1",
+        "interleaved",
+        Box::new(move || sp.iter().map(|&k| iv.select1(k).unwrap_or(0)).sum()),
+    );
+
+    let seq_positions: Vec<usize> = {
+        let mut ps = 13u64;
+        (0..PROBES).map(|_| splitmix(&mut ps) as usize % SEQ_N).collect()
+    };
+    let seq_probes = seq_positions.clone();
+    let by = bytes.clone();
+    let pt = pointer.clone();
+    record(
+        "seq-rank",
+        "pointer",
+        Box::new(move || seq_probes.iter().map(|&i| pt.rank(by[i], i)).sum()),
+    );
+    let seq_probes = seq_positions.clone();
+    let by2 = bytes.clone();
+    let mx = matrix.clone();
+    record(
+        "seq-rank",
+        "matrix",
+        Box::new(move || seq_probes.iter().map(|&i| mx.rank_sym(by2[i] as u64, i)).sum()),
+    );
+
+    let seq_probes = seq_positions.clone();
+    let pt = pointer;
+    record(
+        "seq-access",
+        "pointer",
+        Box::new(move || seq_probes.iter().map(|&i| pt.access(i) as usize).sum()),
+    );
+    let seq_probes = seq_positions;
+    let mx = matrix;
+    record(
+        "seq-access",
+        "matrix",
+        Box::new(move || seq_probes.iter().map(|&i| mx.access_sym(i) as usize).sum()),
+    );
+
+    entries
+}
+
 fn build(corpus: &str, xml: &str) -> SxsiIndex {
     println!("building {corpus} index ({} bytes of XML) ...", xml.len());
     SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds")
 }
 
 fn main() {
-    let (scale, runs) = parse_args();
+    let (scale, runs, selected) = parse_args();
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let enabled = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    let need_corpora =
+        enabled("concurrency") || enabled("ordered_axis_queries") || enabled("early_termination");
 
-    println!("generating corpora (XMark scale {scale}) ...");
-    let corpora: Vec<(&'static str, SxsiIndex)> = vec![
-        ("xmark", build("xmark", &xmark::generate(&XMarkConfig { scale, seed: 42 }))),
-        (
-            "treebank",
-            build("treebank", &treebank::generate(&TreebankConfig { num_sentences: 400, seed: 42 })),
-        ),
-        (
-            "medline",
-            build("medline", &medline::generate(&MedlineConfig { num_citations: 300, seed: 42 })),
-        ),
-        ("wiki", build("wiki", &wiki::generate(&WikiConfig { num_pages: 300, seed: 42 }))),
-    ];
-    let xmark_index = &corpora[0].1;
-
-    let count_batch = QueryBatch::compile(
-        xmark_index,
-        XMARK_QUERIES.iter().map(|q| QuerySpec::count(q.id, q.xpath)).collect(),
-    )
-    .expect("benchmark queries compile");
-    let materialize_batch = QueryBatch::compile(
-        xmark_index,
-        XMARK_QUERIES.iter().map(|q| QuerySpec::nodes(q.id, q.xpath)).collect(),
-    )
-    .expect("benchmark queries compile");
+    let corpora: Vec<(&'static str, SxsiIndex)> = if need_corpora {
+        println!("generating corpora (XMark scale {scale}) ...");
+        vec![
+            ("xmark", build("xmark", &xmark::generate(&XMarkConfig { scale, seed: 42 }))),
+            (
+                "treebank",
+                build(
+                    "treebank",
+                    &treebank::generate(&TreebankConfig { num_sentences: 400, seed: 42 }),
+                ),
+            ),
+            (
+                "medline",
+                build(
+                    "medline",
+                    &medline::generate(&MedlineConfig { num_citations: 300, seed: 42 }),
+                ),
+            ),
+            ("wiki", build("wiki", &wiki::generate(&WikiConfig { num_pages: 300, seed: 42 }))),
+        ]
+    } else {
+        Vec::new()
+    };
 
     let mut entries = Vec::new();
-    for threads in [1usize, 2, 4, 8] {
-        let executor = BatchExecutor::new(threads);
-        entries.push(measure("xmark_x01_x17_count", &executor, xmark_index, &count_batch, runs));
-        entries.push(measure(
-            "xmark_x01_x17_materialize",
-            &executor,
+    if enabled("concurrency") {
+        let xmark_index = &corpora[0].1;
+        let count_batch = QueryBatch::compile(
             xmark_index,
-            &materialize_batch,
-            runs,
-        ));
+            XMARK_QUERIES.iter().map(|q| QuerySpec::count(q.id, q.xpath)).collect(),
+        )
+        .expect("benchmark queries compile");
+        let materialize_batch = QueryBatch::compile(
+            xmark_index,
+            XMARK_QUERIES.iter().map(|q| QuerySpec::nodes(q.id, q.xpath)).collect(),
+        )
+        .expect("benchmark queries compile");
+        for threads in [1usize, 2, 4, 8] {
+            let executor = BatchExecutor::new(threads);
+            entries.push(measure(
+                "xmark_x01_x17_count",
+                &executor,
+                xmark_index,
+                &count_batch,
+                runs,
+            ));
+            entries.push(measure(
+                "xmark_x01_x17_materialize",
+                &executor,
+                xmark_index,
+                &materialize_batch,
+                runs,
+            ));
+        }
     }
-    println!("ordered-axis queries (O01-O20) ...");
-    let ordered = measure_ordered_queries(&corpora, runs);
-    println!("early termination: exists / first-1 / first-10 vs full materialization ...");
-    let early = measure_early_termination(&corpora, runs);
+    let ordered = if enabled("ordered_axis_queries") {
+        println!("ordered-axis queries (O01-O20) ...");
+        measure_ordered_queries(&corpora, runs)
+    } else {
+        Vec::new()
+    };
+    let early = if enabled("early_termination") {
+        println!("early termination: exists / first-1 / first-10 vs full materialization ...");
+        measure_early_termination(&corpora, runs)
+    } else {
+        Vec::new()
+    };
+    let micro = if enabled("micro_succinct") {
+        println!("succinct primitives: classic/pointer vs interleaved/matrix ...");
+        measure_micro_succinct(runs)
+    } else {
+        Vec::new()
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 5,\n");
+    json.push_str("  \"pr\": 7,\n");
     json.push_str(
-        "  \"bench\": \"prepared-statement API: batch throughput, ordered queries, \
-         early termination (exists/first-k vs full)\",\n",
+        "  \"bench\": \"hot-path succinct primitives (interleaved rank, wavelet matrix, \
+         broadword select) + batch throughput, ordered queries, early termination\",\n",
     );
-    json.push_str(&format!("  \"corpus\": \"xmark scale {scale} seed 42 (+ treebank/medline/wiki defaults)\",\n"));
+    json.push_str(&format!(
+        "  \"corpus\": \"xmark scale {scale} seed 42 (+ treebank/medline/wiki defaults); \
+         micro benches on 2^26 synthetic bits / 2^24 bytes\",\n"
+    ));
     json.push_str(&format!("  \"queries\": {},\n", XMARK_QUERIES.len()));
     json.push_str(&format!("  \"runs_per_entry\": {runs},\n"));
     json.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
     json.push_str(
         "  \"note\": \"thread scaling is bounded by available_parallelism; \
-         on a single-core host the curve is flat by construction\",\n",
+         micro_succinct rows pair each primitive's pre-PR7 variant \
+         (classic/pointer) with its PR7 replacement (interleaved/matrix)\",\n",
     );
-    json.push_str("  \"entries\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        let comma = if i + 1 == entries.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"queries_per_sec\": {:.2} }}{comma}\n",
-            e.name, e.threads, e.median_ns, e.queries_per_sec
-        ));
+    let mut sections_json: Vec<String> = Vec::new();
+    if enabled("concurrency") {
+        let mut out = String::from("  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"queries_per_sec\": {:.2} }}{comma}\n",
+                e.name, e.threads, e.median_ns, e.queries_per_sec
+            ));
+        }
+        out.push_str("  ]");
+        sections_json.push(out);
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"ordered_axis_queries\": [\n");
-    for (i, e) in ordered.iter().enumerate() {
-        let comma = if i + 1 == ordered.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{ \"id\": \"{}\", \"corpus\": \"{}\", \"strategy\": \"{}\", \"count\": {}, \"median_ns\": {} }}{comma}\n",
-            e.id, e.corpus, e.strategy, e.count, e.median_ns
-        ));
+    if enabled("ordered_axis_queries") {
+        let mut out = String::from("  \"ordered_axis_queries\": [\n");
+        for (i, e) in ordered.iter().enumerate() {
+            let comma = if i + 1 == ordered.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"id\": \"{}\", \"corpus\": \"{}\", \"strategy\": \"{}\", \"count\": {}, \"median_ns\": {} }}{comma}\n",
+                e.id, e.corpus, e.strategy, e.count, e.median_ns
+            ));
+        }
+        out.push_str("  ]");
+        sections_json.push(out);
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"early_termination\": [\n");
-    for (i, e) in early.iter().enumerate() {
-        let comma = if i + 1 == early.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{ \"id\": \"{}\", \"corpus\": \"{}\", \"strategy\": \"{}\", \"count\": {}, \
-             \"full_ns\": {}, \"full_visited\": {}, \
-             \"exists_ns\": {}, \"exists_visited\": {}, \
-             \"first1_ns\": {}, \"first1_visited\": {}, \
-             \"first10_ns\": {}, \"first10_visited\": {} }}{comma}\n",
-            e.id,
-            e.corpus,
-            e.strategy,
-            e.count,
-            e.full.median_ns,
-            e.full.visited,
-            e.exists.median_ns,
-            e.exists.visited,
-            e.first1.median_ns,
-            e.first1.visited,
-            e.first10.median_ns,
-            e.first10.visited,
-        ));
+    if enabled("early_termination") {
+        let mut out = String::from("  \"early_termination\": [\n");
+        for (i, e) in early.iter().enumerate() {
+            let comma = if i + 1 == early.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"id\": \"{}\", \"corpus\": \"{}\", \"strategy\": \"{}\", \"count\": {}, \
+                 \"full_ns\": {}, \"full_visited\": {}, \
+                 \"exists_ns\": {}, \"exists_visited\": {}, \
+                 \"first1_ns\": {}, \"first1_visited\": {}, \
+                 \"first10_ns\": {}, \"first10_visited\": {} }}{comma}\n",
+                e.id,
+                e.corpus,
+                e.strategy,
+                e.count,
+                e.full.median_ns,
+                e.full.visited,
+                e.exists.median_ns,
+                e.exists.visited,
+                e.first1.median_ns,
+                e.first1.visited,
+                e.first10.median_ns,
+                e.first10.visited,
+            ));
+        }
+        out.push_str("  ]");
+        sections_json.push(out);
     }
-    json.push_str("  ]\n}\n");
+    if enabled("micro_succinct") {
+        let mut out = String::from("  \"micro_succinct\": [\n");
+        for (i, e) in micro.iter().enumerate() {
+            let comma = if i + 1 == micro.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"variant\": \"{}\", \"probes\": {}, \"ns_per_op\": {:.2} }}{comma}\n",
+                e.name, e.variant, e.probes, e.ns_per_op
+            ));
+        }
+        out.push_str("  ]");
+        sections_json.push(out);
+    }
+    json.push_str(&sections_json.join(",\n"));
+    json.push_str("\n}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
-    std::fs::write(path, &json).expect("BENCH_pr5.json is writable");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    std::fs::write(path, &json).expect("BENCH_pr7.json is writable");
     println!("\nwrote {}", path);
 }

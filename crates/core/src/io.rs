@@ -31,9 +31,10 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use sxsi_io::{
-    corrupt, read_bool, read_section, read_u32, read_usize, write_bool, write_section,
-    write_u32, write_usize, write_end,
+    corrupt, read_bool, read_section, read_u32, read_u8, read_usize, write_bool, write_section,
+    write_u32, write_u8, write_usize, write_end,
 };
+use sxsi_succinct::{RankBackend, SequenceBackend, SuccinctOptions};
 use sxsi_text::TextCollection;
 use sxsi_tree::XmlTree;
 use sxsi_xpath::eval::EvalOptions;
@@ -48,7 +49,11 @@ pub const MAGIC: [u8; 8] = *b"SXSIIDX\0";
 /// Current on-disk format version.  Bumped on any incompatible layout
 /// change; readers reject files from other versions with
 /// [`IoError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: version 1 was the original layout; version 2 added the succinct
+/// backend tags (interleaved rank bitmaps, wavelet-matrix sequences) to the
+/// options section and to every backend-dispatched structure.
+pub const FORMAT_VERSION: u32 = 2;
 
 const SECTION_OPTIONS: u8 = 1;
 const SECTION_TREE: u8 = 2;
@@ -76,7 +81,9 @@ impl WriteInto for SxsiOptions {
         self.text.write_into(w)?;
         write_eval_options(w, &self.eval)?;
         write_bool(w, self.keep_whitespace_text)?;
-        write_bool(w, self.force_top_down)
+        write_bool(w, self.force_top_down)?;
+        write_u8(w, self.succinct.rank.tag())?;
+        write_u8(w, self.succinct.sequence.tag())
     }
 }
 
@@ -87,6 +94,10 @@ impl ReadFrom for SxsiOptions {
             eval: read_eval_options(r)?,
             keep_whitespace_text: read_bool(r)?,
             force_top_down: read_bool(r)?,
+            succinct: SuccinctOptions {
+                rank: RankBackend::from_tag(read_u8(r)?)?,
+                sequence: SequenceBackend::from_tag(read_u8(r)?)?,
+            },
         })
     }
 }

@@ -59,6 +59,7 @@ use sxsi_xpath::{
 pub use io::{IoError, ReadFrom, WriteInto, FORMAT_VERSION, MAGIC};
 pub use query::{NodeCursor, Prepared, QueryMode, QueryOptions, ResultSet};
 pub use serialize::{serialize_subtree, string_value, subtree_to_string};
+pub use sxsi_succinct::{RankBackend, SequenceBackend, SuccinctOptions};
 pub use sxsi_text::{TextId, TextPredicate};
 pub use sxsi_tree::{TagId, TreeError};
 pub use sxsi_xpath::eval::EvalStats;
@@ -131,12 +132,17 @@ pub struct SxsiOptions {
     pub keep_whitespace_text: bool,
     /// Never use the bottom-up strategy, even when a query is eligible.
     pub force_top_down: bool,
+    /// Succinct primitive backends for every bitmap and symbol sequence of
+    /// the index: interleaved rank + wavelet matrix by default,
+    /// [`SuccinctOptions::classic`] for the original two-level/pointer-tree
+    /// structures.
+    pub succinct: SuccinctOptions,
 }
 
 /// Which evaluation strategy answered a query (the paper's Figure 14
 /// annotations: `↓` top-down, `↑` bottom-up; `Direct` covers the
 /// reverse/ordered-axis extension beyond the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Automaton run from the root (with jumping).
     TopDown,
@@ -238,14 +244,25 @@ impl SxsiIndex {
 
     /// Parses `xml` and builds the index.
     pub fn build_from_xml_with_options(xml: &[u8], options: SxsiOptions) -> Result<Self, BuildError> {
-        let doc_options = DocumentOptions { keep_whitespace_text: options.keep_whitespace_text };
+        let doc_options = DocumentOptions {
+            keep_whitespace_text: options.keep_whitespace_text,
+            succinct: options.succinct,
+        };
         let doc = parse_document_with_options(xml, &doc_options).map_err(BuildError::Parse)?;
         Ok(Self::from_parsed_document(doc, options))
     }
 
     /// Builds the index from an already-parsed document model.
+    ///
+    /// Note: `options.succinct` governs the *text* side here; the tree
+    /// backends were fixed when `doc` was parsed (see
+    /// [`sxsi_xml::DocumentOptions`]).
     pub fn from_parsed_document(doc: ParsedDocument, options: SxsiOptions) -> Self {
-        let texts = TextCollection::with_options(&doc.text_slices(), options.text.clone());
+        let texts = TextCollection::with_options_and_backends(
+            &doc.text_slices(),
+            options.text.clone(),
+            options.succinct,
+        );
         Self { tree: doc.tree, texts, options, num_elements: doc.num_elements }
     }
 

@@ -1,0 +1,335 @@
+//! Build-time backend selection for the succinct primitives.
+//!
+//! PR 7 introduces a second generation of hot-path structures (the
+//! cache-line-interleaved bitvector and the wavelet matrix) next to the
+//! classical ones.  Index builders choose per-structure backends through
+//! [`SuccinctOptions`]; the resulting bitmaps are held behind the
+//! [`RankBitmap`] enum so the tree/text crates stay agnostic of which
+//! directory layout answers their rank/select calls.  The defaults are the
+//! new structures — the classical layouts remain selectable for
+//! differential testing and byte-for-byte comparisons with older benchmarks.
+
+use crate::interleaved::InterleavedRsBitVector;
+use crate::{BitVec, RsBitVector, SpaceUsage};
+use sxsi_io::{corrupt, read_u8, write_u8, IoError, ReadFrom, WriteInto};
+
+/// Which rank/select directory layout backs a bitmap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum RankBackend {
+    /// Two-level superblock + word-count directory ([`RsBitVector`]).
+    Classic,
+    /// Counters interleaved with the bit words, one cache-line fetch per
+    /// rank ([`InterleavedRsBitVector`]).  The default.
+    #[default]
+    Interleaved,
+}
+
+impl RankBackend {
+    /// Stable on-disk tag byte for this backend.
+    pub fn tag(self) -> u8 {
+        match self {
+            RankBackend::Classic => 0,
+            RankBackend::Interleaved => 1,
+        }
+    }
+
+    /// Inverse of [`RankBackend::tag`].
+    pub fn from_tag(tag: u8) -> Result<Self, IoError> {
+        match tag {
+            0 => Ok(RankBackend::Classic),
+            1 => Ok(RankBackend::Interleaved),
+            other => Err(corrupt(format!("unknown rank backend tag {other}"))),
+        }
+    }
+
+    /// Human-readable name used in bench output and `info` listings.
+    pub fn name(self) -> &'static str {
+        match self {
+            RankBackend::Classic => "classic",
+            RankBackend::Interleaved => "interleaved",
+        }
+    }
+}
+
+/// Which sequence (wavelet) representation backs symbol rank/select.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SequenceBackend {
+    /// Pointer-based wavelet trees (Huffman-shaped for bytes, balanced for
+    /// wide alphabets).
+    Pointer,
+    /// Pointer-free wavelet matrix with flat per-level bitmaps.  The
+    /// default.
+    #[default]
+    Matrix,
+}
+
+impl SequenceBackend {
+    /// Stable on-disk tag byte for this backend.
+    pub fn tag(self) -> u8 {
+        match self {
+            SequenceBackend::Pointer => 0,
+            SequenceBackend::Matrix => 1,
+        }
+    }
+
+    /// Inverse of [`SequenceBackend::tag`].
+    pub fn from_tag(tag: u8) -> Result<Self, IoError> {
+        match tag {
+            0 => Ok(SequenceBackend::Pointer),
+            1 => Ok(SequenceBackend::Matrix),
+            other => Err(corrupt(format!("unknown sequence backend tag {other}"))),
+        }
+    }
+
+    /// Human-readable name used in bench output and `info` listings.
+    pub fn name(self) -> &'static str {
+        match self {
+            SequenceBackend::Pointer => "pointer",
+            SequenceBackend::Matrix => "matrix",
+        }
+    }
+}
+
+/// Per-index choice of succinct primitive backends (a build-time option:
+/// the choice is recorded in the index file and survives save/load).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct SuccinctOptions {
+    /// Rank/select bitmap layout.
+    pub rank: RankBackend,
+    /// Wavelet (sequence) representation.
+    pub sequence: SequenceBackend,
+}
+
+impl SuccinctOptions {
+    /// The pre-PR-7 structures: classical two-level rank directory and
+    /// pointer-based wavelet trees.
+    pub fn classic() -> Self {
+        Self { rank: RankBackend::Classic, sequence: SequenceBackend::Pointer }
+    }
+}
+
+/// A rank/select bitmap behind a build-time backend choice.
+///
+/// All operations forward with `#[inline]` dispatch on the two-variant enum;
+/// the branch predicts perfectly in the query loops because a given bitmap
+/// never changes variant.  Complexities are those of the active backend
+/// (`O(1)` rank for both; one vs up to three cache lines per call).
+#[derive(Clone, Debug)]
+pub enum RankBitmap {
+    /// Classical two-level directory.
+    Classic(RsBitVector),
+    /// Interleaved cache-line layout.
+    Interleaved(InterleavedRsBitVector),
+}
+
+impl RankBitmap {
+    /// Builds a bitmap with the layout selected by `backend`.
+    pub fn build(bits: &BitVec, backend: RankBackend) -> Self {
+        match backend {
+            RankBackend::Classic => RankBitmap::Classic(RsBitVector::new(bits)),
+            RankBackend::Interleaved => RankBitmap::Interleaved(InterleavedRsBitVector::new(bits)),
+        }
+    }
+
+    /// Builds from raw words and a bit length.
+    pub fn from_words(words: Vec<u64>, len: usize, backend: RankBackend) -> Self {
+        match backend {
+            RankBackend::Classic => RankBitmap::Classic(RsBitVector::from_words(words, len)),
+            RankBackend::Interleaved => {
+                RankBitmap::Interleaved(InterleavedRsBitVector::from_words(words, len))
+            }
+        }
+    }
+
+    /// The backend this bitmap was built with.
+    pub fn backend(&self) -> RankBackend {
+        match self {
+            RankBitmap::Classic(_) => RankBackend::Classic,
+            RankBitmap::Interleaved(_) => RankBackend::Interleaved,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            RankBitmap::Classic(b) => b.len(),
+            RankBitmap::Interleaved(b) => b.len(),
+        }
+    }
+
+    /// True if there are no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        match self {
+            RankBitmap::Classic(b) => b.get(i),
+            RankBitmap::Interleaved(b) => b.get(i),
+        }
+    }
+
+    /// Number of ones in `[0, i)`; `i` may equal `len()`.  `O(1)`.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        match self {
+            RankBitmap::Classic(b) => b.rank1(i),
+            RankBitmap::Interleaved(b) => b.rank1(i),
+        }
+    }
+
+    /// Number of zeros in `[0, i)`.  `O(1)`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `k`-th one (1-based), or `None`.
+    #[inline]
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        match self {
+            RankBitmap::Classic(b) => b.select1(k),
+            RankBitmap::Interleaved(b) => b.select1(k),
+        }
+    }
+
+    /// Position of the `k`-th zero (1-based), or `None`.
+    #[inline]
+    pub fn select0(&self, k: usize) -> Option<usize> {
+        match self {
+            RankBitmap::Classic(b) => b.select0(k),
+            RankBitmap::Interleaved(b) => b.select0(k),
+        }
+    }
+
+    /// Total number of ones.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        match self {
+            RankBitmap::Classic(b) => b.count_ones(),
+            RankBitmap::Interleaved(b) => b.count_ones(),
+        }
+    }
+
+    /// Total number of zeros.
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len() - self.count_ones()
+    }
+
+    /// Position of the first one at position `>= i`, or `None`.
+    pub fn next_one(&self, i: usize) -> Option<usize> {
+        match self {
+            RankBitmap::Classic(b) => b.next_one(i),
+            RankBitmap::Interleaved(b) => b.next_one(i),
+        }
+    }
+
+    /// Iterator over the positions of set bits.
+    pub fn iter_ones(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match self {
+            RankBitmap::Classic(b) => Box::new(b.iter_ones()),
+            RankBitmap::Interleaved(b) => Box::new(b.iter_ones()),
+        }
+    }
+}
+
+impl SpaceUsage for RankBitmap {
+    fn size_bytes(&self) -> usize {
+        match self {
+            RankBitmap::Classic(b) => b.size_bytes(),
+            RankBitmap::Interleaved(b) => b.size_bytes(),
+        }
+    }
+}
+
+impl WriteInto for RankBitmap {
+    /// Encoding: one backend tag byte, then the backend's own encoding
+    /// (which for both layouts is `len` + raw words; directories are
+    /// rebuilt on load).
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_u8(w, self.backend().tag())?;
+        match self {
+            RankBitmap::Classic(b) => b.write_into(w),
+            RankBitmap::Interleaved(b) => b.write_into(w),
+        }
+    }
+}
+
+impl ReadFrom for RankBitmap {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        match RankBackend::from_tag(read_u8(r)?)? {
+            RankBackend::Classic => Ok(RankBitmap::Classic(RsBitVector::read_from(r)?)),
+            RankBackend::Interleaved => {
+                Ok(RankBitmap::Interleaved(InterleavedRsBitVector::read_from(r)?))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_new_structures() {
+        let opts = SuccinctOptions::default();
+        assert_eq!(opts.rank, RankBackend::Interleaved);
+        assert_eq!(opts.sequence, SequenceBackend::Matrix);
+        let classic = SuccinctOptions::classic();
+        assert_eq!(classic.rank, RankBackend::Classic);
+        assert_eq!(classic.sequence, SequenceBackend::Pointer);
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for b in [RankBackend::Classic, RankBackend::Interleaved] {
+            assert_eq!(RankBackend::from_tag(b.tag()).unwrap(), b);
+        }
+        for b in [SequenceBackend::Pointer, SequenceBackend::Matrix] {
+            assert_eq!(SequenceBackend::from_tag(b.tag()).unwrap(), b);
+        }
+        assert!(RankBackend::from_tag(9).is_err());
+        assert!(SequenceBackend::from_tag(9).is_err());
+    }
+
+    #[test]
+    fn both_backends_answer_identically() {
+        let bits: BitVec = (0..1500).map(|i| i % 7 == 2).collect();
+        let classic = RankBitmap::build(&bits, RankBackend::Classic);
+        let inter = RankBitmap::build(&bits, RankBackend::Interleaved);
+        assert_eq!(classic.backend(), RankBackend::Classic);
+        assert_eq!(inter.backend(), RankBackend::Interleaved);
+        assert_eq!(classic.count_ones(), inter.count_ones());
+        for i in 0..=1500 {
+            assert_eq!(classic.rank1(i), inter.rank1(i), "rank1({i})");
+        }
+        for k in 0..=classic.count_ones() + 1 {
+            assert_eq!(classic.select1(k), inter.select1(k), "select1({k})");
+        }
+        assert_eq!(
+            classic.iter_ones().collect::<Vec<_>>(),
+            inter.iter_ones().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn serialization_preserves_backend() {
+        let bits: BitVec = (0..300).map(|i| i % 3 == 0).collect();
+        for backend in [RankBackend::Classic, RankBackend::Interleaved] {
+            let bm = RankBitmap::build(&bits, backend);
+            let back = RankBitmap::from_bytes(&bm.to_bytes()).unwrap();
+            assert_eq!(back.backend(), backend);
+            assert_eq!(back.count_ones(), bm.count_ones());
+            assert_eq!(back.len(), bm.len());
+        }
+        // Unknown backend tag is rejected.
+        let mut bytes = RankBitmap::build(&bits, RankBackend::Classic).to_bytes();
+        bytes[0] = 7;
+        assert!(RankBitmap::from_bytes(&bytes).is_err());
+    }
+}

@@ -5,42 +5,50 @@
 //! branch-light and uses only the portable `u64` intrinsics that LLVM lowers
 //! to `popcnt`/`tzcnt` on x86-64.
 
+/// `0x0101…01`: one set bit per byte, the broadword "lane" constant.
+const ONES_STEP_8: u64 = 0x0101_0101_0101_0101;
+/// `0x8080…80`: the per-byte sign bits used for branch-free comparisons.
+const MSBS_STEP_8: u64 = 0x8080_8080_8080_8080;
+
 /// Returns the position (0-based, from the least significant bit) of the
 /// `k`-th set bit of `word`, where `k` is 1-based.
 ///
 /// Precondition: `word.count_ones() >= k >= 1`.  Violating it returns 64.
+///
+/// Uses Vigna's broadword *sideways addition* (WEA 2008): a multiplication
+/// spreads per-byte popcounts into byte-granular prefix sums, a branch-free
+/// per-byte comparison locates the byte holding the `k`-th one, and at most
+/// seven clear-lowest-bit steps finish inside it — `O(1)` with no loops over
+/// the word, replacing the previous byte-by-byte scan.
 #[inline]
 pub fn select_in_word(word: u64, k: u32) -> u32 {
     debug_assert!(k >= 1);
-    let mut w = word;
-    let mut remaining = k;
-    // Process byte by byte: cheap and fast enough for our select directories,
-    // which already narrow the search down to a single word.
-    let mut base = 0u32;
-    loop {
-        let byte = w & 0xFF;
-        let cnt = byte.count_ones();
-        if cnt >= remaining {
-            // The target bit is inside this byte.
-            let mut b = byte;
-            for bit in 0..8 {
-                if b & 1 == 1 {
-                    remaining -= 1;
-                    if remaining == 0 {
-                        return base + bit;
-                    }
-                }
-                b >>= 1;
-            }
-            unreachable!("count said the bit was in this byte");
-        }
-        remaining -= cnt;
-        w >>= 8;
-        base += 8;
-        if base >= 64 {
-            return 64;
-        }
+    // Sideways addition: byte i of `byte_sums` = popcount of bytes 0..=i.
+    let mut s = word - ((word >> 1) & 0x5555_5555_5555_5555);
+    s = (s & 0x3333_3333_3333_3333) + ((s >> 2) & 0x3333_3333_3333_3333);
+    s = (s + (s >> 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    let byte_sums = s.wrapping_mul(ONES_STEP_8);
+    // Branch-free per-byte `byte_sums <= k - 1`, i.e. `byte_sums < k`:
+    // the target byte index is the number of bytes whose prefix popcount is
+    // still below `k`.  All lane values are <= 64 < 128, so the sign-bit
+    // trick is exact.
+    let k_step_8 = (k as u64 - 1).wrapping_mul(ONES_STEP_8);
+    let leq = (((k_step_8 | MSBS_STEP_8) - byte_sums) & MSBS_STEP_8) >> 7;
+    let byte_idx = (leq.wrapping_mul(ONES_STEP_8) >> 56) as u32;
+    if byte_idx >= 8 {
+        return 64;
     }
+    let place = byte_idx * 8;
+    // Ones still to skip inside the target byte (1-based).
+    let ones_before = ((byte_sums << 8) >> place) & 0xFF;
+    let mut remaining = k - ones_before as u32;
+    let mut byte = (word >> place) & 0xFF;
+    // At most 7 clear-lowest-bit steps reach the target bit.
+    while remaining > 1 {
+        byte &= byte - 1;
+        remaining -= 1;
+    }
+    place + byte.trailing_zeros()
 }
 
 /// Position of the `k`-th zero bit of `word` (1-based `k`).

@@ -19,6 +19,20 @@
 //! * [`wavelet::BalancedWaveletTree`] — a balanced wavelet tree over an
 //!   arbitrary `u32` alphabet, used for the word-based text index.
 //!
+//! PR 7 adds a second generation of hot-path primitives, selected per index
+//! through [`SuccinctOptions`] (they are the defaults):
+//!
+//! * [`InterleavedRsBitVector`] — rank counters stored inline with the bit
+//!   words (one 64-byte cache line = one counter + 448 payload bits), so
+//!   `rank` is a single cache-line fetch.
+//! * [`wavelet::WaveletMatrix`] — a pointer-free wavelet matrix with one
+//!   flat bitmap per level, replacing per-node boundary chasing with one
+//!   interleaved rank per level.
+//! * [`RankBitmap`] — the enum the tree/text crates hold so either rank
+//!   layout can answer their calls.
+//! * [`oracle`] — the differential-testing harness that pins every variant
+//!   against a naive reference and against each other.
+//!
 //! All structures are immutable after construction and are designed for the
 //! access patterns of the SXSI query engine: heavy `rank`/`select` traffic
 //! with good cache behaviour and no per-query allocation.  Being immutable
@@ -41,18 +55,23 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod bits;
 pub mod bitvec;
 pub mod eliasfano;
+pub mod interleaved;
 pub mod intvec;
+pub mod oracle;
 pub mod rsbitvec;
 pub mod wavelet;
 
+pub use backend::{RankBackend, RankBitmap, SequenceBackend, SuccinctOptions};
 pub use bitvec::BitVec;
 pub use eliasfano::EliasFano;
+pub use interleaved::InterleavedRsBitVector;
 pub use intvec::IntVector;
 pub use rsbitvec::RsBitVector;
-pub use wavelet::{BalancedWaveletTree, HuffmanWaveletTree};
+pub use wavelet::{BalancedWaveletTree, HuffmanWaveletTree, WaveletMatrix};
 
 /// Number of heap bytes used by a slice of `T`, ignoring allocation slack.
 pub(crate) fn slice_bytes<T>(s: &[T]) -> usize {

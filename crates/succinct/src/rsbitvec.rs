@@ -183,18 +183,18 @@ impl RsBitVector {
             }
         }
         let sb = lo;
-        let mut remaining = k - self.superblock_rank[sb] as usize;
+        let remaining = k - self.superblock_rank[sb] as usize;
         let start = sb * WORDS_PER_SUPERBLOCK;
         let end = (start + WORDS_PER_SUPERBLOCK).min(self.words.len());
-        for w in start..end {
-            let ones = self.words[w].count_ones() as usize;
-            if ones >= remaining {
-                let bit = select_in_word(self.words[w], remaining as u32) as usize;
-                return Some(w * 64 + bit);
-            }
-            remaining -= ones;
+        // Locate the word via the precomputed u16 counts (no data-word
+        // popcounts): largest w with word_rank[w] < remaining.
+        let mut w = start;
+        while w + 1 < end && (self.word_rank[w + 1] as usize) < remaining {
+            w += 1;
         }
-        None
+        let in_word = remaining - self.word_rank[w] as usize;
+        let bit = select_in_word(self.words[w], in_word as u32) as usize;
+        Some(w * 64 + bit)
     }
 
     /// Position of the `k`-th zero (1-based `k`).
@@ -221,20 +221,21 @@ impl RsBitVector {
             }
         }
         let sb = lo;
-        let mut remaining = k - zeros_before(sb);
+        let remaining = k - zeros_before(sb);
         let start = sb * WORDS_PER_SUPERBLOCK;
         let end = (start + WORDS_PER_SUPERBLOCK).min(self.words.len());
-        for w in start..end {
-            let valid_bits = (self.len - w * 64).min(64);
-            let masked = if valid_bits == 64 { self.words[w] } else { self.words[w] | !((1u64 << valid_bits) - 1) };
-            let zeros = 64 - masked.count_ones() as usize;
-            if zeros >= remaining {
-                let bit = select0_in_word(masked, remaining as u32) as usize;
-                return Some(w * 64 + bit);
-            }
-            remaining -= zeros;
+        // Zeros inside the superblock before word w, from the u16 one-counts.
+        // Exact for every complete word; only the vector's final word can be
+        // partial, and that word is handled by the mask below.
+        let mut w = start;
+        while w + 1 < end && (w + 1 - start) * 64 - (self.word_rank[w + 1] as usize) < remaining {
+            w += 1;
         }
-        None
+        let in_word = remaining - ((w - start) * 64 - self.word_rank[w] as usize);
+        let valid_bits = (self.len - w * 64).min(64);
+        let masked = if valid_bits == 64 { self.words[w] } else { self.words[w] | !((1u64 << valid_bits) - 1) };
+        let bit = select0_in_word(masked, in_word as u32) as usize;
+        Some(w * 64 + bit)
     }
 
     /// Position of the first one at position `>= i`, or `None`.

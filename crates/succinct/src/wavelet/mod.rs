@@ -10,9 +10,11 @@
 
 mod balanced;
 mod huffman;
+mod matrix;
 
 pub use balanced::BalancedWaveletTree;
 pub use huffman::HuffmanWaveletTree;
+pub use matrix::WaveletMatrix;
 
 /// Common query interface of the wavelet trees in this module.
 pub trait SequenceIndex<Sym: Copy + Eq> {

@@ -7,7 +7,8 @@
 //! runtime.
 
 use sxsi_succinct::{
-    BalancedWaveletTree, BitVec, EliasFano, HuffmanWaveletTree, IntVector, RsBitVector,
+    BalancedWaveletTree, BitVec, EliasFano, HuffmanWaveletTree, InterleavedRsBitVector, IntVector,
+    RankBitmap, RsBitVector, WaveletMatrix,
 };
 
 fn require_send_sync<T: Send + Sync>() {}
@@ -16,8 +17,11 @@ fn require_send_sync<T: Send + Sync>() {}
 fn succinct_structures_are_send_and_sync() {
     require_send_sync::<BitVec>();
     require_send_sync::<RsBitVector>();
+    require_send_sync::<InterleavedRsBitVector>();
+    require_send_sync::<RankBitmap>();
     require_send_sync::<EliasFano>();
     require_send_sync::<IntVector>();
     require_send_sync::<HuffmanWaveletTree>();
     require_send_sync::<BalancedWaveletTree>();
+    require_send_sync::<WaveletMatrix>();
 }

@@ -10,9 +10,15 @@
 //! the paper's `Doc` array resolves the text directly (that resolution lives
 //! in [`crate::collection::TextCollection`], which owns `Doc`).
 
-use sxsi_io::{corrupt, read_usize, read_usize_vec, write_usize, write_usize_slice, IoError, ReadFrom, WriteInto};
+use sxsi_io::{
+    corrupt, read_u8, read_usize, read_usize_vec, write_u8, write_usize, write_usize_slice, IoError,
+    ReadFrom, WriteInto,
+};
 use sxsi_succinct::wavelet::SequenceIndex;
-use sxsi_succinct::{BitVec, HuffmanWaveletTree, IntVector, RsBitVector, SpaceUsage};
+use sxsi_succinct::{
+    BitVec, HuffmanWaveletTree, IntVector, RankBitmap, SequenceBackend, SpaceUsage, SuccinctOptions,
+    WaveletMatrix,
+};
 
 /// Default sampling step for locate queries (the paper uses 64 in Table II
 /// and 4 in Table III).
@@ -41,16 +47,128 @@ impl RowRange {
     }
 }
 
+/// The BWT symbol sequence behind a build-time sequence-backend choice:
+/// Huffman-shaped wavelet tree (expected `H0` depth per query) or wavelet
+/// matrix (fixed `log σ = 8` levels of single-cache-line ranks).
+#[derive(Debug, Clone)]
+pub enum BwtSequence {
+    /// Huffman-shaped wavelet tree over the byte alphabet.
+    Huffman(HuffmanWaveletTree),
+    /// Pointer-free wavelet matrix over the byte alphabet.
+    Matrix(WaveletMatrix),
+}
+
+impl BwtSequence {
+    /// Builds the sequence with the layout selected by `backend`.
+    pub fn build(bytes: &[u8], backend: SequenceBackend) -> Self {
+        match backend {
+            SequenceBackend::Pointer => BwtSequence::Huffman(HuffmanWaveletTree::new(bytes)),
+            SequenceBackend::Matrix => {
+                let syms: Vec<u64> = bytes.iter().map(|&b| b as u64).collect();
+                BwtSequence::Matrix(WaveletMatrix::new(&syms, 256))
+            }
+        }
+    }
+
+    /// The backend this sequence was built with.
+    pub fn backend(&self) -> SequenceBackend {
+        match self {
+            BwtSequence::Huffman(_) => SequenceBackend::Pointer,
+            BwtSequence::Matrix(_) => SequenceBackend::Matrix,
+        }
+    }
+
+    /// Number of symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            BwtSequence::Huffman(wt) => SequenceIndex::len(wt),
+            BwtSequence::Matrix(wm) => SequenceIndex::len(wm),
+        }
+    }
+
+    /// True if the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Symbol at position `i`.  `O(H0)` / `O(log σ)` depending on backend.
+    #[inline]
+    pub fn access(&self, i: usize) -> u8 {
+        match self {
+            BwtSequence::Huffman(wt) => wt.access(i),
+            BwtSequence::Matrix(wm) => wm.access_sym(i) as u8,
+        }
+    }
+
+    /// Occurrences of byte `b` in `[0, i)`.
+    #[inline]
+    pub fn rank(&self, b: u8, i: usize) -> usize {
+        match self {
+            BwtSequence::Huffman(wt) => wt.rank(b, i),
+            BwtSequence::Matrix(wm) => wm.rank_sym(b as u64, i),
+        }
+    }
+
+    /// Total occurrences of byte `b`.
+    #[inline]
+    pub fn count(&self, b: u8) -> usize {
+        match self {
+            BwtSequence::Huffman(wt) => wt.count(b),
+            BwtSequence::Matrix(wm) => wm.count(b as u64),
+        }
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            BwtSequence::Huffman(wt) => wt.size_bytes(),
+            BwtSequence::Matrix(wm) => wm.size_bytes(),
+        }
+    }
+}
+
+impl WriteInto for BwtSequence {
+    /// Encoding: one sequence-backend tag byte, then the backend's own
+    /// encoding.
+    fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_u8(w, self.backend().tag())?;
+        match self {
+            BwtSequence::Huffman(wt) => wt.write_into(w),
+            BwtSequence::Matrix(wm) => wm.write_into(w),
+        }
+    }
+}
+
+impl ReadFrom for BwtSequence {
+    fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        match SequenceBackend::from_tag(read_u8(r)?)? {
+            SequenceBackend::Pointer => Ok(BwtSequence::Huffman(HuffmanWaveletTree::read_from(r)?)),
+            SequenceBackend::Matrix => {
+                let wm = WaveletMatrix::read_from(r)?;
+                if wm.alphabet_size() != 256 {
+                    return Err(corrupt(format!(
+                        "BWT wavelet matrix has alphabet size {}, expected 256",
+                        wm.alphabet_size()
+                    )));
+                }
+                Ok(BwtSequence::Matrix(wm))
+            }
+        }
+    }
+}
+
 /// FM-index over the collection BWT (end-markers rendered as byte 0).
 #[derive(Debug, Clone)]
 pub struct FmIndex {
-    bwt: HuffmanWaveletTree,
+    bwt: BwtSequence,
     /// `c[s]` = number of symbols strictly smaller than `s` in the text,
     /// with one extra slot so `c[s + 1] - c[s]` is the count of `s`.
     c: Vec<usize>,
     len: usize,
     /// Marks rows whose suffix position is a multiple of `sample_rate`.
-    sampled: RsBitVector,
+    sampled: RankBitmap,
     /// Global text position for each sampled row, in row order.
     samples: IntVector,
     sample_rate: usize,
@@ -84,10 +202,21 @@ impl FmIndex {
     /// `sample_rate` controls the locate time/space trade-off: every text
     /// position that is a multiple of it is sampled.
     pub fn new(bwt_bytes: &[u8], sa: &[usize], sample_rate: usize) -> Self {
+        Self::new_with_backends(bwt_bytes, sa, sample_rate, SuccinctOptions::default())
+    }
+
+    /// Builds the index with an explicit choice of succinct backends (see
+    /// [`SuccinctOptions`]); [`FmIndex::new`] uses the defaults.
+    pub fn new_with_backends(
+        bwt_bytes: &[u8],
+        sa: &[usize],
+        sample_rate: usize,
+        backends: SuccinctOptions,
+    ) -> Self {
         assert!(sample_rate >= 1, "sample rate must be positive");
         assert_eq!(bwt_bytes.len(), sa.len());
         let len = bwt_bytes.len();
-        let bwt = HuffmanWaveletTree::new(bwt_bytes);
+        let bwt = BwtSequence::build(bwt_bytes, backends.sequence);
         let mut c = vec![0usize; 257];
         for &b in bwt_bytes {
             c[b as usize + 1] += 1;
@@ -102,7 +231,7 @@ impl FmIndex {
                 sampled_bits.set(row, true);
             }
         }
-        let sampled = RsBitVector::new(&sampled_bits);
+        let sampled = RankBitmap::build(&sampled_bits, backends.rank);
         for (row, &pos) in sa.iter().enumerate() {
             if sampled_bits.get(row) {
                 debug_assert_eq!(sample_values.len(), sampled.rank1(row));
@@ -111,6 +240,11 @@ impl FmIndex {
         }
         let samples = IntVector::from_values(&sample_values);
         Self { bwt, c, len, sampled, samples, sample_rate }
+    }
+
+    /// The succinct backends this index was built with.
+    pub fn backends(&self) -> SuccinctOptions {
+        SuccinctOptions { rank: self.sampled.backend(), sequence: self.bwt.backend() }
     }
 
     /// Length of the indexed text (terminators included).
@@ -268,7 +402,7 @@ impl ReadFrom for FmIndex {
         if sample_rate == 0 {
             return Err(corrupt("FM-index sample rate must be positive"));
         }
-        let bwt = HuffmanWaveletTree::read_from(r)?;
+        let bwt = BwtSequence::read_from(r)?;
         if bwt.len() != len {
             return Err(corrupt(format!("FM-index BWT holds {} symbols, expected {len}", bwt.len())));
         }
@@ -286,7 +420,7 @@ impl ReadFrom for FmIndex {
                 return Err(corrupt(format!("FM-index C array disagrees with the BWT on symbol {b}")));
             }
         }
-        let sampled = RsBitVector::read_from(r)?;
+        let sampled = RankBitmap::read_from(r)?;
         if sampled.len() != len {
             return Err(corrupt(format!(
                 "FM-index sampling bitmap covers {} rows, expected {len}",

@@ -10,8 +10,11 @@
 
 use crate::error::TreeError;
 use std::collections::HashMap;
-use sxsi_io::{corrupt, read_string, read_usize, write_str, write_usize, IoError, ReadFrom, WriteInto};
-use sxsi_succinct::{EliasFano, IntVector, SpaceUsage};
+use sxsi_io::{
+    corrupt, read_string, read_u8, read_usize, write_str, write_u8, write_usize, IoError, ReadFrom,
+    WriteInto,
+};
+use sxsi_succinct::{EliasFano, IntVector, SequenceBackend, SpaceUsage, WaveletMatrix};
 
 /// Numeric identifier of a tag name.
 pub type TagId = u32;
@@ -92,14 +95,76 @@ impl TagRegistry {
     }
 }
 
+/// Rank/select support over opening-tag occurrences, behind the
+/// sequence-backend choice.
+#[derive(Debug, Clone)]
+pub enum TagOccurrences {
+    /// One Elias–Fano *sarray* of occurrence positions per tag (the paper's
+    /// per-row Okanohara–Sadakane layout): `rank` is `O(log)` in the row,
+    /// `select` is `O(1)`.
+    Sarray(Vec<EliasFano>),
+    /// One wavelet matrix over the whole code sequence: every tag shares a
+    /// single structure, `rank`/`select` are `O(log σ)` single-cache-line
+    /// ranks, and space stops depending on the number of distinct tags.
+    Matrix {
+        /// The code sequence (opening *and* closing codes) as a matrix.
+        wm: WaveletMatrix,
+        /// Opening-occurrence count per tag (answers `count` without a
+        /// descent).
+        counts: Vec<usize>,
+    },
+}
+
+impl TagOccurrences {
+    fn build(codes: &[u32], num_tags: usize, backend: SequenceBackend) -> Self {
+        match backend {
+            SequenceBackend::Pointer => {
+                let mut per_tag: Vec<Vec<usize>> = vec![Vec::new(); num_tags];
+                for (i, &c) in codes.iter().enumerate() {
+                    if (c as usize) < num_tags {
+                        per_tag[c as usize].push(i);
+                    }
+                }
+                TagOccurrences::Sarray(
+                    per_tag
+                        .into_iter()
+                        .map(|positions| EliasFano::from_positions(&positions, codes.len().max(1)))
+                        .collect(),
+                )
+            }
+            SequenceBackend::Matrix => {
+                let syms: Vec<u64> = codes.iter().map(|&c| c as u64).collect();
+                let mut counts = vec![0usize; num_tags];
+                for &c in codes {
+                    if (c as usize) < num_tags {
+                        counts[c as usize] += 1;
+                    }
+                }
+                TagOccurrences::Matrix {
+                    wm: WaveletMatrix::new(&syms, (2 * num_tags).max(1) as u64),
+                    counts,
+                }
+            }
+        }
+    }
+
+    /// The backend this structure was built with.
+    pub fn backend(&self) -> SequenceBackend {
+        match self {
+            TagOccurrences::Sarray(_) => SequenceBackend::Pointer,
+            TagOccurrences::Matrix { .. } => SequenceBackend::Matrix,
+        }
+    }
+}
+
 /// Immutable tag sequence aligned with the parenthesis sequence.
 #[derive(Debug, Clone)]
 pub struct TagSequence {
     /// Packed codes: `tag` for opening positions, `num_tags + tag` for
     /// closing positions.
     codes: IntVector,
-    /// For every tag, the sorted positions of its *opening* occurrences.
-    open_positions: Vec<EliasFano>,
+    /// Rank/select over the *opening* occurrences of each tag.
+    occurrences: TagOccurrences,
     num_tags: usize,
 }
 
@@ -118,23 +183,30 @@ impl TagSequence {
     /// Fallible counterpart of [`TagSequence::new`]: returns
     /// [`TreeError::TagCodeOutOfRange`] instead of panicking.
     pub fn try_new(codes: &[u32], num_tags: usize) -> Result<Self, TreeError> {
-        let len = codes.len();
-        let mut per_tag: Vec<Vec<usize>> = vec![Vec::new(); num_tags];
+        Self::try_new_with_backend(codes, num_tags, SequenceBackend::default())
+    }
+
+    /// Builds the sequence with an explicit occurrence-structure backend;
+    /// [`TagSequence::try_new`] uses the default.
+    pub fn try_new_with_backend(
+        codes: &[u32],
+        num_tags: usize,
+        backend: SequenceBackend,
+    ) -> Result<Self, TreeError> {
         for (i, &c) in codes.iter().enumerate() {
             if c as usize >= 2 * num_tags {
                 return Err(TreeError::TagCodeOutOfRange { code: c, position: i, num_tags });
             }
-            if (c as usize) < num_tags {
-                per_tag[c as usize].push(i);
-            }
         }
-        let open_positions = per_tag
-            .into_iter()
-            .map(|positions| EliasFano::from_positions(&positions, len.max(1)))
-            .collect();
+        let occurrences = TagOccurrences::build(codes, num_tags, backend);
         let packed: Vec<u64> = codes.iter().map(|&c| c as u64).collect();
         let width = sxsi_succinct::bits::bits_for((2 * num_tags).saturating_sub(1).max(1) as u64);
-        Ok(Self { codes: IntVector::from_values_with_width(&packed, width), open_positions, num_tags })
+        Ok(Self { codes: IntVector::from_values_with_width(&packed, width), occurrences, num_tags })
+    }
+
+    /// The occurrence-structure backend this sequence was built with.
+    pub fn backend(&self) -> SequenceBackend {
+        self.occurrences.backend()
     }
 
     /// Number of parenthesis positions covered.
@@ -166,7 +238,12 @@ impl TagSequence {
 
     /// Number of opening occurrences of `tag` in positions `[0, i)`.
     pub fn rank_open(&self, tag: TagId, i: usize) -> usize {
-        self.open_positions[tag as usize].rank(i as u64)
+        match &self.occurrences {
+            TagOccurrences::Sarray(rows) => rows[tag as usize].rank(i as u64),
+            // Opening codes `< num_tags` never collide with closing codes,
+            // so a plain symbol rank is an opening rank.
+            TagOccurrences::Matrix { wm, .. } => wm.rank_sym(tag as u64, i),
+        }
     }
 
     /// Position of the `k`-th (1-based) opening occurrence of `tag`.
@@ -174,27 +251,54 @@ impl TagSequence {
         if k == 0 {
             return None;
         }
-        self.open_positions[tag as usize].get(k - 1).map(|v| v as usize)
+        match &self.occurrences {
+            TagOccurrences::Sarray(rows) => rows[tag as usize].get(k - 1).map(|v| v as usize),
+            TagOccurrences::Matrix { wm, .. } => wm.select_sym(tag as u64, k),
+        }
     }
 
     /// Total number of opening occurrences of `tag`.
     pub fn count(&self, tag: TagId) -> usize {
-        self.open_positions[tag as usize].len()
+        match &self.occurrences {
+            TagOccurrences::Sarray(rows) => rows[tag as usize].len(),
+            TagOccurrences::Matrix { counts, .. } => counts[tag as usize],
+        }
     }
 
     /// First opening occurrence of `tag` at a position `>= from`, if any.
     pub fn next_occurrence(&self, tag: TagId, from: usize) -> Option<usize> {
-        self.open_positions[tag as usize].successor(from as u64).map(|(_, v)| v as usize)
+        match &self.occurrences {
+            TagOccurrences::Sarray(rows) => {
+                rows[tag as usize].successor(from as u64).map(|(_, v)| v as usize)
+            }
+            TagOccurrences::Matrix { wm, .. } => {
+                wm.select_sym(tag as u64, wm.rank_sym(tag as u64, from) + 1)
+            }
+        }
     }
 
     /// Last opening occurrence of `tag` at a position `< before`, if any.
     pub fn prev_occurrence(&self, tag: TagId, before: usize) -> Option<usize> {
-        self.open_positions[tag as usize].predecessor(before as u64).map(|(_, v)| v as usize)
+        match &self.occurrences {
+            TagOccurrences::Sarray(rows) => {
+                rows[tag as usize].predecessor(before as u64).map(|(_, v)| v as usize)
+            }
+            TagOccurrences::Matrix { wm, .. } => {
+                let r = wm.rank_sym(tag as u64, before);
+                (r > 0).then(|| wm.select_sym(tag as u64, r)).flatten()
+            }
+        }
     }
 
     /// Heap bytes used.
     pub fn size_bytes(&self) -> usize {
-        self.codes.size_bytes() + self.open_positions.iter().map(|ef| ef.size_bytes()).sum::<usize>()
+        let occ = match &self.occurrences {
+            TagOccurrences::Sarray(rows) => rows.iter().map(|ef| ef.size_bytes()).sum::<usize>(),
+            TagOccurrences::Matrix { wm, counts } => {
+                wm.size_bytes() + counts.len() * std::mem::size_of::<usize>()
+            }
+        };
+        self.codes.size_bytes() + occ
     }
 }
 
@@ -234,9 +338,11 @@ impl ReadFrom for TagRegistry {
 }
 
 impl WriteInto for TagSequence {
-    /// Stores the packed code sequence and the tag count; the per-tag
-    /// occurrence sarrays are rebuilt (with code-range validation) on load.
+    /// Stores the occurrence-index backend tag, the packed code sequence and
+    /// the tag count; the per-tag occurrence structures are rebuilt (with
+    /// code-range validation) on load.
     fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        write_u8(w, self.backend().tag())?;
         write_usize(w, self.num_tags)?;
         self.codes.write_into(w)
     }
@@ -244,6 +350,7 @@ impl WriteInto for TagSequence {
 
 impl ReadFrom for TagSequence {
     fn read_from<R: std::io::Read + ?Sized>(r: &mut R) -> Result<Self, IoError> {
+        let backend = SequenceBackend::from_tag(read_u8(r)?)?;
         let num_tags = read_usize(r)?;
         let codes = IntVector::read_from(r)?;
         let expected_width =
@@ -258,7 +365,7 @@ impl ReadFrom for TagSequence {
             .iter()
             .map(|c| u32::try_from(c).map_err(|_| corrupt(format!("tag code {c} exceeds u32"))))
             .collect::<Result<_, _>>()?;
-        Self::try_new(&decoded, num_tags).map_err(|e| corrupt(e.to_string()))
+        Self::try_new_with_backend(&decoded, num_tags, backend).map_err(|e| corrupt(e.to_string()))
     }
 }
 

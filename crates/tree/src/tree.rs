@@ -19,7 +19,7 @@ use crate::bp::BalancedParens;
 use crate::error::TreeError;
 use crate::tags::{reserved, TagId, TagRegistry, TagSequence};
 use sxsi_io::{corrupt, read_usize, write_usize, IoError, ReadFrom, WriteInto};
-use sxsi_succinct::{BitVec, RsBitVector, SpaceUsage};
+use sxsi_succinct::{BitVec, RankBitmap, SpaceUsage, SuccinctOptions};
 
 /// A tree node: the position of its opening parenthesis in `Par`.
 pub type NodeId = usize;
@@ -113,7 +113,7 @@ pub struct XmlTree {
     registry: TagRegistry,
     /// Marks opening parenthesis positions of nodes that carry a text
     /// (the `#` and `%` leaves of the model).
-    text_leaves: RsBitVector,
+    text_leaves: RankBitmap,
     child_table: TagTable,
     desc_table: TagTable,
     foll_sibling_table: TagTable,
@@ -460,7 +460,7 @@ impl ReadFrom for XmlTree {
         let bp = BalancedParens::read_from(r)?;
         let tags = TagSequence::read_from(r)?;
         let registry = TagRegistry::read_from(r)?;
-        let text_leaves = RsBitVector::read_from(r)?;
+        let text_leaves = RankBitmap::read_from(r)?;
         let child_table = TagTable::read_from(r)?;
         let desc_table = TagTable::read_from(r)?;
         let foll_sibling_table = TagTable::read_from(r)?;
@@ -680,7 +680,14 @@ impl XmlTreeBuilder {
     /// structured [`TreeError`] instead of panicking when elements are still
     /// open or the recorded structure is not balanced, so malformed input
     /// can never panic a serving process.
-    pub fn try_finish(mut self) -> Result<XmlTree, TreeError> {
+    pub fn try_finish(self) -> Result<XmlTree, TreeError> {
+        self.try_finish_with(SuccinctOptions::default())
+    }
+
+    /// Like [`XmlTreeBuilder::try_finish`], but selects the succinct
+    /// backends used for the parenthesis/leaf bitmaps (`backends.rank`) and
+    /// the tag-occurrence index (`backends.sequence`).
+    pub fn try_finish_with(mut self, backends: SuccinctOptions) -> Result<XmlTree, TreeError> {
         if self.stack.len() != 1 {
             return Err(TreeError::UnclosedElements { open: self.stack.len().saturating_sub(1) });
         }
@@ -701,9 +708,9 @@ impl XmlTreeBuilder {
                 }
             })
             .collect();
-        let bp = BalancedParens::try_new(&self.parens)?;
-        let tags = TagSequence::try_new(&codes, num_tags)?;
-        let text_leaves = RsBitVector::new(&self.text_leaves);
+        let bp = BalancedParens::try_new_with_backend(&self.parens, backends.rank)?;
+        let tags = TagSequence::try_new_with_backend(&codes, num_tags, backends.sequence)?;
+        let text_leaves = RankBitmap::build(&self.text_leaves, backends.rank);
 
         let mut child_table = TagTable::new(num_tags);
         for (p, c) in &self.child_pairs {

@@ -16,6 +16,7 @@
 //! of texts, ready to be handed to the text index.
 
 use crate::parser::{Event, ParseError, Parser};
+use sxsi_succinct::SuccinctOptions;
 use sxsi_tree::{XmlTree, XmlTreeBuilder};
 
 /// Options controlling model construction.
@@ -26,6 +27,9 @@ pub struct DocumentOptions {
     /// keeps them (they are part of the document); benchmarks usually drop
     /// them to focus on meaningful text.  Default: `false`.
     pub keep_whitespace_text: bool,
+    /// Succinct backends used for the tree's bitmaps and tag-occurrence
+    /// index.  Default: the interleaved-rank / wavelet-matrix pair.
+    pub succinct: SuccinctOptions,
 }
 
 
@@ -135,7 +139,7 @@ pub fn parse_document_with_options(
     // The event loop above already rejects mismatched and unclosed tags, so
     // this cannot fail on parser output — but routing through `try_finish`
     // guarantees that no input, however malformed, can panic the process.
-    let tree = builder.try_finish().map_err(|e| ParseError {
+    let tree = builder.try_finish_with(options.succinct).map_err(|e| ParseError {
         position: parser.position(),
         message: format!("malformed tree structure: {e}"),
     })?;
@@ -172,7 +176,7 @@ mod tests {
 
     #[test]
     fn figure1_with_whitespace_kept() {
-        let opts = DocumentOptions { keep_whitespace_text: true };
+        let opts = DocumentOptions { keep_whitespace_text: true, ..DocumentOptions::default() };
         let doc = parse_document_with_options(FIGURE1.as_bytes(), &opts).unwrap();
         // The paper notes seven whitespace-only texts in this document.
         assert_eq!(doc.texts.len(), 13);

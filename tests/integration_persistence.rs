@@ -8,7 +8,7 @@
 //! through the parallel [`BatchExecutor`] — and corrupt, truncated or
 //! version-mismatched files must fail with structured errors, never panics.
 
-use sxsi::{IoError, ReadFrom, SxsiIndex, WriteInto};
+use sxsi::{IoError, ReadFrom, SuccinctOptions, SxsiIndex, SxsiOptions, WriteInto};
 use sxsi_datagen::{medline, treebank, wiki, xmark};
 use sxsi_datagen::{MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig};
 use sxsi_engine::{BatchExecutor, QueryBatch, QuerySpec};
@@ -18,7 +18,20 @@ use sxsi_xpath::{MEDLINE_QUERIES, TREEBANK_QUERIES, WORD_QUERIES, XMARK_QUERIES}
 /// Builds, saves to an in-memory buffer, reloads, and checks that every
 /// query answers identically on both indexes.
 fn assert_roundtrip_equivalence(corpus: &str, xml: &str, queries: &[NamedQuery]) {
-    let built = SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds");
+    assert_roundtrip_equivalence_with(corpus, xml, queries, SxsiOptions::default());
+}
+
+/// [`assert_roundtrip_equivalence`] with explicit build options, so both
+/// succinct backend families (classic and interleaved/wavelet-matrix) go
+/// through the same save → load → query gauntlet.
+fn assert_roundtrip_equivalence_with(
+    corpus: &str,
+    xml: &str,
+    queries: &[NamedQuery],
+    options: SxsiOptions,
+) {
+    let built =
+        SxsiIndex::build_from_xml_with_options(xml.as_bytes(), options).expect("index builds");
     let bytes = built.to_bytes();
     let loaded = SxsiIndex::from_bytes(&bytes).expect("index loads");
     assert_eq!(loaded.stats(), built.stats(), "{corpus} stats diverged");
@@ -87,6 +100,39 @@ fn wiki_word_queries_survive_reload() {
 }
 
 #[test]
+fn classic_backends_survive_reload() {
+    // The pre-PR7 structures stay a first-class citizen of the container
+    // format: an index built on classic rank bitmaps and pointer wavelet
+    // trees must reload and answer identically.
+    let xml = xmark::generate(&XMarkConfig { scale: 0.04, seed: 11 });
+    let options = SxsiOptions { succinct: SuccinctOptions::classic(), ..Default::default() };
+    assert_roundtrip_equivalence_with("xmark-classic", &xml, XMARK_QUERIES, options);
+}
+
+#[test]
+fn reloaded_backend_choice_is_preserved() {
+    // The backend tags travel with the container: a classic index reloads
+    // classic, a default index reloads interleaved/matrix, and both answer
+    // the same counts.
+    let xml = xmark::generate(&XMarkConfig { scale: 0.01, seed: 7 });
+    let classic = SxsiIndex::build_from_xml_with_options(
+        xml.as_bytes(),
+        SxsiOptions { succinct: SuccinctOptions::classic(), ..Default::default() },
+    )
+    .expect("classic index builds");
+    let modern = SxsiIndex::build_from_xml(xml.as_bytes()).expect("default index builds");
+    let classic_loaded = SxsiIndex::from_bytes(&classic.to_bytes()).expect("classic loads");
+    let modern_loaded = SxsiIndex::from_bytes(&modern.to_bytes()).expect("default loads");
+    assert_eq!(classic_loaded.options().succinct, SuccinctOptions::classic());
+    assert_eq!(modern_loaded.options().succinct, SuccinctOptions::default());
+    for q in &XMARK_QUERIES[..8] {
+        let expected = modern.count(q.xpath).unwrap();
+        assert_eq!(classic_loaded.count(q.xpath).unwrap(), expected, "{}", q.id);
+        assert_eq!(modern_loaded.count(q.xpath).unwrap(), expected, "{}", q.id);
+    }
+}
+
+#[test]
 fn file_roundtrip_through_the_filesystem() {
     let xml = xmark::generate(&XMarkConfig { scale: 0.02, seed: 3 });
     let built = SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds");
@@ -132,10 +178,18 @@ fn corrupt_truncated_and_mismatched_files_error_structurally() {
 
     // Future format version.
     let mut future = bytes.clone();
-    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    future[8..12].copy_from_slice(&99u32.to_le_bytes());
     assert!(matches!(
         SxsiIndex::from_bytes(&future),
-        Err(IoError::UnsupportedVersion { found: 2, .. })
+        Err(IoError::UnsupportedVersion { found: 99, .. })
+    ));
+
+    // The superseded version-1 layout is also rejected up front.
+    let mut outdated = bytes.clone();
+    outdated[8..12].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        SxsiIndex::from_bytes(&outdated),
+        Err(IoError::UnsupportedVersion { found: 1, .. })
     ));
 
     // Truncation at a spread of byte positions (header, each section, tail).
