@@ -8,6 +8,7 @@
 //! compared directly; `EXPERIMENTS.md` records that comparison.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -31,9 +31,10 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use sxsi_io::{
-    corrupt, read_bool, read_section, read_u32, read_u8, read_usize, write_bool, write_section,
-    write_u32, write_u8, write_usize, write_end,
+    corrupt, read_bool, read_section, read_u32, read_u8, read_usize, write_bool,
+    write_section, write_u32, write_u8, write_usize, write_end, END_SECTION,
 };
+use sxsi_verify::VerifyDepth;
 use sxsi_succinct::{RankBackend, SequenceBackend, SuccinctOptions};
 use sxsi_text::TextCollection;
 use sxsi_tree::XmlTree;
@@ -41,7 +42,7 @@ use sxsi_xpath::eval::EvalOptions;
 
 use crate::{SxsiIndex, SxsiOptions};
 
-pub use sxsi_io::{IoError, ReadFrom, WriteInto};
+pub use sxsi_io::{fnv1a64, IoError, ReadFrom, WriteInto};
 
 /// Magic bytes opening every `.sxsi` file.
 pub const MAGIC: [u8; 8] = *b"SXSIIDX\0";
@@ -231,6 +232,112 @@ impl SxsiIndex {
         let mut r = BufReader::new(File::open(path)?);
         Self::read_from(&mut r)
     }
+
+    /// Paranoid load: [`SxsiIndex::load_from`] followed by a structural
+    /// verification pass at `depth`; any finding turns into a structured
+    /// corruption error carrying the first issue and the total count.
+    ///
+    /// This catches *semantically* inconsistent files — mutations that keep
+    /// every section checksum valid but break cross-structure invariants —
+    /// which the plain load accepts.
+    pub fn load_verified(reader: &mut (impl Read + ?Sized), depth: VerifyDepth) -> Result<Self, IoError> {
+        let index = Self::load_from(reader)?;
+        let report = index.verify(depth);
+        match report.issues.first() {
+            None => Ok(index),
+            Some(first) => Err(corrupt(format!(
+                "index fails verification with {} issue(s), first: {first}",
+                report.issues.len()
+            ))),
+        }
+    }
+
+    /// Paranoid file load: [`SxsiIndex::load_verified`] over a buffered
+    /// reader (see [`SxsiIndex::load_from_file`] for the trusting variant).
+    pub fn load_from_file_verified(path: impl AsRef<Path>, depth: VerifyDepth) -> Result<Self, IoError> {
+        let mut r = BufReader::new(File::open(path)?);
+        Self::load_verified(&mut r, depth)
+    }
+}
+
+/// Framing facts of one container section, as reported by [`scan_container`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section tag byte (1 = options, 2 = tree, 3 = texts, 4 = meta).
+    pub tag: u8,
+    /// Display name for the tag (`"unknown"` for tags outside the format).
+    pub name: &'static str,
+    /// Payload length in bytes.
+    pub length: u64,
+    /// Whether the stored FNV-1a checksum matches the payload.
+    pub checksum_ok: bool,
+}
+
+/// Container-level audit of a `.sxsi` file, produced by [`scan_container`]
+/// without deserializing any index structure — cheap enough to run against
+/// a deployed index from an operations shell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerScan {
+    /// Format version declared by the file (not validated, so files from
+    /// other versions can still be audited).
+    pub version: u32,
+    /// Per-section framing facts, in file order.
+    pub sections: Vec<SectionInfo>,
+    /// Succinct backends recorded in the options section, when its payload
+    /// decoded under the current format.
+    pub backends: Option<SuccinctOptions>,
+    /// Whether the end marker was present with nothing after it.
+    pub clean_end: bool,
+}
+
+/// Display name for a section tag.
+pub fn section_name(tag: u8) -> &'static str {
+    match tag {
+        SECTION_OPTIONS => "options",
+        SECTION_TREE => "tree",
+        SECTION_TEXTS => "texts",
+        SECTION_META => "meta",
+        _ => "unknown",
+    }
+}
+
+/// Scans the section framing of a `.sxsi` container: magic, version, and
+/// for each section its tag, payload length and checksum status.  Unlike
+/// [`SxsiIndex::load_from`], a checksum mismatch does not abort the scan —
+/// every remaining section is still reported, so an operator sees *which*
+/// sections of a damaged file survive.
+pub fn scan_container(r: &mut (impl Read + ?Sized)) -> Result<ContainerScan, IoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(IoError::BadMagic { found: magic });
+    }
+    let version = read_u32(r)?;
+    let mut sections = Vec::new();
+    let mut backends = None;
+    let mut clean_end = false;
+    while let Ok(tag) = read_u8(r) {
+        if tag == END_SECTION {
+            let mut probe = [0u8; 1];
+            clean_end = r.read_exact(&mut probe).is_err();
+            break;
+        }
+        let length = read_usize(r)?;
+        let payload = sxsi_io::read_byte_vec(r, length)?;
+        let stored = sxsi_io::read_u64(r)?;
+        let checksum_ok = fnv1a64(&payload) == stored;
+        if tag == SECTION_OPTIONS && checksum_ok && version == FORMAT_VERSION {
+            backends = SxsiOptions::from_bytes(&payload).ok().map(|o| o.succinct);
+        }
+        sections.push(SectionInfo { tag, name: section_name(tag), length: length as u64, checksum_ok });
+    }
+    Ok(ContainerScan { version, sections, backends, clean_end })
+}
+
+/// [`scan_container`] over a buffered file reader.
+pub fn scan_container_file(path: impl AsRef<Path>) -> Result<ContainerScan, IoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    scan_container(&mut r)
 }
 
 #[cfg(test)]
@@ -306,6 +413,53 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(SxsiIndex::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn scan_reports_sections_and_backends() {
+        let bytes = index().to_bytes();
+        let scan = scan_container(&mut &bytes[..]).unwrap();
+        assert_eq!(scan.version, FORMAT_VERSION);
+        assert_eq!(
+            scan.sections.iter().map(|s| s.name).collect::<Vec<_>>(),
+            vec!["options", "tree", "texts", "meta"]
+        );
+        assert!(scan.sections.iter().all(|s| s.checksum_ok));
+        assert_eq!(scan.backends, Some(SuccinctOptions::default()));
+        assert!(scan.clean_end);
+    }
+
+    #[test]
+    fn scan_survives_a_damaged_section() {
+        let mut bytes = index().to_bytes();
+        // Flip one byte inside the tree payload: the scan must report that
+        // section as damaged and still audit the ones after it.
+        let scan = scan_container(&mut &bytes[..]).unwrap();
+        let tree_len = scan.sections[1].length as usize;
+        let opts_len = scan.sections[0].length as usize;
+        let tree_payload_start = 12 + (1 + 8 + opts_len + 8) + 1 + 8;
+        bytes[tree_payload_start + tree_len / 2] ^= 0x01;
+        let damaged = scan_container(&mut &bytes[..]).unwrap();
+        assert!(!damaged.sections[1].checksum_ok);
+        assert!(damaged.sections[2].checksum_ok && damaged.sections[3].checksum_ok);
+        assert!(damaged.clean_end);
+    }
+
+    #[test]
+    fn paranoid_load_rejects_semantic_corruption() {
+        let mut idx = index();
+        idx.num_elements -= 1;
+        let bytes = idx.to_bytes();
+        // The trusting load accepts the drifted element count (it only
+        // bounds it against the node count) …
+        assert!(SxsiIndex::from_bytes(&bytes).is_ok());
+        // … the paranoid load rejects it with a structured error.
+        match SxsiIndex::load_verified(&mut &bytes[..], VerifyDepth::Quick) {
+            Err(err) => assert!(err.to_string().contains("element-count"), "{err}"),
+            Ok(_) => panic!("paranoid load accepted a drifted element count"),
+        }
+        let clean = index().to_bytes();
+        assert!(SxsiIndex::load_verified(&mut &clean[..], VerifyDepth::Quick).is_ok());
     }
 
     #[test]

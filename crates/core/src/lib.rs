@@ -56,7 +56,11 @@ use sxsi_xpath::{
     CompileError, Query, XPathParseError,
 };
 
-pub use io::{IoError, ReadFrom, WriteInto, FORMAT_VERSION, MAGIC};
+pub use io::{
+    fnv1a64, scan_container, scan_container_file, section_name, ContainerScan, IoError, ReadFrom,
+    SectionInfo, WriteInto, FORMAT_VERSION, MAGIC,
+};
+pub use sxsi_verify::{Verify, VerifyDepth, VerifyIssue, VerifyReport};
 pub use query::{NodeCursor, Prepared, QueryMode, QueryOptions, ResultSet};
 pub use serialize::{serialize_subtree, string_value, subtree_to_string};
 pub use sxsi_succinct::{RankBackend, SequenceBackend, SuccinctOptions};
@@ -437,6 +441,84 @@ impl SxsiIndex {
     pub fn node_name(&self, node: NodeId) -> &str {
         self.tree.tag_name(self.tree.tag(node))
     }
+
+    /// Runs the deep structural verifier over every index component and the
+    /// cross-section invariants tying them together, returning a structured
+    /// [`VerifyReport`] (inherent convenience over the [`Verify`] trait).
+    ///
+    /// [`VerifyDepth::Quick`] recomputes directories, C-arrays and shape
+    /// invariants; [`VerifyDepth::Deep`] additionally replays the tag-table
+    /// construction and walks every text through the LF mapping.
+    ///
+    /// ```
+    /// use sxsi::{SxsiIndex, VerifyDepth};
+    ///
+    /// let index = SxsiIndex::build_from_xml(b"<a><b>hi</b></a>").unwrap();
+    /// assert!(index.verify(VerifyDepth::Deep).is_ok());
+    /// ```
+    pub fn verify(&self, depth: VerifyDepth) -> VerifyReport {
+        Verify::verify(self, depth)
+    }
+}
+
+impl Verify for SxsiIndex {
+    /// Cross-section checks: the tree, the text collection and the recorded
+    /// options must describe the same document, built with the same
+    /// succinct backends.  Component invariants are checked recursively.
+    fn verify_into(&self, depth: VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        ctx.enter("tree", |ctx| self.tree.verify_into(depth, ctx));
+        ctx.enter("texts", |ctx| self.texts.verify_into(depth, ctx));
+        ctx.check(
+            "options-backend-mismatch",
+            self.tree.backends() == self.options.succinct
+                && self.texts.fm_index().backends() == self.options.succinct,
+            || {
+                format!(
+                    "options record {:?}, tree uses {:?}, text index uses {:?}",
+                    self.options.succinct,
+                    self.tree.backends(),
+                    self.texts.fm_index().backends()
+                )
+            },
+        );
+        ctx.check(
+            "options-text-mismatch",
+            self.options.text.sample_rate == self.texts.fm_index().sample_rate()
+                && self.options.text.keep_plain_text == self.texts.plain().is_some(),
+            || {
+                format!(
+                    "options record sample rate {} / plain {}, collection uses {} / {}",
+                    self.options.text.sample_rate,
+                    self.options.text.keep_plain_text,
+                    self.texts.fm_index().sample_rate(),
+                    self.texts.plain().is_some()
+                )
+            },
+        );
+        ctx.check("tree-text-count", self.tree.num_texts() == self.texts.num_texts(), || {
+            format!(
+                "tree references {} texts, collection holds {}",
+                self.tree.num_texts(),
+                self.texts.num_texts()
+            )
+        });
+        // Non-reserved tags label element nodes plus one attribute-name node
+        // per attribute, and every attribute contributes exactly one `%`
+        // value leaf — so the tag sequence pins the element count exactly.
+        let attributes = self.tree.tag_count(sxsi_tree::reserved::ATTRIBUTE_VALUE);
+        ctx.check(
+            "element-count",
+            self.num_elements + attributes == self.tree.count_elements(),
+            || {
+                format!(
+                    "meta declares {} elements, tag sequence holds {} non-reserved nodes for {} attributes",
+                    self.num_elements,
+                    self.tree.count_elements(),
+                    attributes
+                )
+            },
+        );
+    }
 }
 
 #[cfg(test)]
@@ -607,6 +689,26 @@ mod tests {
             assert_eq!(result.exists(), idx.count(query).unwrap() > 0, "{query}");
             assert_eq!(result.strategy(), expected_strategy, "{query}");
         }
+    }
+
+    #[test]
+    fn verify_passes_clean_and_catches_cross_section_drift() {
+        let idx = index();
+        let report = idx.verify(VerifyDepth::Deep);
+        assert!(report.is_ok(), "{report}");
+        assert!(report.checks_run > 30, "only {} checks ran", report.checks_run);
+
+        let mut drifted = index();
+        drifted.num_elements += 1;
+        assert!(drifted.verify(VerifyDepth::Quick).has_code("element-count"));
+
+        let mut wrong_backend = index();
+        wrong_backend.options.succinct = SuccinctOptions::classic();
+        assert!(wrong_backend.verify(VerifyDepth::Quick).has_code("options-backend-mismatch"));
+
+        let mut wrong_rate = index();
+        wrong_rate.options.text.sample_rate += 1;
+        assert!(wrong_rate.verify(VerifyDepth::Quick).has_code("options-text-mismatch"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!              [--limit N] [--offset N] [--threads N]
 //! sxsi exists  <index.sxsi> <xpath> [<xpath> ...] [--threads N]
 //! sxsi info    <index.sxsi>
+//! sxsi verify  <index.sxsi> [--deep]
 //! sxsi serve   <[id=]index.sxsi> ... (--socket PATH | --tcp ADDR) [options]
 //! sxsi client  (--socket PATH | --tcp ADDR) <op> [op options]
 //! sxsi queries [--set paper|ordered] [--print0]
@@ -37,13 +38,15 @@
 //!   support; stderr carries a structured
 //!   `sxsi: error=unsupported-query query='…' detail='…'` line
 //! * `4` — `exists` ran fine but at least one query matched nothing
+//! * `5` — `verify` loaded the index but found invariant violations; each
+//!   is printed as an `error code=… path=… detail=…` line
 
 use std::io::{self, Write as _};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sxsi::{QueryError, QueryOptions, SxsiIndex, SxsiOptions};
+use sxsi::{QueryError, QueryOptions, SxsiIndex, SxsiOptions, VerifyDepth};
 use sxsi_engine::server::client::{exit_code_for, Client};
 use sxsi_engine::server::protocol::Response;
 use sxsi_engine::server::{render_batch_result, Listener, OutputKind, ServeOptions, Server};
@@ -57,6 +60,7 @@ usage:
                [--limit N] [--offset N] [--threads N]
   sxsi exists  <index.sxsi> <xpath> [<xpath> ...] [--threads N]
   sxsi info    <index.sxsi>
+  sxsi verify  <index.sxsi> [--deep]
   sxsi serve   <[id=]index.sxsi> [<[id=]index.sxsi> ...]
                (--socket PATH | --tcp ADDR) [--threads N]
                [--plan-cache N] [--result-cache N] [--read-timeout SECS]
@@ -72,6 +76,9 @@ subcommands:
   query    load a .sxsi file and run XPath queries (counts by default)
   exists   report true/false per query, stopping at the first match
   info     print size and cardinality statistics of a .sxsi file
+  verify   audit a .sxsi file: per-section checksums, then the structural
+           invariants of every loaded component (--deep adds full
+           sequence/walk replays; see docs/verification.md)
   serve    answer queries from warm indexes over a framed socket protocol,
            with plan/result LRU caches and live metrics (see docs/protocol.md)
   client   send ops to a running daemon; query/exists bodies are
@@ -106,7 +113,8 @@ serve options:
   --read-timeout S   per-connection idle timeout in seconds (default 30)
 
 exit codes: 0 success, 1 runtime failure, 2 usage error,
-            3 unsupported query shape, 4 exists found no match
+            3 unsupported query shape, 4 exists found no match,
+            5 verify found invariant violations
 
 `sxsi query --help` additionally prints the supported XPath fragment.
 ";
@@ -157,6 +165,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("exists") => cmd_exists(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("queries") => cmd_queries(&args[1..]),
@@ -437,7 +446,101 @@ fn cmd_info(args: &[String]) -> ExitCode {
         "  options: sample_rate={} plain_text={} scan_cutoff={}",
         options.text.sample_rate, options.text.keep_plain_text, options.text.scan_cutoff
     );
+    let backends = options.succinct;
+    println!(
+        "  backends: rank={} (tag {}) sequence={} (tag {})",
+        backends.rank.name(),
+        backends.rank.tag(),
+        backends.sequence.name(),
+        backends.sequence.tag()
+    );
+    // Per-section framing status straight from the file, independent of the
+    // load above (a section the loader rebuilt fine can still be reported).
+    match sxsi::scan_container_file(path) {
+        Ok(scan) => {
+            println!("  sections:");
+            for section in &scan.sections {
+                println!(
+                    "    {:<8} {:>10} bytes  checksum {}",
+                    section.name,
+                    section.length,
+                    if section.checksum_ok { "ok" } else { "BAD" }
+                );
+            }
+            if !scan.clean_end {
+                println!("    (container does not end cleanly after the last section)");
+            }
+        }
+        Err(e) => println!("  sections: unreadable ({e})"),
+    }
+    let report = index.verify(VerifyDepth::Quick);
+    println!("  verify (quick): {report}");
     ExitCode::SUCCESS
+}
+
+/// `sxsi verify`: audit the container framing and every structural
+/// invariant of the loaded index.  Exit 0 when clean, 1 when the file
+/// cannot be loaded at all, 5 when the index loads but verification finds
+/// violations (each printed as a structured `error code=…` line).
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let mut deep = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--deep" => deep = true,
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}'"))
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [path] = positional[..] else {
+        return usage_error("verify expects exactly one <index.sxsi>");
+    };
+    let depth = if deep { VerifyDepth::Deep } else { VerifyDepth::Quick };
+
+    // Stage 1: container framing.  The scan does not stop at a bad
+    // checksum, so every damaged section is reported, not just the first.
+    let mut framing_ok = true;
+    match sxsi::scan_container_file(path) {
+        Ok(scan) => {
+            println!("{path}: container format v{}", scan.version);
+            for section in &scan.sections {
+                println!(
+                    "  section {:<8} {:>10} bytes  checksum {}",
+                    section.name,
+                    section.length,
+                    if section.checksum_ok { "ok" } else { "BAD" }
+                );
+                framing_ok &= section.checksum_ok;
+            }
+            if !scan.clean_end {
+                println!("  container does not end cleanly after the last section");
+                framing_ok = false;
+            }
+        }
+        Err(e) => return fail(format_args!("cannot scan {path}: {e}")),
+    }
+
+    // Stage 2: structural invariants of the loaded index.
+    let start = Instant::now();
+    let index = match SxsiIndex::load_from_file(path) {
+        Ok(index) => index,
+        Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+    };
+    println!("loaded in {:.2?}", start.elapsed());
+    let start = Instant::now();
+    let report = index.verify(depth);
+    println!(
+        "verify ({}) in {:.2?}: {report}",
+        if deep { "deep" } else { "quick" },
+        start.elapsed()
+    );
+    if report.is_ok() && framing_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(5)
+    }
 }
 
 /// `sxsi serve`: load the indexes once, then answer queries over a

@@ -438,6 +438,17 @@ impl Server {
         self.inner.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Handles one decoded request payload, returning the rendered response
+    /// frame and whether the connection should close afterwards.
+    ///
+    /// This is the daemon's untrusted-input boundary (everything after
+    /// frame length decoding), exposed so the structure-aware fuzzer and
+    /// protocol tests can drive it directly with arbitrary payloads
+    /// without a socket.
+    pub fn handle_command(&self, payload: &[u8]) -> (Vec<u8>, bool) {
+        self.inner.handle_command(payload)
+    }
+
     /// Renders the `stats` body (also available without a connection,
     /// e.g. for tests): the metrics sink plus both caches' counters.
     pub fn render_stats(&self) -> String {
@@ -674,6 +685,7 @@ impl ServerInner {
             }
         }
         let slot = self.resolve_index(index_id)?;
+        // lint:allow(index: resolve_index returned a valid position)
         let index = &self.indexes[slot].index;
 
         let mut xpaths = Vec::new();
@@ -706,6 +718,7 @@ impl ServerInner {
             std::collections::HashMap::new();
         let mut misses: Vec<&str> = Vec::new();
         {
+            // lint:allow(panic: poisoning means another worker already panicked)
             let mut result_cache = self.result_cache.lock().expect("result cache poisoned");
             for xpath in &xpaths {
                 if bodies.contains_key(xpath.as_str()) || misses.contains(&xpath.as_str()) {
@@ -735,6 +748,7 @@ impl ServerInner {
             }
             let batch = QueryBatch::from_prepared(prepared_misses);
             let results = self.executor.run(index, &batch);
+            // lint:allow(panic: poisoning means another worker already panicked)
             let mut result_cache = self.result_cache.lock().expect("result cache poisoned");
             for result in &results {
                 let mut rendered = String::new();
@@ -744,14 +758,16 @@ impl ServerInner {
                 let body: Arc<str> = Arc::from(rendered);
                 result_cache
                     .insert((slot, result.id.clone(), options, output), Arc::clone(&body));
-                bodies.insert(
-                    misses
-                        .iter()
-                        .copied()
-                        .find(|&m| m == result.id)
-                        .expect("result id comes from the miss list"),
-                    body,
-                );
+                let Some(miss) = misses.iter().copied().find(|&m| m == result.id) else {
+                    // Executor results always echo a requested id; if that
+                    // ever breaks, answer with a structured server bug
+                    // instead of panicking the worker.
+                    return Err((
+                        ErrorCode::Internal,
+                        format!("executor returned unknown result id '{}'", escape_query(&result.id)),
+                    ));
+                };
+                bodies.insert(miss, body);
             }
         }
 
@@ -759,7 +775,12 @@ impl ServerInner {
         let mut body = String::new();
         let mut all_found = true;
         for xpath in &xpaths {
-            let rendered = &bodies[xpath.as_str()];
+            let Some(rendered) = bodies.get(xpath.as_str()) else {
+                return Err((
+                    ErrorCode::Internal,
+                    format!("no rendered body for query '{}'", escape_query(xpath)),
+                ));
+            };
             if output == OutputKind::Exists && rendered.trim_end().ends_with("false") {
                 all_found = false;
             }
@@ -777,9 +798,11 @@ impl ServerInner {
     /// racing duplicate insert is benign.
     fn prepare_cached(&self, slot: usize, xpath: &str) -> Result<Arc<Prepared>, CommandError> {
         let key: PlanKey = (slot, xpath.to_string());
+        // lint:allow(panic: poisoning means another worker already panicked)
         if let Some(prepared) = self.plan_cache.lock().expect("plan cache poisoned").get(&key) {
             return Ok(Arc::clone(prepared));
         }
+        // lint:allow(index: callers pass a slot from resolve_index)
         let prepared = match self.indexes[slot].index.prepare(xpath) {
             Ok(prepared) => Arc::new(prepared),
             Err(QueryError::Compile(e)) => {
@@ -798,7 +821,7 @@ impl ServerInner {
         };
         self.plan_cache
             .lock()
-            .expect("plan cache poisoned")
+            .expect("plan cache poisoned") // lint:allow(panic: poisoning means another worker already panicked)
             .insert(key, Arc::clone(&prepared));
         Ok(prepared)
     }
@@ -838,6 +861,20 @@ impl ServerInner {
                 stats.plain_text_bytes,
                 stats.total_bytes()
             );
+            let backends = named.index.options().succinct;
+            let report = named.index.verify(sxsi::VerifyDepth::Quick);
+            let _ = writeln!(
+                out,
+                "index-backends id={} rank={} rank_tag={} sequence={} sequence_tag={} \
+                 verify={} verify_checks={}",
+                named.id,
+                backends.rank.name(),
+                backends.rank.tag(),
+                backends.sequence.name(),
+                backends.sequence.tag(),
+                if report.is_ok() { "ok".to_string() } else { format!("{}-issues", report.issues.len()) },
+                report.checks_run
+            );
         }
         out
     }
@@ -849,6 +886,7 @@ fn render_cache_stats<K: std::hash::Hash + Eq, V>(
     name: &str,
     cache: &Mutex<LruCache<K, V>>,
 ) {
+    // lint:allow(panic: poisoning means another worker already panicked)
     let cache = cache.lock().expect("cache poisoned");
     let counters = cache.counters();
     let _ = writeln!(out, "{name}_capacity={}", cache.capacity());

@@ -93,6 +93,7 @@ fn is_timeout(e: &io::Error) -> bool {
 fn read_exact_counting(r: &mut impl Read, buf: &mut [u8]) -> Result<(), (usize, FrameError)> {
     let mut filled = 0;
     while filled < buf.len() {
+        // lint:allow(index: filled < buf.len() is the loop condition)
         match r.read(&mut buf[filled..]) {
             Ok(0) => return Err((filled, FrameError::Closed)),
             Ok(n) => filled += n,
@@ -212,6 +213,9 @@ pub enum ErrorCode {
     /// A query parsed but compiles to a shape the engine does not
     /// support (the daemon analog of CLI exit 3).
     UnsupportedQuery,
+    /// The server hit an internal inconsistency while assembling a
+    /// response (a server bug, not a client error).
+    Internal,
     /// The connection idled past the server's read timeout.
     Timeout,
     /// The server is shutting down and no longer accepts work.
@@ -231,6 +235,7 @@ impl ErrorCode {
             ErrorCode::UnknownIndex => "unknown-index",
             ErrorCode::ParseError => "parse-error",
             ErrorCode::UnsupportedQuery => "unsupported-query",
+            ErrorCode::Internal => "internal",
             ErrorCode::Timeout => "timeout",
             ErrorCode::ShuttingDown => "shutting-down",
         }
@@ -248,6 +253,7 @@ impl ErrorCode {
             "unknown-index" => ErrorCode::UnknownIndex,
             "parse-error" => ErrorCode::ParseError,
             "unsupported-query" => ErrorCode::UnsupportedQuery,
+            "internal" => ErrorCode::Internal,
             "timeout" => ErrorCode::Timeout,
             "shutting-down" => ErrorCode::ShuttingDown,
             _ => return None,

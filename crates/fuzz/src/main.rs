@@ -1,0 +1,91 @@
+//! `sxsi-fuzz`: run the deterministic structure-aware fuzz drivers.
+//!
+//! ```text
+//! sxsi-fuzz [xml|container|frame|all]
+//! ```
+//!
+//! Environment:
+//!
+//! * `SXSI_FUZZ_ITERS` — iterations per driver (default 500)
+//! * `SXSI_FUZZ_SEED`  — base seed (default 0x5eed)
+//!
+//! Exits 0 when every case produced a structured accept/reject, 101
+//! when a driver panicked (the failing `(driver, seed, iteration)`
+//! triple and a hex dump of the input are printed for replay), 2 on
+//! usage errors.
+
+use std::process::ExitCode;
+
+use sxsi_fuzz::{driver, FuzzFailure, DRIVERS};
+
+fn env_u64(name: &str, default: u64) -> Result<u64, String> {
+    match std::env::var(name) {
+        Ok(value) => value
+            .trim()
+            .parse()
+            .map_err(|_| format!("{name} must be a non-negative integer, got '{value}'")),
+        Err(_) => Ok(default),
+    }
+}
+
+fn report(failure: &FuzzFailure) {
+    eprintln!(
+        "sxsi-fuzz: PANIC in driver '{}' (seed={:#x} iteration={})",
+        failure.driver, failure.seed, failure.iteration
+    );
+    eprintln!("sxsi-fuzz: {}", failure.message);
+    let hex: String = failure.input.iter().map(|b| format!("{b:02x}")).collect();
+    eprintln!("sxsi-fuzz: input ({} bytes): {hex}", failure.input.len());
+    eprintln!(
+        "sxsi-fuzz: replay with SXSI_FUZZ_SEED={:#x} SXSI_FUZZ_ITERS={} sxsi-fuzz {}",
+        failure.seed,
+        failure.iteration + 1,
+        failure.driver
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = match args.len() {
+        0 => "all",
+        1 => args[0].as_str(),
+        _ => {
+            eprintln!("usage: sxsi-fuzz [xml|container|frame|all]");
+            return ExitCode::from(2);
+        }
+    };
+    let (iterations, seed) =
+        match (env_u64("SXSI_FUZZ_ITERS", 500), env_u64("SXSI_FUZZ_SEED", 0x5eed)) {
+            (Ok(i), Ok(s)) => (i, s),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("sxsi-fuzz: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    let rows: Vec<_> = if which == "all" {
+        DRIVERS.iter().collect()
+    } else {
+        match driver(which) {
+            Some(row) => vec![row],
+            None => {
+                eprintln!("sxsi-fuzz: unknown driver '{which}' (xml, container, frame or all)");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    for (name, build, drive) in rows {
+        match sxsi_fuzz::run_driver(name, *build, *drive, seed, iterations) {
+            Ok((accepted, rejected)) => {
+                println!(
+                    "sxsi-fuzz: driver '{name}' ok: {iterations} cases, {accepted} accepted, \
+                     {rejected} rejected, 0 panics (seed={seed:#x})"
+                );
+            }
+            Err(failure) => {
+                report(&failure);
+                return ExitCode::from(101);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

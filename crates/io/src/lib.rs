@@ -131,6 +131,7 @@ pub trait WriteInto {
     /// Convenience: the encoding as an owned byte buffer.
     fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        // lint:allow(panic: Vec<u8> as io::Write is infallible)
         self.write_into(&mut out).expect("writing to a Vec cannot fail");
         out
     }
@@ -167,7 +168,7 @@ pub fn write_u8<W: Write + ?Sized>(w: &mut W, v: u8) -> io::Result<()> {
 pub fn read_u8<R: Read + ?Sized>(r: &mut R) -> Result<u8, IoError> {
     let mut buf = [0u8; 1];
     r.read_exact(&mut buf)?;
-    Ok(buf[0])
+    Ok(buf[0]) // lint:allow(index: buf is a local [u8; 1])
 }
 
 /// Writes a `u32`, little-endian.
@@ -231,8 +232,9 @@ pub fn read_byte_vec<R: Read + ?Sized>(r: &mut R, len: usize) -> Result<Vec<u8>,
     let mut remaining = len;
     while remaining > 0 {
         let take = remaining.min(READ_CHUNK);
+        // lint:allow(index: take is clamped to the local buffer length)
         r.read_exact(&mut buf[..take])?;
-        out.extend_from_slice(&buf[..take]);
+        out.extend_from_slice(&buf[..take]); // lint:allow(index: take is clamped to the local buffer length)
         remaining -= take;
     }
     Ok(out)

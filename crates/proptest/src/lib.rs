@@ -12,6 +12,7 @@
 //! reproducible and failures print the offending case index.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod collection;
 pub mod strategy;

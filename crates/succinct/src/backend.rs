@@ -238,6 +238,15 @@ impl RankBitmap {
     }
 }
 
+impl sxsi_verify::Verify for RankBitmap {
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        match self {
+            RankBitmap::Classic(b) => ctx.enter("classic", |ctx| b.verify_into(depth, ctx)),
+            RankBitmap::Interleaved(b) => ctx.enter("interleaved", |ctx| b.verify_into(depth, ctx)),
+        }
+    }
+}
+
 impl SpaceUsage for RankBitmap {
     fn size_bytes(&self) -> usize {
         match self {

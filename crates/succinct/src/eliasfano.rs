@@ -182,6 +182,48 @@ impl EliasFano {
     }
 }
 
+impl sxsi_verify::Verify for EliasFano {
+    /// Checks the upper/lower-bits agreement the loader skips: besides the
+    /// shape checks `read_from` already enforces, the decoded sequence must
+    /// be non-decreasing and stay inside the declared universe — a
+    /// perturbed low word passes every byte-level check but breaks both.
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let issues_before = ctx.issue_count();
+        ctx.check("ef-low-bits", (1..=64).contains(&self.low_bits), || {
+            format!("low_bits {} not in 1..=64", self.low_bits)
+        });
+        let expected_low = ceil_div(self.len.saturating_mul(self.low_bits as usize), 64).max(1);
+        ctx.check("ef-low-words", self.low.len() == expected_low, || {
+            format!("{} values need {expected_low} low words, holding {}", self.len, self.low.len())
+        });
+        ctx.check("ef-upper-ones", self.upper.count_ones() == self.len, || {
+            format!("upper bitmap holds {} ones for {} values", self.upper.count_ones(), self.len)
+        });
+        ctx.enter("upper", |ctx| self.upper.verify_into(depth, ctx));
+        if ctx.issue_count() > issues_before {
+            return;
+        }
+        let mut prev = 0u64;
+        let mut monotone = true;
+        let mut in_universe = true;
+        for k in 0..self.len {
+            let Some(v) = self.get(k) else {
+                monotone = false;
+                break;
+            };
+            monotone &= v >= prev;
+            in_universe &= v < self.universe.max(1);
+            prev = v;
+        }
+        ctx.check("ef-monotone", monotone, || {
+            "decoded sequence is not non-decreasing".into()
+        });
+        ctx.check("ef-universe", in_universe, || {
+            format!("decoded value exceeds the declared universe {}", self.universe)
+        });
+    }
+}
+
 impl SpaceUsage for EliasFano {
     fn size_bytes(&self) -> usize {
         crate::slice_bytes(&self.low) + self.upper.size_bytes()
@@ -325,6 +367,41 @@ mod tests {
         let ef = EliasFano::new(&[1, 5, 9], 10);
         let bytes = ef.to_bytes();
         assert!(EliasFano::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+    use sxsi_verify::{Verify, VerifyDepth};
+
+    #[test]
+    fn clean_sequence_verifies() {
+        let values: Vec<u64> = (0..500).map(|i| i * 37 + 5).collect();
+        let ef = EliasFano::new(&values, 500 * 37 + 6);
+        let report = ef.verify(VerifyDepth::Quick);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn perturbed_low_words_break_monotonicity_or_universe() {
+        // A perturbed low word passes every loader check (word counts and
+        // upper-bitmap cardinality are unchanged) but decodes wrong values:
+        // a dense sequence has equal high parts, so swapped low bits break
+        // the order.
+        let values: Vec<u64> = (0..500).collect();
+        let mut ef = EliasFano::new(&values, 500);
+        ef.low[0] = !ef.low[0];
+        let report = ef.verify(VerifyDepth::Quick);
+        assert!(report.has_code("ef-monotone") || report.has_code("ef-universe"), "{report}");
+    }
+
+    #[test]
+    fn shrunk_universe_is_caught() {
+        let values: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let mut ef = EliasFano::new(&values, 1000);
+        ef.universe = 500;
+        assert!(ef.verify(VerifyDepth::Quick).has_code("ef-universe"));
     }
 }
 

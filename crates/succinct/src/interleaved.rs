@@ -326,6 +326,83 @@ impl InterleavedRsBitVector {
     }
 }
 
+impl sxsi_verify::Verify for InterleavedRsBitVector {
+    /// Recomputes the inline block headers (absolute counters and packed
+    /// lanes) and the select samples from the payload words.  Like the
+    /// classical layout, the directories are rebuilt on load, so these
+    /// checks guard in-memory drift; all run at `Quick` depth.
+    fn verify_into(&self, _depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let needed = ceil_div(self.len, 64);
+        let n_blocks = ceil_div(needed.max(1), WORDS_PER_BLOCK);
+        ctx.check(
+            "bitvec-block-count",
+            self.data.len() == n_blocks * STRIDE,
+            || {
+                format!(
+                    "{} bits need {} interleaved words, holding {}",
+                    self.len,
+                    n_blocks * STRIDE,
+                    self.data.len()
+                )
+            },
+        );
+        if self.data.len() != n_blocks * STRIDE {
+            return;
+        }
+        // Payload words past the logical length (including the padding words
+        // of the final partial block) must be all zero.
+        let mut trailing_ok = self.len % 64 == 0 || self.word(needed - 1) >> (self.len % 64) == 0;
+        for w in needed..n_blocks * WORDS_PER_BLOCK {
+            trailing_ok &= self.data[(w / WORDS_PER_BLOCK) * STRIDE + HEADER_WORDS + (w % WORDS_PER_BLOCK)] == 0;
+        }
+        ctx.check("bitvec-trailing-bits", trailing_ok, || {
+            format!("non-zero payload bits past the {}-bit length", self.len)
+        });
+        let mut total: u64 = 0;
+        let mut block_ok = true;
+        let mut lane_ok = true;
+        for b in 0..n_blocks {
+            let base = b * STRIDE;
+            block_ok &= self.data[base] == total;
+            let mut in_block = 0u64;
+            for w in 0..WORDS_PER_BLOCK {
+                lane_ok &= self.lane(base, w) as u64 == in_block;
+                in_block += self.data[base + HEADER_WORDS + w].count_ones() as u64;
+            }
+            total += in_block;
+        }
+        ctx.check("bitvec-block-rank", block_ok, || {
+            "inline absolute rank counters disagree with the payload popcounts".into()
+        });
+        ctx.check("bitvec-lane", lane_ok, || {
+            "packed in-block count lanes disagree with the payload popcounts".into()
+        });
+        ctx.check("bitvec-ones", total as usize == self.ones, || {
+            format!("payload holds {total} ones, cached count says {}", self.ones)
+        });
+        // Each select sample must point at the block containing its sampled
+        // one/zero.
+        let zeros = self.len - self.ones;
+        let expect1 = ceil_div(self.ones, SELECT_SAMPLE);
+        let expect0 = ceil_div(zeros, SELECT_SAMPLE);
+        let mut sel_ok = self.select1_samples.len() == expect1 && self.select0_samples.len() == expect0;
+        let zeros_before = |b: usize| (b * BLOCK_BITS).min(self.len) - self.block_rank(b);
+        for (i, &s) in self.select1_samples.iter().enumerate() {
+            let k = i * SELECT_SAMPLE + 1;
+            let b = s as usize;
+            sel_ok &= b < n_blocks && self.block_rank(b) < k && k <= self.block_rank(b + 1);
+        }
+        for (i, &s) in self.select0_samples.iter().enumerate() {
+            let k = i * SELECT_SAMPLE + 1;
+            let b = s as usize;
+            sel_ok &= b < n_blocks && zeros_before(b) < k && k <= zeros_before(b + 1);
+        }
+        ctx.check("bitvec-select-sample", sel_ok, || {
+            "select samples do not bracket their sampled positions".into()
+        });
+    }
+}
+
 impl SpaceUsage for InterleavedRsBitVector {
     fn size_bytes(&self) -> usize {
         crate::slice_bytes(&self.data)
@@ -369,6 +446,44 @@ impl ReadFrom for InterleavedRsBitVector {
             }
         }
         Ok(Self::from_words(words, len))
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+    use sxsi_verify::{Verify, VerifyDepth};
+
+    fn sample() -> InterleavedRsBitVector {
+        let bits: BitVec = (0..4000).map(|i| i % 5 == 1).collect();
+        InterleavedRsBitVector::new(&bits)
+    }
+
+    #[test]
+    fn clean_bitvector_verifies() {
+        let report = sample().verify(VerifyDepth::Deep);
+        assert!(report.is_ok(), "{report}");
+        assert!(report.checks_run >= 5);
+    }
+
+    #[test]
+    fn drifted_headers_are_caught() {
+        let mut rs = sample();
+        rs.data[2 * STRIDE] += 1; // absolute counter of block 2
+        assert!(rs.verify(VerifyDepth::Quick).has_code("bitvec-block-rank"));
+
+        let mut rs = sample();
+        rs.data[2 * STRIDE + 1] += 1; // packed lanes of block 2
+        assert!(rs.verify(VerifyDepth::Quick).has_code("bitvec-lane"));
+
+        let mut rs = sample();
+        rs.ones += 1;
+        assert!(rs.verify(VerifyDepth::Quick).has_code("bitvec-ones"));
+
+        let mut rs = sample();
+        let last = rs.data.len() - 1;
+        rs.data[last] |= 1u64 << 63; // padding word of the final block
+        assert!(rs.verify(VerifyDepth::Quick).has_code("bitvec-trailing-bits"));
     }
 }
 

@@ -113,6 +113,29 @@ impl IntVector {
     }
 }
 
+impl sxsi_verify::Verify for IntVector {
+    fn verify_into(&self, _depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        ctx.check("intvec-width", (1..=64).contains(&self.width), || {
+            format!("width {} not in 1..=64", self.width)
+        });
+        let total_bits = self.len.saturating_mul(self.width as usize);
+        ctx.check("intvec-word-count", self.words.len() == ceil_div(total_bits, 64), || {
+            format!(
+                "{} x {}-bit entries need {} words, holding {}",
+                self.len,
+                self.width,
+                ceil_div(total_bits, 64),
+                self.words.len()
+            )
+        });
+        let trailing_ok = total_bits % 64 == 0
+            || self.words.last().map_or(true, |&w| w >> (total_bits % 64) == 0);
+        ctx.check("intvec-trailing-bits", trailing_ok, || {
+            format!("non-zero bits past the last {}-bit entry", self.width)
+        });
+    }
+}
+
 impl SpaceUsage for IntVector {
     fn size_bytes(&self) -> usize {
         crate::slice_bytes(&self.words)
@@ -218,6 +241,21 @@ mod tests {
         let v = IntVector::new(1000, 10);
         // 10000 bits = 1250 bytes, rounded up to u64 words.
         assert!(v.size_bytes() <= 1260);
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+    use sxsi_verify::{Verify, VerifyDepth};
+
+    #[test]
+    fn clean_vector_verifies_and_trailing_junk_is_caught() {
+        let mut v = IntVector::from_values_with_width(&[5, 9, 0, 12, 7], 5);
+        assert!(v.verify(VerifyDepth::Quick).is_ok());
+        // 25 used bits; junk above them survives no construction path.
+        v.words[0] |= 1u64 << 40;
+        assert!(v.verify(VerifyDepth::Quick).has_code("intvec-trailing-bits"));
     }
 }
 

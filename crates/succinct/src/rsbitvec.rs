@@ -258,6 +258,91 @@ impl RsBitVector {
     }
 }
 
+impl sxsi_verify::Verify for RsBitVector {
+    /// Recomputes the whole rank directory and the select samples from the
+    /// payload words.  Disk corruption cannot reach the directories (they
+    /// are rebuilt on load), so these checks guard against in-memory drift
+    /// and construction bugs; all of them run at `Quick` depth.
+    fn verify_into(&self, _depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let needed = ceil_div(self.len, 64);
+        ctx.check("bitvec-word-count", self.words.len() == needed, || {
+            format!("{} bits need {needed} words, holding {}", self.len, self.words.len())
+        });
+        let trailing_ok = self.len % 64 == 0
+            || self.words.last().map_or(true, |&w| w >> (self.len % 64) == 0);
+        ctx.check("bitvec-trailing-bits", trailing_ok, || {
+            format!("non-zero bits past the {}-bit length", self.len)
+        });
+        let popcount: usize = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        ctx.check("bitvec-ones", popcount == self.ones, || {
+            format!("payload holds {popcount} ones, cached count says {}", self.ones)
+        });
+        let n_super = ceil_div(needed.max(1), WORDS_PER_SUPERBLOCK);
+        let dims_ok = self.superblock_rank.len() == n_super + 1
+            && self.word_rank.len() == self.words.len();
+        ctx.check("bitvec-directory-shape", dims_ok, || {
+            format!(
+                "{n_super} superblocks need {} absolute and {} relative counters, holding {} and {}",
+                n_super + 1,
+                self.words.len(),
+                self.superblock_rank.len(),
+                self.word_rank.len()
+            )
+        });
+        if !dims_ok {
+            return;
+        }
+        let mut total: u64 = 0;
+        let mut super_ok = true;
+        let mut word_ok = true;
+        for sb in 0..n_super {
+            super_ok &= self.superblock_rank[sb] == total;
+            let mut within: u16 = 0;
+            for w in 0..WORDS_PER_SUPERBLOCK {
+                let idx = sb * WORDS_PER_SUPERBLOCK + w;
+                if idx >= self.words.len() {
+                    break;
+                }
+                word_ok &= self.word_rank[idx] == within;
+                let ones = self.words[idx].count_ones();
+                within += ones as u16;
+                total += ones as u64;
+            }
+        }
+        super_ok &= self.superblock_rank[n_super] == total;
+        ctx.check("bitvec-superblock-rank", super_ok, || {
+            "superblock rank directory disagrees with the payload popcounts".into()
+        });
+        ctx.check("bitvec-word-rank", word_ok, || {
+            "per-word rank directory disagrees with the payload popcounts".into()
+        });
+        // Each select sample must point at the superblock containing its
+        // sampled one/zero: superblock_rank[sb] < k <= superblock_rank[sb+1].
+        let zeros = self.len - self.ones;
+        let expect1 = ceil_div(self.ones, SELECT_SAMPLE);
+        let expect0 = ceil_div(zeros, SELECT_SAMPLE);
+        let mut sel_ok = self.select1_samples.len() == expect1 && self.select0_samples.len() == expect0;
+        for (i, &s) in self.select1_samples.iter().enumerate() {
+            let k = (i * SELECT_SAMPLE + 1) as u64;
+            let sb = s as usize;
+            sel_ok &= sb < n_super
+                && self.superblock_rank[sb] < k
+                && k <= self.superblock_rank[sb + 1];
+        }
+        for (i, &s) in self.select0_samples.iter().enumerate() {
+            let k = i * SELECT_SAMPLE + 1;
+            let sb = s as usize;
+            let zeros_before = |b: usize| {
+                (b * WORDS_PER_SUPERBLOCK * 64).min(self.len) - self.superblock_rank[b] as usize
+            };
+            sel_ok &= sb < n_super && zeros_before(sb) < k && k <= zeros_before(sb + 1);
+        }
+        ctx.check("bitvec-select-sample", sel_ok, || {
+            "select samples do not bracket their sampled positions".into()
+        });
+    }
+}
+
 impl SpaceUsage for RsBitVector {
     fn size_bytes(&self) -> usize {
         crate::slice_bytes(&self.words)
@@ -418,6 +503,49 @@ mod tests {
         let expected: Vec<usize> = bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
         let got: Vec<usize> = rs.iter_ones().collect();
         assert_eq!(expected, got);
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+    use sxsi_verify::{Verify, VerifyDepth};
+
+    fn sample() -> RsBitVector {
+        let bits: BitVec = (0..4000).map(|i| i % 5 == 1).collect();
+        RsBitVector::new(&bits)
+    }
+
+    #[test]
+    fn clean_bitvector_verifies() {
+        let rs = sample();
+        let report = rs.verify(VerifyDepth::Deep);
+        assert!(report.is_ok(), "{report}");
+        assert!(report.checks_run >= 6);
+    }
+
+    #[test]
+    fn drifted_directories_are_caught() {
+        let mut rs = sample();
+        rs.superblock_rank[2] += 1;
+        assert!(rs.verify(VerifyDepth::Quick).has_code("bitvec-superblock-rank"));
+
+        let mut rs = sample();
+        rs.word_rank[3] += 1;
+        assert!(rs.verify(VerifyDepth::Quick).has_code("bitvec-word-rank"));
+
+        let mut rs = sample();
+        rs.ones += 1;
+        assert!(rs.verify(VerifyDepth::Quick).has_code("bitvec-ones"));
+
+        let mut rs = sample();
+        let last = rs.words.len() - 1;
+        rs.words[last] |= 1u64 << 63;
+        assert!(rs.verify(VerifyDepth::Quick).has_code("bitvec-trailing-bits"));
+
+        let mut rs = sample();
+        rs.select1_samples.push(0);
+        assert!(rs.verify(VerifyDepth::Quick).has_code("bitvec-select-sample"));
     }
 }
 

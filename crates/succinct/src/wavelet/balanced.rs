@@ -195,6 +195,64 @@ impl BalancedWaveletTree {
     }
 }
 
+impl sxsi_verify::Verify for BalancedWaveletTree {
+    /// Checks level count/lengths and the per-level node boundaries; at
+    /// `Deep` depth each level's boundaries are recomputed from the level
+    /// above (a node's children are its zero- and one-partitions), which a
+    /// merely monotone-but-wrong bounds table passes at `Quick`.
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let issues_before = ctx.issue_count();
+        let height = if self.alphabet_size <= 1 { 0 } else { bits_for(self.alphabet_size as u64 - 1) };
+        ctx.check("wt-level-count", self.height == height && self.levels.len() == height as usize, || {
+            format!("alphabet {} needs {height} levels, holding {}", self.alphabet_size, self.levels.len())
+        });
+        let mut level_len_ok = true;
+        for level in &self.levels {
+            level_len_ok &= level.len() == self.len;
+            ctx.enter("level", |ctx| level.verify_into(depth, ctx));
+        }
+        ctx.check("wt-level-len", level_len_ok, || {
+            format!("a level bitmap does not hold {} bits", self.len)
+        });
+        let mut bounds_ok = self.bounds.len() == height as usize;
+        for (l, node_bounds) in self.bounds.iter().enumerate() {
+            bounds_ok &= node_bounds.len() == 1usize << l
+                && node_bounds.windows(2).all(|w| w[0] <= w[1])
+                && node_bounds.last().map_or(true, |&b| b <= self.len)
+                && node_bounds.first().map_or(true, |&b| b == 0);
+        }
+        ctx.check("wt-bounds", bounds_ok, || {
+            "node boundaries are missing or not monotone within the sequence".into()
+        });
+        if !depth.is_deep() || ctx.issue_count() > issues_before {
+            return;
+        }
+        // Recompute each level's boundaries from the level above: node `n`
+        // at level `l` splits into its zero- and one-partitions, whose sizes
+        // follow from one rank over the node's slice.
+        let mut consistent = true;
+        for l in 0..self.bounds.len().saturating_sub(1) {
+            let bm = &self.levels[l];
+            let bounds = &self.bounds[l];
+            let mut offset = 0usize;
+            let mut expected = Vec::with_capacity(bounds.len() * 2);
+            for (n, &start) in bounds.iter().enumerate() {
+                let end = bounds.get(n + 1).copied().unwrap_or(self.len);
+                let ones = bm.rank1(end) - bm.rank1(start);
+                let zeros = (end - start) - ones;
+                expected.push(offset);
+                offset += zeros;
+                expected.push(offset);
+                offset += ones;
+            }
+            consistent &= self.bounds[l + 1] == expected;
+        }
+        ctx.check("wt-bounds-consistent", consistent, || {
+            "node boundaries disagree with the partition sizes of the level above".into()
+        });
+    }
+}
+
 impl SpaceUsage for BalancedWaveletTree {
     fn size_bytes(&self) -> usize {
         self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
@@ -331,6 +389,28 @@ mod tests {
         let wt = BalancedWaveletTree::new(&[1, 2, 3], 5);
         let bytes = wt.to_bytes();
         assert!(BalancedWaveletTree::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+    use sxsi_verify::{Verify, VerifyDepth};
+
+    #[test]
+    fn clean_tree_verifies_and_wrong_bounds_are_caught_at_depth() {
+        let seq: Vec<u32> = (0..2000u32).map(|i| (i * 37) % 13).collect();
+        let wt = BalancedWaveletTree::new(&seq, 13);
+        assert!(wt.verify(VerifyDepth::Deep).is_ok());
+
+        // A monotone-but-wrong boundary passes the quick shape checks and
+        // only the deep partition replay catches it.
+        let mut wt = BalancedWaveletTree::new(&seq, 13);
+        wt.bounds[2][1] += 1;
+        let quick = wt.verify(VerifyDepth::Quick);
+        assert!(!quick.has_code("wt-bounds-consistent"), "{quick}");
+        let deep = wt.verify(VerifyDepth::Deep);
+        assert!(deep.has_code("wt-bounds-consistent"), "{deep}");
     }
 }
 

@@ -165,6 +165,57 @@ impl SequenceIndex<u8> for HuffmanWaveletTree {
     }
 }
 
+impl sxsi_verify::Verify for HuffmanWaveletTree {
+    /// Checks that the symbol counts sum to the sequence length and that the
+    /// node array matches the code-tree topology implied by those counts
+    /// (node count and per-node bitmap lengths), i.e. the FM-index's
+    /// C-array-style invariant at the wavelet level.
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        ctx.check("hwt-counts-len", self.counts.len() == 256, || {
+            format!("need 256 symbol counts, holding {}", self.counts.len())
+        });
+        let total: usize = self.counts.iter().sum();
+        ctx.check("hwt-counts-sum", total == self.len, || {
+            format!("symbol counts sum to {total}, sequence length is {}", self.len)
+        });
+        let distinct = self.counts.iter().filter(|&&c| c > 0).count();
+        if self.len == 0 || distinct <= 1 {
+            ctx.check("hwt-shape", self.nodes.is_empty(), || {
+                "degenerate tree (<= 1 distinct symbol) must have no nodes".into()
+            });
+            return;
+        }
+        let shape = TreeShape::from_codes(&self.codes, &self.counts);
+        let shape_ok = self.nodes.len() == shape.child.len()
+            && self
+                .nodes
+                .iter()
+                .zip(shape.child.iter().zip(&shape.leaf))
+                .all(|(n, (&child, &leaf))| n.child == child && n.leaf == leaf);
+        ctx.check("hwt-shape", shape_ok, || {
+            format!(
+                "{} nodes disagree with the code-tree topology ({} nodes expected)",
+                self.nodes.len(),
+                shape.child.len()
+            )
+        });
+        if !shape_ok {
+            return;
+        }
+        let len_ok = self
+            .nodes
+            .iter()
+            .zip(&shape.expected_bits)
+            .all(|(n, &bits)| n.bitmap.len() == bits);
+        ctx.check("hwt-node-len", len_ok, || {
+            "a node bitmap length disagrees with the counts routed through it".into()
+        });
+        for node in &self.nodes {
+            ctx.enter("node", |ctx| node.bitmap.verify_into(depth, ctx));
+        }
+    }
+}
+
 impl SpaceUsage for HuffmanWaveletTree {
     fn size_bytes(&self) -> usize {
         self.nodes.iter().map(|n| n.bitmap.size_bytes()).sum::<usize>()
@@ -432,6 +483,29 @@ mod tests {
             assert_eq!(wt.count(b), expected);
             assert_eq!(wt.rank(b, seq.len()), expected);
         }
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+    use sxsi_verify::{Verify, VerifyDepth};
+
+    #[test]
+    fn clean_tree_verifies() {
+        let wt = HuffmanWaveletTree::new(b"abracadabra, the quick brown fox");
+        let report = wt.verify(VerifyDepth::Deep);
+        assert!(report.is_ok(), "{report}");
+        assert!(HuffmanWaveletTree::new(&[]).verify(VerifyDepth::Quick).is_ok());
+        assert!(HuffmanWaveletTree::new(&[7; 40]).verify(VerifyDepth::Quick).is_ok());
+    }
+
+    #[test]
+    fn drifted_counts_are_caught() {
+        let mut wt = HuffmanWaveletTree::new(b"abracadabra");
+        wt.counts[b'a' as usize] += 1;
+        let report = wt.verify(VerifyDepth::Quick);
+        assert!(report.has_code("hwt-counts-sum"), "{report}");
     }
 }
 

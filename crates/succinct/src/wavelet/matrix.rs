@@ -248,6 +248,53 @@ impl SequenceIndex<u64> for WaveletMatrix {
     }
 }
 
+impl sxsi_verify::Verify for WaveletMatrix {
+    /// Checks level count/lengths, the `zeros[]` table against each level's
+    /// actual zero count, and (for tabulated alphabets) that the bucket
+    /// starts equal a fresh descent and are monotone.
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let issues_before = ctx.issue_count();
+        ctx.check("wm-alphabet", self.alphabet_size > 0, || "alphabet size is zero".into());
+        let bits =
+            if self.alphabet_size <= 1 { 1 } else { bits_for(self.alphabet_size - 1) } as usize;
+        ctx.check("wm-level-count", self.levels.len() == bits, || {
+            format!("alphabet {} needs {bits} levels, holding {}", self.alphabet_size, self.levels.len())
+        });
+        let mut level_len_ok = true;
+        let mut zeros_ok = self.zeros.len() == self.levels.len();
+        for (l, level) in self.levels.iter().enumerate() {
+            level_len_ok &= level.len() == self.len;
+            zeros_ok &= self.zeros.get(l) == Some(&level.count_zeros());
+            ctx.enter("level", |ctx| level.verify_into(depth, ctx));
+        }
+        ctx.check("wm-level-len", level_len_ok, || {
+            format!("a level bitmap does not hold {} bits", self.len)
+        });
+        ctx.check("wm-zeros", zeros_ok, || {
+            "zeros[] table disagrees with the level bitmaps' zero counts".into()
+        });
+        if ctx.issue_count() > issues_before {
+            return;
+        }
+        let expected = self.compute_path_starts();
+        ctx.check("wm-path-starts", self.path_starts == expected, || {
+            "bucket-start table disagrees with a fresh descent".into()
+        });
+        // The bottom level orders buckets by the *bit-reversed* symbol (each
+        // level stably moves zero-bit symbols to the front), so monotonicity
+        // holds along that order, not along symbol value.
+        let bits_u32 = self.levels.len() as u32;
+        let mut order: Vec<u64> = (0..expected.len() as u64).collect();
+        order.sort_by_key(|&s| s.reverse_bits() >> (64 - bits_u32.max(1)));
+        ctx.check(
+            "wm-bucket-monotone",
+            order.windows(2).all(|w| expected[w[0] as usize] <= expected[w[1] as usize])
+                && expected.iter().all(|&b| b <= self.len),
+            || "bottom-level bucket starts are not monotone in bit-reversed order".into(),
+        );
+    }
+}
+
 impl SpaceUsage for WaveletMatrix {
     fn size_bytes(&self) -> usize {
         self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
@@ -408,6 +455,28 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(WaveletMatrix::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn clean_matrix_verifies() {
+        use sxsi_verify::{Verify, VerifyDepth};
+        let seq: Vec<u64> = (0..500).map(|i| (i * 37) % 11).collect();
+        let wm = WaveletMatrix::new(&seq, 11);
+        let report = wm.verify(VerifyDepth::Deep);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn drifted_zeros_and_bucket_starts_are_caught() {
+        use sxsi_verify::{Verify, VerifyDepth};
+        let seq: Vec<u64> = (0..500).map(|i| (i * 37) % 11).collect();
+        let mut wm = WaveletMatrix::new(&seq, 11);
+        wm.zeros[1] += 1;
+        assert!(wm.verify(VerifyDepth::Quick).has_code("wm-zeros"));
+
+        let mut wm = WaveletMatrix::new(&seq, 11);
+        wm.path_starts[3] += 1;
+        assert!(wm.verify(VerifyDepth::Quick).has_code("wm-path-starts"));
     }
 
     #[test]

@@ -185,6 +185,9 @@ impl TextCollection {
             .get(id + 1)
             .map(|e| e as usize)
             .unwrap_or(self.total_len);
+        // Strict monotonicity of the start offsets (the verifier's
+        // `text-starts` invariant) keeps this subtraction in range.
+        debug_assert!(end > start, "text {id} spans [{start}, {end})");
         end - start - 1
     }
 
@@ -486,6 +489,102 @@ impl TextCollection {
         Ok(Self { fm, doc, starts, num_texts, total_len, plain, options })
     }
 
+    /// Deep verification: replays every text backwards through the LF
+    /// mapping, cross-checking the sampling structures, the `Doc` array and
+    /// (when kept) the plain store against the position the walk tracks.
+    /// Visits every BWT row exactly once, `O(total_len)` rank operations.
+    fn verify_walk(&self, ctx: &mut sxsi_verify::VerifyContext) {
+        let rate = self.fm.sample_rate();
+        let mut sample_row: Option<String> = None;
+        let mut sample_value: Option<String> = None;
+        let mut doc_mismatch: Option<String> = None;
+        let mut plain_mismatch: Option<String> = None;
+        let mut walk_broken: Option<String> = None;
+        for id in 0..self.num_texts {
+            let Some(start) = self.starts.get(id) else {
+                walk_broken.get_or_insert_with(|| format!("start offset of text {id} is unreadable"));
+                continue;
+            };
+            let start = start as usize;
+            let tlen = self.text_len(id);
+            let plain = self.plain.as_ref().map(|p| p.text(id));
+            if let Some(p) = plain {
+                if p.len() != tlen {
+                    plain_mismatch.get_or_insert_with(|| {
+                        format!("plain text {id} holds {} bytes, boundaries declare {tlen}", p.len())
+                    });
+                    continue;
+                }
+            }
+            let mut row = id;
+            let mut offset = tlen;
+            loop {
+                let pos = start + offset;
+                let marked = self.fm.row_is_sampled(row);
+                if marked != (pos % rate == 0) {
+                    sample_row.get_or_insert_with(|| {
+                        format!(
+                            "row of position {pos} (text {id}) is {}sampled for rate {rate}",
+                            if marked { "" } else { "not " }
+                        )
+                    });
+                }
+                if marked {
+                    let v = self.fm.sample_value(row);
+                    if v != pos {
+                        sample_value
+                            .get_or_insert_with(|| format!("sample at position {pos} (text {id}) stores {v}"));
+                    }
+                }
+                let b = self.fm.bwt_symbol(row);
+                if offset == 0 {
+                    if b != 0 {
+                        walk_broken.get_or_insert_with(|| {
+                            format!("walk of text {id} reached its start over symbol {b}, expected an end-marker")
+                        });
+                    } else {
+                        let dollar_rank = self.fm.occ(0, row);
+                        let d = self.doc[dollar_rank] as usize;
+                        if d != id {
+                            doc_mismatch.get_or_insert_with(|| {
+                                format!("Doc maps end-marker {dollar_rank} to text {d}, the walk of text {id} reached it")
+                            });
+                        }
+                    }
+                    break;
+                }
+                if b == 0 {
+                    walk_broken.get_or_insert_with(|| {
+                        format!("walk of text {id} hit an end-marker {offset} symbols early")
+                    });
+                    break;
+                }
+                if let Some(p) = plain {
+                    if p[offset - 1] != b {
+                        plain_mismatch.get_or_insert_with(|| {
+                            format!(
+                                "BWT stores {b:#04x} at offset {} of text {id}, plain store holds {:#04x}",
+                                offset - 1,
+                                p[offset - 1]
+                            )
+                        });
+                    }
+                }
+                row = self.fm.lf(row);
+                offset -= 1;
+            }
+        }
+        ctx.check("fm-sample-row", sample_row.is_none(), || sample_row.unwrap_or_default());
+        ctx.check("fm-sample-value", sample_value.is_none(), || sample_value.unwrap_or_default());
+        ctx.check("text-doc-mismatch", doc_mismatch.is_none(), || doc_mismatch.unwrap_or_default());
+        ctx.check("text-walk", walk_broken.is_none(), || walk_broken.unwrap_or_default());
+        if self.plain.is_some() {
+            ctx.check("plain-text-mismatch", plain_mismatch.is_none(), || {
+                plain_mismatch.unwrap_or_default()
+            });
+        }
+    }
+
     fn complement(&self, sorted_ids: &[TextId]) -> Vec<TextId> {
         let mut out = Vec::with_capacity(self.num_texts - sorted_ids.len());
         let mut it = sorted_ids.iter().copied().peekable();
@@ -497,6 +596,91 @@ impl TextCollection {
             }
         }
         out
+    }
+}
+
+impl sxsi_verify::Verify for TextCollection {
+    /// Cross-structure checks over the paper's text apparatus: the FM-index,
+    /// the `Doc` array, the text boundaries and the optional plain store
+    /// must all describe the same collection.  Deep verification replays
+    /// every text through the LF mapping.
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let issues_before = ctx.issue_count();
+        ctx.enter("fm", |ctx| self.fm.verify_into(depth, ctx));
+        ctx.enter("starts", |ctx| self.starts.verify_into(depth, ctx));
+        if let Some(p) = &self.plain {
+            ctx.enter("plain", |ctx| p.verify_into(depth, ctx));
+        }
+        ctx.check("text-options-mismatch", self.options.sample_rate == self.fm.sample_rate(), || {
+            format!(
+                "options declare sample rate {}, the FM-index uses {}",
+                self.options.sample_rate,
+                self.fm.sample_rate()
+            )
+        });
+        ctx.check(
+            "text-count",
+            self.fm.len() == self.total_len
+                && self.fm.symbol_count(0) == self.num_texts
+                && self.doc.len() == self.num_texts
+                && self.starts.len() == self.num_texts,
+            || {
+                format!(
+                    "{} texts declared; FM covers {} of {} symbols with {} end-markers, Doc holds {}, boundaries hold {}",
+                    self.num_texts,
+                    self.fm.len(),
+                    self.total_len,
+                    self.fm.symbol_count(0),
+                    self.doc.len(),
+                    self.starts.len()
+                )
+            },
+        );
+        let bad_doc = self.doc.iter().position(|&d| d as usize >= self.num_texts.max(1));
+        ctx.check("text-doc-range", bad_doc.is_none(), || {
+            format!(
+                "Doc entry {} references text {} of {}",
+                bad_doc.unwrap_or_default(),
+                self.doc.get(bad_doc.unwrap_or_default()).copied().unwrap_or_default(),
+                self.num_texts
+            )
+        });
+        let starts_ok = self.num_texts == 0
+            || (self.starts.get(0) == Some(0)
+                && (1..self.num_texts).all(|i| {
+                    match (self.starts.get(i - 1), self.starts.get(i)) {
+                        (Some(a), Some(b)) => b > a,
+                        _ => false,
+                    }
+                })
+                && self
+                    .starts
+                    .get(self.num_texts - 1)
+                    .is_some_and(|last| (last as usize) < self.total_len));
+        ctx.check("text-starts", starts_ok, || {
+            "text start offsets are not strictly increasing from 0 within the concatenation".into()
+        });
+        if let Some(p) = &self.plain {
+            ctx.check(
+                "plain-text-count",
+                p.num_texts() == self.num_texts && p.total_bytes() + self.num_texts == self.total_len,
+                || {
+                    format!(
+                        "plain store holds {} texts / {} bytes, boundaries declare {} texts / {} bytes",
+                        p.num_texts(),
+                        p.total_bytes(),
+                        self.num_texts,
+                        self.total_len.saturating_sub(self.num_texts)
+                    )
+                },
+            );
+        }
+        if ctx.issue_count() > issues_before {
+            return;
+        }
+        if depth.is_deep() {
+            self.verify_walk(ctx);
+        }
     }
 }
 
@@ -571,6 +755,23 @@ mod tests {
     }
 
     const PAPER_TEXTS: [&str; 6] = ["pen", "Soon discontinued", "blue", "40", "rubber", "30"];
+
+    #[test]
+    fn options_serialization_roundtrip_and_truncation() {
+        let opts = TextCollectionOptions { sample_rate: 8, keep_plain_text: false, scan_cutoff: 7 };
+        let bytes = opts.to_bytes();
+        let back = TextCollectionOptions::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.sample_rate, 8);
+        assert!(!back.keep_plain_text);
+        assert_eq!(back.scan_cutoff, 7);
+        // Truncated input must fail structurally, never panic.
+        for cut in 0..bytes.len() {
+            assert!(TextCollectionOptions::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A zero sample rate is rejected even when framing is intact.
+        let zero = TextCollectionOptions { sample_rate: 0, ..Default::default() }.to_bytes();
+        assert!(TextCollectionOptions::from_bytes(&zero).is_err());
+    }
 
     #[test]
     fn get_text_roundtrip_plain_and_fm() {
@@ -780,6 +981,83 @@ mod tests {
             let naive_ew: Vec<usize> = (0..texts.len()).filter(|&i| texts[i].ends_with(pattern)).collect();
             assert_eq!(tc.ends_with(p), naive_ew, "ends_with {pattern:?}");
         }
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+    use sxsi_verify::{Verify, VerifyDepth};
+
+    const PAPER_TEXTS: [&str; 6] = ["pen", "Soon discontinued", "blue", "40", "rubber", "30"];
+
+    fn sampled_collection() -> TextCollection {
+        TextCollection::with_options(
+            &PAPER_TEXTS,
+            TextCollectionOptions { sample_rate: 4, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn clean_collection_verifies() {
+        for keep_plain in [true, false] {
+            let tc = TextCollection::with_options(
+                &PAPER_TEXTS,
+                TextCollectionOptions { sample_rate: 4, keep_plain_text: keep_plain, ..Default::default() },
+            );
+            let report = tc.verify(VerifyDepth::Deep);
+            assert!(report.is_ok(), "keep_plain={keep_plain}: {report}");
+            assert!(report.checks_run >= 15);
+        }
+    }
+
+    #[test]
+    fn options_rate_mismatch_is_caught() {
+        let mut tc = sampled_collection();
+        tc.options.sample_rate += 1;
+        let report = tc.verify(VerifyDepth::Quick);
+        assert!(report.has_code("text-options-mismatch"), "{report}");
+    }
+
+    #[test]
+    fn doc_swap_passes_quick_but_fails_the_deep_walk() {
+        let mut tc = sampled_collection();
+        tc.doc.swap(0, 1);
+        assert!(tc.verify(VerifyDepth::Quick).is_ok());
+        let report = tc.verify(VerifyDepth::Deep);
+        assert!(report.has_code("text-doc-mismatch"), "{report}");
+    }
+
+    #[test]
+    fn swapped_sample_values_fail_the_deep_walk() {
+        let mut tc = sampled_collection();
+        tc.fm.corrupt_swap_samples_for_tests(0, 1);
+        assert!(tc.verify(VerifyDepth::Quick).is_ok());
+        let report = tc.verify(VerifyDepth::Deep);
+        assert!(report.has_code("fm-sample-value"), "{report}");
+    }
+
+    #[test]
+    fn drifted_sample_rate_fails_the_deep_walk() {
+        let mut tc = sampled_collection();
+        // Keep options and index agreeing (so the quick check passes) while
+        // the bitmap was built for a different rate.
+        tc.fm.corrupt_sample_rate_for_tests(3);
+        tc.options.sample_rate = 3;
+        assert!(tc.verify(VerifyDepth::Quick).is_ok());
+        let report = tc.verify(VerifyDepth::Deep);
+        assert!(report.has_code("fm-sample-row"), "{report}");
+    }
+
+    #[test]
+    fn plain_store_drift_fails_the_deep_walk() {
+        let mut tc = sampled_collection();
+        if let Some(p) = tc.plain.as_mut() {
+            p.corrupt_byte_for_tests(2);
+        }
+        assert!(tc.verify(VerifyDepth::Quick).is_ok());
+        let report = tc.verify(VerifyDepth::Deep);
+        assert!(report.has_code("plain-text-mismatch"), "{report}");
     }
 }
 

@@ -292,8 +292,13 @@ impl FmIndex {
     /// The LF-mapping: the row of the suffix starting one position earlier.
     #[inline]
     pub fn lf(&self, row: usize) -> usize {
+        debug_assert!(row < self.len, "LF-mapping of row {row} in a {}-row index", self.len);
         let b = self.bwt.access(row);
-        self.c[b as usize] + self.bwt.rank(b, row)
+        let mapped = self.c[b as usize] + self.bwt.rank(b, row);
+        // In range whenever the C array agrees with the BWT's symbol counts
+        // (the verifier's `fm-c-counts` invariant).
+        debug_assert!(mapped < self.len, "LF-mapping left the index: {row} -> {mapped}");
+        mapped
     }
 
     /// One backward-search step: restrict `range` to rows whose suffix starts
@@ -356,6 +361,13 @@ impl FmIndex {
             }
             row = self.c[b as usize] + self.bwt.rank(b, row);
             steps += 1;
+            // Every `sample_rate`-th text position is sampled (the
+            // verifier's `fm-sample-rate` invariant), so the walk must hit
+            // a sample or an end-marker within `sample_rate` steps.
+            debug_assert!(
+                steps <= self.sample_rate,
+                "locate walk ran {steps} steps past the sampling guarantee"
+            );
         }
     }
 
@@ -381,6 +393,98 @@ impl FmIndex {
             + self.c.len() * std::mem::size_of::<usize>()
             + self.sampled.size_bytes()
             + self.samples.size_bytes()
+    }
+}
+
+impl FmIndex {
+    /// Whether `row` is marked in the sampling bitmap (verification support).
+    pub(crate) fn row_is_sampled(&self, row: usize) -> bool {
+        self.sampled.get(row)
+    }
+
+    /// The sampled text position stored for `row`; `row` must be sampled.
+    pub(crate) fn sample_value(&self, row: usize) -> usize {
+        self.samples.get(self.sampled.rank1(row)) as usize
+    }
+}
+
+#[cfg(test)]
+impl FmIndex {
+    /// Swaps two locate-sample values (collection-level verify tests).
+    pub(crate) fn corrupt_swap_samples_for_tests(&mut self, i: usize, j: usize) {
+        let (a, b) = (self.samples.get(i), self.samples.get(j));
+        self.samples.set(i, b);
+        self.samples.set(j, a);
+    }
+
+    /// Overrides the declared sampling rate (collection-level verify tests).
+    pub(crate) fn corrupt_sample_rate_for_tests(&mut self, rate: usize) {
+        self.sample_rate = rate;
+    }
+}
+
+impl sxsi_verify::Verify for BwtSequence {
+    /// Dispatches to the backend's own invariants, adding the byte-alphabet
+    /// bound the matrix layout relies on.
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        match self {
+            BwtSequence::Huffman(wt) => ctx.enter("huffman", |ctx| wt.verify_into(depth, ctx)),
+            BwtSequence::Matrix(wm) => ctx.enter("matrix", |ctx| {
+                ctx.check("bwt-alphabet", wm.alphabet_size() == 256, || {
+                    format!("BWT wavelet matrix covers alphabet {}, expected 256", wm.alphabet_size())
+                });
+                wm.verify_into(depth, ctx);
+            }),
+        }
+    }
+}
+
+impl sxsi_verify::Verify for FmIndex {
+    /// Structural checks mirroring (and exceeding) what `read_from`
+    /// validates: C-array shape and agreement with the BWT's per-symbol
+    /// counts, sampling bitmap/array cardinality, and sample value ranges.
+    /// The per-sample *position* check needs the text layout and lives in
+    /// the collection's deep verification walk.
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let issues_before = ctx.issue_count();
+        ctx.check("fm-sample-rate", self.sample_rate >= 1, || {
+            "sampling rate must be positive".into()
+        });
+        ctx.check("fm-bwt-len", self.bwt.len() == self.len, || {
+            format!("BWT holds {} symbols, index declares {}", self.bwt.len(), self.len)
+        });
+        ctx.check(
+            "fm-c-shape",
+            self.c.len() == 257
+                && self.c.first() == Some(&0)
+                && self.c.last() == Some(&self.len)
+                && self.c.windows(2).all(|w| w[0] <= w[1]),
+            || "C array is not a cumulative count over the text".into(),
+        );
+        ctx.enter("bwt", |ctx| self.bwt.verify_into(depth, ctx));
+        ctx.enter("sampled", |ctx| self.sampled.verify_into(depth, ctx));
+        ctx.enter("samples", |ctx| self.samples.verify_into(depth, ctx));
+        ctx.check("fm-sampled-len", self.sampled.len() == self.len, || {
+            format!("sampling bitmap covers {} rows, index declares {}", self.sampled.len(), self.len)
+        });
+        ctx.check("fm-sample-count", self.samples.len() == self.sampled.count_ones(), || {
+            format!("{} samples stored for {} sampled rows", self.samples.len(), self.sampled.count_ones())
+        });
+        if ctx.issue_count() > issues_before {
+            return;
+        }
+        let bad_sym = (0usize..256).find(|&b| self.c[b + 1] - self.c[b] != self.bwt.count(b as u8));
+        ctx.check("fm-c-counts", bad_sym.is_none(), || {
+            format!("C array disagrees with the BWT on symbol {}", bad_sym.unwrap_or_default())
+        });
+        let bad_sample = self.samples.iter().find(|&v| v as usize >= self.len);
+        ctx.check("fm-sample-range", bad_sample.is_none(), || {
+            format!(
+                "sample {} lies outside the {}-symbol text",
+                bad_sample.unwrap_or_default(),
+                self.len
+            )
+        });
     }
 }
 
@@ -463,6 +567,25 @@ mod tests {
             return concat.len();
         }
         concat.windows(pattern.len()).filter(|w| *w == pattern).count()
+    }
+
+    #[test]
+    fn bwt_sequence_serialization_roundtrip_and_truncation() {
+        let data = b"annb\0aa\0";
+        for backend in [SequenceBackend::Pointer, SequenceBackend::Matrix] {
+            let seq = BwtSequence::build(data, backend);
+            let bytes = seq.to_bytes();
+            let back = BwtSequence::from_bytes(&bytes).expect("roundtrip");
+            assert_eq!(back.backend(), backend);
+            for (i, &b) in data.iter().enumerate() {
+                assert_eq!(back.access(i), b, "byte {i}");
+            }
+            // Truncated input must fail structurally, never panic.
+            assert!(BwtSequence::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+            assert!(BwtSequence::from_bytes(&bytes[..1]).is_err());
+        }
+        // An unknown backend tag byte is rejected up front.
+        assert!(BwtSequence::from_bytes(&[0xff]).is_err());
     }
 
     #[test]
@@ -552,6 +675,49 @@ mod tests {
         let bytes = fm.to_bytes();
         for cut in [0, 8, 20, bytes.len() - 1] {
             assert!(FmIndex::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    mod verify_tests {
+        use super::*;
+        use sxsi_verify::{Verify, VerifyDepth};
+
+        fn sample_fm() -> FmIndex {
+            build(&["pen", "Soon discontinued", "blue", "40", "rubber", "30"], 4).0
+        }
+
+        #[test]
+        fn clean_index_verifies() {
+            let report = sample_fm().verify(VerifyDepth::Deep);
+            assert!(report.is_ok(), "{report}");
+            assert!(report.checks_run >= 8);
+        }
+
+        #[test]
+        fn c_array_drift_is_caught() {
+            let mut fm = sample_fm();
+            // Incrementing an interior entry keeps the cumulative shape (the
+            // symbol occurs, so there is slack) but breaks the per-symbol
+            // agreement with the BWT on both neighbouring symbols.
+            fm.c[b'e' as usize] += 1;
+            let report = fm.verify(VerifyDepth::Quick);
+            assert!(report.has_code("fm-c-counts"), "{report}");
+        }
+
+        #[test]
+        fn out_of_range_sample_is_caught() {
+            let mut fm = sample_fm();
+            fm.samples.set(0, fm.len as u64);
+            let report = fm.verify(VerifyDepth::Quick);
+            assert!(report.has_code("fm-sample-range"), "{report}");
+        }
+
+        #[test]
+        fn bwt_length_drift_is_caught() {
+            let mut fm = sample_fm();
+            fm.len += 1;
+            let report = fm.verify(VerifyDepth::Quick);
+            assert!(report.has_code("fm-bwt-len"), "{report}");
         }
     }
 

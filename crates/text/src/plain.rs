@@ -122,6 +122,29 @@ impl PlainTexts {
     }
 }
 
+#[cfg(test)]
+impl PlainTexts {
+    /// Flips one stored byte (collection-level verify tests).
+    pub(crate) fn corrupt_byte_for_tests(&mut self, i: usize) {
+        self.data[i] ^= 1;
+    }
+}
+
+impl sxsi_verify::Verify for PlainTexts {
+    /// The offsets must monotonically span the data buffer — the same shape
+    /// check the loader applies, re-run against the in-memory state.
+    fn verify_into(&self, _depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        ctx.check(
+            "plain-offsets",
+            (self.offsets.is_empty() && self.data.is_empty())
+                || (self.offsets.first() == Some(&0)
+                    && self.offsets.last() == Some(&self.data.len())
+                    && self.offsets.windows(2).all(|w| w[0] <= w[1])),
+            || "offsets do not monotonically span the data buffer".into(),
+        );
+    }
+}
+
 impl WriteInto for PlainTexts {
     fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
         write_bytes(w, &self.data)?;

@@ -300,6 +300,76 @@ impl BalancedParens {
     }
 }
 
+impl sxsi_verify::Verify for BalancedParens {
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let issues_before = ctx.issue_count();
+        ctx.enter("bits", |ctx| self.bits.verify_into(depth, ctx));
+
+        let len = self.len();
+        let n_blocks = len.div_ceil(BLOCK_BITS).max(1);
+        let n_super = n_blocks.div_ceil(SUPER_FACTOR);
+        ctx.check(
+            "bp-directory-shape",
+            self.block_min.len() == n_blocks
+                && self.block_max.len() == n_blocks
+                && self.super_min.len() == n_super
+                && self.super_max.len() == n_super,
+            || {
+                format!(
+                    "directories hold {}/{} block and {}/{} super entries, expected {n_blocks} and {n_super}",
+                    self.block_min.len(),
+                    self.block_max.len(),
+                    self.super_min.len(),
+                    self.super_max.len()
+                )
+            },
+        );
+        if ctx.issue_count() > issues_before {
+            return;
+        }
+
+        // Recompute the per-block min/max prefix excess and the balance
+        // invariant in one sweep (this is what `try_from_bits` validates,
+        // re-checked here against in-memory drift).
+        let mut excess: i64 = 0;
+        let mut dipped = false;
+        let mut block_ok = true;
+        let mut first_bad_block = 0usize;
+        for b in 0..n_blocks {
+            let lo = b * BLOCK_BITS;
+            let hi = ((b + 1) * BLOCK_BITS).min(len);
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            for p in lo..hi {
+                excess += if self.bits.get(p) { 1 } else { -1 };
+                dipped |= excess < 0;
+                min = min.min(excess);
+                max = max.max(excess);
+            }
+            if block_ok && (self.block_min[b] != min || self.block_max[b] != max) {
+                block_ok = false;
+                first_bad_block = b;
+            }
+        }
+        ctx.check("bp-balance", len == 0 || (excess == 0 && !dipped), || {
+            format!("sequence unbalanced: final excess {excess}, dipped below zero: {dipped}")
+        });
+        ctx.check("bp-block-minmax", block_ok, || {
+            format!("block {first_bad_block} min/max disagrees with a recompute from the bitmap")
+        });
+        let super_ok = (0..n_super).all(|s| {
+            let lo = s * SUPER_FACTOR;
+            let hi = ((s + 1) * SUPER_FACTOR).min(n_blocks);
+            let min = self.block_min[lo..hi].iter().copied().min().unwrap_or(i64::MAX);
+            let max = self.block_max[lo..hi].iter().copied().max().unwrap_or(i64::MIN);
+            self.super_min[s] == min && self.super_max[s] == max
+        });
+        ctx.check("bp-super-minmax", super_ok, || {
+            "superblock min/max directory disagrees with the block directory".to_string()
+        });
+    }
+}
+
 impl WriteInto for BalancedParens {
     /// Only the parenthesis bitmap is stored; the range-min-max directories
     /// are derived data and are rebuilt — with full balance validation — on
@@ -496,6 +566,48 @@ mod tests {
                     assert_eq!(back.enclose(i), b.enclose(i));
                 }
             }
+        }
+    }
+
+    mod verify_tests {
+        use super::*;
+        use sxsi_verify::{Verify, VerifyDepth};
+
+        fn sample() -> BalancedParens {
+            // Crosses several 512-bit blocks so the directories are non-trivial.
+            let s = "(".repeat(900) + &")".repeat(900);
+            bp(&s)
+        }
+
+        #[test]
+        fn clean_structure_verifies() {
+            let report = sample().verify(VerifyDepth::Deep);
+            assert!(report.is_ok(), "{report}");
+            assert!(report.checks_run >= 4);
+        }
+
+        #[test]
+        fn corrupt_block_directory_is_caught() {
+            let mut b = sample();
+            b.block_min[1] -= 1;
+            let report = b.verify(VerifyDepth::Quick);
+            assert!(report.has_code("bp-block-minmax"), "{report}");
+        }
+
+        #[test]
+        fn corrupt_super_directory_is_caught() {
+            let mut b = sample();
+            b.super_max[0] += 1;
+            let report = b.verify(VerifyDepth::Quick);
+            assert!(report.has_code("bp-super-minmax"), "{report}");
+        }
+
+        #[test]
+        fn wrong_directory_shape_is_caught() {
+            let mut b = sample();
+            b.block_max.push(0);
+            let report = b.verify(VerifyDepth::Quick);
+            assert!(report.has_code("bp-directory-shape"), "{report}");
         }
     }
 

@@ -302,6 +302,126 @@ impl TagSequence {
     }
 }
 
+impl sxsi_verify::Verify for TagRegistry {
+    fn verify_into(&self, _depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        ctx.check(
+            "registry-reserved",
+            self.names.len() >= reserved::NAMES.len()
+                && self.names.iter().zip(reserved::NAMES).all(|(n, r)| n == r),
+            || {
+                format!(
+                    "first names {:?} are not the reserved set {:?}",
+                    &self.names[..self.names.len().min(reserved::NAMES.len())],
+                    reserved::NAMES
+                )
+            },
+        );
+        let lookup_ok = self.by_name.len() == self.names.len()
+            && self
+                .names
+                .iter()
+                .enumerate()
+                .all(|(id, n)| self.by_name.get(n) == Some(&(id as TagId)));
+        ctx.check("registry-lookup", lookup_ok, || {
+            format!(
+                "lookup map holds {} entries for {} names, or maps a name to the wrong id",
+                self.by_name.len(),
+                self.names.len()
+            )
+        });
+    }
+}
+
+impl sxsi_verify::Verify for TagSequence {
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let issues_before = ctx.issue_count();
+        ctx.enter("codes", |ctx| self.codes.verify_into(depth, ctx));
+
+        let expected_width =
+            sxsi_succinct::bits::bits_for((2 * self.num_tags).saturating_sub(1).max(1) as u64);
+        ctx.check("tag-width", self.codes.width() == expected_width, || {
+            format!("codes packed in {} bits, expected {expected_width}", self.codes.width())
+        });
+        let bad_code =
+            (0..self.codes.len()).find(|&i| self.codes.get(i) as usize >= 2 * self.num_tags);
+        ctx.check("tag-code-range", bad_code.is_none(), || {
+            let i = bad_code.unwrap();
+            format!(
+                "code {} at position {i} is out of range for {} tags",
+                self.codes.get(i),
+                self.num_tags
+            )
+        });
+        if ctx.issue_count() > issues_before {
+            return;
+        }
+
+        // Opening-occurrence counts recomputed from the code sequence; the
+        // occurrence structure must agree with them whatever its backend.
+        let mut counts = vec![0usize; self.num_tags];
+        for i in 0..self.codes.len() {
+            let c = self.codes.get(i) as usize;
+            if c < self.num_tags {
+                counts[c] += 1;
+            }
+        }
+        match &self.occurrences {
+            TagOccurrences::Sarray(rows) => {
+                ctx.check("tag-occ-rows", rows.len() == self.num_tags, || {
+                    format!("{} sarray rows for {} tags", rows.len(), self.num_tags)
+                });
+                if ctx.issue_count() > issues_before {
+                    return;
+                }
+                ctx.check(
+                    "tag-occ-count",
+                    rows.iter().zip(&counts).all(|(r, &c)| r.len() == c),
+                    || "a sarray row length disagrees with the code sequence".to_string(),
+                );
+                if depth.is_deep() {
+                    let positions_ok = (0..self.num_tags).all(|t| {
+                        let mut k = 0usize;
+                        (0..self.codes.len()).all(|i| {
+                            if self.codes.get(i) as usize == t {
+                                k += 1;
+                                rows[t].get(k - 1) == Some(i as u64)
+                            } else {
+                                true
+                            }
+                        })
+                    });
+                    ctx.check("tag-occ-positions", positions_ok, || {
+                        "a sarray row decodes to positions other than the tag's occurrences"
+                            .to_string()
+                    });
+                    for row in rows {
+                        ctx.enter("row", |ctx| row.verify_into(depth, ctx));
+                    }
+                }
+            }
+            TagOccurrences::Matrix { wm, counts: stored } => {
+                use sxsi_succinct::wavelet::SequenceIndex as _;
+                ctx.check("tag-occ-len", wm.len() == self.codes.len(), || {
+                    format!("matrix covers {} positions of {}", wm.len(), self.codes.len())
+                });
+                ctx.check(
+                    "tag-occ-count",
+                    stored.len() == self.num_tags && *stored == counts,
+                    || "stored per-tag counts disagree with the code sequence".to_string(),
+                );
+                ctx.enter("wm", |ctx| wm.verify_into(depth, ctx));
+                if depth.is_deep() && ctx.issue_count() == issues_before {
+                    let content_ok =
+                        (0..self.codes.len()).all(|i| wm.access_sym(i) == self.codes.get(i));
+                    ctx.check("tag-occ-content", content_ok, || {
+                        "matrix symbols disagree with the packed code sequence".to_string()
+                    });
+                }
+            }
+        }
+    }
+}
+
 impl WriteInto for TagRegistry {
     fn write_into<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
         write_usize(w, self.names.len())?;
@@ -372,6 +492,39 @@ impl ReadFrom for TagSequence {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_serialization_roundtrip_and_truncation() {
+        let mut reg = TagRegistry::new();
+        reg.intern("article");
+        reg.intern("title");
+        let bytes = reg.to_bytes();
+        let back = TagRegistry::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.len(), reg.len());
+        assert_eq!(back.lookup("title"), reg.lookup("title"));
+        // Truncated input must fail structurally, never panic.
+        assert!(TagRegistry::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(TagRegistry::from_bytes(&bytes[..3]).is_err());
+        assert!(TagRegistry::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn sequence_serialization_roundtrip_and_truncation() {
+        // Two tags (0, 1); open0 open1 close1 open1 close1 close0.
+        let codes = [0u32, 1, 3, 1, 3, 2];
+        let seq = TagSequence::new(&codes, 2);
+        let bytes = seq.to_bytes();
+        let back = TagSequence::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.len(), seq.len());
+        for i in 0..codes.len() {
+            assert_eq!(back.code(i), seq.code(i), "code {i}");
+        }
+        // Truncated input must fail structurally, never panic.
+        assert!(TagSequence::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(TagSequence::from_bytes(&bytes[..1]).is_err());
+        // An unknown backend tag byte is rejected up front.
+        assert!(TagSequence::from_bytes(&[0xff]).is_err());
+    }
 
     #[test]
     fn registry_interning() {
@@ -465,6 +618,91 @@ mod tests {
             TagSequence::try_new(&[7], 2).unwrap_err(),
             crate::TreeError::TagCodeOutOfRange { code: 7, position: 0, num_tags: 2 }
         );
+    }
+
+    mod verify_tests {
+        use super::*;
+        use sxsi_verify::{Verify, VerifyDepth};
+
+        fn sample(backend: SequenceBackend) -> TagSequence {
+            // open0 open1 close1 open1 close1 close0, twice.
+            let codes = [0u32, 1, 3, 1, 3, 2, 0, 1, 3, 1, 3, 2];
+            TagSequence::try_new_with_backend(&codes, 2, backend).unwrap()
+        }
+
+        #[test]
+        fn clean_structures_verify() {
+            for backend in [SequenceBackend::Pointer, SequenceBackend::Matrix] {
+                let report = sample(backend).verify(VerifyDepth::Deep);
+                assert!(report.is_ok(), "{backend:?}: {report}");
+            }
+            let report = TagRegistry::new().verify(VerifyDepth::Deep);
+            assert!(report.is_ok(), "{report}");
+        }
+
+        #[test]
+        fn registry_reserved_prefix_is_checked() {
+            let mut reg = TagRegistry::new();
+            reg.names[0] = "x".to_string();
+            let report = reg.verify(VerifyDepth::Quick);
+            assert!(report.has_code("registry-reserved"), "{report}");
+        }
+
+        #[test]
+        fn registry_lookup_drift_is_caught() {
+            let mut reg = TagRegistry::new();
+            reg.intern("article");
+            reg.by_name.insert("article".to_string(), 0);
+            let report = reg.verify(VerifyDepth::Quick);
+            assert!(report.has_code("registry-lookup"), "{report}");
+        }
+
+        #[test]
+        fn out_of_range_code_is_caught() {
+            let mut seq = sample(SequenceBackend::Pointer);
+            // Shrinking the tag count puts every closing code out of range.
+            seq.num_tags = 1;
+            let report = seq.verify(VerifyDepth::Quick);
+            assert!(
+                report.has_code("tag-code-range") || report.has_code("tag-width"),
+                "{report}"
+            );
+        }
+
+        #[test]
+        fn sarray_row_drift_is_caught() {
+            let mut seq = sample(SequenceBackend::Pointer);
+            // Rebuild the occurrence rows from a different code sequence.
+            let other = [0u32, 1, 3, 1, 3, 2, 1, 0, 2, 1, 3, 3];
+            seq.occurrences = TagOccurrences::build(&other, 2, SequenceBackend::Pointer);
+            let report = seq.verify(VerifyDepth::Deep);
+            assert!(
+                report.has_code("tag-occ-count") || report.has_code("tag-occ-positions"),
+                "{report}"
+            );
+        }
+
+        #[test]
+        fn matrix_count_drift_is_caught() {
+            let mut seq = sample(SequenceBackend::Matrix);
+            if let TagOccurrences::Matrix { counts, .. } = &mut seq.occurrences {
+                counts[1] += 1;
+            }
+            let report = seq.verify(VerifyDepth::Quick);
+            assert!(report.has_code("tag-occ-count"), "{report}");
+        }
+
+        #[test]
+        fn matrix_content_drift_is_caught() {
+            let mut seq = sample(SequenceBackend::Matrix);
+            let other = [0u32, 1, 3, 1, 3, 2, 1, 0, 2, 1, 3, 3];
+            seq.occurrences = TagOccurrences::build(&other, 2, SequenceBackend::Matrix);
+            let report = seq.verify(VerifyDepth::Deep);
+            assert!(
+                report.has_code("tag-occ-content") || report.has_code("tag-occ-count"),
+                "{report}"
+            );
+        }
     }
 
     #[test]

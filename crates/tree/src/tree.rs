@@ -38,7 +38,7 @@ pub enum TagRelation {
 }
 
 /// Square boolean table over tag ids, stored as packed bit rows.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct TagTable {
     rows: Vec<Vec<u64>>,
     num_tags: usize,
@@ -440,6 +440,179 @@ impl XmlTree {
             TagRelation::Following => self.following_table.get(base, other),
         }
     }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Number of element nodes: nodes whose tag lies outside the reserved
+    /// `&`/`#`/`@`/`%` model set (so the count matches the source document's
+    /// element count, attribute-name nodes included).
+    pub fn count_elements(&self) -> usize {
+        (reserved::NAMES.len()..self.num_tags()).map(|t| self.tags.count(t as TagId)).sum()
+    }
+
+    /// The succinct backends the tree structures are stored with.
+    pub fn backends(&self) -> SuccinctOptions {
+        SuccinctOptions { rank: self.bp.backend(), sequence: self.tags.backend() }
+    }
+
+    /// Recomputes the four relative tag-position tables from the parenthesis
+    /// and tag sequences, mirroring the builder's bookkeeping.  Callers must
+    /// have verified code pairing first (out-of-range or unmatched codes
+    /// would desynchronise the walk).
+    fn recompute_tag_tables(&self) -> [TagTable; 4] {
+        let num_tags = self.tags.num_tags();
+        let mut child = TagTable::new(num_tags);
+        let mut desc = TagTable::new(num_tags);
+        let mut foll_sibling = TagTable::new(num_tags);
+        let mut following = TagTable::new(num_tags);
+        // Stack of (tag, children tag set, descendant tag set).
+        let mut stack: Vec<(TagId, Vec<u64>, Vec<u64>)> = Vec::new();
+        let mut first_close = vec![usize::MAX; num_tags];
+        let mut last_open = vec![0usize; num_tags];
+        let mut has_open = vec![false; num_tags];
+        for i in 0..self.bp.len() {
+            let code = self.tags.code(i) as usize;
+            if code < num_tags {
+                let t = code as TagId;
+                if let Some((parent_tag, children, _)) = stack.last_mut() {
+                    for earlier in bits_to_tags(children) {
+                        foll_sibling.set(earlier, t);
+                    }
+                    let parent_tag = *parent_tag;
+                    set_bit(children, t);
+                    child.set(parent_tag, t);
+                }
+                last_open[code] = i;
+                has_open[code] = true;
+                stack.push((t, Vec::new(), Vec::new()));
+            } else {
+                let Some((t, _, desc_tags)) = stack.pop() else { break };
+                desc.or_into(t, &desc_tags);
+                if let Some((_, _, parent_desc)) = stack.last_mut() {
+                    let mut contributed = desc_tags;
+                    set_bit(&mut contributed, t);
+                    merge_bits(parent_desc, &contributed);
+                }
+                let t = t as usize;
+                if first_close[t] == usize::MAX {
+                    first_close[t] = i;
+                }
+            }
+        }
+        for (a, &close_a) in first_close.iter().enumerate() {
+            if close_a == usize::MAX {
+                continue;
+            }
+            for b in 0..num_tags {
+                if has_open[b] && last_open[b] > close_a {
+                    following.set(a as TagId, b as TagId);
+                }
+            }
+        }
+        [child, desc, foll_sibling, following]
+    }
+}
+
+impl sxsi_verify::Verify for XmlTree {
+    fn verify_into(&self, depth: sxsi_verify::VerifyDepth, ctx: &mut sxsi_verify::VerifyContext) {
+        let issues_before = ctx.issue_count();
+        ctx.enter("bp", |ctx| self.bp.verify_into(depth, ctx));
+        ctx.enter("tags", |ctx| self.tags.verify_into(depth, ctx));
+        ctx.enter("registry", |ctx| self.registry.verify_into(depth, ctx));
+        ctx.enter("text-leaves", |ctx| self.text_leaves.verify_into(depth, ctx));
+
+        let num_tags = self.tags.num_tags();
+        ctx.check("tree-tag-len", self.tags.len() == self.bp.len(), || {
+            format!("tag sequence covers {} positions, parentheses {}", self.tags.len(), self.bp.len())
+        });
+        ctx.check("tree-leaf-len", self.text_leaves.len() == self.bp.len(), || {
+            format!(
+                "text-leaf bitmap covers {} positions, parentheses {}",
+                self.text_leaves.len(),
+                self.bp.len()
+            )
+        });
+        ctx.check("tree-registry-count", self.registry.len() == num_tags, || {
+            format!("registry holds {} names for {num_tags} tag codes", self.registry.len())
+        });
+        ctx.check("tree-backend", self.text_leaves.backend() == self.bp.backend(), || {
+            "text-leaf bitmap and parenthesis bitmap use different rank backends".to_string()
+        });
+        let tables_ok = [
+            &self.child_table,
+            &self.desc_table,
+            &self.foll_sibling_table,
+            &self.following_table,
+        ]
+        .iter()
+        .all(|t| t.num_tags == num_tags && t.rows.len() == num_tags);
+        ctx.check("tree-table-shape", tables_ok, || {
+            format!("a relative tag-position table does not cover {num_tags} tags")
+        });
+        if ctx.issue_count() > issues_before || !depth.is_deep() {
+            return;
+        }
+
+        // Deep: replay the whole sequence.  Every opening parenthesis must
+        // carry an opening code and every closing parenthesis the closing
+        // code of its matching open.
+        let mut stack: Vec<TagId> = Vec::new();
+        let mut pairing_ok = true;
+        for i in 0..self.bp.len() {
+            let code = self.tags.code(i) as usize;
+            if self.bp.is_open(i) {
+                if code >= num_tags {
+                    pairing_ok = false;
+                    break;
+                }
+                stack.push(code as TagId);
+            } else {
+                match stack.pop() {
+                    Some(open_tag) if code == open_tag as usize + num_tags => {}
+                    _ => {
+                        pairing_ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        pairing_ok &= stack.is_empty();
+        ctx.check("tree-code-pairing", pairing_ok, || {
+            "tag codes do not pair up with the parenthesis sequence".to_string()
+        });
+
+        // Text leaves are exactly the `#`/`%`-tagged opening positions.
+        let leaves_ok = (0..self.bp.len()).all(|i| {
+            let is_text_tag = self.bp.is_open(i)
+                && matches!(
+                    self.tags.opening_tag(i),
+                    Some(reserved::TEXT) | Some(reserved::ATTRIBUTE_VALUE)
+                );
+            self.text_leaves.get(i) == is_text_tag
+        });
+        ctx.check("tree-text-leaf", leaves_ok, || {
+            "text-leaf bitmap disagrees with the `#`/`%` tag positions".to_string()
+        });
+        if !pairing_ok {
+            return;
+        }
+
+        let [child, desc, foll_sibling, following] = self.recompute_tag_tables();
+        ctx.check("tree-child-table", self.child_table == child, || {
+            "child table disagrees with a recompute from the tag sequence".to_string()
+        });
+        ctx.check("tree-desc-table", self.desc_table == desc, || {
+            "descendant table disagrees with a recompute from the tag sequence".to_string()
+        });
+        ctx.check("tree-foll-sibling-table", self.foll_sibling_table == foll_sibling, || {
+            "following-sibling table disagrees with a recompute from the tag sequence".to_string()
+        });
+        ctx.check("tree-following-table", self.following_table == following, || {
+            "following table disagrees with a recompute from the tag sequence".to_string()
+        });
+    }
 }
 
 impl WriteInto for XmlTree {
@@ -810,6 +983,22 @@ fn bits_to_tags(bits: &[u64]) -> Vec<TagId> {
 mod tests {
     use super::*;
 
+    #[test]
+    fn tag_table_serialization_roundtrip_and_truncation() {
+        let mut table = TagTable::new(70); // spans two 64-bit words per row
+        table.set(0, 5);
+        table.set(3, 69);
+        table.set(69, 0);
+        let bytes = table.to_bytes();
+        let back = TagTable::from_bytes(&bytes).expect("roundtrip");
+        assert!(back.get(0, 5) && back.get(3, 69) && back.get(69, 0));
+        assert!(!back.get(5, 0));
+        // Truncated input must fail structurally, never panic.
+        assert!(TagTable::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(TagTable::from_bytes(&bytes[..9]).is_err());
+        assert!(TagTable::from_bytes(&[]).is_err());
+    }
+
     /// Builds the paper's Figure 1 document model:
     ///
     /// ```text
@@ -1025,6 +1214,78 @@ mod tests {
         b.open("a");
         b.open("b");
         assert_eq!(b.try_finish().unwrap_err(), TreeError::UnclosedElements { open: 2 });
+    }
+
+    mod verify_tests {
+        use super::*;
+        use sxsi_succinct::BitVec;
+        use sxsi_verify::{Verify, VerifyDepth};
+
+        #[test]
+        fn clean_tree_verifies() {
+            let report = figure1_tree().verify(VerifyDepth::Deep);
+            assert!(report.is_ok(), "{report}");
+            assert!(report.checks_run >= 10);
+        }
+
+        #[test]
+        fn count_elements_excludes_model_nodes() {
+            let t = figure1_tree();
+            // parts, part×2, name×2, color, stock×2 = 8 element nodes
+            // (the &/@/#/% model nodes are not elements).
+            assert_eq!(t.count_elements(), 8);
+        }
+
+        #[test]
+        fn extra_child_table_bit_is_caught() {
+            let mut t = figure1_tree();
+            let stock = t.tag_id("stock").unwrap();
+            t.child_table.set(stock, reserved::ROOT);
+            let report = t.verify(VerifyDepth::Deep);
+            assert!(report.has_code("tree-child-table"), "{report}");
+            // The quick pass does not replay the sequence, so it stays clean.
+            assert!(t.verify(VerifyDepth::Quick).is_ok());
+        }
+
+        #[test]
+        fn following_table_drift_is_caught() {
+            let mut t = figure1_tree();
+            let amp = t.tag_id("&").unwrap();
+            let part = t.tag_id("part").unwrap();
+            t.following_table.set(amp, part);
+            let report = t.verify(VerifyDepth::Deep);
+            assert!(report.has_code("tree-following-table"), "{report}");
+        }
+
+        #[test]
+        fn misplaced_text_leaf_is_caught() {
+            let mut t = figure1_tree();
+            // Rebuild the leaf bitmap with an extra mark on the `parts`
+            // element's opening parenthesis (position 1).
+            let mut bv = BitVec::new();
+            for i in 0..t.text_leaves.len() {
+                bv.push(t.text_leaves.get(i) || i == 1);
+            }
+            t.text_leaves = RankBitmap::build(&bv, t.bp.backend());
+            let report = t.verify(VerifyDepth::Deep);
+            assert!(report.has_code("tree-text-leaf"), "{report}");
+        }
+
+        #[test]
+        fn table_shape_mismatch_is_caught() {
+            let mut t = figure1_tree();
+            t.desc_table.num_tags += 1;
+            let report = t.verify(VerifyDepth::Quick);
+            assert!(report.has_code("tree-table-shape"), "{report}");
+        }
+
+        #[test]
+        fn registry_count_mismatch_is_caught() {
+            let mut t = figure1_tree();
+            t.registry.intern("phantom");
+            let report = t.verify(VerifyDepth::Quick);
+            assert!(report.has_code("tree-registry-count"), "{report}");
+        }
     }
 
     #[test]
