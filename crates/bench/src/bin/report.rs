@@ -19,7 +19,11 @@
 //! * the PR 7 **succinct-primitive micro-benchmarks**: before/after
 //!   throughput of every hot-path primitive — classic two-level rank vs the
 //!   cache-line-interleaved bitmap, and the pointer (Huffman) wavelet tree
-//!   vs the wavelet matrix — with the primitive variant recorded per row.
+//!   vs the wavelet matrix — with the primitive variant recorded per row;
+//! * the PR 9 **collection fan-out** experiment, written separately to
+//!   `BENCH_pr9.json`: the X01–X17 batch run through the
+//!   `CollectionExecutor` over an eight-document XMark collection at
+//!   1/2/4/8 shard workers, in counting and existence mode.
 //!
 //! The report also records the machine's available parallelism — on a
 //! single-core host the thread-scaling curve is necessarily flat, and
@@ -34,6 +38,7 @@
 
 use sxsi::{Prepared, QueryOptions, SxsiIndex};
 use sxsi_bench::{measure_batch_qps, median_ms};
+use sxsi_collection::Collection;
 use sxsi_datagen::{
     medline, treebank, wiki, xmark, MedlineConfig, TreebankConfig, WikiConfig, XMarkConfig,
 };
@@ -101,13 +106,20 @@ const USAGE: &str = "usage: report [--scale <f64>] [--runs <n>] [--section <name
                      comparison (exists / first-1 / first-10 vs full \
                      materialization) over all paper query sets, and the \
                      succinct-primitive micro-benchmarks, writing \
-                     BENCH_pr7.json.  --section restricts the run to the \
-                     named sections (concurrency, ordered_axis_queries, \
-                     early_termination, micro_succinct)";
+                     BENCH_pr7.json (and BENCH_pr9.json for the \
+                     collection fan-out experiment).  --section restricts \
+                     the run to the named sections (concurrency, \
+                     ordered_axis_queries, early_termination, \
+                     micro_succinct, collection_report)";
 
 /// The experiment sections `--section` can select.
-const SECTIONS: &[&str] =
-    &["concurrency", "ordered_axis_queries", "early_termination", "micro_succinct"];
+const SECTIONS: &[&str] = &[
+    "concurrency",
+    "ordered_axis_queries",
+    "early_termination",
+    "micro_succinct",
+    "collection_report",
+];
 
 fn usage_error(message: &str) -> ! {
     // The benchmark queries are plain XPath: print the supported fragment
@@ -381,6 +393,65 @@ fn measure_micro_succinct(runs: usize) -> Vec<MicroEntry> {
     entries
 }
 
+/// The PR 9 experiment: the X01–X17 batch fanned across an
+/// eight-document XMark collection through the `CollectionExecutor` at
+/// 1/2/4/8 shard workers, in counting and existence mode.  Returns the
+/// per-`(mode, threads)` entries plus the collection's document count.
+fn measure_collection(scale: f64, runs: usize) -> (Vec<Entry>, usize) {
+    use sxsi_engine::collection::CollectionExecutor;
+
+    const DOCS: usize = 8;
+    let dir = std::env::temp_dir().join(format!("sxsi-bench-collection-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("collection bench dir is writable");
+    // Eight same-shaped shards: one scaled-down XMark document per shard,
+    // distinct seeds so the shards are not byte-identical.
+    let per_doc_scale = scale / DOCS as f64;
+    println!("building {DOCS}-document xmark collection (per-doc scale {per_doc_scale}) ...");
+    let docs: Vec<(String, SxsiIndex)> = (0..DOCS)
+        .map(|i| {
+            let xml =
+                xmark::generate(&XMarkConfig { scale: per_doc_scale, seed: 42 + i as u64 });
+            (format!("xmark-{i}"), SxsiIndex::build_from_xml(xml.as_bytes()).expect("shard builds"))
+        })
+        .collect();
+    let collection =
+        Collection::build(dir.join("bench.sxsic"), docs).expect("collection builds");
+
+    let mut entries = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let executor = CollectionExecutor::new(threads);
+        for (mode, options) in
+            [("count", QueryOptions::count()), ("exists", QueryOptions::exists())]
+        {
+            let work = || {
+                for q in XMARK_QUERIES {
+                    let result = executor
+                        .run(&collection, q.xpath, &options)
+                        .expect("benchmark query runs");
+                    std::hint::black_box(result.count());
+                }
+            };
+            work(); // warm-up: first touch loads lazy segments
+            let median = median_ms(runs, work);
+            let median_ns = (median * 1e6) as u128;
+            let queries_per_sec = XMARK_QUERIES.len() as f64 / (median / 1e3);
+            println!(
+                "  xmark_x01_x17_collection_{mode} threads={threads} median={median:.2} ms \
+                 queries/s={queries_per_sec:.1}"
+            );
+            entries.push(Entry {
+                name: format!("xmark_x01_x17_collection_{mode}"),
+                threads,
+                median_ns,
+                queries_per_sec,
+            });
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (entries, DOCS)
+}
+
 fn build(corpus: &str, xml: &str) -> SxsiIndex {
     println!("building {corpus} index ({} bytes of XML) ...", xml.len());
     SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds")
@@ -466,6 +537,49 @@ fn main() {
     } else {
         Vec::new()
     };
+    if enabled("collection_report") {
+        println!("collection fan-out: X01-X17 across an 8-document collection ...");
+        let (collection_entries, docs) = measure_collection(scale, runs);
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"pr\": 9,\n");
+        json.push_str(
+            "  \"bench\": \"collection fan-out: X01-X17 through the CollectionExecutor \
+             over a multi-document XMark collection at 1/2/4/8 shard workers\",\n",
+        );
+        json.push_str(&format!(
+            "  \"corpus\": \"{docs} xmark documents, per-doc scale {}, seeds 42..{}\",\n",
+            scale / docs as f64,
+            42 + docs
+        ));
+        json.push_str(&format!("  \"queries\": {},\n", XMARK_QUERIES.len()));
+        json.push_str(&format!("  \"runs_per_entry\": {runs},\n"));
+        json.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
+        json.push_str(
+            "  \"note\": \"shard fan-out scaling is bounded by available_parallelism: \
+             on a 1-core host the 1/2/4/8-worker curve is necessarily flat and only \
+             the per-shard early-termination deltas are meaningful\",\n",
+        );
+        json.push_str("  \"collection_report\": [\n");
+        for (i, e) in collection_entries.iter().enumerate() {
+            let comma = if i + 1 == collection_entries.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"queries_per_sec\": {:.2} }}{comma}\n",
+                e.name, e.threads, e.median_ns, e.queries_per_sec
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
+        std::fs::write(path, &json).expect("BENCH_pr9.json is writable");
+        println!("wrote {path}");
+    }
+    let write_pr7 = enabled("concurrency")
+        || enabled("ordered_axis_queries")
+        || enabled("early_termination")
+        || enabled("micro_succinct");
+    if !write_pr7 {
+        return;
+    }
 
     let mut json = String::new();
     json.push_str("{\n");

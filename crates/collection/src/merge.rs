@@ -1,0 +1,321 @@
+//! Doc-major merge of per-document result streams.
+//!
+//! Every SXSI strategy materializes nodes in document order within one
+//! index, so a collection result is the concatenation of the per-document
+//! streams in DocId order — the classic DocId-major postings merge.  The
+//! subtlety is windowing: `limit`/`offset` are pushed down per shard, so a
+//! shard hands back only a *prefix* of its full result plus an exact
+//! "more exists" flag, and the merge must window the concatenation without
+//! ever seeing the suppressed tail.  [`merge_window`] encodes the contract
+//! that makes that exact: a truncated prefix is always at least as long as
+//! the global window end, so every suppressed node lies beyond the window.
+
+use crate::{DocId, DocNode, NodeId};
+
+/// One shard's contribution to a merged result: the document-ordered
+/// prefix of its matches that survived the per-shard pushdown, plus
+/// whether the document holds more matches beyond the prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocNodes {
+    /// The document the nodes belong to.
+    pub doc: DocId,
+    /// Matching nodes in document order (strictly increasing NodeIds).
+    pub nodes: Vec<NodeId>,
+    /// Whether the document holds more matches beyond `nodes`.
+    pub truncated: bool,
+}
+
+/// Merges per-document result prefixes into one doc-major window.
+///
+/// Parts are sorted by DocId and concatenated, then the global
+/// `offset`/`limit` window is applied.  Returns the windowed nodes and the
+/// exact "more results exist beyond the window" flag.
+///
+/// Contract (debug-asserted): each part's nodes are strictly increasing; a
+/// part with `truncated == true` must hold at least `offset + limit`
+/// nodes, i.e. the per-shard pushdown may only suppress nodes that lie
+/// beyond the global window.  Under that contract the returned window is
+/// byte-identical to windowing the full concatenated run.
+pub fn merge_window(
+    mut parts: Vec<DocNodes>,
+    offset: u64,
+    limit: Option<u64>,
+) -> (Vec<DocNode>, bool) {
+    parts.sort_by_key(|p| p.doc);
+    let window_end = limit.map(|l| offset.saturating_add(l));
+    if cfg!(debug_assertions) {
+        for pair in parts.windows(2) {
+            debug_assert!(pair[0].doc != pair[1].doc, "duplicate doc {} in merge", pair[0].doc);
+        }
+        for part in &parts {
+            debug_assert!(
+                part.nodes.windows(2).all(|w| w[0] < w[1]),
+                "doc {} nodes are not strictly increasing",
+                part.doc
+            );
+            if part.truncated {
+                match window_end {
+                    Some(end) => debug_assert!(
+                        part.nodes.len() as u64 >= end,
+                        "doc {} truncated below the window end ({} < {end})",
+                        part.doc,
+                        part.nodes.len()
+                    ),
+                    None => debug_assert!(
+                        false,
+                        "doc {} truncated with no window pushed down",
+                        part.doc
+                    ),
+                }
+            }
+        }
+    }
+    let total: u64 = parts.iter().map(|p| p.nodes.len() as u64).sum();
+    let any_shard_truncated = parts.iter().any(|p| p.truncated);
+    let truncated = match window_end {
+        Some(end) => total > end || any_shard_truncated,
+        None => any_shard_truncated,
+    };
+    let mut out = Vec::new();
+    let mut pos = 0u64;
+    'merge: for part in &parts {
+        for &node in &part.nodes {
+            if let Some(end) = window_end {
+                if pos >= end {
+                    break 'merge;
+                }
+            }
+            if pos >= offset {
+                out.push(DocNode { doc: part.doc, node });
+            }
+            pos += 1;
+        }
+    }
+    (out, truncated)
+}
+
+/// Streaming iterator over a merged, windowed collection result —
+/// [`sxsi::NodeCursor`] lifted to DocId-qualified nodes.
+#[derive(Debug, Clone)]
+pub struct DocNodeCursor<'a> {
+    nodes: &'a [DocNode],
+    pos: usize,
+}
+
+impl<'a> DocNodeCursor<'a> {
+    /// A cursor over an already-merged window.
+    pub fn new(nodes: &'a [DocNode]) -> Self {
+        Self { nodes, pos: 0 }
+    }
+
+    /// Nodes not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.nodes.len() - self.pos
+    }
+
+    /// How many nodes have been yielded so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Iterator for DocNodeCursor<'_> {
+    type Item = DocNode;
+
+    fn next(&mut self) -> Option<DocNode> {
+        let node = self.nodes.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(node)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.remaining();
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for DocNodeCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn part(doc: DocId, nodes: &[NodeId], truncated: bool) -> DocNodes {
+        DocNodes { doc, nodes: nodes.to_vec(), truncated }
+    }
+
+    #[test]
+    fn merge_is_doc_major_concatenation() {
+        let parts = vec![part(2, &[1, 9], false), part(0, &[4], false), part(1, &[], false)];
+        let (nodes, truncated) = merge_window(parts, 0, None);
+        assert_eq!(
+            nodes,
+            vec![
+                DocNode { doc: 0, node: 4 },
+                DocNode { doc: 2, node: 1 },
+                DocNode { doc: 2, node: 9 }
+            ]
+        );
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn window_spans_doc_boundaries() {
+        let parts = vec![part(0, &[10, 20], false), part(1, &[5], false), part(2, &[7, 8], false)];
+        let (nodes, truncated) = merge_window(parts, 1, Some(3));
+        assert_eq!(
+            nodes,
+            vec![
+                DocNode { doc: 0, node: 20 },
+                DocNode { doc: 1, node: 5 },
+                DocNode { doc: 2, node: 7 }
+            ]
+        );
+        assert!(truncated, "one node lies beyond the window");
+    }
+
+    #[test]
+    fn shard_truncation_propagates() {
+        // Shard 0 was cut at the window end (2 nodes) and flags more; the
+        // merged window must flag truncation even though the concatenation
+        // alone fills the window exactly.
+        let parts = vec![part(0, &[1, 2], true)];
+        let (nodes, truncated) = merge_window(parts, 0, Some(2));
+        assert_eq!(nodes.len(), 2);
+        assert!(truncated);
+    }
+
+    #[test]
+    fn cursor_mirrors_node_cursor_semantics() {
+        let nodes =
+            vec![DocNode { doc: 0, node: 3 }, DocNode { doc: 1, node: 1 }, DocNode { doc: 1, node: 2 }];
+        let mut cursor = DocNodeCursor::new(&nodes);
+        assert_eq!(cursor.len(), 3);
+        assert_eq!(cursor.next(), Some(DocNode { doc: 0, node: 3 }));
+        assert_eq!(cursor.position(), 1);
+        assert_eq!(cursor.remaining(), 2);
+        assert_eq!(cursor.by_ref().count(), 2);
+        assert_eq!(cursor.next(), None);
+    }
+
+    /// Naive oracle: concatenate full per-doc lists in DocId order, then
+    /// window with plain slicing.
+    fn oracle(parts: &[DocNodes], offset: u64, limit: Option<u64>) -> (Vec<DocNode>, bool) {
+        let mut sorted: Vec<&DocNodes> = parts.iter().collect();
+        sorted.sort_by_key(|p| p.doc);
+        let full: Vec<DocNode> = sorted
+            .iter()
+            .flat_map(|p| p.nodes.iter().map(|&node| DocNode { doc: p.doc, node }))
+            .collect();
+        let start = (offset as usize).min(full.len());
+        let end = match limit {
+            Some(l) => start.saturating_add(l as usize).min(full.len()),
+            None => full.len(),
+        };
+        (full[start..end].to_vec(), full.len() > end)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn merged_stream_is_sorted_and_duplicate_free(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0usize..50, 0..12),
+                1..7,
+            ),
+        ) {
+            let parts: Vec<DocNodes> = raw
+                .iter()
+                .enumerate()
+                .map(|(doc, nodes)| {
+                    let mut nodes = nodes.clone();
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    DocNodes { doc, nodes, truncated: false }
+                })
+                .collect();
+            let (merged, truncated) = merge_window(parts.clone(), 0, None);
+            prop_assert!(!truncated);
+            // Globally sorted under (doc, node) and duplicate-free.
+            prop_assert!(merged.windows(2).all(|w| w[0] < w[1]));
+            let total: usize = parts.iter().map(|p| p.nodes.len()).sum();
+            prop_assert_eq!(merged.len(), total);
+        }
+
+        #[test]
+        fn window_and_truncation_exact_at_every_boundary(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0usize..40, 0..10),
+                1..6,
+            ),
+            offset in 0u64..12,
+        ) {
+            let parts: Vec<DocNodes> = raw
+                .iter()
+                .enumerate()
+                .map(|(doc, nodes)| {
+                    let mut nodes = nodes.clone();
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    DocNodes { doc, nodes, truncated: false }
+                })
+                .collect();
+            let total: usize = parts.iter().map(|p| p.nodes.len()).sum();
+            // Every window boundary: limits crossing the total from both
+            // sides, including 0 and the exact length.
+            for limit in 0..=(total as u64 + 2) {
+                let (merged, truncated) = merge_window(parts.clone(), offset, Some(limit));
+                let (expected, expected_truncated) = oracle(&parts, offset, Some(limit));
+                prop_assert_eq!(&merged, &expected, "offset={} limit={}", offset, limit);
+                prop_assert_eq!(truncated, expected_truncated, "offset={} limit={}", offset, limit);
+            }
+            // And the unlimited run matches the plain concatenation.
+            let (merged, truncated) = merge_window(parts.clone(), offset, None);
+            let (expected, expected_truncated) = oracle(&parts, offset, None);
+            prop_assert_eq!(merged, expected);
+            prop_assert_eq!(truncated, expected_truncated);
+        }
+
+        #[test]
+        fn pushdown_prefixes_window_identically(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0usize..40, 0..10),
+                1..6,
+            ),
+            offset in 0u64..6,
+            limit in 0u64..12,
+        ) {
+            // Simulate the per-shard pushdown: each shard keeps only the
+            // first `offset + limit` nodes (what a shard run with the
+            // pushed-down cap returns) and flags whether more existed.
+            let end = offset + limit;
+            let full: Vec<DocNodes> = raw
+                .iter()
+                .enumerate()
+                .map(|(doc, nodes)| {
+                    let mut nodes = nodes.clone();
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    DocNodes { doc, nodes, truncated: false }
+                })
+                .collect();
+            let cut: Vec<DocNodes> = full
+                .iter()
+                .map(|p| {
+                    let keep = (end as usize).min(p.nodes.len());
+                    DocNodes {
+                        doc: p.doc,
+                        nodes: p.nodes[..keep].to_vec(),
+                        truncated: keep < p.nodes.len(),
+                    }
+                })
+                .collect();
+            let (merged, truncated) = merge_window(cut, offset, Some(limit));
+            let (expected, expected_truncated) = oracle(&full, offset, Some(limit));
+            prop_assert_eq!(merged, expected);
+            prop_assert_eq!(truncated, expected_truncated);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Compile-time thread-safety guarantee for the collection layer.
+//!
+//! `Arc<Collection>` shared across the `CollectionExecutor` thread pool
+//! (with every worker lazily loading segments through `&Collection`) is
+//! the central pattern of collection queries; this assertion is what makes
+//! that pattern legal.
+
+use sxsi_collection::{Collection, DocNode, DocNodeCursor, DocNodes, Manifest};
+
+fn require_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn the_collection_is_send_and_sync() {
+    require_send_sync::<Collection>();
+    require_send_sync::<Manifest>();
+    require_send_sync::<DocNode>();
+    require_send_sync::<DocNodes>();
+    require_send_sync::<DocNodeCursor<'static>>();
+}

@@ -48,7 +48,7 @@ pub mod serialize;
 use std::fmt;
 
 use sxsi_text::{TextCollection, TextCollectionOptions};
-use sxsi_tree::{NodeId, XmlTree};
+use sxsi_tree::XmlTree;
 use sxsi_xml::{parse_document_with_options, DocumentOptions, ParseError, ParsedDocument};
 use sxsi_xpath::eval::EvalOptions;
 use sxsi_xpath::{
@@ -65,7 +65,7 @@ pub use query::{NodeCursor, Prepared, QueryMode, QueryOptions, ResultSet};
 pub use serialize::{serialize_subtree, string_value, subtree_to_string};
 pub use sxsi_succinct::{RankBackend, SequenceBackend, SuccinctOptions};
 pub use sxsi_text::{TextId, TextPredicate};
-pub use sxsi_tree::{TagId, TreeError};
+pub use sxsi_tree::{NodeId, TagId, TreeError};
 pub use sxsi_xpath::eval::EvalStats;
 
 /// Errors produced when building an index.

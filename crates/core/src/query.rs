@@ -128,6 +128,29 @@ impl QueryOptions {
         self
     }
 
+    /// The options each shard of a multi-document fan-out runs with so the
+    /// doc-major merge of the per-shard results reproduces a single run
+    /// with `self` over the concatenated stream exactly.
+    ///
+    /// - `Exists`: unchanged — every shard stops at its first match.
+    /// - `Count`: shards count *unclamped* (`limit`/`offset` cleared); the
+    ///   merge sums the raw counts and applies the window clamp globally.
+    /// - `Nodes`: each shard materializes the document-order prefix up to
+    ///   the global window end (`offset + limit`, offset cleared) with an
+    ///   exact per-shard truncation flag, so every node a shard suppresses
+    ///   provably lies beyond the merged window.
+    pub fn per_shard(&self) -> QueryOptions {
+        match self.mode {
+            QueryMode::Exists => *self,
+            QueryMode::Count => QueryOptions { limit: None, offset: 0, ..*self },
+            QueryMode::Nodes => QueryOptions {
+                limit: self.limit.map(|l| l.saturating_add(self.offset)),
+                offset: 0,
+                ..*self
+            },
+        }
+    }
+
     /// The number of leading document-order results to request from a
     /// truncating evaluator: one *past* the requested window
     /// (`offset + limit + 1`), so [`ResultSet::truncated`] can report
@@ -490,6 +513,27 @@ mod tests {
             // collision here would mean the field is ignored by the derive.
             assert_ne!(hash_of(&variant), hash_of(&base), "{variant:?}");
         }
+    }
+
+    /// Pins the per-shard pushdown derivation: exists passes through,
+    /// count unclamps, nodes caps at the global window end with the
+    /// offset cleared (the merge re-applies it globally).
+    #[test]
+    fn per_shard_pushdown_semantics() {
+        let exists = QueryOptions::exists().with_limit(3).with_offset(2);
+        assert_eq!(exists.per_shard(), exists);
+
+        let count = QueryOptions::count().with_limit(3).with_offset(2);
+        assert_eq!(count.per_shard(), QueryOptions { limit: None, offset: 0, ..count });
+
+        let nodes = QueryOptions::nodes().with_limit(3).with_offset(2);
+        assert_eq!(nodes.per_shard(), QueryOptions { limit: Some(5), offset: 0, ..nodes });
+
+        let unbounded = QueryOptions::nodes().with_offset(7);
+        assert_eq!(unbounded.per_shard(), QueryOptions { limit: None, offset: 0, ..unbounded });
+
+        // Stats collection survives the derivation unchanged.
+        assert!(!QueryOptions::count().with_stats(false).per_shard().collect_stats);
     }
 
     /// `QueryMode` itself is hashable and usable as a map key.

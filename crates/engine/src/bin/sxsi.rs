@@ -4,12 +4,15 @@
 //! ```text
 //! sxsi build   <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
 //!              [--scan-cutoff N] [--keep-whitespace]
-//! sxsi query   <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
+//! sxsi build-collection <output.sxsic> <doc.xml|doc.sxsi> ... [build options]
+//! sxsi query   <index.sxsi|collection.sxsic> [<xpath> ...] [--collection]
+//!              [--queries-file FILE] [--materialize] [--serialize]
 //!              [--limit N] [--offset N] [--threads N]
-//! sxsi exists  <index.sxsi> <xpath> [<xpath> ...] [--threads N]
-//! sxsi info    <index.sxsi>
-//! sxsi verify  <index.sxsi> [--deep]
-//! sxsi serve   <[id=]index.sxsi> ... (--socket PATH | --tcp ADDR) [options]
+//! sxsi exists  <index.sxsi|collection.sxsic> <xpath> [<xpath> ...]
+//!              [--collection] [--threads N]
+//! sxsi info    <index.sxsi|collection.sxsic>
+//! sxsi verify  <index.sxsi|collection.sxsic> [--deep]
+//! sxsi serve   <[id=]index.sxsi|.sxsic> ... (--socket PATH | --tcp ADDR) [options]
 //! sxsi client  (--socket PATH | --tcp ADDR) <op> [op options]
 //! sxsi queries [--set paper|ordered] [--print0]
 //! ```
@@ -46,22 +49,32 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sxsi::{QueryError, QueryOptions, SxsiIndex, SxsiOptions, VerifyDepth};
+use sxsi::{QueryError, QueryOptions, SxsiIndex, SxsiOptions, Verify, VerifyDepth};
+use sxsi_collection::{is_collection_path, verify_collection_file, Collection};
+use sxsi_engine::collection::{
+    render_collection_result, CollectionExecutor, CollectionQueryError,
+};
 use sxsi_engine::server::client::{exit_code_for, Client};
 use sxsi_engine::server::protocol::Response;
-use sxsi_engine::server::{render_batch_result, Listener, OutputKind, ServeOptions, Server};
+use sxsi_engine::server::{
+    render_batch_result, Listener, OutputKind, ServeOptions, ServedIndex, Server,
+};
 use sxsi_engine::{BatchError, BatchExecutor, QueryBatch, QuerySpec};
 
 const USAGE: &str = "\
 usage:
   sxsi build   <input.xml> <output.sxsi> [--sample-rate N] [--no-plain-text]
                [--scan-cutoff N] [--keep-whitespace]
-  sxsi query   <index.sxsi> <xpath> [<xpath> ...] [--materialize] [--serialize]
+  sxsi build-collection <output.sxsic> <doc.xml|doc.sxsi> [<doc> ...]
+               [build options]
+  sxsi query   <index.sxsi|collection.sxsic> [<xpath> ...] [--collection]
+               [--queries-file FILE] [--materialize] [--serialize]
                [--limit N] [--offset N] [--threads N]
-  sxsi exists  <index.sxsi> <xpath> [<xpath> ...] [--threads N]
-  sxsi info    <index.sxsi>
-  sxsi verify  <index.sxsi> [--deep]
-  sxsi serve   <[id=]index.sxsi> [<[id=]index.sxsi> ...]
+  sxsi exists  <index.sxsi|collection.sxsic> <xpath> [<xpath> ...]
+               [--collection] [--threads N]
+  sxsi info    <index.sxsi|collection.sxsic>
+  sxsi verify  <index.sxsi|collection.sxsic> [--deep]
+  sxsi serve   <[id=]index.sxsi|.sxsic> [<[id=]index> ...]
                (--socket PATH | --tcp ADDR) [--threads N]
                [--plan-cache N] [--result-cache N] [--read-timeout SECS]
   sxsi client  (--socket PATH | --tcp ADDR) <op> [op options]
@@ -73,14 +86,23 @@ usage:
 
 subcommands:
   build    parse the XML document and write a versioned .sxsi index file
-  query    load a .sxsi file and run XPath queries (counts by default)
+  build-collection
+           index several documents into per-document .sxsi segments plus
+           a checksummed .sxsic manifest; inputs may be XML files (built
+           with the build options) or prebuilt .sxsi indexes
+  query    load a .sxsi file (or a .sxsic collection: queries fan out
+           across its documents and come back merged in document order,
+           DocId-qualified) and run XPath queries (counts by default)
   exists   report true/false per query, stopping at the first match
-  info     print size and cardinality statistics of a .sxsi file
+  info     print size and cardinality statistics of a .sxsi file, or the
+           manifest summary of a .sxsic collection
   verify   audit a .sxsi file: per-section checksums, then the structural
            invariants of every loaded component (--deep adds full
-           sequence/walk replays; see docs/verification.md)
+           sequence/walk replays; see docs/verification.md); on a .sxsic
+           collection, audit the manifest and every segment instead
   serve    answer queries from warm indexes over a framed socket protocol,
-           with plan/result LRU caches and live metrics (see docs/protocol.md)
+           with plan/result LRU caches and live metrics (see docs/protocol.md);
+           a .sxsic collection is served as one warm logical index
   client   send ops to a running daemon; query/exists bodies are
            byte-identical to the in-process query/exists subcommands
   queries  list the paper's query sets as id<TAB>xpath records for
@@ -101,7 +123,13 @@ query options:
   --limit N          produce at most N result nodes (document order; the
                      evaluators stop early once the window is complete)
   --offset N         skip the first N result nodes (pagination)
-  --threads N        worker threads for multi-query batches (default 1)
+  --threads N        worker threads for multi-query batches (default 1);
+                     for collections, per-document shard workers
+  --collection       treat the path as a .sxsic collection manifest
+                     (implied when the path ends in .sxsic)
+  --queries-file F   append queries from F: one per line, either
+                     'id<TAB>xpath' or a bare xpath; blank lines and
+                     lines starting with # are skipped
 
 serve options:
   --socket PATH      listen on a Unix-domain socket (removed on shutdown)
@@ -162,6 +190,7 @@ fn main() -> ExitCode {
     }
     match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
+        Some("build-collection") => cmd_build_collection(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("exists") => cmd_exists(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -241,9 +270,194 @@ fn cmd_build(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `sxsi build-collection`: index several documents into per-document
+/// `.sxsi` segments plus a checksummed `.sxsic` manifest.  XML inputs
+/// are built with the usual build options; `.sxsi` inputs are loaded
+/// as-is.  Document names are the input file stems, in argument order
+/// (which fixes DocId order and therefore global document order).
+fn cmd_build_collection(args: &[String]) -> ExitCode {
+    let mut options = SxsiOptions::default();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sample-rate" => match parse_number(&mut it, "--sample-rate") {
+                Ok(n) if n > 0 => options.text.sample_rate = n,
+                Ok(_) | Err(_) => return usage_error("--sample-rate expects a positive integer"),
+            },
+            "--scan-cutoff" => match parse_number(&mut it, "--scan-cutoff") {
+                Ok(n) => options.text.scan_cutoff = n,
+                Err(e) => return usage_error(&e),
+            },
+            "--no-plain-text" => options.text.keep_plain_text = false,
+            "--keep-whitespace" => options.keep_whitespace_text = true,
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}'"))
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let Some((output, inputs)) = paths.split_first() else {
+        return usage_error("build-collection expects <output.sxsic> and at least one document");
+    };
+    if inputs.is_empty() {
+        return usage_error("build-collection expects at least one <doc.xml|doc.sxsi>");
+    }
+
+    let start = Instant::now();
+    let mut docs: Vec<(String, SxsiIndex)> = Vec::new();
+    for input in inputs {
+        let name = std::path::Path::new(input.as_str())
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let index = if input.ends_with(".sxsi") {
+            match SxsiIndex::load_from_file(input) {
+                Ok(index) => index,
+                Err(e) => return fail(format_args!("cannot load {input}: {e}")),
+            }
+        } else {
+            let xml = match std::fs::read(input) {
+                Ok(xml) => xml,
+                Err(e) => return fail(format_args!("cannot read {input}: {e}")),
+            };
+            match SxsiIndex::build_from_xml_with_options(&xml, options.clone()) {
+                Ok(index) => index,
+                Err(e) => return fail(format_args!("cannot index {input}: {e}")),
+            }
+        };
+        docs.push((name, index));
+    }
+    let num_docs = docs.len();
+    let collection = match Collection::build(output, docs) {
+        Ok(collection) => collection,
+        Err(e) => return fail(format_args!("cannot write {output}: {e}")),
+    };
+    let manifest = collection.manifest();
+    let manifest_bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "collected {num_docs} documents into {output} in {:.2?}",
+        start.elapsed()
+    );
+    println!(
+        "  {} elements, {} texts across the collection",
+        manifest.total_elements, manifest.total_texts
+    );
+    for entry in &manifest.docs {
+        println!(
+            "  doc {}: {} (segment {}, {} nodes)",
+            entry.id, entry.name, entry.segment, entry.num_nodes
+        );
+    }
+    println!(
+        "  manifest {manifest_bytes} bytes, fingerprint {:016x}",
+        collection.fingerprint()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Reports a collection query that failed to prepare, mirroring
+/// [`fail_prepare`]'s exit-code taxonomy (compile errors exit 3 with the
+/// structured `unsupported-query` line).
+fn fail_collection_prepare(id: &str, err: CollectionQueryError) -> ExitCode {
+    match err.query_error() {
+        Some(QueryError::Compile(e)) => {
+            eprintln!("sxsi: error=unsupported-query query='{id}' detail='{e}'");
+            ExitCode::from(3)
+        }
+        _ => fail(err),
+    }
+}
+
+/// Runs a query batch against a `.sxsic` collection and prints each
+/// result exactly as the daemon renders it (`doc-name:preorder` node
+/// qualification).  Shared by `query --collection` and
+/// `exists --collection`; for `exists`, exit 4 when any query matched
+/// nothing, mirroring the single-index subcommand.
+fn run_collection_queries(
+    path: &str,
+    specs: &[(String, String)],
+    options: QueryOptions,
+    output: OutputKind,
+    threads: usize,
+) -> ExitCode {
+    let start = Instant::now();
+    let collection = match Collection::open(path) {
+        Ok(collection) => collection,
+        Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+    };
+    eprintln!(
+        "loaded {path} ({} docs, manifest only) in {:.2?}",
+        collection.num_docs(),
+        start.elapsed()
+    );
+
+    let executor = CollectionExecutor::new(threads);
+    let start = Instant::now();
+    let stdout = io::stdout();
+    let mut out = io::BufWriter::new(stdout.lock());
+    let mut rendered = String::new();
+    let mut all_found = true;
+    let mut pipe_closed = false;
+    for (id, xpath) in specs {
+        let result = match executor.run(&collection, xpath, &options) {
+            Ok(result) => result,
+            Err(e) => return fail_collection_prepare(id, e),
+        };
+        all_found &= result.exists();
+        if pipe_closed {
+            continue;
+        }
+        rendered.clear();
+        render_collection_result(&collection, id, &result, output, &mut rendered);
+        match check_stdout_write(out.write_all(rendered.as_bytes())) {
+            WriteOutcome::Written => {}
+            WriteOutcome::PipeClosed => pipe_closed = true,
+            WriteOutcome::Failed(code) => return code,
+        }
+    }
+    if !pipe_closed {
+        if let WriteOutcome::Failed(code) = check_stdout_write(out.flush()) {
+            return code;
+        }
+    }
+    eprintln!(
+        "ran {} queries across {} docs in {:.2?} on {threads} thread(s)",
+        specs.len(),
+        collection.num_docs(),
+        start.elapsed()
+    );
+    if output == OutputKind::Exists && !all_found {
+        ExitCode::from(4)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Reads a batch file for `--queries-file`: one query per line, either
+/// `id<TAB>xpath` or a bare xpath (its own id), skipping blank lines and
+/// `#` comments.
+fn read_queries_file(file: &str) -> Result<Vec<(String, String)>, ExitCode> {
+    let text = std::fs::read_to_string(file).map_err(|e| {
+        eprintln!("sxsi: error code=batch-file-open file='{file}' detail='{e}'");
+        ExitCode::FAILURE
+    })?;
+    Ok(text
+        .lines()
+        .map(str::trim_end)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(|line| match line.split_once('\t') {
+            Some((id, xpath)) => (id.to_string(), xpath.to_string()),
+            None => (line.to_string(), line.to_string()),
+        })
+        .collect())
+}
+
 fn cmd_query(args: &[String]) -> ExitCode {
     let mut materialize = false;
     let mut serialize = false;
+    let mut collection = false;
+    let mut queries_file: Option<&String> = None;
     let mut threads = 1usize;
     let mut limit: Option<u64> = None;
     let mut offset = 0u64;
@@ -253,6 +467,11 @@ fn cmd_query(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--materialize" => materialize = true,
             "--serialize" => serialize = true,
+            "--collection" => collection = true,
+            "--queries-file" => match it.next() {
+                Some(file) => queries_file = Some(file),
+                None => return usage_error("--queries-file expects a path"),
+            },
             "--threads" => match parse_number(&mut it, "--threads") {
                 Ok(n) if n > 0 => threads = n,
                 Ok(_) | Err(_) => return usage_error("--threads expects a positive integer"),
@@ -274,8 +493,44 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let Some((path, queries)) = positional.split_first() else {
         return usage_error("query expects <index.sxsi> and at least one XPath expression");
     };
-    if queries.is_empty() {
+    let mut batch_specs: Vec<(String, String)> =
+        queries.iter().map(|q| (q.to_string(), q.to_string())).collect();
+    if let Some(file) = queries_file {
+        let loaded = match read_queries_file(file) {
+            Ok(loaded) => loaded,
+            Err(code) => return code,
+        };
+        if loaded.is_empty() {
+            // Structurally distinct from `info`'s open failure: the file
+            // exists and is readable, it just contains no queries.
+            eprintln!(
+                "sxsi: error code=empty-batch file='{file}' \
+                 detail='no queries after blank lines and # comments'"
+            );
+            return ExitCode::FAILURE;
+        }
+        batch_specs.extend(loaded);
+    }
+    if batch_specs.is_empty() {
         return usage_error("query expects at least one XPath expression");
+    }
+
+    let mut options = if materialize || serialize {
+        QueryOptions::nodes()
+    } else {
+        QueryOptions::count()
+    };
+    options.limit = limit;
+    options.offset = offset;
+    let output = if serialize {
+        OutputKind::Serialize
+    } else if materialize {
+        OutputKind::Nodes
+    } else {
+        OutputKind::Count
+    };
+    if collection || is_collection_path(path.as_str()) {
+        return run_collection_queries(path, &batch_specs, options, output, threads);
     }
 
     let start = Instant::now();
@@ -286,15 +541,10 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let load_time = start.elapsed();
     eprintln!("loaded {path} in {load_time:.2?}");
 
-    let mut options = if materialize || serialize {
-        QueryOptions::nodes()
-    } else {
-        QueryOptions::count()
-    };
-    options.limit = limit;
-    options.offset = offset;
-    let specs: Vec<QuerySpec> =
-        queries.iter().map(|q| QuerySpec::new(q.as_str(), q.as_str(), options)).collect();
+    let specs: Vec<QuerySpec> = batch_specs
+        .iter()
+        .map(|(id, xpath)| QuerySpec::new(id.as_str(), xpath.as_str(), options))
+        .collect();
     let batch = match QueryBatch::compile(&index, specs) {
         Ok(batch) => batch,
         Err(e) => return fail_prepare(e),
@@ -303,13 +553,6 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let results = BatchExecutor::new(threads).run(&index, &batch);
     let query_time = start.elapsed();
 
-    let output = if serialize {
-        OutputKind::Serialize
-    } else if materialize {
-        OutputKind::Nodes
-    } else {
-        OutputKind::Count
-    };
     let stdout = io::stdout();
     let mut out = io::BufWriter::new(stdout.lock());
     let mut rendered = String::new();
@@ -352,10 +595,12 @@ fn check_stdout_write(result: io::Result<()>) -> WriteOutcome {
 /// code 0 when every query matched, 4 when at least one did not.
 fn cmd_exists(args: &[String]) -> ExitCode {
     let mut threads = 1usize;
+    let mut collection = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--collection" => collection = true,
             "--threads" => match parse_number(&mut it, "--threads") {
                 Ok(n) if n > 0 => threads = n,
                 Ok(_) | Err(_) => return usage_error("--threads expects a positive integer"),
@@ -371,6 +616,17 @@ fn cmd_exists(args: &[String]) -> ExitCode {
     };
     if queries.is_empty() {
         return usage_error("exists expects at least one XPath expression");
+    }
+    if collection || is_collection_path(path.as_str()) {
+        let specs: Vec<(String, String)> =
+            queries.iter().map(|q| (q.to_string(), q.to_string())).collect();
+        return run_collection_queries(
+            path,
+            &specs,
+            QueryOptions::exists(),
+            OutputKind::Exists,
+            threads,
+        );
     }
 
     let index = match SxsiIndex::load_from_file(path) {
@@ -423,10 +679,19 @@ fn cmd_info(args: &[String]) -> ExitCode {
     let [path] = args else {
         return usage_error("info expects exactly one <index.sxsi>");
     };
+    if is_collection_path(path.as_str()) {
+        return cmd_info_collection(path);
+    }
     let start = Instant::now();
     let index = match SxsiIndex::load_from_file(path) {
         Ok(index) => index,
-        Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+        Err(e) => {
+            // Structured (unlike the generic `cannot load` of query paths)
+            // so scripts can tell "info target missing/corrupt" apart from
+            // other failures without parsing prose.
+            eprintln!("sxsi: error code=info-open path='{path}' detail='{e}'");
+            return ExitCode::FAILURE;
+        }
     };
     let load_time = start.elapsed();
 
@@ -478,6 +743,49 @@ fn cmd_info(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `sxsi info` on a `.sxsic` collection: the manifest summary plus a
+/// quick verification (manifest invariants, segment presence and
+/// checksums — no segment loads).
+fn cmd_info_collection(path: &str) -> ExitCode {
+    let start = Instant::now();
+    let collection = match Collection::open(path) {
+        Ok(collection) => collection,
+        Err(e) => {
+            eprintln!("sxsi: error code=info-open path='{path}' detail='{e}'");
+            return ExitCode::FAILURE;
+        }
+    };
+    let load_time = start.elapsed();
+    let manifest = collection.manifest();
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "{path} (collection format v{}, {file_bytes} bytes on disk, loaded in {load_time:.2?})",
+        sxsi_collection::manifest::COLLECTION_FORMAT_VERSION
+    );
+    println!("  documents:      {}", manifest.num_docs());
+    println!("  total elements: {}", manifest.total_elements);
+    println!("  total texts:    {}", manifest.total_texts);
+    println!("  fingerprint:    {:016x}", collection.fingerprint());
+    for entry in &manifest.docs {
+        println!(
+            "  doc {}: {} segment={} nodes={} elements={} texts={} \
+             rank_tag={} sequence_tag={} checksum={:016x}",
+            entry.id,
+            entry.name,
+            entry.segment,
+            entry.num_nodes,
+            entry.num_elements,
+            entry.num_texts,
+            entry.rank_tag,
+            entry.sequence_tag,
+            entry.checksum
+        );
+    }
+    let report = collection.verify(VerifyDepth::Quick);
+    println!("  verify (quick): {report}");
+    ExitCode::SUCCESS
+}
+
 /// `sxsi verify`: audit the container framing and every structural
 /// invariant of the loaded index.  Exit 0 when clean, 1 when the file
 /// cannot be loaded at all, 5 when the index loads but verification finds
@@ -498,6 +806,20 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         return usage_error("verify expects exactly one <index.sxsi>");
     };
     let depth = if deep { VerifyDepth::Deep } else { VerifyDepth::Quick };
+
+    if is_collection_path(path.as_str()) {
+        // Collections: manifest invariants, segment presence and
+        // checksums; --deep re-decodes every segment, cross-checks its
+        // counts against the manifest, and verifies the loaded index.
+        let start = Instant::now();
+        let report = verify_collection_file(path.as_str(), depth);
+        println!(
+            "{path}: collection verify ({}) in {:.2?}: {report}",
+            if deep { "deep" } else { "quick" },
+            start.elapsed()
+        );
+        return if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::from(5) };
+    }
 
     // Stage 1: container framing.  The scan does not stop at a bad
     // checksum, so every damaged section is reported, not just the first.
@@ -592,7 +914,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         _ => return usage_error("serve expects exactly one of --socket or --tcp"),
     };
 
-    let mut indexes: Vec<(String, Arc<SxsiIndex>)> = Vec::new();
+    let mut indexes: Vec<(String, ServedIndex)> = Vec::new();
     for spec in positional {
         // `id=path` names the index explicitly; a bare path uses its
         // file stem as the id.
@@ -607,15 +929,34 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         };
         let start = Instant::now();
-        let index = match SxsiIndex::load_from_file(path) {
-            Ok(index) => index,
-            Err(e) => return fail(format_args!("cannot load {path}: {e}")),
-        };
-        eprintln!("loaded {path} as '{id}' in {:.2?}", start.elapsed());
-        indexes.push((id, Arc::new(index)));
+        if is_collection_path(path) {
+            // A collection served as one warm logical index: every
+            // segment is loaded (and checksum-validated) up front so
+            // queries never pay a lazy load.
+            let collection = match Collection::open(path) {
+                Ok(collection) => collection,
+                Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+            };
+            if let Err(e) = collection.load_all() {
+                return fail(format_args!("cannot load {path}: {e}"));
+            }
+            eprintln!(
+                "loaded {path} as '{id}' ({} docs) in {:.2?}",
+                collection.num_docs(),
+                start.elapsed()
+            );
+            indexes.push((id, ServedIndex::Collection(Arc::new(collection))));
+        } else {
+            let index = match SxsiIndex::load_from_file(path) {
+                Ok(index) => index,
+                Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+            };
+            eprintln!("loaded {path} as '{id}' in {:.2?}", start.elapsed());
+            indexes.push((id, ServedIndex::Single(Arc::new(index))));
+        }
     }
 
-    let server = match Server::new(indexes, options) {
+    let server = match Server::new_served(indexes, options) {
         Ok(server) => server,
         Err(e) => return fail(e),
     };

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod collection;
 pub mod server;
 
 use std::collections::HashMap;
@@ -314,28 +315,45 @@ impl BatchExecutor {
     /// very small batches of cheap queries, fewer threads (or `new(1)`)
     /// can be faster than a wide pool.
     pub fn run(&self, index: &SxsiIndex, batch: &QueryBatch) -> Vec<BatchResult> {
-        let workers = self.threads.min(batch.len().max(1));
+        self.run_jobs(batch.len(), |i| run_one(index, &batch.queries[i]))
+    }
+
+    /// The pool's generic fan-out: runs `count` jobs, each identified by
+    /// its index, and returns their results in job order.  This is the
+    /// engine shared by [`BatchExecutor::run`] (one job per batch query)
+    /// and the collection executor (one job per document shard); work
+    /// distribution is dynamic via an atomic claim cursor, and with one
+    /// effective worker the jobs run on the calling thread.
+    pub(crate) fn run_jobs<R, F>(&self, count: usize, job: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(count.max(1));
         if workers <= 1 {
-            return batch.queries.iter().map(|q| run_one(index, q)).collect();
+            return (0..count).map(&job).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let mut slots: Vec<Option<BatchResult>> = Vec::new();
+        let mut slots: Vec<Option<R>> = Vec::new();
         thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
+                    let job = &job;
                     scope.spawn(move || {
                         let mut produced = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(query) = batch.queries.get(i) else { break };
-                            produced.push((i, run_one(index, query)));
+                            if i >= count {
+                                break;
+                            }
+                            produced.push((i, job(i)));
                         }
                         produced
                     })
                 })
                 .collect();
-            slots.resize_with(batch.len(), || None);
+            slots.resize_with(count, || None);
             for handle in handles {
                 let produced = handle.join().expect("batch worker panicked");
                 for (i, result) in produced {
@@ -343,7 +361,7 @@ impl BatchExecutor {
                 }
             }
         });
-        slots.into_iter().map(|r| r.expect("every query was claimed by a worker")).collect()
+        slots.into_iter().map(|r| r.expect("every job was claimed by a worker")).collect()
     }
 }
 

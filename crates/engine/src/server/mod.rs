@@ -42,7 +42,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sxsi::{Prepared, QueryError, QueryMode, QueryOptions, SxsiIndex};
+use sxsi_collection::Collection;
 
+use crate::collection::{render_collection_result, CollectionExecutor, CollectionQueryError};
 use crate::{BatchExecutor, BatchResult, QueryBatch, QuerySpec};
 use cache::LruCache;
 use metrics::Metrics;
@@ -347,13 +349,28 @@ impl Read for PollingReader<'_> {
     }
 }
 
+/// What a server id resolves to: one warm index, or a whole collection
+/// served as one logical index (queries fan out across its documents and
+/// come back merged, DocId-qualified).
+#[derive(Clone)]
+pub enum ServedIndex {
+    /// A single `.sxsi` index.
+    Single(Arc<SxsiIndex>),
+    /// A multi-document `.sxsic` collection.
+    Collection(Arc<Collection>),
+}
+
 struct NamedIndex {
     id: String,
-    index: Arc<SxsiIndex>,
+    served: ServedIndex,
 }
 
 type PlanKey = (usize, String);
-type ResultKey = (usize, String, QueryOptions, OutputKind);
+/// The `u64` is the served identity folded into result-cache keys: `0`
+/// for a single index (the slot already identifies it), the manifest
+/// fingerprint for a collection — so cached bodies are keyed to the
+/// exact manifest they were computed from.
+type ResultKey = (usize, u64, String, QueryOptions, OutputKind);
 
 struct ServerInner {
     indexes: Vec<NamedIndex>,
@@ -388,6 +405,22 @@ impl Server {
         indexes: Vec<(String, Arc<SxsiIndex>)>,
         options: ServeOptions,
     ) -> Result<Server, String> {
+        Server::new_served(
+            indexes
+                .into_iter()
+                .map(|(id, index)| (id, ServedIndex::Single(index)))
+                .collect(),
+            options,
+        )
+    }
+
+    /// Creates a server over a mix of single indexes and collections —
+    /// a collection is addressed by one id and answers as one logical
+    /// index, with nodes qualified as `doc-name:preorder`.
+    pub fn new_served(
+        indexes: Vec<(String, ServedIndex)>,
+        options: ServeOptions,
+    ) -> Result<Server, String> {
         if indexes.is_empty() {
             return Err("a server needs at least one index".into());
         }
@@ -409,7 +442,7 @@ impl Server {
             inner: Arc::new(ServerInner {
                 indexes: indexes
                     .into_iter()
-                    .map(|(id, index)| NamedIndex { id, index })
+                    .map(|(id, served)| NamedIndex { id, served })
                     .collect(),
                 plan_cache: Mutex::new(LruCache::new(options.plan_cache_capacity)),
                 result_cache: Mutex::new(LruCache::new(options.result_cache_capacity)),
@@ -685,8 +718,6 @@ impl ServerInner {
             }
         }
         let slot = self.resolve_index(index_id)?;
-        // lint:allow(index: resolve_index returned a valid position)
-        let index = &self.indexes[slot].index;
 
         let mut xpaths = Vec::new();
         for line in rest.lines() {
@@ -710,6 +741,27 @@ impl ServerInner {
             collect_stats: true,
         };
 
+        // lint:allow(index: resolve_index returned a valid position)
+        match &self.indexes[slot].served {
+            ServedIndex::Single(index) => {
+                self.answer_single(slot, &Arc::clone(index), xpaths, options, output)
+            }
+            ServedIndex::Collection(collection) => {
+                self.answer_collection(slot, &Arc::clone(collection), xpaths, options, output)
+            }
+        }
+    }
+
+    /// Answers a query batch against one single index: result-cache
+    /// lookups, plan-cached compilation, executor fan-out.
+    fn answer_single(
+        &self,
+        slot: usize,
+        index: &SxsiIndex,
+        xpaths: Vec<String>,
+        options: QueryOptions,
+        output: OutputKind,
+    ) -> Result<(String, String), CommandError> {
         // Phase 1: result-cache lookups, preserving request order.
         // Duplicate expressions within one request share a single
         // execution but are rendered once per occurrence, matching the
@@ -724,7 +776,7 @@ impl ServerInner {
                 if bodies.contains_key(xpath.as_str()) || misses.contains(&xpath.as_str()) {
                     continue;
                 }
-                let key: ResultKey = (slot, xpath.clone(), options, output);
+                let key: ResultKey = (slot, 0, xpath.clone(), options, output);
                 match result_cache.get(&key) {
                     Some(body) => {
                         self.metrics.record_cached_query();
@@ -742,7 +794,7 @@ impl ServerInner {
         if !misses.is_empty() {
             let mut prepared_misses: Vec<(QuerySpec, Arc<Prepared>)> = Vec::new();
             for &xpath in &misses {
-                let prepared = self.prepare_cached(slot, xpath)?;
+                let prepared = self.prepare_cached(slot, index, xpath)?;
                 prepared_misses
                     .push((QuerySpec::new(xpath, xpath, options), prepared));
             }
@@ -757,7 +809,7 @@ impl ServerInner {
                 self.metrics.record_executed_query(result.elapsed, visited);
                 let body: Arc<str> = Arc::from(rendered);
                 result_cache
-                    .insert((slot, result.id.clone(), options, output), Arc::clone(&body));
+                    .insert((slot, 0, result.id.clone(), options, output), Arc::clone(&body));
                 let Some(miss) = misses.iter().copied().find(|&m| m == result.id) else {
                     // Executor results always echo a requested id; if that
                     // ever breaks, answer with a structured server bug
@@ -793,17 +845,107 @@ impl ServerInner {
         Ok((detail, body))
     }
 
+    /// Answers a query batch against a collection served as one logical
+    /// index.  The result cache applies (keyed by the manifest
+    /// fingerprint); the plan cache does not — a `Prepared` is only
+    /// valid for the index it was compiled against, so collections
+    /// prepare per document inside the fan-out.
+    fn answer_collection(
+        &self,
+        slot: usize,
+        collection: &Arc<Collection>,
+        xpaths: Vec<String>,
+        options: QueryOptions,
+        output: OutputKind,
+    ) -> Result<(String, String), CommandError> {
+        let fingerprint = collection.fingerprint();
+        let mut bodies: std::collections::HashMap<&str, Arc<str>> =
+            std::collections::HashMap::new();
+        let mut misses: Vec<&str> = Vec::new();
+        {
+            // lint:allow(panic: poisoning means another worker already panicked)
+            let mut result_cache = self.result_cache.lock().expect("result cache poisoned");
+            for xpath in &xpaths {
+                if bodies.contains_key(xpath.as_str()) || misses.contains(&xpath.as_str()) {
+                    continue;
+                }
+                let key: ResultKey = (slot, fingerprint, xpath.clone(), options, output);
+                match result_cache.get(&key) {
+                    Some(body) => {
+                        self.metrics.record_cached_query();
+                        bodies.insert(xpath.as_str(), Arc::clone(body));
+                    }
+                    None => misses.push(xpath.as_str()),
+                }
+            }
+        }
+        let cache_hits = bodies.len();
+
+        let executor = CollectionExecutor::new(self.executor.threads());
+        for &xpath in &misses {
+            let start = Instant::now();
+            let result = executor.run(collection, xpath, &options).map_err(|e| match e {
+                CollectionQueryError::Prepare { error: QueryError::Compile(detail), .. } => (
+                    ErrorCode::UnsupportedQuery,
+                    format!("query='{}' detail='{detail}'", escape_query(xpath)),
+                ),
+                CollectionQueryError::Prepare { error, .. } => (
+                    ErrorCode::ParseError,
+                    format!("query='{}' detail='{error}'", escape_query(xpath)),
+                ),
+                CollectionQueryError::Load(e) => {
+                    (ErrorCode::Internal, format!("collection segment failure: {e}"))
+                }
+            })?;
+            let elapsed = start.elapsed();
+            let mut rendered = String::new();
+            render_collection_result(collection, xpath, &result, output, &mut rendered);
+            let visited = result.stats().map(|s| s.visited_nodes);
+            self.metrics.record_executed_query(elapsed, visited);
+            let body: Arc<str> = Arc::from(rendered);
+            self.result_cache
+                .lock()
+                .expect("result cache poisoned") // lint:allow(panic: poisoning means another worker already panicked)
+                .insert((slot, fingerprint, xpath.to_string(), options, output), Arc::clone(&body));
+            bodies.insert(xpath, body);
+        }
+
+        let mut body = String::new();
+        let mut all_found = true;
+        for xpath in &xpaths {
+            let Some(rendered) = bodies.get(xpath.as_str()) else {
+                return Err((
+                    ErrorCode::Internal,
+                    format!("no rendered body for query '{}'", escape_query(xpath)),
+                ));
+            };
+            if output == OutputKind::Exists && rendered.trim_end().ends_with("false") {
+                all_found = false;
+            }
+            body.push_str(rendered);
+        }
+        let mut detail = format!("queries={} cache_hits={cache_hits}", xpaths.len());
+        if output == OutputKind::Exists {
+            let _ = write!(detail, " all_found={all_found}");
+        }
+        Ok((detail, body))
+    }
+
     /// Looks a query up in the plan cache, preparing and inserting on a
     /// miss.  Compilation happens outside the lock (it can be slow); a
     /// racing duplicate insert is benign.
-    fn prepare_cached(&self, slot: usize, xpath: &str) -> Result<Arc<Prepared>, CommandError> {
+    fn prepare_cached(
+        &self,
+        slot: usize,
+        index: &SxsiIndex,
+        xpath: &str,
+    ) -> Result<Arc<Prepared>, CommandError> {
         let key: PlanKey = (slot, xpath.to_string());
         // lint:allow(panic: poisoning means another worker already panicked)
         if let Some(prepared) = self.plan_cache.lock().expect("plan cache poisoned").get(&key) {
             return Ok(Arc::clone(prepared));
         }
-        // lint:allow(index: callers pass a slot from resolve_index)
-        let prepared = match self.indexes[slot].index.prepare(xpath) {
+        let prepared = match index.prepare(xpath) {
             Ok(prepared) => Arc::new(prepared),
             Err(QueryError::Compile(e)) => {
                 // The CLI's exit-3 taxonomy, as a structured frame.
@@ -846,35 +988,64 @@ impl ServerInner {
             self.indexes.len()
         );
         for named in &self.indexes {
-            let stats = named.index.stats();
-            let _ = writeln!(
-                out,
-                "index id={} nodes={} elements={} texts={} tags={} tree_bytes={} \
-                 text_index_bytes={} plain_text_bytes={} total_bytes={}",
-                named.id,
-                stats.num_nodes,
-                stats.num_elements,
-                stats.num_texts,
-                stats.num_tags,
-                stats.tree_bytes,
-                stats.text_index_bytes,
-                stats.plain_text_bytes,
-                stats.total_bytes()
-            );
-            let backends = named.index.options().succinct;
-            let report = named.index.verify(sxsi::VerifyDepth::Quick);
-            let _ = writeln!(
-                out,
-                "index-backends id={} rank={} rank_tag={} sequence={} sequence_tag={} \
-                 verify={} verify_checks={}",
-                named.id,
-                backends.rank.name(),
-                backends.rank.tag(),
-                backends.sequence.name(),
-                backends.sequence.tag(),
-                if report.is_ok() { "ok".to_string() } else { format!("{}-issues", report.issues.len()) },
-                report.checks_run
-            );
+            match &named.served {
+                ServedIndex::Single(index) => {
+                    let stats = index.stats();
+                    let _ = writeln!(
+                        out,
+                        "index id={} nodes={} elements={} texts={} tags={} tree_bytes={} \
+                         text_index_bytes={} plain_text_bytes={} total_bytes={}",
+                        named.id,
+                        stats.num_nodes,
+                        stats.num_elements,
+                        stats.num_texts,
+                        stats.num_tags,
+                        stats.tree_bytes,
+                        stats.text_index_bytes,
+                        stats.plain_text_bytes,
+                        stats.total_bytes()
+                    );
+                    let backends = index.options().succinct;
+                    let report = index.verify(sxsi::VerifyDepth::Quick);
+                    let _ = writeln!(
+                        out,
+                        "index-backends id={} rank={} rank_tag={} sequence={} sequence_tag={} \
+                         verify={} verify_checks={}",
+                        named.id,
+                        backends.rank.name(),
+                        backends.rank.tag(),
+                        backends.sequence.name(),
+                        backends.sequence.tag(),
+                        if report.is_ok() {
+                            "ok".to_string()
+                        } else {
+                            format!("{}-issues", report.issues.len())
+                        },
+                        report.checks_run
+                    );
+                }
+                ServedIndex::Collection(collection) => {
+                    let manifest = collection.manifest();
+                    let nodes: u64 = manifest.docs.iter().map(|d| d.num_nodes).sum();
+                    let _ = writeln!(
+                        out,
+                        "index id={} kind=collection docs={} nodes={nodes} elements={} \
+                         texts={} fingerprint={:016x}",
+                        named.id,
+                        manifest.num_docs(),
+                        manifest.total_elements,
+                        manifest.total_texts,
+                        collection.fingerprint()
+                    );
+                    for entry in &manifest.docs {
+                        let _ = writeln!(
+                            out,
+                            "collection-doc id={} doc={} name={} segment={} nodes={}",
+                            named.id, entry.id, entry.name, entry.segment, entry.num_nodes
+                        );
+                    }
+                }
+            }
         }
         out
     }

@@ -1,14 +1,17 @@
 //! Deterministic structure-aware fuzzing for the SXSI untrusted-input
 //! surfaces.
 //!
-//! Three inputs reach this codebase from outside a trust boundary:
+//! Four inputs reach this codebase from outside a trust boundary:
 //!
 //! 1. **XML documents** fed to `sxsi build` (the parser plus the tree
 //!    builder behind it),
 //! 2. **`.sxsi` container bytes** fed to `sxsi query`/`info`/`serve`
-//!    (the sectioned reader plus every component `ReadFrom`), and
+//!    (the sectioned reader plus every component `ReadFrom`),
 //! 3. **protocol frames** fed to a running `sxsi serve` daemon (length
-//!    decoding plus command dispatch).
+//!    decoding plus command dispatch), and
+//! 4. **`.sxsic` manifest bytes** fed to `sxsi query --collection` /
+//!    `serve` (the collection manifest decoder plus its invariant
+//!    checks).
 //!
 //! Each driver in this crate hammers one of those surfaces with
 //! structure-aware inputs — grown from grammars and mutated from valid
@@ -28,7 +31,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 
-use sxsi::{ReadFrom, SxsiIndex, VerifyDepth, WriteInto};
+use sxsi::{ReadFrom, SxsiIndex, Verify, VerifyDepth, WriteInto};
+use sxsi_collection::{DocEntry, Manifest};
 use sxsi_engine::server::protocol::{
     read_frame, unescape_query, ErrorCode, Response, MAX_REQUEST_FRAME,
 };
@@ -285,6 +289,80 @@ pub fn container_input(rng: &mut FuzzRng) -> Vec<u8> {
     data
 }
 
+/// A small but representative manifest: three documents with distinct
+/// names, segments, counts and backend tags, so every decoder field and
+/// invariant check sees non-degenerate data.
+fn seed_manifest_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        valid_manifest(3, 0).to_bytes()
+    })
+}
+
+/// A structurally valid manifest with `num_docs` documents; `salt`
+/// varies names, counts and backend tags so grown inputs differ.
+fn valid_manifest(num_docs: u64, salt: u64) -> Manifest {
+    let docs = (0..num_docs)
+        .map(|id| DocEntry {
+            id,
+            name: format!("doc-{salt}-{id}"),
+            segment: format!("col{salt}.d{id}.sxsi"),
+            checksum: 0x1234_5678_9abc_def0 ^ (salt << 8) ^ id,
+            num_nodes: 10 + id + (salt % 7),
+            num_elements: 6 + id,
+            num_texts: 4 + (salt % 3),
+            rank_tag: (salt % 2) as u8,
+            sequence_tag: ((salt >> 1) % 2) as u8,
+        })
+        .collect::<Vec<_>>();
+    Manifest {
+        total_elements: docs.iter().map(|d| d.num_elements).sum(),
+        total_texts: docs.iter().map(|d| d.num_texts).sum(),
+        docs,
+    }
+}
+
+/// One fuzz case for the collection-manifest surface: decode the bytes
+/// and, on acceptance, require the decoded manifest to be verify-clean
+/// and to round-trip byte-identically.  Returns whether the decoder
+/// accepted the input.
+pub fn drive_manifest(data: &[u8]) -> bool {
+    match Manifest::from_bytes(data) {
+        Ok(manifest) => {
+            // `from_bytes` promises an internally consistent value: the
+            // structured verifier must agree, or corrupt manifests would
+            // slip through to the segment loader.
+            let report = manifest.verify(VerifyDepth::Deep);
+            assert!(report.is_ok(), "decoder accepted an inconsistent manifest: {report}");
+            let reencoded = manifest.to_bytes();
+            let reparsed = Manifest::from_bytes(&reencoded)
+                .expect("re-encoded manifest must decode");
+            assert_eq!(reparsed, manifest, "manifest round-trip changed the value");
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Builds one manifest fuzz input: usually a mutation of valid manifest
+/// bytes (pure random bytes would die at the magic check and test
+/// nothing), sometimes a freshly grown valid manifest so the accept
+/// path — deep verify plus byte-exact round-trip — runs too.
+pub fn manifest_input(rng: &mut FuzzRng) -> Vec<u8> {
+    if rng.chance(20) {
+        let docs = rng.below(6) as u64;
+        let salt = rng.next_u64() % 1024;
+        return valid_manifest(docs, salt).to_bytes();
+    }
+    let mut data = if rng.chance(50) {
+        seed_manifest_bytes().to_vec()
+    } else {
+        valid_manifest(1 + rng.below(4) as u64, rng.next_u64() % 1024).to_bytes()
+    };
+    mutate_bytes(rng, &mut data);
+    data
+}
+
 const COMMAND_BITS: &[&str] = &[
     "hello 1",
     "hello 99",
@@ -350,7 +428,7 @@ pub fn drive_frame(data: &[u8]) -> bool {
 /// generated at `iteration` from `seed`.
 #[derive(Debug)]
 pub struct FuzzFailure {
-    /// Driver name (`xml`, `container` or `frame`).
+    /// Driver name (`xml`, `container`, `frame` or `manifest`).
     pub driver: &'static str,
     /// The run's base seed.
     pub seed: u64,
@@ -366,11 +444,12 @@ pub struct FuzzFailure {
 /// test (returns whether the input was accepted).
 pub type DriverRow = (&'static str, fn(&mut FuzzRng) -> Vec<u8>, fn(&[u8]) -> bool);
 
-/// The three drivers, one per untrusted surface.
+/// The four drivers, one per untrusted surface.
 pub const DRIVERS: &[DriverRow] = &[
     ("xml", xml_input, drive_xml),
     ("container", container_input, drive_container),
     ("frame", frame_input, drive_frame),
+    ("manifest", manifest_input, drive_manifest),
 ];
 
 /// Looks up a driver row by name.
@@ -438,6 +517,16 @@ mod tests {
     #[test]
     fn seed_container_roundtrips() {
         assert!(drive_container(seed_container_bytes()));
+    }
+
+    #[test]
+    fn seed_manifest_roundtrips_and_truncations_reject() {
+        let seed = seed_manifest_bytes();
+        assert!(drive_manifest(seed));
+        // Every proper prefix must be rejected with a structured error.
+        for len in 0..seed.len() {
+            assert!(!drive_manifest(&seed[..len]), "prefix of {len} bytes accepted");
+        }
     }
 
     #[test]

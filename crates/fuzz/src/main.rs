@@ -1,7 +1,7 @@
 //! `sxsi-fuzz`: run the deterministic structure-aware fuzz drivers.
 //!
 //! ```text
-//! sxsi-fuzz [xml|container|frame|all]
+//! sxsi-fuzz [xml|container|frame|manifest|all]
 //! ```
 //!
 //! Environment:
@@ -50,7 +50,7 @@ fn main() -> ExitCode {
         0 => "all",
         1 => args[0].as_str(),
         _ => {
-            eprintln!("usage: sxsi-fuzz [xml|container|frame|all]");
+            eprintln!("usage: sxsi-fuzz [xml|container|frame|manifest|all]");
             return ExitCode::from(2);
         }
     };
@@ -68,7 +68,7 @@ fn main() -> ExitCode {
         match driver(which) {
             Some(row) => vec![row],
             None => {
-                eprintln!("sxsi-fuzz: unknown driver '{which}' (xml, container, frame or all)");
+                eprintln!("sxsi-fuzz: unknown driver '{which}' (xml, container, frame, manifest or all)");
                 return ExitCode::from(2);
             }
         }

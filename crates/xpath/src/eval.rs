@@ -79,6 +79,16 @@ pub struct EvalStats {
     pub result_nodes: u64,
 }
 
+impl EvalStats {
+    /// Adds another run's counters onto this one — how a multi-shard
+    /// fan-out aggregates its per-document stats into one report.
+    pub fn accumulate(&mut self, other: &EvalStats) {
+        self.visited_nodes += other.visited_nodes;
+        self.marked_nodes += other.marked_nodes;
+        self.result_nodes += other.result_nodes;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Result representations
 // ---------------------------------------------------------------------

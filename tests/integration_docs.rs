@@ -5,7 +5,11 @@
 //!    fragments match a real heading of the target file;
 //! 2. every XPath example in `docs/xpath-fragment.md` (inline code spans
 //!    starting with `/`) parses with the real parser, so the reference
-//!    cannot drift from the grammar.
+//!    cannot drift from the grammar;
+//! 3. the guide's collection walkthrough and the format doc's manifest
+//!    section keep naming the real commands, output shapes and issue
+//!    codes (the transcripts are held to the binary by
+//!    `tests/integration_collection.rs`).
 
 use std::path::{Path, PathBuf};
 
@@ -171,6 +175,47 @@ fn fragment_reference_examples_parse() {
         parsed += 1;
     }
     assert!(parsed >= 25, "expected >= 25 runnable examples in the fragment reference, got {parsed}");
+}
+
+/// The guide's collection walkthrough (Step 6) stays in place and keeps
+/// naming the real commands and output shapes: the CLI surface
+/// (`build-collection`, `verify --deep`, `--queries-file`), the
+/// doc-qualified node rendering (`store1:9`), the manifest vocabulary
+/// (`.sxsic`, fingerprint, `collection-*` issue codes) and the Rust
+/// entry point (`CollectionExecutor`).  The transcripts themselves are
+/// held to the binary by `tests/integration_collection.rs`; this test
+/// keeps the prose from silently dropping the walkthrough.
+#[test]
+fn guide_step6_collection_walkthrough_is_present() {
+    let path = repo_root().join("docs/guide.md");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let step6 = text
+        .split("## Step 6")
+        .nth(1)
+        .and_then(|rest| rest.split("\n## ").next())
+        .expect("docs/guide.md lost its '## Step 6' collection section");
+    for marker in [
+        "sxsi build-collection",
+        ".sxsic",
+        "stores.d0.sxsi",
+        "fingerprint",
+        "store1:15, store2:9",
+        "--limit 2 --offset 1",
+        "verify --deep",
+        "collection-*",
+        "--queries-file",
+        "empty-batch",
+        "CollectionExecutor",
+        "run_sequential",
+        "tests/integration_collection.rs",
+    ] {
+        assert!(step6.contains(marker), "guide.md Step 6 lost its {marker:?} marker");
+    }
+    // The format doc keeps the manifest section the guide links to.
+    let format = std::fs::read_to_string(repo_root().join("docs/format.md")).unwrap();
+    for marker in ["SXSICOL\\0", "COLLECTION_FORMAT_VERSION", "rank_tag", "collection-*"] {
+        assert!(format.contains(marker), "format.md manifest section lost its {marker:?} marker");
+    }
 }
 
 /// The fragment reference lists exactly the axes the parser accepts.
