@@ -20,7 +20,18 @@
 
 use sxsi_text::{TextCollection, TextPredicate};
 use sxsi_tree::{reserved, NodeId, XmlTree};
-use sxsi_xpath::{Axis, NodeTest, Path, Predicate, Query, Step};
+use sxsi_xpath::{Axis, FtMode, NodeTest, Path, Predicate, Query, Step};
+
+/// Tokenization reimplemented from the specification in `docs/search.md`
+/// (maximal runs of ASCII alphanumerics and bytes `>= 0x80`), deliberately
+/// not shared with `sxsi-search` so the oracle and the engine can disagree.
+fn naive_tokens(bytes: &[u8]) -> Vec<Vec<u8>> {
+    bytes
+        .split(|&b| !(b.is_ascii_alphanumeric() || b >= 0x80))
+        .filter(|run| !run.is_empty())
+        .map(|run| run.to_vec())
+        .collect()
+}
 
 /// Naive recursive evaluator.
 pub struct NaiveEvaluator<'a> {
@@ -268,6 +279,35 @@ impl<'a> NaiveEvaluator<'a> {
             Predicate::TextCompare { path, op } => {
                 self.eval_relative_path(node, path).iter().any(|&n| self.text_matches(n, op))
             }
+            Predicate::FullText { mode, literals } => self.fulltext_matches(node, *mode, literals),
+        }
+    }
+
+    /// From-first-principles `ft:` evaluation: extract every text of the
+    /// subtree (attribute values included), tokenize it, and compare token
+    /// lists — no FM-index, no position lifting, so it stays an independent
+    /// oracle for the text-first engine path.
+    fn fulltext_matches(&self, node: NodeId, mode: FtMode, literals: &[String]) -> bool {
+        let query_tokens: Vec<Vec<u8>> =
+            literals.iter().flat_map(|l| naive_tokens(l.as_bytes())).collect();
+        if query_tokens.is_empty() {
+            // A query with no tokens matches nothing (see docs/search.md).
+            return false;
+        }
+        let text_tokens: Vec<Vec<Vec<u8>>> = self
+            .tree
+            .text_ids(node)
+            .map(|d| naive_tokens(&self.texts.get_text(d)))
+            .collect();
+        let occurs =
+            |tok: &Vec<u8>| text_tokens.iter().any(|toks| toks.iter().any(|t| t == tok));
+        match mode {
+            FtMode::All => query_tokens.iter().all(occurs),
+            FtMode::Any => query_tokens.iter().any(occurs),
+            FtMode::Phrase => text_tokens.iter().any(|toks| {
+                toks.len() >= query_tokens.len()
+                    && toks.windows(query_tokens.len()).any(|w| w == query_tokens.as_slice())
+            }),
         }
     }
 

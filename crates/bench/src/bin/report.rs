@@ -23,7 +23,11 @@
 //! * the PR 9 **collection fan-out** experiment, written separately to
 //!   `BENCH_pr9.json`: the X01–X17 batch run through the
 //!   `CollectionExecutor` over an eight-document XMark collection at
-//!   1/2/4/8 shard workers, in counting and existence mode.
+//!   1/2/4/8 shard workers, in counting and existence mode;
+//! * the PR 10 **keyword-search** experiment, written separately to
+//!   `BENCH_pr10.json`: ranked `ft:all` searches driven through the
+//!   daemon's request handler at 1/2/4 terms, comparing a cold
+//!   (empty-LRU) request against a cached repeat of the same request.
 //!
 //! The report also records the machine's available parallelism — on a
 //! single-core host the thread-scaling curve is necessarily flat, and
@@ -107,10 +111,12 @@ const USAGE: &str = "usage: report [--scale <f64>] [--runs <n>] [--section <name
                      materialization) over all paper query sets, and the \
                      succinct-primitive micro-benchmarks, writing \
                      BENCH_pr7.json (and BENCH_pr9.json for the \
-                     collection fan-out experiment).  --section restricts \
-                     the run to the named sections (concurrency, \
-                     ordered_axis_queries, early_termination, \
-                     micro_succinct, collection_report)";
+                     collection fan-out experiment, BENCH_pr10.json \
+                     for the keyword-search experiment).  --section \
+                     restricts the run to the named sections \
+                     (concurrency, ordered_axis_queries, \
+                     early_termination, micro_succinct, \
+                     collection_report, search_report)";
 
 /// The experiment sections `--section` can select.
 const SECTIONS: &[&str] = &[
@@ -119,6 +125,7 @@ const SECTIONS: &[&str] = &[
     "early_termination",
     "micro_succinct",
     "collection_report",
+    "search_report",
 ];
 
 fn usage_error(message: &str) -> ! {
@@ -452,6 +459,93 @@ fn measure_collection(scale: f64, runs: usize) -> (Vec<Entry>, usize) {
     (entries, DOCS)
 }
 
+/// One keyword-search row: cold vs cached daemon handling of one
+/// `ft:all` request, at one term count.
+struct SearchEntry {
+    terms: usize,
+    hits: u64,
+    cold_median_ns: u128,
+    cold_qps: f64,
+    cached_median_ns: u128,
+    cached_qps: f64,
+}
+
+/// The PR 10 experiment: ranked keyword search driven through the
+/// daemon's request handler (`Server::handle_command`, the same
+/// untrusted-input boundary the socket path uses), at 1/2/4 search
+/// terms.  "Cold" requests run against a freshly constructed server so
+/// every probe misses the search LRU; "cached" requests repeat one
+/// request against a warm server so every probe after the first hits.
+/// Returns the per-term-count rows plus the warm server's final
+/// search-cache hit rate.
+fn measure_search(scale: f64, runs: usize) -> (Vec<SearchEntry>, f64) {
+    use std::sync::Arc;
+    use sxsi_engine::server::{ServeOptions, Server};
+
+    println!("building xmark index for keyword search (scale {scale}) ...");
+    let xml = xmark::generate(&XMarkConfig { scale, seed: 42 });
+    let index = Arc::new(SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds"));
+    let make_server = || {
+        Server::new(vec![("xmark".to_string(), Arc::clone(&index))], ServeOptions::default())
+            .expect("in-process server constructs")
+    };
+    // All four terms come from the generators' COMMON_WORDS pool, so
+    // even the conjunctive four-term request finds co-occurrences.
+    let term_sets: &[&[&str]] = &[&["the"], &["the", "of"], &["the", "of", "and", "a"]];
+
+    let warm = make_server();
+    let mut entries = Vec::new();
+    for terms in term_sets {
+        let mut payload = String::from("search index=xmark mode=all limit=10");
+        for term in *terms {
+            payload.push('\n');
+            payload.push_str(term);
+        }
+        // Cold: a fresh server per probe, so the search LRU never has
+        // the answer.  Construction is two Arc clones and two empty
+        // LRUs — noise next to a multi-term FM-index search.
+        let cold_ms = median_ms(runs, || {
+            let fresh = make_server();
+            std::hint::black_box(fresh.handle_command(payload.as_bytes()));
+        });
+        // Cached: prime the warm server once, then every probe hits.
+        let (first, _) = warm.handle_command(payload.as_bytes());
+        let text = String::from_utf8_lossy(&first);
+        assert!(text.starts_with("ok "), "search request succeeds: {text}");
+        let hits: u64 = text
+            .split(" hits")
+            .next()
+            .and_then(|head| head.rsplit(' ').next())
+            .and_then(|n| n.parse().ok())
+            .expect("search body reports a hit count");
+        let cached_ms = median_ms(runs, || {
+            std::hint::black_box(warm.handle_command(payload.as_bytes()));
+        });
+        println!(
+            "  search_all_{}term hits={hits} cold={cold_ms:.3} ms cached={cached_ms:.3} ms",
+            terms.len()
+        );
+        entries.push(SearchEntry {
+            terms: terms.len(),
+            hits,
+            cold_median_ns: (cold_ms * 1e6) as u128,
+            cold_qps: 1e3 / cold_ms,
+            cached_median_ns: (cached_ms * 1e6) as u128,
+            cached_qps: 1e3 / cached_ms,
+        });
+    }
+    // The warm server saw one miss plus `runs` hits per term set — its
+    // hit rate is the "caching actually engaged" proof CI asserts on.
+    let stats = warm.render_stats();
+    let hit_rate: f64 = stats
+        .lines()
+        .find_map(|line| line.strip_prefix("search_cache_hit_rate="))
+        .and_then(|v| v.parse().ok())
+        .expect("stats report a search cache hit rate");
+    println!("  search_cache_hit_rate={hit_rate:.3}");
+    (entries, hit_rate)
+}
+
 fn build(corpus: &str, xml: &str) -> SxsiIndex {
     println!("building {corpus} index ({} bytes of XML) ...", xml.len());
     SxsiIndex::build_from_xml(xml.as_bytes()).expect("index builds")
@@ -571,6 +665,42 @@ fn main() {
         json.push_str("  ]\n}\n");
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
         std::fs::write(path, &json).expect("BENCH_pr9.json is writable");
+        println!("wrote {path}");
+    }
+    if enabled("search_report") {
+        println!("keyword search: cold vs cached daemon requests at 1/2/4 terms ...");
+        let (search_entries, hit_rate) = measure_search(scale, runs);
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"pr\": 10,\n");
+        json.push_str(
+            "  \"bench\": \"ranked keyword search: conjunctive ft:all requests through the \
+             daemon request handler, cold (empty LRU) vs cached, at 1/2/4 terms\",\n",
+        );
+        json.push_str(&format!("  \"corpus\": \"xmark scale {scale} seed 42\",\n"));
+        json.push_str(&format!("  \"runs_per_entry\": {runs},\n"));
+        json.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
+        json.push_str(&format!("  \"search_cache_hit_rate\": {hit_rate:.4},\n"));
+        json.push_str(
+            "  \"note\": \"cold probes rebuild the server (two Arc clones, empty LRUs) so \
+             every request misses the search cache; cached probes repeat one request \
+             against a warm server, so the delta is the render-and-rank cost the LRU \
+             saves\",\n",
+        );
+        json.push_str("  \"search_report\": [\n");
+        for (i, e) in search_entries.iter().enumerate() {
+            let comma = if i + 1 == search_entries.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{ \"name\": \"xmark_search_all_{}term\", \"terms\": {}, \"hits\": {}, \
+                 \"cold_median_ns\": {}, \"cold_qps\": {:.2}, \
+                 \"cached_median_ns\": {}, \"cached_qps\": {:.2} }}{comma}\n",
+                e.terms, e.terms, e.hits, e.cold_median_ns, e.cold_qps, e.cached_median_ns,
+                e.cached_qps
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json");
+        std::fs::write(path, &json).expect("BENCH_pr10.json is writable");
         println!("wrote {path}");
     }
     let write_pr7 = enabled("concurrency")

@@ -53,7 +53,7 @@ use sxsi_xml::{parse_document_with_options, DocumentOptions, ParseError, ParsedD
 use sxsi_xpath::eval::EvalOptions;
 use sxsi_xpath::{
     compile, parse_query, requires_direct, rewrite_to_forward, Automaton, BottomUpPlan,
-    CompileError, Query, XPathParseError,
+    CompileError, Predicate, Query, XPathParseError,
 };
 
 pub use io::{
@@ -62,6 +62,7 @@ pub use io::{
 };
 pub use sxsi_verify::{Verify, VerifyDepth, VerifyIssue, VerifyReport};
 pub use query::{NodeCursor, Prepared, QueryMode, QueryOptions, ResultSet};
+pub use sxsi_search::{FtMode, FtQuery, PreparedFt, SearchHit};
 pub use serialize::{serialize_subtree, string_value, subtree_to_string};
 pub use sxsi_succinct::{RankBackend, SequenceBackend, SuccinctOptions};
 pub use sxsi_text::{TextId, TextPredicate};
@@ -156,6 +157,11 @@ pub enum Strategy {
     /// chosen for reverse/ordered axes and positional predicates that the
     /// forward rewrites could not eliminate.
     Direct,
+    /// Keyword (`ft:`) queries: per-term hit lists are resolved from the
+    /// FM-index at compile time, the residual query runs on whatever
+    /// strategy fits it, and the text hits filter its results (beyond the
+    /// paper — see `sxsi-search` and `docs/search.md`).
+    TextFirst,
 }
 
 impl Strategy {
@@ -165,6 +171,7 @@ impl Strategy {
             Strategy::TopDown => "top-down",
             Strategy::BottomUp => "bottom-up",
             Strategy::Direct => "direct",
+            Strategy::TextFirst => "text-first",
         }
     }
 }
@@ -185,6 +192,16 @@ pub enum CompiledPlan {
     BottomUp(BottomUpPlan),
     /// Ordered direct-navigation evaluation of the (rewritten) query.
     Direct(Query),
+    /// Keyword (`ft:`) query: the residual structural query plus the
+    /// prepared per-term hit lists that filter its results by subtree
+    /// containment.  The hit lists were resolved from the FM-index when the
+    /// plan was compiled, so repeated runs pay no text-search cost.
+    TextFirst {
+        /// The query with the `ft:` conjuncts removed, compiled normally.
+        residual: Box<CompiledPlan>,
+        /// One prepared filter per extracted `ft:` predicate.
+        predicates: Vec<PreparedFt>,
+    },
 }
 
 impl CompiledPlan {
@@ -194,6 +211,7 @@ impl CompiledPlan {
             CompiledPlan::TopDown(_) => Strategy::TopDown,
             CompiledPlan::BottomUp(_) => Strategy::BottomUp,
             CompiledPlan::Direct(_) => Strategy::Direct,
+            CompiledPlan::TextFirst { .. } => Strategy::TextFirst,
         }
     }
 }
@@ -331,7 +349,23 @@ impl SxsiIndex {
     /// Compile once, execute many times (possibly from many threads): see
     /// [`SxsiIndex::prepare`], [`Prepared::run`] and the `sxsi-engine`
     /// crate.
+    ///
+    /// Queries carrying `ft:` keyword predicates (legal only as top-level
+    /// conjuncts of the last step's filters) compile to a
+    /// [`CompiledPlan::TextFirst`] plan: the FM-index is searched *here*,
+    /// once, and every run of the plan reuses the prepared hit lists.
     pub fn compile(&self, query: &Query) -> Result<CompiledPlan, QueryError> {
+        if query_has_fulltext(query) {
+            let (residual, ft_queries) = extract_fulltext(query)?;
+            let predicates =
+                ft_queries.iter().map(|q| PreparedFt::prepare(&self.texts, q)).collect();
+            let residual = Box::new(self.compile_residual(&residual)?);
+            return Ok(CompiledPlan::TextFirst { residual, predicates });
+        }
+        self.compile_residual(query)
+    }
+
+    fn compile_residual(&self, query: &Query) -> Result<CompiledPlan, QueryError> {
         let rewritten;
         let query = if requires_direct(query) {
             rewritten = rewrite_to_forward(query);
@@ -348,6 +382,15 @@ impl SxsiIndex {
             }
         }
         Ok(CompiledPlan::TopDown(compile(query, &self.tree)?))
+    }
+
+    /// Ranked keyword search over the whole document: resolves `query`
+    /// against the FM-index and returns matching elements ordered by
+    /// descending score (see `docs/search.md` for tokenization and the
+    /// ranking formula).  For keyword search *inside* an XPath step, use
+    /// the `ft:` predicate functions instead.
+    pub fn search(&self, query: &FtQuery) -> Vec<SearchHit> {
+        PreparedFt::prepare(&self.texts, query).search(&self.tree)
     }
 
     /// Number of nodes selected by `query` — a thin wrapper over
@@ -519,6 +562,83 @@ impl Verify for SxsiIndex {
             },
         );
     }
+}
+
+/// Whether `pred` holds an `ft:` predicate anywhere — including positions
+/// (under `not`/`or`, inside nested paths) where text-first filtering would
+/// be unsound and compilation must fail instead.
+fn contains_fulltext(pred: &Predicate) -> bool {
+    match pred {
+        Predicate::FullText { .. } => true,
+        Predicate::Not(inner) => contains_fulltext(inner),
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            contains_fulltext(a) || contains_fulltext(b)
+        }
+        Predicate::Exists(path) | Predicate::TextCompare { path, .. } => {
+            path.steps.iter().any(|s| s.predicates.iter().any(contains_fulltext))
+        }
+        Predicate::Position(_) => false,
+    }
+}
+
+fn query_has_fulltext(query: &Query) -> bool {
+    query.path.steps.iter().any(|s| s.predicates.iter().any(contains_fulltext))
+}
+
+/// Splits a predicate into its top-level `and`-conjunct list.
+fn flatten_conjuncts(pred: Predicate, out: &mut Vec<Predicate>) {
+    match pred {
+        Predicate::And(a, b) => {
+            flatten_conjuncts(*a, out);
+            flatten_conjuncts(*b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Removes the `ft:` predicates from `query`, returning the residual
+/// structural query and the extracted keyword queries.
+///
+/// `ft:` predicates are only sound where the result set of the *final* step
+/// is filtered by plain conjunction — anywhere else (an earlier step, under
+/// `not(...)`/`or`, inside a nested path) the text-first filter would change
+/// the query's meaning, so extraction fails with a [`CompileError`].
+fn extract_fulltext(query: &Query) -> Result<(Query, Vec<FtQuery>), CompileError> {
+    const MISPLACED: &str =
+        "ft: predicates are only supported as top-level conjuncts of the last step's filters";
+    let mut residual = query.clone();
+    let num_steps = residual.path.steps.len();
+    let mut extracted = Vec::new();
+    for (i, step) in residual.path.steps.iter_mut().enumerate() {
+        if i + 1 < num_steps {
+            if step.predicates.iter().any(contains_fulltext) {
+                return Err(CompileError { message: MISPLACED.into() });
+            }
+            continue;
+        }
+        let mut kept = Vec::new();
+        for pred in std::mem::take(&mut step.predicates) {
+            let mut conjuncts = Vec::new();
+            flatten_conjuncts(pred, &mut conjuncts);
+            for conjunct in conjuncts {
+                match conjunct {
+                    Predicate::FullText { mode, literals } => {
+                        extracted.push(FtQuery::new(mode, &literals));
+                    }
+                    other => {
+                        if contains_fulltext(&other) {
+                            return Err(CompileError { message: MISPLACED.into() });
+                        }
+                        kept.push(other);
+                    }
+                }
+            }
+        }
+        // Separate filters conjoin, so the surviving conjuncts re-attach as
+        // one predicate each without regrouping.
+        step.predicates = kept;
+    }
+    Ok((residual, extracted))
 }
 
 #[cfg(test)]
@@ -717,5 +837,120 @@ mod tests {
         let first_title = idx.materialize("//title").unwrap()[0];
         assert_eq!(idx.get_subtree(first_title), "<title>Compressed Indexes</title>");
         assert_eq!(idx.node_value(first_title), "Compressed Indexes");
+    }
+
+    #[test]
+    fn fulltext_predicates_plan_text_first_and_filter() {
+        let idx = index();
+        // Token matching is case-sensitive: "indexes" only hits the lower
+        // case abstract of b1, not the "Compressed Indexes" title.
+        let q = idx.parse(r#"//book[ ft:all("indexes") ]"#).unwrap();
+        assert_eq!(idx.plan(&q), Strategy::TextFirst);
+        let result = idx.run(r#"//book[ ft:all("indexes") ]"#, &QueryOptions::count()).unwrap();
+        assert_eq!(result.strategy(), Strategy::TextFirst);
+        assert_eq!(result.count(), 1);
+        assert_eq!(
+            idx.serialize(r#"//book[ ft:all("indexes") ]/@id"#).unwrap_err().to_string(),
+            QueryError::Compile(CompileError {
+                message: "ft: predicates are only supported as top-level conjuncts of the last \
+                          step's filters"
+                    .into()
+            })
+            .to_string()
+        );
+        assert_eq!(idx.count(r#"//book[ ft:any("automata", "Navarro") ]"#).unwrap(), 2);
+        assert_eq!(idx.count(r#"//book[ ft:phrase("automata for xpath") ]"#).unwrap(), 1);
+        assert_eq!(idx.count(r#"//book[ ft:all("automata", "Navarro") ]"#).unwrap(), 0);
+        // ft: conjoins with structural and text predicates on the same step.
+        assert_eq!(
+            idx.count(r#"//book[ ft:all("automata") and author/last ]"#).unwrap(),
+            1
+        );
+        assert!(idx
+            .serialize(r#"//book[ ft:phrase("self indexes") ]/author/last/text()"#)
+            .map(|_| ())
+            .unwrap_err()
+            .to_string()
+            .contains("last step"));
+        // A term absent from the whole collection short-circuits to empty.
+        let stmt = idx.prepare(r#"//book[ ft:all("zzzmissing") ]"#).unwrap();
+        assert_eq!(stmt.strategy(), Strategy::TextFirst);
+        assert!(!stmt.run(&idx, &QueryOptions::exists()).exists());
+        assert_eq!(stmt.run(&idx, &QueryOptions::count()).count(), 0);
+    }
+
+    #[test]
+    fn fulltext_misplaced_predicates_fail_to_compile() {
+        let idx = index();
+        for query in [
+            // Not the last step.
+            r#"//book[ ft:all("indexes") ]/title"#,
+            // Under negation / disjunction the text-first filter is unsound.
+            r#"//book[ not( ft:all("indexes") ) ]"#,
+            r#"//book[ ft:all("indexes") or author/last ]"#,
+            // Inside a nested path.
+            r#"//book[ author[ ft:all("Navarro") ] ]"#,
+        ] {
+            let parsed = idx.parse(query).unwrap();
+            assert!(
+                matches!(idx.compile(&parsed), Err(QueryError::Compile(_))),
+                "{query} should be rejected"
+            );
+            assert_eq!(idx.plan(&parsed), Strategy::TopDown, "{query}");
+        }
+        // But and-chains of ft: conjuncts are fine, wherever the parens sit.
+        let ok = idx
+            .parse(r#"//book[ ft:all("indexes") and ft:any("Navarro") and author/last ]"#)
+            .unwrap();
+        assert_eq!(idx.plan(&ok), Strategy::TextFirst);
+        assert_eq!(
+            idx.count(r#"//book[ ft:all("indexes") and ft:any("Navarro") and author/last ]"#)
+                .unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn fulltext_windows_agree_with_full_runs() {
+        let idx = index();
+        let query = r#"//*[ ft:any("indexes", "automata", "Practice") ]"#;
+        let stmt = idx.prepare(query).unwrap();
+        let full = stmt
+            .run(&idx, &QueryOptions::nodes())
+            .into_nodes()
+            .expect("a Nodes-mode run returns nodes");
+        assert!(full.len() >= 3, "expected several matching elements, got {}", full.len());
+        for offset in 0..=full.len() as u64 {
+            for limit in 0..=full.len() as u64 {
+                let result =
+                    stmt.run(&idx, &QueryOptions::nodes().with_limit(limit).with_offset(offset));
+                let lo = (offset as usize).min(full.len());
+                let hi = ((offset + limit) as usize).min(full.len());
+                assert_eq!(result.nodes().unwrap(), &full[lo..hi], "limit {limit} offset {offset}");
+                assert_eq!(result.truncated(), hi < full.len(), "limit {limit} offset {offset}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_search_orders_by_score() {
+        let idx = index();
+        let hits = idx.search(&FtQuery::new(FtMode::All, &["indexes"]));
+        assert!(!hits.is_empty());
+        for pair in hits.windows(2) {
+            assert!(
+                pair[0].score > pair[1].score
+                    || (pair[0].score == pair[1].score && pair[0].node < pair[1].node),
+                "hits must sort by (score desc, node asc): {pair:?}"
+            );
+        }
+        // Every hit's subtree really contains the token.
+        let prepared = PreparedFt::prepare(idx.texts(), &FtQuery::new(FtMode::All, &["indexes"]));
+        for hit in &hits {
+            assert!(prepared.matches(&idx.tree().text_ids(hit.node)), "{hit:?}");
+            assert!(hit.score > 0.0);
+        }
+        // Unknown terms produce no hits.
+        assert!(idx.search(&FtQuery::new(FtMode::All, &["zzzmissing"])).is_empty());
     }
 }

@@ -36,7 +36,7 @@ use sxsi_tree::NodeId;
 use sxsi_xpath::eval::{EvalStats, Evaluator};
 use sxsi_xpath::{DirectEvaluator, DirectRunOptions};
 
-use crate::{CompiledPlan, QueryError, Strategy, SxsiIndex};
+use crate::{CompiledPlan, PreparedFt, QueryError, Strategy, SxsiIndex};
 
 /// What a query run should produce.
 ///
@@ -205,41 +205,75 @@ impl Prepared {
     /// than the one the statement was prepared on is a logic error (it
     /// cannot crash, but the answers would be meaningless).
     pub fn run(&self, index: &SxsiIndex, options: &QueryOptions) -> ResultSet {
-        let needed = options.needed_probe();
-        match &self.plan {
-            CompiledPlan::TopDown(automaton) => {
-                let mut evaluator = Evaluator::new(
-                    automaton,
-                    index.tree(),
-                    Some(index.texts()),
-                    index.options().eval,
-                );
-                let (payload, truncated) = match options.mode {
-                    QueryMode::Exists => (Payload::Exists(evaluator.exists()), false),
-                    QueryMode::Count => clamp_count(evaluator.count(), options),
-                    QueryMode::Nodes => window_nodes(evaluator.materialize(), options),
-                };
-                ResultSet::new(Strategy::TopDown, payload, truncated, options, evaluator.stats())
+        run_plan(&self.plan, index, options)
+    }
+}
+
+/// Executes one compiled plan.  Free-standing (rather than a method) so the
+/// [`CompiledPlan::TextFirst`] arm can recurse into its residual plan.
+fn run_plan(plan: &CompiledPlan, index: &SxsiIndex, options: &QueryOptions) -> ResultSet {
+    let needed = options.needed_probe();
+    match plan {
+        CompiledPlan::TopDown(automaton) => {
+            let mut evaluator = Evaluator::new(
+                automaton,
+                index.tree(),
+                Some(index.texts()),
+                index.options().eval,
+            );
+            let (payload, truncated) = match options.mode {
+                QueryMode::Exists => (Payload::Exists(evaluator.exists()), false),
+                QueryMode::Count => clamp_count(evaluator.count(), options),
+                QueryMode::Nodes => window_nodes(evaluator.materialize(), options),
+            };
+            ResultSet::new(Strategy::TopDown, payload, truncated, options, evaluator.stats())
+        }
+        CompiledPlan::BottomUp(plan) => {
+            let (tree, texts) = (index.tree(), index.texts());
+            let outcome = match options.mode {
+                QueryMode::Exists => plan.run_limited(tree, texts, Some(1)),
+                QueryMode::Count => plan.run_limited(tree, texts, None),
+                QueryMode::Nodes => plan.run_limited(tree, texts, needed),
+            };
+            finish_limited(Strategy::BottomUp, outcome.nodes, outcome.visited, options)
+        }
+        CompiledPlan::Direct(query) => {
+            let evaluator = DirectEvaluator::new(index.tree(), Some(index.texts()));
+            let run_options = match options.mode {
+                QueryMode::Exists => DirectRunOptions { exists_only: true, max_nodes: None },
+                QueryMode::Count => DirectRunOptions::default(),
+                QueryMode::Nodes => DirectRunOptions { max_nodes: needed, exists_only: false },
+            };
+            let outcome = evaluator.run(query, &run_options);
+            finish_limited(Strategy::Direct, outcome.nodes, outcome.visited, options)
+        }
+        CompiledPlan::TextFirst { residual, predicates } => {
+            // A term absent from the whole collection empties the answer
+            // before any structural work happens — the common case for
+            // selective keyword queries.
+            if !predicates.iter().all(PreparedFt::any_possible) {
+                return finish_limited(Strategy::TextFirst, Vec::new(), 0, options);
             }
-            CompiledPlan::BottomUp(plan) => {
-                let (tree, texts) = (index.tree(), index.texts());
-                let outcome = match options.mode {
-                    QueryMode::Exists => plan.run_limited(tree, texts, Some(1)),
-                    QueryMode::Count => plan.run_limited(tree, texts, None),
-                    QueryMode::Nodes => plan.run_limited(tree, texts, needed),
-                };
-                finish_limited(Strategy::BottomUp, outcome.nodes, outcome.visited, options)
-            }
-            CompiledPlan::Direct(query) => {
-                let evaluator = DirectEvaluator::new(index.tree(), Some(index.texts()));
-                let run_options = match options.mode {
-                    QueryMode::Exists => DirectRunOptions { exists_only: true, max_nodes: None },
-                    QueryMode::Count => DirectRunOptions::default(),
-                    QueryMode::Nodes => DirectRunOptions { max_nodes: needed, exists_only: false },
-                };
-                let outcome = evaluator.run(query, &run_options);
-                finish_limited(Strategy::Direct, outcome.nodes, outcome.visited, options)
-            }
+            // The residual runs unwindowed: the `ft:` filters drop nodes
+            // *after* it, so any inner truncation would be unsound.
+            let inner = QueryOptions {
+                mode: QueryMode::Nodes,
+                limit: None,
+                offset: 0,
+                collect_stats: options.collect_stats,
+            };
+            let result = run_plan(residual, index, &inner);
+            let visited = result.stats().map_or(0, |s| s.visited_nodes);
+            let tree = index.tree();
+            let nodes = result
+                .into_nodes()
+                .expect("a Nodes-mode run returns nodes")
+                .into_iter()
+                .filter(|&n| predicates.iter().all(|p| p.matches(&tree.text_ids(n))))
+                .collect();
+            // The filtered list is complete, so the window (and the
+            // truncation flag) computed from it are exact.
+            finish_limited(Strategy::TextFirst, nodes, visited, options)
         }
     }
 }

@@ -10,6 +10,8 @@
 //!              [--limit N] [--offset N] [--threads N]
 //! sxsi exists  <index.sxsi|collection.sxsic> <xpath> [<xpath> ...]
 //!              [--collection] [--threads N]
+//! sxsi search  <index.sxsi|collection.sxsic> <term> [<term> ...]
+//!              [--mode all|any|phrase] [--limit N] [--threads N]
 //! sxsi info    <index.sxsi|collection.sxsic>
 //! sxsi verify  <index.sxsi|collection.sxsic> [--deep]
 //! sxsi serve   <[id=]index.sxsi|.sxsic> ... (--socket PATH | --tcp ADDR) [options]
@@ -24,6 +26,11 @@
 //! document-order result window with early termination); `exists` answers
 //! existence only, stopping at the first match; `info` prints the stats a
 //! capacity planner needs (node/text/tag counts and per-component sizes).
+//!
+//! `search` runs ranked keyword (`ft:`) search straight off the FM-index:
+//! hits print best-first as `{doc}:{preorder} score=…` lines, and on a
+//! collection the per-document shards fan out across the batch pool and
+//! merge into one globally ranked list (see `docs/search.md`).
 //!
 //! `serve` keeps the loaded indexes warm in a daemon answering queries
 //! over a framed socket protocol (`docs/protocol.md`) with plan and
@@ -49,10 +56,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sxsi::{QueryError, QueryOptions, SxsiIndex, SxsiOptions, Verify, VerifyDepth};
+use sxsi::{FtMode, FtQuery, QueryError, QueryOptions, SxsiIndex, SxsiOptions, Verify, VerifyDepth};
 use sxsi_collection::{is_collection_path, verify_collection_file, Collection};
 use sxsi_engine::collection::{
     render_collection_result, CollectionExecutor, CollectionQueryError,
+};
+use sxsi_engine::search::{
+    query_display, render_search_outcome, search_collection, search_index,
 };
 use sxsi_engine::server::client::{exit_code_for, Client};
 use sxsi_engine::server::protocol::Response;
@@ -72,6 +82,9 @@ usage:
                [--limit N] [--offset N] [--threads N]
   sxsi exists  <index.sxsi|collection.sxsic> <xpath> [<xpath> ...]
                [--collection] [--threads N]
+  sxsi search  <index.sxsi|collection.sxsic> <term> [<term> ...]
+               [--mode all|any|phrase] [--limit N] [--threads N]
+               [--collection]
   sxsi info    <index.sxsi|collection.sxsic>
   sxsi verify  <index.sxsi|collection.sxsic> [--deep]
   sxsi serve   <[id=]index.sxsi|.sxsic> [<[id=]index> ...]
@@ -81,6 +94,8 @@ usage:
                ops: query [--index ID] [--materialize|--serialize]
                           [--limit N] [--offset N] <xpath> [<xpath> ...]
                     exists [--index ID] <xpath> [<xpath> ...]
+                    search [--index ID] [--mode all|any|phrase] [--limit N]
+                           <term> [<term> ...]
                     stats | info | ping | shutdown
   sxsi queries [--set paper|ordered] [--print0]
 
@@ -94,6 +109,10 @@ subcommands:
            across its documents and come back merged in document order,
            DocId-qualified) and run XPath queries (counts by default)
   exists   report true/false per query, stopping at the first match
+  search   ranked keyword search (the ft: predicates, standalone): terms
+           are tokenized and matched whole against element subtrees via
+           the FM-index; hits print best-first as {doc}:{preorder} with a
+           tf-idf style score (collections merge per-document shards)
   info     print size and cardinality statistics of a .sxsi file, or the
            manifest summary of a .sxsic collection
   verify   audit a .sxsi file: per-section checksums, then the structural
@@ -130,6 +149,15 @@ query options:
   --queries-file F   append queries from F: one per line, either
                      'id<TAB>xpath' or a bare xpath; blank lines and
                      lines starting with # are skipped
+
+search options:
+  --mode M           all (default: every term somewhere in the subtree),
+                     any (at least one term), or phrase (terms consecutive
+                     inside one text node)
+  --limit N          print at most the N best-scoring hits
+  --threads N        per-document shard workers on collections (default 1)
+  --collection       treat the path as a .sxsic collection manifest
+                     (implied when the path ends in .sxsic)
 
 serve options:
   --socket PATH      listen on a Unix-domain socket (removed on shutdown)
@@ -193,6 +221,7 @@ fn main() -> ExitCode {
         Some("build-collection") => cmd_build_collection(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("exists") => cmd_exists(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -444,7 +473,9 @@ fn read_queries_file(file: &str) -> Result<Vec<(String, String)>, ExitCode> {
     })?;
     Ok(text
         .lines()
-        .map(str::trim_end)
+        // trim (not trim_end): an indented `# comment` or a line of only
+        // spaces must be skipped, not submitted as a query.
+        .map(str::trim)
         .filter(|line| !line.is_empty() && !line.starts_with('#'))
         .map(|line| match line.split_once('\t') {
             Some((id, xpath)) => (id.to_string(), xpath.to_string()),
@@ -669,6 +700,96 @@ fn cmd_exists(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(4)
+    }
+}
+
+/// `sxsi search`: ranked keyword search over a `.sxsi` index or `.sxsic`
+/// collection.  Hits print best-first as `{doc}:{preorder} score=…` on
+/// one line, byte-identical to the daemon's `search` bodies for the same
+/// index (single-index hit labels are the file stem, which is also the
+/// id `sxsi serve` derives for a bare path).
+fn cmd_search(args: &[String]) -> ExitCode {
+    let mut mode = FtMode::All;
+    let mut limit: Option<usize> = None;
+    let mut threads = 1usize;
+    let mut collection = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--collection" => collection = true,
+            "--mode" => match it.next().and_then(|v| FtMode::parse(v)) {
+                Some(m) => mode = m,
+                None => return usage_error("--mode expects all, any or phrase"),
+            },
+            "--limit" => match parse_number(&mut it, "--limit") {
+                Ok(n) => limit = Some(n),
+                Err(e) => return usage_error(&e),
+            },
+            "--threads" => match parse_number(&mut it, "--threads") {
+                Ok(n) if n > 0 => threads = n,
+                Ok(_) | Err(_) => return usage_error("--threads expects a positive integer"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}'"))
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let Some((path, terms)) = positional.split_first() else {
+        return usage_error("search expects <index.sxsi> and at least one term");
+    };
+    if terms.is_empty() {
+        return usage_error("search expects at least one term");
+    }
+    let query = FtQuery::new(mode, terms);
+    if query.tokens.is_empty() {
+        return fail("search terms hold no indexable tokens");
+    }
+    let id = query_display(&query);
+
+    let start = Instant::now();
+    let outcome = if collection || is_collection_path(path.as_str()) {
+        let col = match Collection::open(path) {
+            Ok(col) => col,
+            Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+        };
+        eprintln!("loaded {path} ({} docs) in {:.2?}", col.num_docs(), start.elapsed());
+        let start = Instant::now();
+        let outcome =
+            match search_collection(&BatchExecutor::new(threads), &col, &query, limit) {
+                Ok(outcome) => outcome,
+                Err(e) => return fail(e),
+            };
+        eprintln!(
+            "searched {} docs in {:.2?} on {threads} thread(s)",
+            col.num_docs(),
+            start.elapsed()
+        );
+        outcome
+    } else {
+        let index = match SxsiIndex::load_from_file(path) {
+            Ok(index) => index,
+            Err(e) => return fail(format_args!("cannot load {path}: {e}")),
+        };
+        eprintln!("loaded {path} in {:.2?}", start.elapsed());
+        let doc = std::path::Path::new(path.as_str())
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let start = Instant::now();
+        let outcome = search_index(&index, &doc, &query, limit);
+        eprintln!("searched in {:.2?}", start.elapsed());
+        outcome
+    };
+
+    let mut rendered = String::new();
+    render_search_outcome(&id, &outcome, &mut rendered);
+    let stdout = io::stdout();
+    let mut out = io::BufWriter::new(stdout.lock());
+    match check_stdout_write(out.write_all(rendered.as_bytes()).and_then(|()| out.flush())) {
+        WriteOutcome::Failed(code) => code,
+        _ => ExitCode::SUCCESS,
     }
 }
 
@@ -1022,7 +1143,11 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 return usage_error(&format!("unknown option '{flag}' before the client op"))
             }
             Some(op) => break op,
-            None => return usage_error("client expects an op (query/exists/stats/info/ping/shutdown)"),
+            None => {
+                return usage_error(
+                    "client expects an op (query/exists/search/stats/info/ping/shutdown)",
+                )
+            }
         }
     };
     let rest: Vec<&String> = it.collect();
@@ -1033,6 +1158,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
     match op {
         "query" => client_query(&mut client, &rest, false),
         "exists" => client_query(&mut client, &rest, true),
+        "search" => client_search(&mut client, &rest),
         "stats" => client_body(client.stats()),
         "info" => client_body(client.info()),
         "ping" => match client.ping() {
@@ -1127,6 +1253,58 @@ fn client_query(client: &mut Client, args: &[&String], exists: bool) -> ExitCode
             if exists && detail.split_whitespace().any(|t| t == "all_found=false") {
                 return ExitCode::from(4);
             }
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Err { code, message }) => {
+            eprintln!("sxsi: error={code} {message}");
+            ExitCode::from(exit_code_for(code) as u8)
+        }
+        Err(e) => fail(e),
+    }
+}
+
+/// The `search` client op.  The printed body is exactly what the
+/// in-process `sxsi search` subcommand would print for the same served
+/// index (the shared renderer guarantees it, score precision included).
+fn client_search(client: &mut Client, args: &[&String]) -> ExitCode {
+    let mut index_id: Option<&String> = None;
+    let mut mode = "all";
+    let mut limit: Option<u64> = None;
+    let mut terms: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--index" => match it.next() {
+                Some(id) => index_id = Some(id),
+                None => return usage_error("--index expects an index id"),
+            },
+            "--mode" => match it.next().map(|m| m.as_str()) {
+                Some(m @ ("all" | "any" | "phrase")) => mode = m,
+                _ => return usage_error("--mode expects all, any or phrase"),
+            },
+            "--limit" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => limit = Some(n),
+                None => return usage_error("--limit expects a non-negative integer"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown option '{flag}'"))
+            }
+            _ => terms.push(arg.as_str()),
+        }
+    }
+    if terms.is_empty() {
+        return usage_error("expected at least one search term");
+    }
+    match client.search(index_id.map(String::as_str), mode, limit, &terms) {
+        Ok(Response::Ok { detail, body }) => {
+            let stdout = io::stdout();
+            let mut out = io::BufWriter::new(stdout.lock());
+            if let WriteOutcome::Failed(code) =
+                check_stdout_write(out.write_all(body.as_bytes()).and_then(|()| out.flush()))
+            {
+                return code;
+            }
+            eprintln!("server: {detail}");
             ExitCode::SUCCESS
         }
         Ok(Response::Err { code, message }) => {

@@ -51,6 +51,7 @@
 #![deny(missing_docs)]
 
 pub mod collection;
+pub mod search;
 pub mod server;
 
 use std::collections::HashMap;

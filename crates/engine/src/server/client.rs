@@ -176,6 +176,35 @@ impl Client {
         self.request(payload.as_bytes())
     }
 
+    /// Runs a ranked keyword search, returning the server's response.
+    /// On success the body is byte-identical to what `sxsi search`
+    /// would print for the same index and options.
+    pub fn search(
+        &mut self,
+        index: Option<&str>,
+        mode: &str,
+        limit: Option<u64>,
+        terms: &[&str],
+    ) -> Result<Response, ClientError> {
+        let mut payload = String::from("search");
+        if let Some(index) = index {
+            payload.push_str(" index=");
+            payload.push_str(index);
+        }
+        payload.push_str(" mode=");
+        payload.push_str(mode);
+        payload.push_str(" limit=");
+        match limit {
+            Some(n) => payload.push_str(&n.to_string()),
+            None => payload.push_str("none"),
+        }
+        for term in terms {
+            payload.push('\n');
+            payload.push_str(&escape_query(term));
+        }
+        self.request(payload.as_bytes())
+    }
+
     /// Fetches the `stats` body (counters, histograms, cache state).
     pub fn stats(&mut self) -> Result<String, ClientError> {
         self.expect_ok_body(b"stats")

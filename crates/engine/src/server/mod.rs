@@ -45,7 +45,9 @@ use sxsi::{Prepared, QueryError, QueryMode, QueryOptions, SxsiIndex};
 use sxsi_collection::Collection;
 
 use crate::collection::{render_collection_result, CollectionExecutor, CollectionQueryError};
+use crate::search::{query_display, render_search_outcome, search_collection, search_index};
 use crate::{BatchExecutor, BatchResult, QueryBatch, QuerySpec};
+use sxsi::{FtMode, FtQuery};
 use cache::LruCache;
 use metrics::Metrics;
 use protocol::{
@@ -371,6 +373,12 @@ type PlanKey = (usize, String);
 /// fingerprint for a collection — so cached bodies are keyed to the
 /// exact manifest they were computed from.
 type ResultKey = (usize, u64, String, QueryOptions, OutputKind);
+/// Keyword-search results cache in their own LRU (same slot/fingerprint
+/// scheme, canonical request string as the query component) rather than
+/// widening [`ResultKey`]: a search body is not a query body, and keeping
+/// the keyspaces apart means neither command can poison the other's
+/// entries or skew its hit-rate counters.
+type SearchKey = (usize, u64, String);
 
 struct ServerInner {
     indexes: Vec<NamedIndex>,
@@ -378,6 +386,7 @@ struct ServerInner {
     executor: BatchExecutor,
     plan_cache: Mutex<LruCache<PlanKey, Arc<Prepared>>>,
     result_cache: Mutex<LruCache<ResultKey, Arc<str>>>,
+    search_cache: Mutex<LruCache<SearchKey, Arc<str>>>,
     metrics: Metrics,
     shutdown: AtomicBool,
 }
@@ -446,6 +455,7 @@ impl Server {
                     .collect(),
                 plan_cache: Mutex::new(LruCache::new(options.plan_cache_capacity)),
                 result_cache: Mutex::new(LruCache::new(options.result_cache_capacity)),
+                search_cache: Mutex::new(LruCache::new(options.result_cache_capacity)),
                 metrics: Metrics::new(),
                 shutdown: AtomicBool::new(false),
                 executor,
@@ -647,6 +657,9 @@ impl ServerInner {
                 Ok(("shutting-down".to_string(), String::new(), true))
             }
             "query" => self.handle_query(tokens, rest).map(|(detail, body)| (detail, body, false)),
+            "search" => {
+                self.handle_search(tokens, rest).map(|(detail, body)| (detail, body, false))
+            }
             other => {
                 Err((ErrorCode::UnknownCommand, format!("unknown command '{other}'")))
             }
@@ -931,6 +944,116 @@ impl ServerInner {
         Ok((detail, body))
     }
 
+    /// Handles the `search` command: `search [index=<id>] [mode=all|any|
+    /// phrase] [limit=<n>]` with one escaped search term per body line.
+    /// Bodies render exactly like `sxsi search` prints them and cache in
+    /// the dedicated search LRU (see [`SearchKey`]); hits and misses feed
+    /// the same query counters and latency histograms as `query`.
+    fn handle_search<'a>(
+        &self,
+        args: impl Iterator<Item = &'a str>,
+        rest: &str,
+    ) -> Result<(String, String), CommandError> {
+        let mut index_id: Option<&str> = None;
+        let mut mode = FtMode::All;
+        let mut limit: Option<usize> = None;
+        for arg in args {
+            let (key, value) = arg.split_once('=').ok_or_else(|| {
+                (ErrorCode::BadArgument, format!("malformed argument '{arg}' (expected key=value)"))
+            })?;
+            match key {
+                "index" => index_id = Some(value),
+                "mode" => {
+                    mode = FtMode::parse(value).ok_or_else(|| {
+                        (
+                            ErrorCode::BadArgument,
+                            format!("unknown search mode '{value}' (expected all, any or phrase)"),
+                        )
+                    })?;
+                }
+                "limit" => {
+                    limit = if value == "none" {
+                        None
+                    } else {
+                        Some(value.parse().map_err(|_| {
+                            (ErrorCode::BadArgument, format!("bad limit '{value}'"))
+                        })?)
+                    };
+                }
+                other => {
+                    return Err((
+                        ErrorCode::BadArgument,
+                        format!("unknown search argument '{other}'"),
+                    ))
+                }
+            }
+        }
+        let slot = self.resolve_index(index_id)?;
+
+        let mut terms = Vec::new();
+        for line in rest.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let term = unescape_query(line).ok_or_else(|| {
+                (ErrorCode::BadArgument, format!("malformed term encoding '{line}'"))
+            })?;
+            terms.push(term);
+        }
+        if terms.is_empty() {
+            return Err((ErrorCode::BadArgument, "search needs at least one term".into()));
+        }
+        let query = FtQuery::new(mode, &terms);
+        if query.tokens.is_empty() {
+            return Err((
+                ErrorCode::BadArgument,
+                "search terms hold no indexable tokens".into(),
+            ));
+        }
+
+        // lint:allow(index: resolve_index returned a valid position)
+        let named = &self.indexes[slot];
+        let fingerprint = match &named.served {
+            ServedIndex::Single(_) => 0,
+            ServedIndex::Collection(collection) => collection.fingerprint(),
+        };
+        // Canonical request string: the display form already pins mode and
+        // token list; the limit changes the rendered window, so it is part
+        // of the key too.
+        let id = query_display(&query);
+        let canonical = format!("{id} limit={limit:?}");
+        let key: SearchKey = (slot, fingerprint, canonical);
+        // lint:allow(panic: poisoning means another worker already panicked)
+        if let Some(body) = self.search_cache.lock().expect("search cache poisoned").get(&key) {
+            self.metrics.record_cached_query();
+            let detail = format!("terms={} cache_hits=1", query.tokens.len());
+            return Ok((detail, body.to_string()));
+        }
+
+        let start = Instant::now();
+        let outcome = match &named.served {
+            ServedIndex::Single(index) => search_index(index, &named.id, &query, limit),
+            ServedIndex::Collection(collection) => {
+                let executor = BatchExecutor::new(self.executor.threads());
+                search_collection(&executor, collection, &query, limit).map_err(|e| {
+                    (ErrorCode::Internal, format!("collection segment failure: {e}"))
+                })?
+            }
+        };
+        let elapsed = start.elapsed();
+        let mut rendered = String::new();
+        render_search_outcome(&id, &outcome, &mut rendered);
+        // Searches never report visited-node counts (the FM-index does the
+        // work), so only the latency histogram is fed.
+        self.metrics.record_executed_query(elapsed, None);
+        let body: Arc<str> = Arc::from(rendered);
+        self.search_cache
+            .lock()
+            .expect("search cache poisoned") // lint:allow(panic: poisoning means another worker already panicked)
+            .insert(key, Arc::clone(&body));
+        Ok((format!("terms={} cache_hits=0", query.tokens.len()), body.to_string()))
+    }
+
     /// Looks a query up in the plan cache, preparing and inserting on a
     /// miss.  Compilation happens outside the lock (it can be slow); a
     /// racing duplicate insert is benign.
@@ -976,6 +1099,7 @@ impl ServerInner {
         self.metrics.render(&mut out);
         render_cache_stats(&mut out, "plan_cache", &self.plan_cache);
         render_cache_stats(&mut out, "result_cache", &self.result_cache);
+        render_cache_stats(&mut out, "search_cache", &self.search_cache);
         out
     }
 

@@ -376,6 +376,14 @@ const COMMAND_BITS: &[&str] = &[
     "query output=bogus",
     "query limit=none",
     "query limit=18446744073709551616",
+    "search index=fuzz mode=all limit=2",
+    "search mode=phrase",
+    "search mode=any limit=none",
+    "search mode=bogus",
+    "search index=missing",
+    "search limit=18446744073709551616",
+    "book",
+    "...", // punctuation only: no indexable token bytes
     "//book",
     "//book[.//last~'Ito']",
     "count(",

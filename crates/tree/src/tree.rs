@@ -211,6 +211,37 @@ impl XmlTree {
         x <= y && y <= self.close(x)
     }
 
+    /// Lowest common ancestor of `x` and `y`.
+    ///
+    /// Runs in O(depth) by first lifting the deeper node to the depth of the
+    /// shallower one and then walking both up in lockstep. The fast path
+    /// handles the (frequent) case where one argument already contains the
+    /// other. Every pair of nodes shares at least the super-root, so the
+    /// walk always terminates with a common ancestor.
+    pub fn lca(&self, x: NodeId, y: NodeId) -> NodeId {
+        if self.is_ancestor(x, y) {
+            return x;
+        }
+        if self.is_ancestor(y, x) {
+            return y;
+        }
+        let (mut a, mut b) = (x.min(y), x.max(y));
+        // Neither contains the other, so both have a proper ancestor and
+        // `parent` cannot return `None` before the walks meet at a common
+        // ancestor (the super-root in the worst case).
+        while self.depth(a) > self.depth(b) {
+            a = self.parent(a).unwrap_or_else(|| self.root());
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent(b).unwrap_or_else(|| self.root());
+        }
+        while a != b {
+            a = self.parent(a).unwrap_or_else(|| self.root());
+            b = self.parent(b).unwrap_or_else(|| self.root());
+        }
+        a
+    }
+
     /// Whether `x` has no children.
     #[inline]
     pub fn is_leaf(&self, x: NodeId) -> bool {
@@ -1124,6 +1155,39 @@ mod tests {
         assert!(t.is_ancestor(part1, prec_stock));
         // TaggedDesc for a tag that is absent below the node.
         assert_eq!(t.tagged_desc(part2, color), None);
+    }
+
+    #[test]
+    fn lca_matches_parent_chain_oracle() {
+        let t = figure1_tree();
+        let oracle = |x: NodeId, y: NodeId| -> NodeId {
+            let chain = |mut n: NodeId| {
+                let mut v = vec![n];
+                while let Some(p) = t.parent(n) {
+                    v.push(p);
+                    n = p;
+                }
+                v
+            };
+            let ax = chain(x);
+            *chain(y)
+                .iter()
+                .find(|c| ax.contains(c))
+                .expect("every pair shares the super-root")
+        };
+        let nodes: Vec<NodeId> = t.preorder_nodes().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                assert_eq!(t.lca(x, y), oracle(x, y), "lca({x}, {y})");
+                assert_eq!(t.lca(x, y), t.lca(y, x));
+            }
+        }
+        // Self and containment fast paths.
+        let parts = t.first_child(t.root()).unwrap();
+        let part1 = t.first_child(parts).unwrap();
+        assert_eq!(t.lca(part1, part1), part1);
+        assert_eq!(t.lca(parts, part1), parts);
+        assert_eq!(t.lca(part1, parts), parts);
     }
 
     #[test]

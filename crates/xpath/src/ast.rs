@@ -11,6 +11,7 @@
 //! predicates `[n]`, `[position() op n]` and `[last()]`, evaluated with
 //! XPath's per-context ordered semantics (see [`crate::direct`]).
 
+use sxsi_search::FtMode;
 use sxsi_text::TextPredicate;
 
 /// A navigation axis.
@@ -227,6 +228,16 @@ pub enum Predicate {
     },
     /// A positional constraint (`[n]`, `[position() op n]`, `[last()]`).
     Position(PositionPred),
+    /// A full-text keyword predicate over the context node's subtree:
+    /// `ft:all("a", "b")`, `ft:any(...)`, `ft:phrase(...)`.  Pure syntax
+    /// here — evaluation is seeded from FM-index text hits by the core
+    /// crate's text-first plan (see `sxsi-search`), never by the automaton.
+    FullText {
+        /// How the keywords combine.
+        mode: FtMode,
+        /// The string literals, still untokenized.
+        literals: Vec<String>,
+    },
 }
 
 impl Predicate {
@@ -235,6 +246,7 @@ impl Predicate {
     pub fn uses_position(&self) -> bool {
         match self {
             Predicate::Position(_) => true,
+            Predicate::FullText { .. } => false,
             Predicate::And(a, b) | Predicate::Or(a, b) => a.uses_position() || b.uses_position(),
             Predicate::Not(p) => p.uses_position(),
             Predicate::Exists(path) | Predicate::TextCompare { path, .. } => {
@@ -246,7 +258,7 @@ impl Predicate {
     /// Visits the axis of every step nested anywhere inside the predicate.
     fn visit_axes(&self, f: &mut impl FnMut(Axis)) {
         match self {
-            Predicate::Position(_) => {}
+            Predicate::Position(_) | Predicate::FullText { .. } => {}
             Predicate::And(a, b) | Predicate::Or(a, b) => {
                 a.visit_axes(f);
                 b.visit_axes(f);
@@ -374,6 +386,16 @@ impl std::fmt::Display for Predicate {
                 }
             }
             Predicate::Position(p) => write!(f, "{p}"),
+            Predicate::FullText { mode, literals } => {
+                write!(f, "ft:{}(", mode.as_str())?;
+                for (i, lit) in literals.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "\"{lit}\"")?;
+                }
+                f.write_str(")")
+            }
         }
     }
 }

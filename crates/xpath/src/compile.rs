@@ -373,6 +373,15 @@ impl<'a> Compiler<'a> {
                 message: "positional predicates require ordered evaluation (direct strategy)"
                     .into(),
             }),
+            // The planner in `sxsi` (core) extracts `ft:` conjuncts into a
+            // text-first plan before compiling the residual query, so the
+            // automaton never sees them; reaching this arm means the
+            // predicate sits somewhere text-first evaluation cannot reach.
+            Predicate::FullText { .. } => Err(CompileError {
+                message: "ft: predicates are only supported as top-level conjuncts \
+                          of the last step's filters"
+                    .into(),
+            }),
             Predicate::Exists(path) => self.compile_filter_path(path, Formula::True),
             Predicate::TextCompare { path, op } => {
                 let pred_id = self.register_predicate(op);

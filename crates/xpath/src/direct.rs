@@ -563,6 +563,11 @@ impl<'a> DirectEvaluator<'a> {
             Predicate::TextCompare { path, op } => {
                 self.eval_relative(node, path).iter().any(|&n| self.text_matches(n, op))
             }
+            // Unreachable through the core planner: `ft:` predicates are
+            // either extracted into the text-first plan before evaluation or
+            // rejected at compile time, and text-first never delegates them
+            // to the direct evaluator.  Conservatively select nothing.
+            Predicate::FullText { .. } => false,
         }
     }
 

@@ -41,6 +41,7 @@ pub mod queries;
 pub mod rewrite;
 
 pub use ast::{Axis, NodeTest, Path, PositionPred, Predicate, Query, Step, AXIS_NAMES};
+pub use sxsi_search::FtMode;
 pub use automaton::{Automaton, Formula, Guard, StateId, StateSet};
 pub use bottomup::{BottomUpOutcome, BottomUpPlan};
 pub use compile::{compile, CompileError};
@@ -67,6 +68,9 @@ pub fn fragment_help() -> String {
          \x20              [n], [position() =|!=|<|<=|>|>= n], [last()]\n\
          \x20 text:        contains(p, \"s\"), starts-with(p, \"s\"), ends-with(p, \"s\"),\n\
          \x20              p = \"s\", p < \"s\", p <= \"s\", p > \"s\", p >= \"s\"\n\
+         \x20 full text:   ft:all(\"w\", ...), ft:any(\"w\", ...), ft:phrase(\"w\", ...)\n\
+         \x20              (whole-token keyword search over the subtree; only as\n\
+         \x20              top-level conjuncts of the last step's filters)\n\
          \x20 queries must be absolute (start with / or //)",
         axes.join(", ")
     )

@@ -21,6 +21,7 @@
 
 use crate::ast::{Axis, NodeTest, Path, Predicate, PositionPred, Query, Step, AXIS_NAMES};
 use std::fmt;
+use sxsi_search::FtMode;
 use sxsi_text::TextPredicate;
 
 /// Error produced when a query string cannot be parsed.
@@ -357,6 +358,38 @@ impl<'a> PathParser<'a> {
             }
             self.pos = checkpoint;
         }
+        // Full-text extension functions: `ft:all("a", "b")`, `ft:any(...)`,
+        // `ft:phrase(...)`.  A lone `:` is not valid anywhere else in a
+        // filter, so the `ft:` prefix is unambiguous.
+        if self.peek_str("ft:") {
+            self.pos += 3;
+            let name = self.read_name()?;
+            let mode = match FtMode::parse(&name) {
+                Some(mode) => mode,
+                None => {
+                    return self.error(format!(
+                        "unsupported ft: function '{name}' (expected all, any or phrase)"
+                    ))
+                }
+            };
+            self.skip_ws();
+            if !self.eat("(") {
+                return self.error("expected '(' after ft: function name");
+            }
+            let mut literals = vec![self.read_string_literal()?];
+            loop {
+                self.skip_ws();
+                if self.eat(",") {
+                    literals.push(self.read_string_literal()?);
+                } else {
+                    break;
+                }
+            }
+            if !self.eat(")") {
+                return self.error("expected ')' to close the ft: function");
+            }
+            return Ok(Predicate::FullText { mode, literals });
+        }
         // Text functions.
         for (kw, ctor) in [
             ("contains", TextFn::Contains),
@@ -599,6 +632,39 @@ mod tests {
             },
             other => panic!("expected Not, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fulltext_functions() {
+        let query = q(r#"//book[ft:all("fast", "search")]"#);
+        let book = &query.path.steps[0];
+        assert_eq!(
+            book.predicates[0],
+            Predicate::FullText {
+                mode: FtMode::All,
+                literals: vec!["fast".into(), "search".into()]
+            }
+        );
+        let query = q(r#"//book[ft:any('one')]"#);
+        assert!(matches!(
+            &query.path.steps[0].predicates[0],
+            Predicate::FullText { mode: FtMode::Any, literals } if literals.len() == 1
+        ));
+        let query = q(r#"//book[ ft:phrase( "fast search" ) and title]"#);
+        match &query.path.steps[0].predicates[0] {
+            Predicate::And(a, _) => {
+                assert!(matches!(**a, Predicate::FullText { mode: FtMode::Phrase, .. }));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+        // Display → parse round-trips.
+        let rendered = query.to_string();
+        assert_eq!(parse_query(&rendered).unwrap(), query);
+        // Unknown ft: function names and malformed argument lists fail.
+        assert!(parse_query(r#"//book[ft:none("x")]"#).is_err());
+        assert!(parse_query("//book[ft:all()]").is_err());
+        assert!(parse_query(r#"//book[ft:all("x",)]"#).is_err());
+        assert!(parse_query(r#"//book[ft:all("x""#).is_err());
     }
 
     #[test]

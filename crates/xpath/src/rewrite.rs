@@ -54,6 +54,9 @@ pub fn requires_direct(query: &Query) -> bool {
 fn predicate_needs_direct(pred: &Predicate) -> bool {
     match pred {
         Predicate::Position(_) => true,
+        // Carries no path of its own; the text-first plan evaluates it
+        // regardless of which strategy runs the residual query.
+        Predicate::FullText { .. } => false,
         Predicate::And(a, b) | Predicate::Or(a, b) => {
             predicate_needs_direct(a) || predicate_needs_direct(b)
         }

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use sxsi_text::TextPredicate;
 use sxsi_xpath::ast::{Axis, NodeTest, Path, PositionPred, Predicate, Query, Step};
-use sxsi_xpath::{parse_query, AXIS_NAMES};
+use sxsi_xpath::{parse_query, FtMode, AXIS_NAMES};
 
 /// A tiny deterministic generator state (xorshift) seeded per case.
 struct Gen(u64);
@@ -45,7 +45,7 @@ fn gen_test(g: &mut Gen) -> NodeTest {
 }
 
 fn gen_predicate(g: &mut Gen, depth: u32) -> Predicate {
-    let choices = if depth == 0 { 3 } else { 7 };
+    let choices = if depth == 0 { 4 } else { 8 };
     match g.below(choices) {
         0 => Predicate::Exists(gen_rel_path(g, depth)),
         1 => {
@@ -73,8 +73,17 @@ fn gen_predicate(g: &mut Gen, depth: u32) -> Predicate {
             };
             Predicate::Position(pred)
         }
-        3 => Predicate::Not(Box::new(gen_predicate(g, depth - 1))),
-        4 => Predicate::And(
+        3 => {
+            let mode = match g.below(3) {
+                0 => FtMode::All,
+                1 => FtMode::Any,
+                _ => FtMode::Phrase,
+            };
+            let literals = (0..1 + g.below(3)).map(|_| g.name()).collect();
+            Predicate::FullText { mode, literals }
+        }
+        4 => Predicate::Not(Box::new(gen_predicate(g, depth - 1))),
+        5 => Predicate::And(
             Box::new(gen_predicate(g, depth - 1)),
             Box::new(gen_predicate(g, depth - 1)),
         ),

@@ -52,6 +52,9 @@ const UNTRUSTED_FILES: &[&str] = &[
     "crates/engine/src/server/protocol.rs",
     "crates/engine/src/server/mod.rs",
     "crates/core/src/io.rs",
+    // Keyword search sits on the query hot path and consumes whatever
+    // terms arrive over the wire, so it faces the same scrutiny.
+    "crates/search/src/lib.rs",
 ];
 
 /// One lint finding.

@@ -3,9 +3,9 @@
 //! 1. every intra-repo markdown link in `README.md`, `ARCHITECTURE.md` and
 //!    `docs/*.md` points at a file that exists, and same-repo `#anchor`
 //!    fragments match a real heading of the target file;
-//! 2. every XPath example in `docs/xpath-fragment.md` (inline code spans
-//!    starting with `/`) parses with the real parser, so the reference
-//!    cannot drift from the grammar;
+//! 2. every XPath example in `docs/xpath-fragment.md` and
+//!    `docs/search.md` (inline code spans starting with `/`) parses with
+//!    the real parser, so the references cannot drift from the grammar;
 //! 3. the guide's collection walkthrough and the format doc's manifest
 //!    section keep naming the real commands, output shapes and issue
 //!    codes (the transcripts are held to the binary by
@@ -175,6 +175,46 @@ fn fragment_reference_examples_parse() {
         parsed += 1;
     }
     assert!(parsed >= 25, "expected >= 25 runnable examples in the fragment reference, got {parsed}");
+}
+
+/// Every `/`-prefixed example in `docs/search.md` parses — including the
+/// deliberately misplaced `ft:` form it shows (placement is a
+/// compile-time check, not a parse error) — and the doc keeps its
+/// load-bearing definitions: the three `ft:` modes, the tf×idf scoring
+/// formula, the SLCA semantics, the placement restriction, the ranked
+/// ordering, the daemon cache counters and the benchmark snapshot.  The
+/// semantics themselves are held to an independent oracle by
+/// `tests/integration_search.rs`; this test keeps the prose honest.
+#[test]
+fn search_doc_examples_parse_and_markers_hold() {
+    let path = repo_root().join("docs/search.md");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut parsed = 0;
+    for span in inline_code_spans(&text) {
+        if !span.starts_with('/') || span.chars().all(|c| c == '/') {
+            continue;
+        }
+        sxsi_xpath::parse_query(&span)
+            .unwrap_or_else(|e| panic!("docs/search.md example {span:?} does not parse: {e}"));
+        parsed += 1;
+    }
+    assert!(parsed >= 5, "expected >= 5 runnable ft: examples in docs/search.md, got {parsed}");
+    for marker in [
+        "ft:all",
+        "ft:any",
+        "ft:phrase",
+        "tf(t, e) · ln(1 + N / df(t))",
+        "smallest lowest common",
+        "no covering proper descendant",
+        "ties in document order",
+        "top-level `and`-conjuncts of the last step's",
+        "case-sensitive and byte-exact",
+        "search_cache_*",
+        "BENCH_pr10.json",
+        "tests/integration_search.rs",
+    ] {
+        assert!(text.contains(marker), "docs/search.md lost its {marker:?} marker");
+    }
 }
 
 /// The guide's collection walkthrough (Step 6) stays in place and keeps

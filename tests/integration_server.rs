@@ -548,3 +548,125 @@ fn info_command_describes_every_index() {
     assert_eq!(OutputKind::Exists.query_mode(), QueryMode::Exists);
     stop(&server, handle);
 }
+
+/// The daemon `search` command: bodies byte-identical to the in-process
+/// renderer (the same one `sxsi search` prints through), a dedicated
+/// result cache that hits on repeats across connections, and structured
+/// errors for malformed requests.
+#[test]
+fn daemon_search_bodies_match_in_process_rendering_and_cache() {
+    use sxsi::{FtMode, FtQuery};
+    use sxsi_engine::search::{query_display, render_search_outcome, search_index};
+
+    let (server, addr, handle) = start_all_corpora();
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let cases: &[(&str, &[&str], Option<u64>)] = &[
+        ("all", &["the"], None),
+        ("all", &["the", "of"], Some(3)),
+        ("any", &["the", "of", "zzznope"], Some(5)),
+        ("phrase", &["of the"], None),
+    ];
+    let mut total_hits = 0usize;
+    for (corpus, index) in corpora() {
+        for &(mode, terms, limit) in cases {
+            let query = FtQuery::new(FtMode::parse(mode).unwrap(), terms);
+            let mut expected = String::new();
+            render_search_outcome(
+                &query_display(&query),
+                &search_index(index, corpus, &query, limit.map(|l| l as usize)),
+                &mut expected,
+            );
+            match client.search(Some(corpus), mode, limit, terms).unwrap() {
+                Response::Ok { body, .. } => {
+                    assert_eq!(body, expected, "{corpus} {mode} {terms:?}");
+                    let hits: usize = body
+                        .split(": ")
+                        .nth(1)
+                        .and_then(|r| r.split(' ').next())
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| panic!("unparsable search body: {body}"));
+                    total_hits += hits;
+                }
+                Response::Err { code, message } => {
+                    panic!("{corpus} {mode} {terms:?}: error frame {code} {message}")
+                }
+            }
+        }
+    }
+    // The shared terms are common English words, so the sweep must have
+    // found something somewhere — otherwise the test is vacuous.
+    assert!(total_hits > 0, "no hits across any corpus/case combination");
+
+    // Repeats hit the dedicated search cache, from another connection too.
+    let (corpus, _) = &corpora()[0];
+    let mut second = Client::connect_tcp(&addr).unwrap();
+    let detail = match second.search(Some(corpus), "all", None, &["the"]).unwrap() {
+        Response::Ok { detail, .. } => detail,
+        other => panic!("{other:?}"),
+    };
+    assert!(detail.contains("cache_hits=1"), "detail was '{detail}'");
+    let stats = second.stats().unwrap();
+    assert!(stat(&stats, "search_cache_hits") >= 1, "stats:\n{stats}");
+    assert!(stat(&stats, "search_cache_misses") >= 1, "stats:\n{stats}");
+
+    // Malformed requests come back as structured error frames.
+    for payload in [
+        "search mode=bogus\nterm",
+        "search",
+        "search index=xmark\n...", // punctuation holds no token bytes
+        "search index=nosuch\nterm",
+    ] {
+        match second.request(payload.as_bytes()).unwrap() {
+            Response::Err { code, .. } => assert!(
+                matches!(code, ErrorCode::BadArgument | ErrorCode::UnknownIndex),
+                "{payload}: unexpected code {code}"
+            ),
+            other => panic!("{payload}: expected an error frame, got {other:?}"),
+        }
+    }
+    stop(&server, handle);
+}
+
+/// `--queries-file` hygiene: indented `#` comments and whitespace-only
+/// lines are skipped, not submitted as queries (the parse would
+/// otherwise fail the whole batch), and surrounding whitespace is
+/// stripped off real queries.
+#[test]
+fn queries_file_skips_indented_comments_and_blank_lines() {
+    let dir = std::env::temp_dir().join(format!("sxsi-qfile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let idx = built_index_file(&dir);
+    let qfile = dir.join("batch.txt");
+    std::fs::write(
+        &qfile,
+        "# plain comment\n  # indented comment\n\n   \n\t\n  //item  \nq1\t//person\n",
+    )
+    .unwrap();
+
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_sxsi"))
+        .args(["query", idx.to_str().unwrap(), "--queries-file", qfile.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    // Exactly the two real queries survive the filter.
+    assert_eq!(lines.len(), 2, "stdout: {stdout}");
+    assert!(lines[0].starts_with("//item: "), "stdout: {stdout}");
+    assert!(lines[1].starts_with("q1: "), "stdout: {stdout}");
+
+    // A file holding only comments and blanks is an empty batch, and says so.
+    std::fs::write(&qfile, "  # only\n\n   \n").unwrap();
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_sxsi"))
+        .args(["query", idx.to_str().unwrap(), "--queries-file", qfile.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("code=empty-batch"),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -93,3 +93,70 @@ fn text_extraction_roundtrips() {
         }
     }
 }
+
+/// Multi-byte UTF-8 regression: needles that cut across codepoint
+/// boundaries — a lone continuation byte, a lead byte without its tail,
+/// the tail of one emoji glued to the head of the next — must never
+/// panic anywhere in the FM-index machinery (backward search over bytes
+/// that may not even occur, locate walks, the scan cut-off path) and
+/// must agree with a naive byte-window scan on every contains variant.
+#[test]
+fn cross_codepoint_needles_agree_with_naive_scan() {
+    use sxsi_text::{TextCollection, TextCollectionOptions};
+
+    let texts: Vec<&[u8]> = vec![
+        "caf\u{e9} au lait".as_bytes(),
+        "na\u{ef}ve r\u{e9}sum\u{e9}".as_bytes(),
+        "\u{1F600}\u{1F601}grin".as_bytes(),
+        "\u{a0}nbsp\u{a0}pad".as_bytes(),
+        b"plain ascii",
+        b"",
+    ];
+    let emoji = "\u{1F600}\u{1F601}".as_bytes(); // f0 9f 98 80 f0 9f 98 81
+    let mut needles: Vec<Vec<u8>> = vec![
+        "\u{e9}".as_bytes().to_vec(),    // a full two-byte codepoint
+        vec![0xa9, b' '],                // tail of é + the following space
+        vec![0xa9],                      // lone continuation byte
+        vec![0xc3],                      // lone lead byte
+        emoji[2..6].to_vec(),            // tail of 😀 + head of 😁
+        emoji[3..5].to_vec(),            // last byte of one + first of next
+        vec![0xff],                      // byte absent from every text
+        "\u{e9} a".as_bytes().to_vec(),  // crosses codepoint AND word boundary
+        "\u{a0}pad".as_bytes().to_vec(),
+    ];
+    // Every window of the emoji pair, aligned or not.
+    for len in 1..=emoji.len() {
+        needles.extend(emoji.windows(len).map(<[u8]>::to_vec));
+    }
+
+    // scan_cutoff: 0 forces the plain-scan path wherever a plain copy
+    // exists, so both branches of `contains` face the hostile needles.
+    for options in [
+        TextCollectionOptions::default(),
+        TextCollectionOptions { scan_cutoff: 0, ..Default::default() },
+        TextCollectionOptions { keep_plain_text: false, ..Default::default() },
+    ] {
+        let col = TextCollection::with_options(&texts, options.clone());
+        for needle in &needles {
+            let naive_ids: Vec<usize> = (0..texts.len())
+                .filter(|&i| texts[i].windows(needle.len()).any(|w| w == &needle[..]))
+                .collect();
+            let naive_pos: Vec<(usize, usize)> = (0..texts.len())
+                .flat_map(|i| {
+                    texts[i]
+                        .windows(needle.len())
+                        .enumerate()
+                        .filter(|(_, w)| *w == &needle[..])
+                        .map(move |(off, _)| (i, off))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let label = format!("{needle:?} with {options:?}");
+            assert_eq!(col.contains(needle), naive_ids, "contains {label}");
+            assert_eq!(col.contains_count(needle), naive_ids.len(), "count {label}");
+            assert_eq!(col.contains_positions(needle), naive_pos, "positions {label}");
+            assert_eq!(col.global_count(needle), naive_pos.len(), "global {label}");
+            assert_eq!(col.contains_exists(needle), !naive_pos.is_empty(), "exists {label}");
+        }
+    }
+}
